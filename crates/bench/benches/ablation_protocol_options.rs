@@ -1,0 +1,79 @@
+//! Ablation: the §II/§VI protocol optimizations — delta coding of frequent
+//! updates and predictive (ahead-of-time) subscriptions — measured on
+//! bandwidth, freshness, and the latency from entering an interest set to
+//! the first frequent update arriving.
+
+use watchmen_bench::{run_experiment, BenchParams};
+use watchmen_core::overlay::{run_watchmen_with_options, OverlayOptions};
+use watchmen_core::WatchmenConfig;
+use watchmen_net::latency;
+use watchmen_sim::report::render_table;
+
+fn main() {
+    let params = BenchParams::from_env();
+    run_experiment(
+        "ablation_protocol_options",
+        "§II delta coding + §VI predictive subscriptions",
+        || {
+            let workload = params.workload();
+            let config = WatchmenConfig::default();
+            let variants = [
+                ("baseline", OverlayOptions::default()),
+                (
+                    "delta coding",
+                    OverlayOptions { delta_coding: true, ..OverlayOptions::default() },
+                ),
+                (
+                    "predictive subs",
+                    OverlayOptions {
+                        predictive_subscriptions: true,
+                        ..OverlayOptions::default()
+                    },
+                ),
+                (
+                    "both",
+                    OverlayOptions { delta_coding: true, predictive_subscriptions: true },
+                ),
+            ];
+            let mut rows = Vec::new();
+            for (name, options) in variants {
+                let report = run_watchmen_with_options(
+                    &workload.trace,
+                    &workload.map,
+                    &config,
+                    latency::king_like(workload.players(), params.seed),
+                    0.01,
+                    params.seed,
+                    options,
+                );
+                let h = &report.subscription_latency;
+                let total: f64 = (0..h.buckets()).map(|i| h.fraction(i)).sum();
+                let mean_sub_latency = if total > 0.0 {
+                    (0..h.buckets())
+                        .map(|i| (h.bucket_range(i).0 + 0.5) * h.fraction(i))
+                        .sum::<f64>()
+                        / total
+                } else {
+                    f64::NAN
+                };
+                rows.push(vec![
+                    name.to_owned(),
+                    format!("{:.1}", report.mean_up_kbps),
+                    format!("{:.1}%", report.fraction_younger_than(3) * 100.0),
+                    format!("{mean_sub_latency:.2}"),
+                    format!("{}", h.count()),
+                ]);
+            }
+            render_table(
+                &[
+                    "variant",
+                    "mean up (kbps)",
+                    "fresh (<3 frames)",
+                    "mean IS-entry→first update (frames)",
+                    "IS entrances",
+                ],
+                &rows,
+            )
+        },
+    );
+}

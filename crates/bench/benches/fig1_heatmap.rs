@@ -1,0 +1,13 @@
+//! Figure 1: heatmap of player positions (q3dm17-like, 48-player game).
+
+use watchmen_bench::{run_experiment, BenchParams};
+use watchmen_sim::heat::{format_heat, run_heat};
+
+fn main() {
+    let params = BenchParams::from_env();
+    run_experiment("fig1_heatmap", "Figure 1 (presence heatmap, q3dm17)", || {
+        let workload = params.workload();
+        let report = run_heat(&workload);
+        format_heat(&report)
+    });
+}

@@ -1,0 +1,22 @@
+//! Figure 5: levels of information about cheaters available to honest
+//! witnesses.
+
+use watchmen_bench::{run_experiment, BenchParams};
+use watchmen_core::WatchmenConfig;
+use watchmen_sim::witness::{format_witness, run_witness};
+
+fn main() {
+    let params = BenchParams::from_env();
+    run_experiment("fig5_witnesses", "Figure 5 (witness availability)", || {
+        let workload = params.workload();
+        let coalitions = [1usize, 2, 3, 4, 6, 8];
+        let rows = run_witness(
+            &workload,
+            &coalitions,
+            &WatchmenConfig::default(),
+            params.seed,
+            params.stride,
+        );
+        format_witness(&rows)
+    });
+}

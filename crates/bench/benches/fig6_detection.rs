@@ -1,0 +1,16 @@
+//! Figure 6: success rates of the verification mechanisms (cheater sends
+//! up to 10% invalid messages; false positives capped at 5%).
+
+use watchmen_bench::{run_experiment, BenchParams};
+use watchmen_core::WatchmenConfig;
+use watchmen_sim::detection::{format_detection, run_detection};
+
+fn main() {
+    let params = BenchParams::from_env();
+    run_experiment("fig6_detection", "Figure 6 (verification success rates)", || {
+        let workload = params.workload();
+        let rows =
+            run_detection(&workload, &WatchmenConfig::default(), 0.10, 0.05, params.seed);
+        format_detection(&rows)
+    });
+}

@@ -1,0 +1,29 @@
+//! Figure 7: distribution of the age of received updates under the King
+//! and PeerWise latency sets with 1% message loss.
+
+use watchmen_bench::{run_experiment, BenchParams};
+use watchmen_core::WatchmenConfig;
+use watchmen_sim::age::{format_age, run_age, LatencySet};
+
+fn main() {
+    let params = BenchParams::from_env();
+    run_experiment("fig7_update_age", "Figure 7 (update-age PDF, King & PeerWise)", || {
+        let workload = params.workload();
+        let series = run_age(
+            &workload,
+            &WatchmenConfig::default(),
+            // King & PeerWise are the paper's sets; LAN and the
+            // intercontinental split are extension series showing the
+            // budget headroom and the geographic-restriction rationale.
+            &[
+                LatencySet::King,
+                LatencySet::PeerWise,
+                LatencySet::Lan,
+                LatencySet::Intercontinental,
+            ],
+            0.01,
+            params.seed,
+        );
+        format_age(&series)
+    });
+}

@@ -1,0 +1,63 @@
+//! Criterion microbenchmarks of the architecture's hot kernels: signature
+//! sign/verify, subscription-set computation, proxy schedule evaluation
+//! and the verification suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use watchmen_core::proxy::ProxySchedule;
+use watchmen_core::subscription::{compute_sets, NoRecency};
+use watchmen_core::verify::Verifier;
+use watchmen_core::WatchmenConfig;
+use watchmen_crypto::schnorr::Keypair;
+use watchmen_game::PlayerId;
+use watchmen_sim::workload::standard_workload;
+use watchmen_world::PhysicsConfig;
+
+fn bench_signatures(c: &mut Criterion) {
+    let keys = Keypair::generate(1);
+    let msg = vec![0xabu8; 88]; // a 700-bit state update
+    let sig = keys.sign(&msg);
+    c.bench_function("schnorr_sign_88B", |b| b.iter(|| keys.sign(black_box(&msg))));
+    c.bench_function("schnorr_verify_88B", |b| {
+        b.iter(|| keys.public().verify(black_box(&msg), black_box(&sig)))
+    });
+}
+
+fn bench_subscriptions(c: &mut Criterion) {
+    let w = standard_workload(48, 7, 10);
+    let states = &w.trace.frames[9].states;
+    let config = WatchmenConfig::default();
+    c.bench_function("compute_sets_48p", |b| {
+        b.iter(|| compute_sets(black_box(PlayerId(0)), states, &w.map, &config, &NoRecency))
+    });
+}
+
+fn bench_proxy_schedule(c: &mut Criterion) {
+    let schedule = ProxySchedule::new(42, 48, 40);
+    c.bench_function("proxy_of_48p", |b| {
+        b.iter(|| schedule.proxy_of(black_box(PlayerId(17)), black_box(4321)))
+    });
+    c.bench_function("clients_of_48p", |b| {
+        b.iter(|| schedule.clients_of(black_box(PlayerId(17)), black_box(4321)))
+    });
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let w = standard_workload(16, 7, 40);
+    let config = WatchmenConfig::default();
+    let verifier = Verifier::new(config, PhysicsConfig::default());
+    let prev = w.trace.frames[30].states[3].position;
+    let next = w.trace.frames[31].states[3].position;
+    c.bench_function("check_position", |b| {
+        b.iter(|| verifier.check_position(black_box(prev), black_box(next), 1, &w.map))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_signatures,
+    bench_subscriptions,
+    bench_proxy_schedule,
+    bench_verification
+);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Section VI scalability: per-player bandwidth as the game grows, per
+//! architecture, against the 12·n kbps centralized reference.
+
+use watchmen_bench::run_experiment;
+use watchmen_core::WatchmenConfig;
+use watchmen_sim::bandwidth_exp::{format_bandwidth, run_bandwidth_sweep};
+
+fn main() {
+    run_experiment(
+        "scalability_bandwidth",
+        "§II/§VI (bandwidth scaling vs 12n kbps centralized)",
+        || {
+            let counts: &[usize] = if std::env::var_os("WATCHMEN_QUICK").is_some() {
+                &[8, 16, 32]
+            } else {
+                &[16, 48, 96, 192]
+            };
+            let rows = run_bandwidth_sweep(counts, 200, &WatchmenConfig::default(), 42);
+            format_bandwidth(&rows)
+        },
+    );
+}

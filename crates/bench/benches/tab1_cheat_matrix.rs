@@ -1,0 +1,15 @@
+//! Table I: popular cheating mechanisms and Watchmen's responses,
+//! demonstrated live.
+
+use watchmen_bench::{run_experiment, BenchParams};
+use watchmen_core::WatchmenConfig;
+use watchmen_sim::cheat_matrix::{format_cheat_matrix, run_cheat_matrix};
+
+fn main() {
+    let params = BenchParams::from_env();
+    run_experiment("tab1_cheat_matrix", "Table I (cheat catalog & responses)", || {
+        let workload = params.workload();
+        let rows = run_cheat_matrix(&workload, &WatchmenConfig::default(), params.seed);
+        format_cheat_matrix(&rows)
+    });
+}

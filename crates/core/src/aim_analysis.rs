@@ -1,0 +1,228 @@
+//! Statistical aimbot detection.
+//!
+//! Table I assigns aimbots to "detection by proxy (statistical analysis)":
+//! no single aim sample proves anything, but the *distribution* of a
+//! player's aim motion does. The proxy receives the player's per-frame
+//! state updates, so it can accumulate two signatures over an epoch:
+//!
+//! * **Saturation rate** — the fraction of frames where the aim rotates at
+//!   (or near) the maximum legal angular speed. Aimbots implemented on top
+//!   of a rate-limited client snap toward targets at exactly the cap,
+//!   every engagement; humans rarely pin the cap.
+//! * **Tracking jitter** — the variability of small aim adjustments while
+//!   tracking. Human aim trembles; an aimbot's error is machine-precise
+//!   (near-zero jitter), or dithered so uniformly it lacks the heavy tail
+//!   of human corrections.
+//!
+//! Scores are computed against a baseline [`AimProfile`] built from
+//! honest players, following the paper's calibration philosophy
+//! (`a ≤ ā + σ_a`).
+
+use watchmen_math::stats::Running;
+use watchmen_math::Aim;
+use watchmen_world::PhysicsConfig;
+
+use crate::rating::rate_deviation;
+use crate::WatchmenConfig;
+
+/// The fraction of the per-frame angular-speed cap above which a sample
+/// counts as *saturated*.
+const SATURATION_BAND: f64 = 0.9;
+/// Samples below this fraction of the cap count as *tracking* motion.
+const TRACKING_BAND: f64 = 0.25;
+
+/// An accumulating statistical profile of one player's aim stream.
+///
+/// # Examples
+///
+/// ```
+/// use watchmen_core::aim_analysis::AimProfile;
+/// use watchmen_core::WatchmenConfig;
+/// use watchmen_math::Aim;
+/// use watchmen_world::PhysicsConfig;
+///
+/// let mut profile = AimProfile::new(WatchmenConfig::default(), PhysicsConfig::default());
+/// profile.observe(Aim::new(0.0, 0.0), Aim::new(0.05, 0.0));
+/// assert_eq!(profile.samples(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AimProfile {
+    max_turn_per_frame: f64,
+    deltas: Running,
+    tracking: Running,
+    saturated: u64,
+    total: u64,
+}
+
+impl AimProfile {
+    /// Creates an empty profile.
+    #[must_use]
+    pub fn new(config: WatchmenConfig, physics: PhysicsConfig) -> Self {
+        AimProfile {
+            max_turn_per_frame: physics.max_angular_speed * config.frame_seconds(),
+            deltas: Running::new(),
+            tracking: Running::new(),
+            saturated: 0,
+            total: 0,
+        }
+    }
+
+    /// Feeds one frame-to-frame aim transition.
+    pub fn observe(&mut self, prev: Aim, next: Aim) {
+        let delta = prev.angular_distance(next);
+        self.deltas.push(delta);
+        self.total += 1;
+        if delta >= self.max_turn_per_frame * SATURATION_BAND {
+            self.saturated += 1;
+        }
+        if delta <= self.max_turn_per_frame * TRACKING_BAND {
+            self.tracking.push(delta);
+        }
+    }
+
+    /// Number of transitions observed.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of frames rotating at ≥ 90 % of the legal cap.
+    #[must_use]
+    pub fn saturation_rate(&self) -> f64 {
+        if self.total == 0 { 0.0 } else { self.saturated as f64 / self.total as f64 }
+    }
+
+    /// Standard deviation of small (tracking-band) aim adjustments, in
+    /// radians.
+    #[must_use]
+    pub fn tracking_jitter(&self) -> f64 {
+        self.tracking.std_dev()
+    }
+
+    /// Mean tracking-band adjustment.
+    #[must_use]
+    pub fn tracking_mean(&self) -> f64 {
+        self.tracking.mean()
+    }
+
+    /// Rates this profile against an honest baseline: 1 = consistent with
+    /// human play, rising toward 10 as the saturation rate exceeds the
+    /// honest envelope and the tracking jitter collapses below it.
+    ///
+    /// Requires at least 40 samples in both profiles; returns 1 otherwise
+    /// (not enough evidence — matching the confidence-driven caution of
+    /// Section V).
+    #[must_use]
+    pub fn score_against(&self, honest: &AimProfile) -> u8 {
+        if self.total < 40 || honest.total < 40 {
+            return 1;
+        }
+        // Saturation beyond the honest envelope.
+        let saturation_tolerance = (honest.saturation_rate() * 2.0 + 0.05).min(1.0);
+        let saturation_score = rate_deviation(self.saturation_rate(), saturation_tolerance);
+
+        // Jitter collapse: score the *inverse* ratio so machine-precise
+        // tracking (tiny jitter) rates high.
+        let honest_jitter = honest.tracking_jitter().max(1e-6);
+        let my_jitter = self.tracking_jitter().max(1e-9);
+        let collapse_ratio = honest_jitter / my_jitter;
+        // Honest players vary ±3x among themselves; beyond that is
+        // suspicious.
+        let jitter_score = rate_deviation(collapse_ratio, 3.0);
+
+        saturation_score.max(jitter_score)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use watchmen_crypto::rng::Xoshiro256;
+
+    fn configs() -> (WatchmenConfig, PhysicsConfig) {
+        (WatchmenConfig::default(), PhysicsConfig::default())
+    }
+
+    /// A human-like aim stream: smooth pursuit with trembling corrections
+    /// and occasional fast (but sub-cap) turns.
+    fn human_profile(seed: u64, frames: usize) -> AimProfile {
+        let (config, physics) = configs();
+        let mut profile = AimProfile::new(config, physics);
+        let mut rng = Xoshiro256::new(seed);
+        let mut aim = Aim::new(0.0, 0.0);
+        for k in 0..frames {
+            let tremor = (rng.next_f64() - 0.5) * 0.04;
+            let turn = if k % 50 < 5 {
+                // A deliberate turn at ~60% of the cap.
+                0.6 * physics.max_angular_speed * 0.05
+            } else {
+                0.01
+            };
+            let next = aim.rotated(turn + tremor, tremor * 0.5);
+            profile.observe(aim, next);
+            aim = next;
+        }
+        profile
+    }
+
+    /// An aimbot stream: snap at the cap toward each new target, then
+    /// machine-precise lock (zero jitter).
+    fn aimbot_profile(frames: usize) -> AimProfile {
+        let (config, physics) = configs();
+        let cap = physics.max_angular_speed * 0.05;
+        let mut profile = AimProfile::new(config, physics);
+        let mut aim = Aim::new(0.0, 0.0);
+        for k in 0..frames {
+            let next = if k % 20 < 3 {
+                aim.rotated(cap * 0.99, 0.0) // snap at the cap
+            } else {
+                aim // perfect lock
+            };
+            profile.observe(aim, next);
+            aim = next;
+        }
+        profile
+    }
+
+    #[test]
+    fn human_rates_clean_against_human() {
+        let baseline = human_profile(1, 600);
+        let subject = human_profile(2, 600);
+        let score = subject.score_against(&baseline);
+        assert!(score <= 3, "human scored {score} against human baseline");
+    }
+
+    #[test]
+    fn aimbot_rates_high_against_human() {
+        let baseline = human_profile(1, 600);
+        let bot = aimbot_profile(600);
+        let score = bot.score_against(&baseline);
+        assert!(score >= 8, "aimbot scored only {score}");
+    }
+
+    #[test]
+    fn aimbot_signatures_measurable() {
+        let bot = aimbot_profile(600);
+        let human = human_profile(3, 600);
+        assert!(bot.saturation_rate() > human.saturation_rate());
+        assert!(bot.tracking_jitter() < human.tracking_jitter());
+    }
+
+    #[test]
+    fn insufficient_evidence_scores_clean() {
+        let baseline = human_profile(1, 600);
+        let tiny = aimbot_profile(10);
+        assert_eq!(tiny.score_against(&baseline), 1);
+        assert_eq!(baseline.score_against(&tiny), 1);
+    }
+
+    #[test]
+    fn empty_profile_stats() {
+        let (config, physics) = configs();
+        let p = AimProfile::new(config, physics);
+        assert_eq!(p.samples(), 0);
+        assert_eq!(p.saturation_rate(), 0.0);
+        assert_eq!(p.tracking_jitter(), 0.0);
+        assert_eq!(p.tracking_mean(), 0.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! The attention metric behind interest sets.
+//!
+//! The interest set "is composed of visible avatars that catch the
+//! player's attention the most (measured by a combination of proximity,
+//! aim and interaction recency)" — the Donnybrook attention model. The
+//! score combines three components in `[0, 1]`; higher is more
+//! attention-worthy.
+
+use watchmen_game::trace::PlayerFrame;
+
+/// Inputs to one attention evaluation: observer, candidate, and how many
+/// frames ago they last interacted (`None` = never).
+#[derive(Debug, Clone, Copy)]
+pub struct AttentionInput<'a> {
+    /// The observing player's state.
+    pub observer: &'a PlayerFrame,
+    /// The candidate avatar's state.
+    pub candidate: &'a PlayerFrame,
+    /// Frames since the pair last hit each other, if ever.
+    pub frames_since_interaction: Option<u64>,
+}
+
+/// Weights for the three attention components; they sum to 1 by default.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttentionWeights {
+    /// Weight of proximity.
+    pub proximity: f64,
+    /// Weight of aim alignment.
+    pub aim: f64,
+    /// Weight of interaction recency.
+    pub recency: f64,
+    /// Distance at which proximity attention halves (world units).
+    pub half_distance: f64,
+    /// Frames at which recency attention halves.
+    pub half_recency: f64,
+}
+
+impl Default for AttentionWeights {
+    fn default() -> Self {
+        AttentionWeights {
+            proximity: 0.45,
+            aim: 0.35,
+            recency: 0.20,
+            half_distance: 40.0,
+            half_recency: 60.0,
+        }
+    }
+}
+
+/// Computes the attention score in `[0, 1]`.
+///
+/// * **Proximity** decays hyperbolically with distance.
+/// * **Aim** is the cosine-shaped alignment between the observer's aim and
+///   the direction to the candidate (0 beyond 90° off-axis).
+/// * **Recency** decays hyperbolically with frames since the last mutual
+///   hit/kill; never-interacted pairs contribute 0.
+///
+/// # Examples
+///
+/// ```
+/// use watchmen_core::attention::{score, AttentionInput, AttentionWeights};
+/// use watchmen_game::trace::PlayerFrame;
+/// use watchmen_game::WeaponKind;
+/// use watchmen_math::{Aim, Vec3};
+///
+/// let mk = |pos| PlayerFrame {
+///     position: pos,
+///     velocity: Vec3::ZERO,
+///     aim: Aim::default(),
+///     health: 100,
+///     armor: 0,
+///     weapon: WeaponKind::MachineGun,
+///     ammo: 10,
+/// };
+/// let observer = mk(Vec3::ZERO);
+/// let near = mk(Vec3::new(10.0, 0.0, 0.0));
+/// let far = mk(Vec3::new(140.0, 0.0, 0.0));
+/// let w = AttentionWeights::default();
+/// let near_score = score(
+///     &AttentionInput { observer: &observer, candidate: &near, frames_since_interaction: None },
+///     &w,
+/// );
+/// let far_score = score(
+///     &AttentionInput { observer: &observer, candidate: &far, frames_since_interaction: None },
+///     &w,
+/// );
+/// assert!(near_score > far_score);
+/// ```
+#[must_use]
+pub fn score(input: &AttentionInput<'_>, weights: &AttentionWeights) -> f64 {
+    let to_candidate = input.candidate.position - input.observer.position;
+    let distance = to_candidate.length();
+
+    let proximity = weights.half_distance / (weights.half_distance + distance);
+
+    let aim = {
+        let angle = input.observer.aim.direction().angle_between(to_candidate);
+        if angle >= std::f64::consts::FRAC_PI_2 {
+            0.0
+        } else {
+            angle.cos()
+        }
+    };
+
+    let recency = match input.frames_since_interaction {
+        Some(frames) => weights.half_recency / (weights.half_recency + frames as f64),
+        None => 0.0,
+    };
+
+    weights.proximity * proximity + weights.aim * aim + weights.recency * recency
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use watchmen_game::WeaponKind;
+    use watchmen_math::{Aim, Vec3};
+
+    fn frame_at(pos: Vec3, aim: Aim) -> PlayerFrame {
+        PlayerFrame {
+            position: pos,
+            velocity: Vec3::ZERO,
+            aim,
+            health: 100,
+            armor: 0,
+            weapon: WeaponKind::MachineGun,
+            ammo: 10,
+        }
+    }
+
+    fn plain_score(observer: &PlayerFrame, candidate: &PlayerFrame) -> f64 {
+        score(
+            &AttentionInput { observer, candidate, frames_since_interaction: None },
+            &AttentionWeights::default(),
+        )
+    }
+
+    #[test]
+    fn closer_is_higher() {
+        let obs = frame_at(Vec3::ZERO, Aim::default());
+        let near = frame_at(Vec3::new(5.0, 0.0, 0.0), Aim::default());
+        let far = frame_at(Vec3::new(100.0, 0.0, 0.0), Aim::default());
+        assert!(plain_score(&obs, &near) > plain_score(&obs, &far));
+    }
+
+    #[test]
+    fn aimed_at_is_higher() {
+        let obs = frame_at(Vec3::ZERO, Aim::default()); // looking +x
+        let ahead = frame_at(Vec3::new(50.0, 0.0, 0.0), Aim::default());
+        let side = frame_at(Vec3::new(0.0, 50.0, 0.0), Aim::default());
+        assert!(plain_score(&obs, &ahead) > plain_score(&obs, &side));
+    }
+
+    #[test]
+    fn recent_interaction_raises_score() {
+        let obs = frame_at(Vec3::ZERO, Aim::default());
+        let cand = frame_at(Vec3::new(50.0, 0.0, 0.0), Aim::default());
+        let w = AttentionWeights::default();
+        let with = score(
+            &AttentionInput { observer: &obs, candidate: &cand, frames_since_interaction: Some(0) },
+            &w,
+        );
+        let without = score(
+            &AttentionInput { observer: &obs, candidate: &cand, frames_since_interaction: None },
+            &w,
+        );
+        let stale = score(
+            &AttentionInput {
+                observer: &obs,
+                candidate: &cand,
+                frames_since_interaction: Some(10_000),
+            },
+            &w,
+        );
+        assert!(with > without);
+        assert!(with > stale);
+        assert!(stale > without); // even ancient history beats none, slightly
+    }
+
+    #[test]
+    fn score_bounded() {
+        let obs = frame_at(Vec3::ZERO, Aim::default());
+        let cand = frame_at(Vec3::new(1.0, 0.0, 0.0), Aim::default());
+        let w = AttentionWeights::default();
+        let s = score(
+            &AttentionInput { observer: &obs, candidate: &cand, frames_since_interaction: Some(0) },
+            &w,
+        );
+        assert!(s <= 1.0 + 1e-9);
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn behind_gets_no_aim_component() {
+        let obs = frame_at(Vec3::ZERO, Aim::default()); // looking +x
+        let behind = frame_at(Vec3::new(-50.0, 0.0, 0.0), Aim::default());
+        let w = AttentionWeights { proximity: 0.0, aim: 1.0, recency: 0.0, ..AttentionWeights::default() };
+        let s = score(
+            &AttentionInput { observer: &obs, candidate: &behind, frames_since_interaction: None },
+            &w,
+        );
+        assert_eq!(s, 0.0);
+    }
+}

@@ -1,0 +1,371 @@
+//! The cheat taxonomy of Table I and the injectors used by the
+//! evaluation.
+//!
+//! Table I catalogs fourteen "popular cheating mechanisms in distributed
+//! multi-player games" in three categories — disruption of information
+//! flow, invalid updates, and unauthorized access — and states how
+//! Watchmen handles each. [`CheatKind`] encodes the catalog;
+//! [`CheatInjector`] perturbs honest message streams so the detection
+//! experiments (Figure 6, Table I) can measure the responses.
+
+use std::fmt;
+
+use watchmen_crypto::rng::Xoshiro256;
+use watchmen_math::{Aim, Vec3};
+
+/// The three cheat categories of Section III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CheatCategory {
+    /// "Actions that stop or change the normal pace of information flow."
+    DisruptionOfInformationFlow,
+    /// "Actions that are invalid according to game rules … repetitions, or
+    /// spoofing."
+    InvalidUpdates,
+    /// "Any action that enables access to unauthorized information."
+    UnauthorizedAccess,
+}
+
+impl fmt::Display for CheatCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CheatCategory::DisruptionOfInformationFlow => "disruption of information flow",
+            CheatCategory::InvalidUpdates => "invalid updates",
+            CheatCategory::UnauthorizedAccess => "unauthorized access",
+        })
+    }
+}
+
+/// How Watchmen answers a cheat (the last column of Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WatchmenResponse {
+    /// The architecture detects it during play (proxy and/or witnesses).
+    Detected,
+    /// The architecture makes it impossible or useless by construction.
+    Prevented,
+    /// Both: prevented in the common case, detected otherwise.
+    PreventedOrDetected,
+}
+
+impl fmt::Display for WatchmenResponse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WatchmenResponse::Detected => "detected",
+            WatchmenResponse::Prevented => "prevented",
+            WatchmenResponse::PreventedOrDetected => "prevented/detected",
+        })
+    }
+}
+
+/// The fourteen cheats of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CheatKind {
+    /// Terminating the connection to escape imminent loss.
+    Escaping,
+    /// Delaying updates to act on others' moves first (look-ahead).
+    TimeCheat,
+    /// Overflowing the game server / peers to create lag.
+    NetworkFlooding,
+    /// Generating game events faster than the real rate.
+    FastRate,
+    /// Dropping consecutive updates, then sending an invalid one.
+    SuppressCorrect,
+    /// Re-sending signed & encrypted updates of a different player.
+    ReplayCheat,
+    /// Dropping updates to opponents, blinding them.
+    BlindOpponent,
+    /// Modifying the client-side code for unfair advantage.
+    ClientCodeTampering,
+    /// Automated weapon aiming.
+    Aimbot,
+    /// Sending messages pretending to be a different player.
+    Spoofing,
+    /// Sending different updates to different players.
+    ConsistencyCheat,
+    /// Logging/accessing information sent across the network.
+    Sniffing,
+    /// Seeing through walls and obstacles.
+    Maphack,
+    /// Analyzing update rates to detect players' attention.
+    RateAnalysis,
+}
+
+impl CheatKind {
+    /// All fourteen cheats in Table I order.
+    pub const ALL: [CheatKind; 14] = [
+        CheatKind::Escaping,
+        CheatKind::TimeCheat,
+        CheatKind::NetworkFlooding,
+        CheatKind::FastRate,
+        CheatKind::SuppressCorrect,
+        CheatKind::ReplayCheat,
+        CheatKind::BlindOpponent,
+        CheatKind::ClientCodeTampering,
+        CheatKind::Aimbot,
+        CheatKind::Spoofing,
+        CheatKind::ConsistencyCheat,
+        CheatKind::Sniffing,
+        CheatKind::Maphack,
+        CheatKind::RateAnalysis,
+    ];
+
+    /// The cheat's category (first column of Table I).
+    #[must_use]
+    pub fn category(&self) -> CheatCategory {
+        match self {
+            CheatKind::Escaping | CheatKind::TimeCheat | CheatKind::NetworkFlooding => {
+                CheatCategory::DisruptionOfInformationFlow
+            }
+            CheatKind::FastRate
+            | CheatKind::SuppressCorrect
+            | CheatKind::ReplayCheat
+            | CheatKind::BlindOpponent
+            | CheatKind::ClientCodeTampering
+            | CheatKind::Aimbot
+            | CheatKind::Spoofing
+            | CheatKind::ConsistencyCheat => CheatCategory::InvalidUpdates,
+            CheatKind::Sniffing | CheatKind::Maphack | CheatKind::RateAnalysis => {
+                CheatCategory::UnauthorizedAccess
+            }
+        }
+    }
+
+    /// Watchmen's response (last column of Table I).
+    #[must_use]
+    pub fn watchmen_response(&self) -> WatchmenResponse {
+        match self {
+            // "Detected by proxy and others".
+            CheatKind::Escaping
+            | CheatKind::TimeCheat
+            | CheatKind::FastRate
+            | CheatKind::SuppressCorrect
+            | CheatKind::BlindOpponent => WatchmenResponse::Detected,
+            // "Prevented/Detected by proxy and others".
+            CheatKind::ReplayCheat => WatchmenResponse::PreventedOrDetected,
+            // "Prevented through distribution".
+            CheatKind::NetworkFlooding => WatchmenResponse::Prevented,
+            // "Detected by sanity checks & action repetition".
+            CheatKind::ClientCodeTampering => WatchmenResponse::Detected,
+            // "Detection by proxy (statistical analysis)".
+            CheatKind::Aimbot => WatchmenResponse::Detected,
+            // "Detected by players" (signatures).
+            CheatKind::Spoofing => WatchmenResponse::Detected,
+            // "Prevented by proxy and others" (single path through proxy).
+            CheatKind::ConsistencyCheat => WatchmenResponse::Prevented,
+            // "Prevented by minimizing information exposure".
+            CheatKind::Sniffing | CheatKind::Maphack => WatchmenResponse::Prevented,
+            // "Prevented by proxy and subscription model".
+            CheatKind::RateAnalysis => WatchmenResponse::Prevented,
+        }
+    }
+
+    /// The Table I row description.
+    #[must_use]
+    pub fn description(&self) -> &'static str {
+        match self {
+            CheatKind::Escaping => "terminating the connection to escape imminent loss",
+            CheatKind::TimeCheat => "delaying updates to base one's actions on others'",
+            CheatKind::NetworkFlooding => "overflowing the game server to create lags",
+            CheatKind::FastRate => "mimicking a faster event-generation rate",
+            CheatKind::SuppressCorrect => "dropping updates, then sending an invalid one",
+            CheatKind::ReplayCheat => "resending signed updates of a different player",
+            CheatKind::BlindOpponent => "dropping updates to opponents to blind them",
+            CheatKind::ClientCodeTampering => "modifying client-side code",
+            CheatKind::Aimbot => "automated weapon aiming",
+            CheatKind::Spoofing => "sending messages as a different player",
+            CheatKind::ConsistencyCheat => "sending different updates to different players",
+            CheatKind::Sniffing => "logging information sent across the network",
+            CheatKind::Maphack => "seeing through walls and obstacles",
+            CheatKind::RateAnalysis => "analyzing update rates to infer attention",
+        }
+    }
+}
+
+impl fmt::Display for CheatKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CheatKind::Escaping => "escaping",
+            CheatKind::TimeCheat => "time cheating (look ahead)",
+            CheatKind::NetworkFlooding => "network flooding",
+            CheatKind::FastRate => "fast rate cheat",
+            CheatKind::SuppressCorrect => "suppress-correct cheat",
+            CheatKind::ReplayCheat => "replay cheat",
+            CheatKind::BlindOpponent => "blind opponent",
+            CheatKind::ClientCodeTampering => "client-side code tampering",
+            CheatKind::Aimbot => "aimbot",
+            CheatKind::Spoofing => "spoofing",
+            CheatKind::ConsistencyCheat => "consistency cheat",
+            CheatKind::Sniffing => "sniffing",
+            CheatKind::Maphack => "maphack",
+            CheatKind::RateAnalysis => "rate analysis",
+        })
+    }
+}
+
+/// Perturbs honest values into cheating ones for the detection
+/// experiments ("we set up an experiment where a cheater sends up to 10%
+/// invalid cheat messages").
+///
+/// Each injector is deterministic for a seed; `cheat_probability` controls
+/// what fraction of opportunities are taken.
+#[derive(Debug, Clone)]
+pub struct CheatInjector {
+    rng: Xoshiro256,
+    cheat_probability: f64,
+}
+
+impl CheatInjector {
+    /// Creates an injector cheating on `cheat_probability` of
+    /// opportunities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(seed: u64, cheat_probability: f64) -> Self {
+        assert!((0.0..=1.0).contains(&cheat_probability));
+        CheatInjector { rng: Xoshiro256::seed_from(seed, 0xc4ea7), cheat_probability }
+    }
+
+    /// Decides whether this opportunity is taken.
+    pub fn roll(&mut self) -> bool {
+        self.rng.next_bool(self.cheat_probability)
+    }
+
+    /// Speed hack: moves the claimed position 1.5–3× the *maximum legal
+    /// step* along the actual movement direction ("cheaters move randomly
+    /// at 1.5–3 times the acceptable speed"). Returns the dishonest
+    /// position.
+    pub fn speed_hack(&mut self, prev: Vec3, honest_next: Vec3, max_step: f64) -> Vec3 {
+        let factor = 1.5 + 1.5 * self.rng.next_f64();
+        let dir = (honest_next - prev).normalized_or(Vec3::X);
+        prev + dir * (max_step * factor)
+    }
+
+    /// Teleport hack: jumps to a random offset up to `radius` away.
+    pub fn teleport(&mut self, honest: Vec3, radius: f64) -> Vec3 {
+        let angle = self.rng.next_f64() * std::f64::consts::TAU;
+        let r = radius * (0.5 + 0.5 * self.rng.next_f64());
+        honest + Vec3::new(r * angle.cos(), r * angle.sin(), 0.0)
+    }
+
+    /// Bogus guidance: claims a velocity rotated and scaled away from the
+    /// truth so the predicted trajectory diverges from actual play.
+    pub fn bogus_velocity(&mut self, honest: Vec3, max_speed: f64) -> Vec3 {
+        let angle = std::f64::consts::FRAC_PI_2 + self.rng.next_f64() * std::f64::consts::PI;
+        let (s, c) = angle.sin_cos();
+        let rotated = Vec3::new(honest.x * c - honest.y * s, honest.x * s + honest.y * c, 0.0);
+        
+        rotated.normalized_or(Vec3::X) * max_speed
+    }
+
+    /// Aimbot: a perfectly snapped aim at the target regardless of the
+    /// legal rotation rate.
+    #[must_use]
+    pub fn snap_aim(from: Vec3, target: Vec3) -> Aim {
+        Aim::from_direction(target - from)
+    }
+
+    /// Fast-rate: how many duplicate messages to send this opportunity
+    /// (2–4, versus the honest 1).
+    pub fn burst_size(&mut self) -> u64 {
+        2 + self.rng.next_range(3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_is_complete() {
+        assert_eq!(CheatKind::ALL.len(), 14);
+        // Category counts match Table I: 3 flow, 8 invalid, 3 access.
+        let flow = CheatKind::ALL
+            .iter()
+            .filter(|c| c.category() == CheatCategory::DisruptionOfInformationFlow)
+            .count();
+        let invalid = CheatKind::ALL
+            .iter()
+            .filter(|c| c.category() == CheatCategory::InvalidUpdates)
+            .count();
+        let access = CheatKind::ALL
+            .iter()
+            .filter(|c| c.category() == CheatCategory::UnauthorizedAccess)
+            .count();
+        assert_eq!((flow, invalid, access), (3, 8, 3));
+    }
+
+    #[test]
+    fn every_cheat_has_a_response_and_description() {
+        for kind in CheatKind::ALL {
+            assert!(!kind.description().is_empty());
+            assert!(!kind.to_string().is_empty());
+            assert!(!kind.watchmen_response().to_string().is_empty());
+            assert!(!kind.category().to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn access_cheats_are_prevented_not_detected() {
+        for kind in [CheatKind::Sniffing, CheatKind::Maphack, CheatKind::RateAnalysis] {
+            assert_eq!(kind.watchmen_response(), WatchmenResponse::Prevented);
+        }
+    }
+
+    #[test]
+    fn injector_probability_respected() {
+        let mut all = CheatInjector::new(1, 1.0);
+        let mut none = CheatInjector::new(1, 0.0);
+        assert!((0..100).all(|_| all.roll()));
+        assert!((0..100).all(|_| !none.roll()));
+        let mut tenth = CheatInjector::new(2, 0.1);
+        let taken = (0..10_000).filter(|_| tenth.roll()).count();
+        assert!((800..1200).contains(&taken), "taken {taken}");
+    }
+
+    #[test]
+    fn speed_hack_exceeds_legal_step() {
+        let mut inj = CheatInjector::new(3, 1.0);
+        let prev = Vec3::ZERO;
+        let honest = Vec3::new(1.0, 0.0, 0.0);
+        for _ in 0..50 {
+            let hacked = inj.speed_hack(prev, honest, 2.0);
+            let ratio = prev.distance(hacked) / 2.0;
+            assert!((1.5..=3.0 + 1e-9).contains(&ratio), "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn teleport_lands_within_radius() {
+        let mut inj = CheatInjector::new(4, 1.0);
+        for _ in 0..50 {
+            let t = inj.teleport(Vec3::ZERO, 100.0);
+            let d = t.length();
+            assert!((50.0..=100.0 + 1e-9).contains(&d), "distance {d}");
+        }
+    }
+
+    #[test]
+    fn bogus_velocity_diverges() {
+        let mut inj = CheatInjector::new(5, 1.0);
+        let honest = Vec3::new(10.0, 0.0, 0.0);
+        let bogus = inj.bogus_velocity(honest, 40.0);
+        assert!(honest.angle_between(bogus) > 0.7);
+        assert!((bogus.length() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snap_aim_points_at_target() {
+        let aim = CheatInjector::snap_aim(Vec3::ZERO, Vec3::new(10.0, 10.0, 0.0));
+        assert!(aim.direction().angle_between(Vec3::new(1.0, 1.0, 0.0)) < 1e-6);
+    }
+
+    #[test]
+    fn burst_size_range() {
+        let mut inj = CheatInjector::new(6, 1.0);
+        for _ in 0..100 {
+            let b = inj.burst_size();
+            assert!((2..=4).contains(&b));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Architecture-wide configuration.
+
+/// Tunable parameters of the Watchmen architecture, with defaults matching
+/// the paper's prototype (Section III/VI; see DESIGN.md for the recovery
+/// of OCR-damaged constants).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchmenConfig {
+    /// Frame duration in milliseconds (Quake III: 50 ms).
+    pub frame_ms: f64,
+    /// Vision-cone radius in world units.
+    pub vision_radius: f64,
+    /// Vision-cone half-angle in radians. The paper uses ±60° "made
+    /// slightly larger than the actual avatar's vision field" to absorb
+    /// rapid spins; the default adds 10 % slack.
+    pub vision_half_angle: f64,
+    /// Interest-set size ("the size of the IS can be fixed (e.g., 5)").
+    pub interest_size: usize,
+    /// Frames between proxy renewals ("proxies are rearranged after a
+    /// predetermined period of time (40 frames in our implementation)").
+    pub proxy_period: u64,
+    /// Frames between dead-reckoning guidance messages to the vision set
+    /// ("one per second in our implementation" = 20 frames).
+    pub guidance_period: u64,
+    /// Frames between infrequent position updates to others ("typically
+    /// every second").
+    pub others_period: u64,
+    /// Frames a subscription is retained without renewal before expiry
+    /// ("subscriptions are kept for a predetermined number of frames").
+    pub subscription_retention: u64,
+    /// Updates older than this many frames count as lost (150 ms latency
+    /// tolerance at 50 ms frames = 3 frames).
+    pub loss_age_frames: u64,
+    /// How many predecessor summaries a handoff embeds ("follow up on two
+    /// previous proxies").
+    pub handoff_depth: usize,
+}
+
+impl Default for WatchmenConfig {
+    fn default() -> Self {
+        WatchmenConfig {
+            frame_ms: 50.0,
+            vision_radius: 150.0,
+            vision_half_angle: (60.0f64 * 1.1).to_radians(),
+            interest_size: 5,
+            proxy_period: 40,
+            guidance_period: 20,
+            others_period: 20,
+            subscription_retention: 40,
+            loss_age_frames: 3,
+            handoff_depth: 2,
+        }
+    }
+}
+
+impl WatchmenConfig {
+    /// Frame duration in seconds.
+    #[must_use]
+    pub fn frame_seconds(&self) -> f64 {
+        self.frame_ms / 1000.0
+    }
+
+    /// Returns `true` if `frame` is a proxy-renewal boundary.
+    #[must_use]
+    pub fn is_renewal_frame(&self, frame: u64) -> bool {
+        frame.is_multiple_of(self.proxy_period)
+    }
+
+    /// Returns `true` if `frame` is a guidance-emission frame for a player
+    /// (staggered by player id so the 1 Hz messages spread over the
+    /// second instead of bursting).
+    #[must_use]
+    pub fn is_guidance_frame(&self, frame: u64, player_index: usize) -> bool {
+        frame % self.guidance_period == player_index as u64 % self.guidance_period
+    }
+
+    /// Returns `true` if `frame` is an infrequent-position-update frame
+    /// for a player (staggered like guidance, offset half a period so the
+    /// two low-rate streams interleave).
+    #[must_use]
+    pub fn is_others_frame(&self, frame: u64, player_index: usize) -> bool {
+        let offset = (player_index as u64 + self.others_period / 2) % self.others_period;
+        frame % self.others_period == offset
+    }
+
+    /// Validates internal consistency, panicking on nonsense values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any period is zero, the cone is degenerate, or the
+    /// interest size is zero.
+    pub fn validate(&self) {
+        assert!(self.frame_ms > 0.0, "frame_ms must be positive");
+        assert!(self.vision_radius > 0.0, "vision_radius must be positive");
+        assert!(
+            self.vision_half_angle > 0.0 && self.vision_half_angle <= std::f64::consts::PI,
+            "vision_half_angle out of range"
+        );
+        assert!(self.interest_size > 0, "interest_size must be positive");
+        assert!(self.proxy_period > 0, "proxy_period must be positive");
+        assert!(self.guidance_period > 0, "guidance_period must be positive");
+        assert!(self.others_period > 0, "others_period must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = WatchmenConfig::default();
+        c.validate();
+        assert_eq!(c.frame_ms, 50.0);
+        assert_eq!(c.interest_size, 5);
+        assert_eq!(c.proxy_period, 40); // 2 s
+        assert_eq!(c.guidance_period, 20); // 1 s
+        assert_eq!(c.loss_age_frames, 3); // 150 ms
+        assert!(c.vision_half_angle > 60f64.to_radians());
+        assert_eq!(c.frame_seconds(), 0.05);
+    }
+
+    #[test]
+    fn renewal_frames() {
+        let c = WatchmenConfig::default();
+        assert!(c.is_renewal_frame(0));
+        assert!(c.is_renewal_frame(40));
+        assert!(c.is_renewal_frame(80));
+        assert!(!c.is_renewal_frame(41));
+    }
+
+    #[test]
+    fn guidance_frames_staggered() {
+        let c = WatchmenConfig::default();
+        // Player 0 emits at frames 0, 20, 40…; player 3 at 3, 23, 43…
+        assert!(c.is_guidance_frame(0, 0));
+        assert!(c.is_guidance_frame(20, 0));
+        assert!(!c.is_guidance_frame(1, 0));
+        assert!(c.is_guidance_frame(3, 3));
+        assert!(c.is_guidance_frame(23, 3));
+        // Exactly one emission per period.
+        for p in 0..48 {
+            let count = (0..20).filter(|&f| c.is_guidance_frame(f, p)).count();
+            assert_eq!(count, 1, "player {p}");
+        }
+    }
+
+    #[test]
+    fn others_frames_offset_from_guidance() {
+        let c = WatchmenConfig::default();
+        for p in 0..48 {
+            let count = (0..20).filter(|&f| c.is_others_frame(f, p)).count();
+            assert_eq!(count, 1, "player {p}");
+        }
+        // Player 0: guidance at 0, others at 10.
+        assert!(c.is_others_frame(10, 0));
+        assert!(!c.is_others_frame(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "interest_size")]
+    fn invalid_config_panics() {
+        let c = WatchmenConfig { interest_size: 0, ..WatchmenConfig::default() };
+        c.validate();
+    }
+}

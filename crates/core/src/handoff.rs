@@ -1,0 +1,212 @@
+//! Proxy handoff (Section IV).
+//!
+//! "Handoff is performed between a player's successive proxies to allow
+//! longer-term follow-up: before a player's proxy is renewed, it sends a
+//! summary of the player's state to the player's next proxy, i.e., its own
+//! successor. In addition, to limit the impact of player-proxy collusion,
+//! a proxy also embeds the summary it has received from its predecessor
+//! (follow up on two previous proxies)."
+
+use watchmen_crypto::sha256;
+use watchmen_game::PlayerId;
+use watchmen_math::Vec3;
+
+use crate::msg::StateUpdate;
+
+/// A proxy's end-of-epoch summary of the player it supervised.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HandoffSummary {
+    /// The supervised player.
+    pub player: PlayerId,
+    /// The proxy that produced this summary.
+    pub proxy: PlayerId,
+    /// The epoch the summary covers.
+    pub epoch: u64,
+    /// The player's last known state.
+    pub last_state: StateUpdate,
+    /// Highest cheat-rating score observed this epoch (1 = clean).
+    pub worst_rating: u8,
+    /// Updates received from the player this epoch (for rate follow-up).
+    pub updates_seen: u32,
+    /// Subscribers registered for the player at handoff time.
+    pub subscriber_count: u32,
+    /// The embedded predecessor summary, up to the configured depth.
+    pub predecessor: Option<Box<HandoffSummary>>,
+}
+
+impl HandoffSummary {
+    /// Creates a leaf summary (no predecessor embedded yet).
+    #[must_use]
+    pub fn new(
+        player: PlayerId,
+        proxy: PlayerId,
+        epoch: u64,
+        last_state: StateUpdate,
+        worst_rating: u8,
+        updates_seen: u32,
+        subscriber_count: u32,
+    ) -> Self {
+        HandoffSummary {
+            player,
+            proxy,
+            epoch,
+            last_state,
+            worst_rating,
+            updates_seen,
+            subscriber_count,
+            predecessor: None,
+        }
+    }
+
+    /// Embeds the summary received from the predecessor proxy, truncating
+    /// the chain to `depth` generations (the paper uses two).
+    #[must_use]
+    pub fn with_predecessor(mut self, prev: HandoffSummary, depth: usize) -> Self {
+        self.predecessor = Some(Box::new(prev));
+        self.truncate(depth);
+        self
+    }
+
+    /// Number of summaries in the chain (1 = no predecessor).
+    #[must_use]
+    pub fn chain_len(&self) -> usize {
+        1 + self.predecessor.as_ref().map_or(0, |p| p.chain_len())
+    }
+
+    /// Truncates the chain to at most `depth` generations.
+    pub fn truncate(&mut self, depth: usize) {
+        if depth <= 1 {
+            self.predecessor = None;
+        } else if let Some(prev) = self.predecessor.as_mut() {
+            prev.truncate(depth - 1);
+        }
+    }
+
+    /// Iterates the chain from newest to oldest.
+    pub fn chain(&self) -> impl Iterator<Item = &HandoffSummary> {
+        let mut stack = Vec::new();
+        let mut cur = Some(self);
+        while let Some(s) = cur {
+            stack.push(s);
+            cur = s.predecessor.as_deref();
+        }
+        stack.into_iter()
+    }
+
+    /// The worst rating across the whole chain — the longer-term follow-up
+    /// signal that player-proxy collusion cannot erase in one epoch.
+    #[must_use]
+    pub fn chain_worst_rating(&self) -> u8 {
+        self.chain().map(|s| s.worst_rating).max().unwrap_or(1)
+    }
+
+    /// A digest binding the full chain contents, so a colluding successor
+    /// cannot silently rewrite its predecessor's summary.
+    #[must_use]
+    pub fn digest(&self) -> [u8; 32] {
+        let mut data = Vec::new();
+        for s in self.chain() {
+            data.extend_from_slice(&s.player.0.to_be_bytes());
+            data.extend_from_slice(&s.proxy.0.to_be_bytes());
+            data.extend_from_slice(&s.epoch.to_be_bytes());
+            data.extend_from_slice(&s.last_state.position.x.to_be_bytes());
+            data.extend_from_slice(&s.last_state.position.y.to_be_bytes());
+            data.extend_from_slice(&s.last_state.position.z.to_be_bytes());
+            data.push(s.worst_rating);
+            data.extend_from_slice(&s.updates_seen.to_be_bytes());
+            data.extend_from_slice(&s.subscriber_count.to_be_bytes());
+        }
+        sha256(&data)
+    }
+
+    /// Checks continuity between this summary and the next epoch's opening
+    /// observation of the player: the position should be reachable within
+    /// one epoch at legal speed. Returns the apparent gap in world units.
+    #[must_use]
+    pub fn continuity_gap(&self, next_position: Vec3) -> f64 {
+        self.last_state.position.distance(next_position)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use watchmen_game::WeaponKind;
+    use watchmen_math::Aim;
+
+    fn state_at(x: f64) -> StateUpdate {
+        StateUpdate {
+            position: Vec3::new(x, 0.0, 0.0),
+            velocity: Vec3::ZERO,
+            aim: Aim::default(),
+            health: 100,
+            armor: 0,
+            weapon: WeaponKind::MachineGun,
+            ammo: 50,
+        }
+    }
+
+    fn summary(epoch: u64, rating: u8) -> HandoffSummary {
+        HandoffSummary::new(
+            PlayerId(1),
+            PlayerId((epoch % 7 + 2) as u32),
+            epoch,
+            state_at(epoch as f64),
+            rating,
+            40,
+            3,
+        )
+    }
+
+    #[test]
+    fn chain_builds_and_truncates_to_depth() {
+        let s0 = summary(0, 1);
+        let s1 = summary(1, 2).with_predecessor(s0, 2);
+        assert_eq!(s1.chain_len(), 2);
+        let s2 = summary(2, 1).with_predecessor(s1, 2);
+        // Depth 2: the oldest generation falls off.
+        assert_eq!(s2.chain_len(), 2);
+        let epochs: Vec<u64> = s2.chain().map(|s| s.epoch).collect();
+        assert_eq!(epochs, vec![2, 1]);
+    }
+
+    #[test]
+    fn chain_worst_rating_survives_one_colluding_epoch() {
+        // Epoch 0 saw heavy cheating (rating 9); epoch 1's proxy colludes
+        // and reports clean — but must embed epoch 0's summary.
+        let dirty = summary(0, 9);
+        let colluding = summary(1, 1).with_predecessor(dirty, 2);
+        assert_eq!(colluding.worst_rating, 1);
+        assert_eq!(colluding.chain_worst_rating(), 9);
+    }
+
+    #[test]
+    fn digest_binds_chain_contents() {
+        let s0 = summary(0, 1);
+        let chained = summary(1, 1).with_predecessor(s0.clone(), 2);
+        let d1 = chained.digest();
+
+        // Rewriting the embedded predecessor changes the digest.
+        let mut tampered_prev = s0;
+        tampered_prev.worst_rating = 1;
+        tampered_prev.updates_seen = 9999;
+        let tampered = summary(1, 1).with_predecessor(tampered_prev, 2);
+        assert_ne!(d1, tampered.digest());
+    }
+
+    #[test]
+    fn continuity_gap_measures_teleports() {
+        let s = summary(5, 1);
+        assert_eq!(s.continuity_gap(Vec3::new(5.0, 0.0, 0.0)), 0.0);
+        assert_eq!(s.continuity_gap(Vec3::new(105.0, 0.0, 0.0)), 100.0);
+    }
+
+    #[test]
+    fn truncate_depth_one_drops_everything() {
+        let s0 = summary(0, 3);
+        let mut s1 = summary(1, 1).with_predecessor(s0, 2);
+        s1.truncate(1);
+        assert_eq!(s1.chain_len(), 1);
+        assert_eq!(s1.chain_worst_rating(), 1);
+    }
+}

@@ -1,0 +1,353 @@
+//! The game lobby: access management, key distribution and punishment.
+//!
+//! The paper assumes "popular game networks (e.g., XBox Live, PSN) and the
+//! concept of game lobbies allow players across the world to connect", and
+//! routes punishment through it: detection reports "can be collected by …
+//! a centralized game lobby that manages access and logins and can thus
+//! ban the players". In the hybrid architecture the game server "provid\[es\]
+//! the game lobby".
+//!
+//! [`GameLobby`] is that component: it registers players (public keys),
+//! freezes the roster into the shared seed + key directory every
+//! [`crate::node::WatchmenNode`] needs, collects verification reports into
+//! a pluggable reputation system, tracks liveness, and turns bans and
+//! disconnections into deterministic proxy-pool exclusions.
+
+use watchmen_crypto::schnorr::PublicKey;
+use watchmen_game::PlayerId;
+
+use crate::membership::MembershipTracker;
+use crate::proxy::ProxySchedule;
+use crate::rating::CheatRating;
+use crate::reputation::{Reputation, ThresholdReputation};
+use crate::WatchmenConfig;
+
+/// A player's standing in the lobby.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlayerStatus {
+    /// Playing normally.
+    Active,
+    /// Silent beyond the heartbeat timeout; removed from the proxy pool.
+    Disconnected,
+    /// Banned by the reputation system; removed from the proxy pool.
+    Banned,
+}
+
+/// Events produced by [`GameLobby::tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LobbyEvent {
+    /// The reputation system crossed the ban threshold for a player.
+    Banned(PlayerId),
+    /// A player timed out and was removed from the pool.
+    Disconnected(PlayerId),
+}
+
+/// A game lobby for one match. Registration happens before the match
+/// starts; the roster is then frozen (late joins get a fresh lobby, as in
+/// round-based FPS play).
+///
+/// # Examples
+///
+/// ```
+/// use watchmen_core::lobby::GameLobby;
+/// use watchmen_core::WatchmenConfig;
+/// use watchmen_crypto::schnorr::Keypair;
+///
+/// let mut lobby = GameLobby::new(42, WatchmenConfig::default(), 60);
+/// let alice = lobby.register(Keypair::generate(1).public());
+/// let bob = lobby.register(Keypair::generate(2).public());
+/// lobby.start();
+/// assert_ne!(lobby.schedule().proxy_of(alice, 0), alice);
+/// assert_eq!(lobby.directory().len(), 2);
+/// let _ = bob;
+/// ```
+#[derive(Debug)]
+pub struct GameLobby {
+    seed: u64,
+    config: WatchmenConfig,
+    directory: Vec<PublicKey>,
+    status: Vec<PlayerStatus>,
+    started: bool,
+    schedule: Option<ProxySchedule>,
+    membership: Option<MembershipTracker>,
+    reputation: ThresholdReputation,
+    heartbeat_timeout: u64,
+}
+
+impl GameLobby {
+    /// Creates a lobby for a match derived from `seed`, with the given
+    /// heartbeat timeout in frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heartbeat_timeout == 0`.
+    #[must_use]
+    pub fn new(seed: u64, config: WatchmenConfig, heartbeat_timeout: u64) -> Self {
+        assert!(heartbeat_timeout > 0);
+        GameLobby {
+            seed,
+            config,
+            directory: Vec::new(),
+            status: Vec::new(),
+            started: false,
+            schedule: None,
+            membership: None,
+            // Ban below 85% acceptable interactions after 30 reports — the
+            // paper's "simplest form", tuned for a ≤5% false-positive
+            // detector. Calibrate per detector via `with_reputation`.
+            reputation: ThresholdReputation::new(0, 0.85, 30),
+            heartbeat_timeout,
+        }
+    }
+
+    /// Registers a player's public key, returning their id for this match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the match has already started.
+    pub fn register(&mut self, key: PublicKey) -> PlayerId {
+        assert!(!self.started, "roster frozen after start");
+        let id = PlayerId(self.directory.len() as u32);
+        self.directory.push(key);
+        self.status.push(PlayerStatus::Active);
+        id
+    }
+
+    /// Freezes the roster and derives the shared schedule and trackers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two players registered, or called twice.
+    pub fn start(&mut self) {
+        assert!(!self.started, "already started");
+        let n = self.directory.len();
+        assert!(n >= 2, "need at least two players");
+        self.schedule = Some(ProxySchedule::new(self.seed, n, self.config.proxy_period));
+        self.membership = Some(MembershipTracker::new(n, self.heartbeat_timeout));
+        self.reputation = ThresholdReputation::new(n, 0.85, 30);
+        self.started = true;
+    }
+
+    /// The frozen public-key directory (what every node receives).
+    #[must_use]
+    pub fn directory(&self) -> &[PublicKey] {
+        &self.directory
+    }
+
+    /// The shared match seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The verifiable proxy schedule, reflecting bans and disconnections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the match has not started.
+    #[must_use]
+    pub fn schedule(&self) -> &ProxySchedule {
+        self.schedule.as_ref().expect("lobby not started")
+    }
+
+    /// A player's current standing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn status(&self, player: PlayerId) -> PlayerStatus {
+        self.status[player.index()]
+    }
+
+    /// Number of registered players.
+    #[must_use]
+    pub fn players(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Records traffic from a player (heartbeat).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the match has not started.
+    pub fn heartbeat(&mut self, player: PlayerId, frame: u64) {
+        self.membership.as_mut().expect("lobby not started").observe(player, frame);
+    }
+
+    /// Feeds one verification report into the reputation system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the match has not started.
+    pub fn report(&mut self, reporter: PlayerId, subject: PlayerId, rating: &CheatRating) {
+        assert!(self.started, "lobby not started");
+        self.reputation.report(reporter, subject, rating);
+    }
+
+    /// The reputation system's current suspicion for a player.
+    #[must_use]
+    pub fn suspicion(&self, player: PlayerId) -> f64 {
+        self.reputation.suspicion(player)
+    }
+
+    /// Advances lobby housekeeping to `frame`: newly banned players and
+    /// heartbeat timeouts are removed from the proxy pool (at the next
+    /// renewal boundary, via the agreement rule) and reported as events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the match has not started.
+    pub fn tick(&mut self, frame: u64) -> Vec<LobbyEvent> {
+        assert!(self.started, "lobby not started");
+        let mut events = Vec::new();
+        let schedule = self.schedule.as_mut().expect("started");
+        let membership = self.membership.as_mut().expect("started");
+
+        // Bans first: the lobby "manages access and logins and can thus
+        // ban the players". Like the churn path, never collapse the proxy
+        // pool below two eligible nodes — with everyone else banned the
+        // match is over anyway, and the ban itself still stands.
+        for player in self.reputation.banned_players() {
+            if self.status[player.index()] == PlayerStatus::Active {
+                self.status[player.index()] = PlayerStatus::Banned;
+                if !schedule.is_excluded(player) && schedule.eligible_count() > 2 {
+                    schedule.exclude(player);
+                }
+                events.push(LobbyEvent::Banned(player));
+            }
+        }
+
+        // Then churn: the heartbeat/agreement pipeline.
+        for player in membership.agree_and_remove(frame, schedule) {
+            if self.status[player.index()] == PlayerStatus::Active {
+                self.status[player.index()] = PlayerStatus::Disconnected;
+                events.push(LobbyEvent::Disconnected(player));
+            }
+        }
+        events
+    }
+
+    /// Players still in good standing.
+    #[must_use]
+    pub fn active_players(&self) -> Vec<PlayerId> {
+        (0..self.status.len())
+            .map(|i| PlayerId(i as u32))
+            .filter(|&p| self.status[p.index()] == PlayerStatus::Active)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rating::{CheatRating, Confidence};
+    use watchmen_crypto::schnorr::Keypair;
+
+    fn lobby_with(n: usize) -> GameLobby {
+        let mut lobby = GameLobby::new(7, WatchmenConfig::default(), 60);
+        for i in 0..n {
+            lobby.register(Keypair::generate(i as u64).public());
+        }
+        lobby.start();
+        lobby
+    }
+
+    #[test]
+    fn registration_assigns_sequential_ids() {
+        let mut lobby = GameLobby::new(1, WatchmenConfig::default(), 60);
+        let a = lobby.register(Keypair::generate(1).public());
+        let b = lobby.register(Keypair::generate(2).public());
+        assert_eq!(a, PlayerId(0));
+        assert_eq!(b, PlayerId(1));
+        assert_eq!(lobby.players(), 2);
+        lobby.start();
+        assert_eq!(lobby.directory().len(), 2);
+        assert_eq!(lobby.seed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "frozen")]
+    fn late_registration_panics() {
+        let mut lobby = lobby_with(4);
+        lobby.register(Keypair::generate(99).public());
+    }
+
+    #[test]
+    fn ban_flow_removes_from_pool() {
+        let mut lobby = lobby_with(6);
+        let cheater = PlayerId(2);
+        for frame in (0..=100).step_by(20) {
+            for p in 0..6 {
+                lobby.heartbeat(PlayerId(p), frame);
+            }
+        }
+        for _ in 0..40 {
+            lobby.report(PlayerId(0), cheater, &CheatRating::new(10, Confidence::Proxy, 0));
+        }
+        let events = lobby.tick(100);
+        assert!(events.contains(&LobbyEvent::Banned(cheater)), "{events:?}");
+        assert_eq!(lobby.status(cheater), PlayerStatus::Banned);
+        assert!(lobby.schedule().is_excluded(cheater));
+        assert_eq!(lobby.active_players().len(), 5);
+        // Idempotent: no duplicate events.
+        assert!(lobby.tick(101).is_empty());
+    }
+
+    #[test]
+    fn honest_reports_do_not_ban() {
+        let mut lobby = lobby_with(4);
+        for _ in 0..100 {
+            lobby.report(PlayerId(0), PlayerId(1), &CheatRating::clean(Confidence::Proxy));
+        }
+        assert!(lobby.tick(50).is_empty());
+        assert_eq!(lobby.status(PlayerId(1)), PlayerStatus::Active);
+        assert_eq!(lobby.suspicion(PlayerId(1)), 0.0);
+    }
+
+    #[test]
+    fn disconnect_flow_removes_from_pool() {
+        let mut lobby = lobby_with(5);
+        // Everyone except player 3 heartbeats.
+        for frame in (0..200).step_by(10) {
+            for p in [0u32, 1, 2, 4] {
+                lobby.heartbeat(PlayerId(p), frame);
+            }
+            lobby.tick(frame);
+        }
+        assert_eq!(lobby.status(PlayerId(3)), PlayerStatus::Disconnected);
+        assert!(lobby.schedule().is_excluded(PlayerId(3)));
+        for p in [0u32, 1, 2, 4] {
+            assert_eq!(lobby.status(PlayerId(p)), PlayerStatus::Active);
+        }
+    }
+
+    #[test]
+    fn mass_bans_never_collapse_the_proxy_pool() {
+        // Two of three players banned: both leave the game, but the pool
+        // keeps its two-node floor instead of panicking.
+        let mut lobby = lobby_with(3);
+        for subject in [PlayerId(0), PlayerId(1)] {
+            for _ in 0..40 {
+                lobby.report(
+                    PlayerId(2),
+                    subject,
+                    &CheatRating::new(10, Confidence::Proxy, 0),
+                );
+            }
+        }
+        let events = lobby.tick(10);
+        assert_eq!(events.len(), 2);
+        assert_eq!(lobby.status(PlayerId(0)), PlayerStatus::Banned);
+        assert_eq!(lobby.status(PlayerId(1)), PlayerStatus::Banned);
+        assert!(lobby.schedule().eligible_count() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn solo_lobby_cannot_start() {
+        let mut lobby = GameLobby::new(1, WatchmenConfig::default(), 60);
+        lobby.register(Keypair::generate(1).public());
+        lobby.start();
+    }
+}

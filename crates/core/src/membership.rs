@@ -1,0 +1,227 @@
+//! Churn handling: heartbeats and membership agreement (§VI).
+//!
+//! "Most architectures have to deal with churn. In our case, updates sent
+//! between players also act as a heartbeat mechanism that easily
+//! identifies the players that have been disconnected or left. These
+//! nodes are removed in the next round, through an agreement protocol,
+//! from the proxy pool."
+//!
+//! [`MembershipTracker`] turns observed traffic into liveness suspicion;
+//! removals take effect *deterministically at the next proxy-renewal
+//! boundary*, so all honest nodes that agree on the suspect list derive
+//! the identical updated proxy pool with no further coordination.
+
+use watchmen_game::PlayerId;
+
+use crate::proxy::ProxySchedule;
+
+/// Tracks per-player liveness from message arrivals and schedules
+/// epoch-aligned removals from the proxy pool.
+///
+/// # Examples
+///
+/// ```
+/// use watchmen_core::membership::MembershipTracker;
+/// use watchmen_game::PlayerId;
+///
+/// let mut tracker = MembershipTracker::new(4, 60);
+/// tracker.observe(PlayerId(0), 100);
+/// assert!(tracker.is_live(PlayerId(0), 120));
+/// assert!(!tracker.is_live(PlayerId(0), 200));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MembershipTracker {
+    /// Frames of silence after which a player is suspected dead.
+    timeout_frames: u64,
+    /// Last frame a message from each player was seen (`None` = never).
+    last_seen: Vec<Option<u64>>,
+    /// Frame at which each player's removal takes effect (`None` = live).
+    removed_at: Vec<Option<u64>>,
+}
+
+impl MembershipTracker {
+    /// Creates a tracker for `players` players with the given heartbeat
+    /// timeout. Players are assumed live at frame 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout_frames == 0`.
+    #[must_use]
+    pub fn new(players: usize, timeout_frames: u64) -> Self {
+        assert!(timeout_frames > 0, "timeout must be positive");
+        MembershipTracker {
+            timeout_frames,
+            last_seen: vec![Some(0); players],
+            removed_at: vec![None; players],
+        }
+    }
+
+    /// Records traffic from `player` at `frame` — any update doubles as a
+    /// heartbeat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn observe(&mut self, player: PlayerId, frame: u64) {
+        let last = &mut self.last_seen[player.index()];
+        *last = Some(last.map_or(frame, |prev| prev.max(frame)));
+    }
+
+    /// Returns `true` if the player has been heard from within the
+    /// timeout as of `frame` (and has not been removed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn is_live(&self, player: PlayerId, frame: u64) -> bool {
+        if self.removed_at[player.index()].is_some_and(|at| frame >= at) {
+            return false;
+        }
+        match self.last_seen[player.index()] {
+            Some(last) => frame.saturating_sub(last) < self.timeout_frames,
+            None => false,
+        }
+    }
+
+    /// The players currently suspected (silent beyond the timeout but not
+    /// yet removed).
+    #[must_use]
+    pub fn suspects(&self, frame: u64) -> Vec<PlayerId> {
+        (0..self.last_seen.len())
+            .map(|i| PlayerId(i as u32))
+            .filter(|&p| {
+                self.removed_at[p.index()].is_none() && !self.is_live(p, frame)
+            })
+            .collect()
+    }
+
+    /// Runs the agreement round at `frame`: every suspect is scheduled for
+    /// removal at the next proxy-renewal boundary of `schedule`, and the
+    /// schedule's proxy pool is updated accordingly. Returns the players
+    /// removed this round.
+    ///
+    /// All honest nodes observing the same silence make the same decision
+    /// at the same boundary, keeping their schedules identical.
+    pub fn agree_and_remove(
+        &mut self,
+        frame: u64,
+        schedule: &mut ProxySchedule,
+    ) -> Vec<PlayerId> {
+        let boundary = schedule.next_renewal(frame);
+        let mut removed = Vec::new();
+        for p in self.suspects(frame) {
+            // Never collapse the pool below two eligible proxies — the
+            // game cannot continue without them, so the last survivors
+            // stay in the pool even if silent (the session is over anyway).
+            if schedule.eligible_count() <= 2 || schedule.is_excluded(p) {
+                continue;
+            }
+            self.removed_at[p.index()] = Some(boundary);
+            schedule.exclude(p);
+            removed.push(p);
+        }
+        removed
+    }
+
+    /// Re-admits a player after a rejoin (late joins are handled by the
+    /// lobby handing out a fresh membership view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn readmit(&mut self, player: PlayerId, frame: u64) {
+        self.removed_at[player.index()] = None;
+        self.last_seen[player.index()] = Some(frame);
+    }
+
+    /// Number of players never removed and heard from recently.
+    #[must_use]
+    pub fn live_count(&self, frame: u64) -> usize {
+        (0..self.last_seen.len())
+            .filter(|&i| self.is_live(PlayerId(i as u32), frame))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silence_beyond_timeout_suspects() {
+        let mut t = MembershipTracker::new(3, 40);
+        t.observe(PlayerId(0), 10);
+        t.observe(PlayerId(1), 30);
+        t.observe(PlayerId(2), 30);
+        assert!(t.suspects(35).is_empty());
+        // Frame 55: player 0 silent for 45 > 40.
+        assert_eq!(t.suspects(55), vec![PlayerId(0)]);
+        assert!(!t.is_live(PlayerId(0), 55));
+        assert!(t.is_live(PlayerId(1), 55));
+        assert_eq!(t.live_count(55), 2);
+    }
+
+    #[test]
+    fn agreement_removes_at_epoch_boundary() {
+        let mut schedule = ProxySchedule::new(5, 8, 40);
+        let mut t = MembershipTracker::new(8, 40);
+        for p in 0..8 {
+            t.observe(PlayerId(p), 5);
+        }
+        // Player 3 goes silent; everyone else keeps heartbeating.
+        for frame in (10..100).step_by(10) {
+            for p in 0..8 {
+                if p != 3 {
+                    t.observe(PlayerId(p), frame);
+                }
+            }
+        }
+        let removed = t.agree_and_remove(70, &mut schedule);
+        assert_eq!(removed, vec![PlayerId(3)]);
+        // The pool excludes the dead node from the boundary on.
+        for epoch_frame in (80..400).step_by(40) {
+            for p in 0..8 {
+                if p != 3 {
+                    assert_ne!(schedule.proxy_of(PlayerId(p), epoch_frame), PlayerId(3));
+                }
+            }
+        }
+        // Removal is effective at the boundary (frame 80).
+        assert!(!t.is_live(PlayerId(3), 80));
+        // A second agreement round has nothing left to do.
+        assert!(t.agree_and_remove(120, &mut schedule).is_empty());
+    }
+
+    #[test]
+    fn deterministic_agreement_across_nodes() {
+        // Two independent nodes observing the same traffic derive the
+        // same pool.
+        let run = || {
+            let mut schedule = ProxySchedule::new(9, 6, 40);
+            let mut t = MembershipTracker::new(6, 40);
+            for p in [0u32, 1, 2, 4, 5] {
+                t.observe(PlayerId(p), 50);
+            }
+            t.agree_and_remove(60, &mut schedule);
+            (0..6).map(|p| schedule.proxy_of(PlayerId(p), 120)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn readmit_restores_liveness() {
+        let mut t = MembershipTracker::new(2, 40);
+        assert!(!t.is_live(PlayerId(1), 100));
+        t.readmit(PlayerId(1), 100);
+        assert!(t.is_live(PlayerId(1), 110));
+    }
+
+    #[test]
+    fn observe_keeps_latest() {
+        let mut t = MembershipTracker::new(1, 40);
+        t.observe(PlayerId(0), 100);
+        t.observe(PlayerId(0), 50); // out-of-order arrival
+        assert!(t.is_live(PlayerId(0), 130));
+    }
+}

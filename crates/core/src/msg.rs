@@ -1,0 +1,632 @@
+//! Wire messages: envelopes, signatures and the binary codec.
+//!
+//! "To prevent proxies from tampering with the messages they forward —
+//! namely updates, subscriptions and handoff messages — Watchmen uses
+//! lightweight (i.e., 100 bits while state update messages are 700 bits on
+//! average) digital signatures, and each player verifies the digital
+//! signature of the messages it receives. This also prevents replaying and
+//! spoofing."
+//!
+//! Every message is an [`Envelope`] (origin, sequence number, frame,
+//! payload) signed into a [`SignedEnvelope`]. The sequence number makes
+//! byte-identical replays detectable; the origin binding makes spoofing
+//! detectable; the signature makes proxy tampering detectable.
+
+use bytes::{Buf, BufMut, BytesMut};
+use watchmen_crypto::schnorr::{Keypair, PublicKey, Signature, SIGNATURE_LEN};
+use watchmen_game::trace::PlayerFrame;
+use watchmen_game::{PlayerId, WeaponKind};
+use watchmen_math::{Aim, Vec3};
+
+use crate::dead_reckoning::Guidance;
+use crate::subscription::SetKind;
+
+/// A full state update: the frequent (per-frame) message sent to
+/// interest-set subscribers, "including the avatars position, aim,
+/// ammunition, weapons, health, etc.".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateUpdate {
+    /// Position.
+    pub position: Vec3,
+    /// Velocity.
+    pub velocity: Vec3,
+    /// Aim.
+    pub aim: Aim,
+    /// Health.
+    pub health: i32,
+    /// Armor.
+    pub armor: i32,
+    /// Weapon held.
+    pub weapon: WeaponKind,
+    /// Ammo remaining.
+    pub ammo: u32,
+}
+
+impl From<&PlayerFrame> for StateUpdate {
+    fn from(f: &PlayerFrame) -> Self {
+        StateUpdate {
+            position: f.position,
+            velocity: f.velocity,
+            aim: f.aim,
+            health: f.health,
+            armor: f.armor,
+            weapon: f.weapon,
+            ammo: f.ammo,
+        }
+    }
+}
+
+/// The infrequent position-only update sent to *others*: "partial state
+/// updates containing only the position of the avatars, sufficient to
+/// determine the subscription type".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PositionUpdate {
+    /// Position.
+    pub position: Vec3,
+}
+
+/// A claim that the sender killed `victim` — cross-verified by proxies and
+/// witnesses ("interactions such as hit and kill-claims are verified by
+/// proxies and by players acting as witnesses").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KillClaim {
+    /// The claimed victim.
+    pub victim: PlayerId,
+    /// Weapon used.
+    pub weapon: WeaponKind,
+    /// Claimed attacker position at fire time.
+    pub attacker_position: Vec3,
+    /// Claimed victim position at impact.
+    pub victim_position: Vec3,
+}
+
+/// A wire-level handoff notice: the fixed-size companion of
+/// [`crate::handoff::HandoffSummary`] — the recursive chain is replaced by
+/// the predecessor digest, which the successor can verify against the
+/// summary body it received in the predecessor's own handoff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HandoffNotice {
+    /// The supervised player whose duty transfers.
+    pub player: PlayerId,
+    /// The epoch the summary covers.
+    pub epoch: u64,
+    /// The player's last known state.
+    pub last_state: StateUpdate,
+    /// Worst cheat rating observed this epoch (1 = clean).
+    pub worst_rating: u8,
+    /// Updates received from the player this epoch.
+    pub updates_seen: u32,
+    /// SHA-256 digest of the predecessor summary chain.
+    pub predecessor_digest: [u8; 32],
+}
+
+/// Message payloads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Payload {
+    /// Frequent full state (to IS subscribers, every frame).
+    State(StateUpdate),
+    /// Infrequent position-only (to others, 1 Hz).
+    Position(PositionUpdate),
+    /// Dead-reckoning guidance (to VS subscribers, 1 Hz).
+    Guidance(Guidance),
+    /// Subscribe the sender to `target`'s updates of the given kind.
+    Subscribe {
+        /// Whose updates are requested.
+        target: PlayerId,
+        /// IS or VS subscription.
+        kind: SetKind,
+    },
+    /// Cancel a subscription.
+    Unsubscribe {
+        /// Whose updates are no longer wanted.
+        target: PlayerId,
+        /// Which subscription to cancel.
+        kind: SetKind,
+    },
+    /// A kill claim for verification.
+    Kill(KillClaim),
+    /// A proxy handing its duty to its successor.
+    Handoff(HandoffNotice),
+}
+
+impl Payload {
+    /// A short label for reports and logs.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Payload::State(_) => "state",
+            Payload::Position(_) => "position",
+            Payload::Guidance(_) => "guidance",
+            Payload::Subscribe { .. } => "subscribe",
+            Payload::Unsubscribe { .. } => "unsubscribe",
+            Payload::Kill(_) => "kill-claim",
+            Payload::Handoff(_) => "handoff",
+        }
+    }
+}
+
+/// An unsigned message: origin, anti-replay sequence number, generation
+/// frame and payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Envelope {
+    /// Originating player.
+    pub from: PlayerId,
+    /// Strictly increasing per-origin sequence number (anti-replay).
+    pub seq: u64,
+    /// Frame the message was generated in.
+    pub frame: u64,
+    /// The payload.
+    pub payload: Payload,
+}
+
+impl Envelope {
+    /// Serializes the envelope (without signature).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = BytesMut::with_capacity(96);
+        b.put_u32(self.from.0);
+        b.put_u64(self.seq);
+        b.put_u64(self.frame);
+        encode_payload(&mut b, &self.payload);
+        b.to_vec()
+    }
+
+    /// Deserializes an envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncated or malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut buf = bytes;
+        let (env, _rest) = decode_envelope(&mut buf)?;
+        Ok(env)
+    }
+
+    /// Signs the envelope, producing the wire message.
+    #[must_use]
+    pub fn sign(self, keys: &Keypair) -> SignedEnvelope {
+        let sig = keys.sign(&self.encode());
+        SignedEnvelope { envelope: self, signature: sig }
+    }
+
+    /// The encoded size in bytes (without signature).
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+/// A signed wire message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignedEnvelope {
+    /// The signed content.
+    pub envelope: Envelope,
+    /// The origin's signature over the encoded envelope.
+    pub signature: Signature,
+}
+
+impl SignedEnvelope {
+    /// Verifies the signature against the claimed origin's public key.
+    #[must_use]
+    pub fn verify(&self, origin_key: &PublicKey) -> bool {
+        origin_key.verify(&self.envelope.encode(), &self.signature)
+    }
+
+    /// Full wire size: envelope plus the ~100-bit signature.
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        self.envelope.wire_size() + SIGNATURE_LEN
+    }
+
+    /// Serializes envelope + signature.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = self.envelope.encode();
+        out.extend_from_slice(&self.signature.to_bytes());
+        out
+    }
+
+    /// Deserializes envelope + signature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncated or malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        if bytes.len() < SIGNATURE_LEN {
+            return Err(DecodeError::Truncated);
+        }
+        let (env_bytes, sig_bytes) = bytes.split_at(bytes.len() - SIGNATURE_LEN);
+        let envelope = Envelope::decode(env_bytes)?;
+        let sig_array: [u8; SIGNATURE_LEN] =
+            sig_bytes.try_into().expect("split guarantees length");
+        let signature = Signature::from_bytes(&sig_array).ok_or(DecodeError::BadSignature)?;
+        Ok(SignedEnvelope { envelope, signature })
+    }
+}
+
+/// Codec errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended early.
+    Truncated,
+    /// Unknown payload or enum tag.
+    InvalidTag(u8),
+    /// Signature scalars out of range.
+    BadSignature,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => f.write_str("message truncated"),
+            DecodeError::InvalidTag(t) => write!(f, "invalid tag {t:#04x}"),
+            DecodeError::BadSignature => f.write_str("signature scalars out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn put_vec3(b: &mut BytesMut, v: Vec3) {
+    b.put_f64(v.x);
+    b.put_f64(v.y);
+    b.put_f64(v.z);
+}
+
+fn put_weapon(b: &mut BytesMut, w: WeaponKind) {
+    b.put_u8(match w {
+        WeaponKind::MachineGun => 0,
+        WeaponKind::Shotgun => 1,
+        WeaponKind::RocketLauncher => 2,
+        WeaponKind::Railgun => 3,
+    });
+}
+
+fn put_set_kind(b: &mut BytesMut, k: SetKind) {
+    b.put_u8(match k {
+        SetKind::Interest => 0,
+        SetKind::Vision => 1,
+        SetKind::Others => 2,
+    });
+}
+
+fn encode_payload(b: &mut BytesMut, p: &Payload) {
+    match p {
+        Payload::State(s) => {
+            b.put_u8(0);
+            put_vec3(b, s.position);
+            put_vec3(b, s.velocity);
+            b.put_f64(s.aim.yaw());
+            b.put_f64(s.aim.pitch());
+            b.put_i32(s.health);
+            b.put_i32(s.armor);
+            put_weapon(b, s.weapon);
+            b.put_u32(s.ammo);
+        }
+        Payload::Position(p) => {
+            b.put_u8(1);
+            put_vec3(b, p.position);
+        }
+        Payload::Guidance(g) => {
+            b.put_u8(2);
+            put_vec3(b, g.position);
+            put_vec3(b, g.velocity);
+            b.put_f64(g.aim.yaw());
+            b.put_f64(g.aim.pitch());
+            put_vec3(b, g.predicted_position);
+            b.put_u64(g.frame);
+        }
+        Payload::Subscribe { target, kind } => {
+            b.put_u8(3);
+            b.put_u32(target.0);
+            put_set_kind(b, *kind);
+        }
+        Payload::Unsubscribe { target, kind } => {
+            b.put_u8(4);
+            b.put_u32(target.0);
+            put_set_kind(b, *kind);
+        }
+        Payload::Kill(k) => {
+            b.put_u8(5);
+            b.put_u32(k.victim.0);
+            put_weapon(b, k.weapon);
+            put_vec3(b, k.attacker_position);
+            put_vec3(b, k.victim_position);
+        }
+        Payload::Handoff(h) => {
+            b.put_u8(6);
+            b.put_u32(h.player.0);
+            b.put_u64(h.epoch);
+            put_vec3(b, h.last_state.position);
+            put_vec3(b, h.last_state.velocity);
+            b.put_f64(h.last_state.aim.yaw());
+            b.put_f64(h.last_state.aim.pitch());
+            b.put_i32(h.last_state.health);
+            b.put_i32(h.last_state.armor);
+            put_weapon(b, h.last_state.weapon);
+            b.put_u32(h.last_state.ammo);
+            b.put_u8(h.worst_rating);
+            b.put_u32(h.updates_seen);
+            b.put_slice(&h.predecessor_digest);
+        }
+    }
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], DecodeError> {
+    if buf.len() < n {
+        return Err(DecodeError::Truncated);
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Ok(head)
+}
+
+fn get_vec3(buf: &mut &[u8]) -> Result<Vec3, DecodeError> {
+    let mut b = take(buf, 24)?;
+    Ok(Vec3::new(b.get_f64(), b.get_f64(), b.get_f64()))
+}
+
+fn get_weapon(buf: &mut &[u8]) -> Result<WeaponKind, DecodeError> {
+    match take(buf, 1)?[0] {
+        0 => Ok(WeaponKind::MachineGun),
+        1 => Ok(WeaponKind::Shotgun),
+        2 => Ok(WeaponKind::RocketLauncher),
+        3 => Ok(WeaponKind::Railgun),
+        t => Err(DecodeError::InvalidTag(t)),
+    }
+}
+
+fn get_set_kind(buf: &mut &[u8]) -> Result<SetKind, DecodeError> {
+    match take(buf, 1)?[0] {
+        0 => Ok(SetKind::Interest),
+        1 => Ok(SetKind::Vision),
+        2 => Ok(SetKind::Others),
+        t => Err(DecodeError::InvalidTag(t)),
+    }
+}
+
+fn decode_envelope<'a>(buf: &mut &'a [u8]) -> Result<(Envelope, &'a [u8]), DecodeError> {
+    let mut head = take(buf, 20)?;
+    let from = PlayerId(head.get_u32());
+    let seq = head.get_u64();
+    let frame = head.get_u64();
+    let tag = take(buf, 1)?[0];
+    let payload = match tag {
+        0 => {
+            let position = get_vec3(buf)?;
+            let velocity = get_vec3(buf)?;
+            let mut a = take(buf, 16)?;
+            let aim = Aim::new(a.get_f64(), a.get_f64());
+            let mut hb = take(buf, 8)?;
+            let health = hb.get_i32();
+            let armor = hb.get_i32();
+            let weapon = get_weapon(buf)?;
+            let mut am = take(buf, 4)?;
+            let ammo = am.get_u32();
+            Payload::State(StateUpdate { position, velocity, aim, health, armor, weapon, ammo })
+        }
+        1 => Payload::Position(PositionUpdate { position: get_vec3(buf)? }),
+        2 => {
+            let position = get_vec3(buf)?;
+            let velocity = get_vec3(buf)?;
+            let mut a = take(buf, 16)?;
+            let aim = Aim::new(a.get_f64(), a.get_f64());
+            let predicted_position = get_vec3(buf)?;
+            let mut fr = take(buf, 8)?;
+            let frame = fr.get_u64();
+            Payload::Guidance(Guidance { position, velocity, aim, predicted_position, frame })
+        }
+        3 => {
+            let mut t = take(buf, 4)?;
+            let target = PlayerId(t.get_u32());
+            Payload::Subscribe { target, kind: get_set_kind(buf)? }
+        }
+        4 => {
+            let mut t = take(buf, 4)?;
+            let target = PlayerId(t.get_u32());
+            Payload::Unsubscribe { target, kind: get_set_kind(buf)? }
+        }
+        5 => {
+            let mut t = take(buf, 4)?;
+            let victim = PlayerId(t.get_u32());
+            let weapon = get_weapon(buf)?;
+            Payload::Kill(KillClaim {
+                victim,
+                weapon,
+                attacker_position: get_vec3(buf)?,
+                victim_position: get_vec3(buf)?,
+            })
+        }
+        6 => {
+            let mut t = take(buf, 12)?;
+            let player = PlayerId(t.get_u32());
+            let epoch = t.get_u64();
+            let position = get_vec3(buf)?;
+            let velocity = get_vec3(buf)?;
+            let mut a = take(buf, 16)?;
+            let aim = Aim::new(a.get_f64(), a.get_f64());
+            let mut hb = take(buf, 8)?;
+            let health = hb.get_i32();
+            let armor = hb.get_i32();
+            let weapon = get_weapon(buf)?;
+            let mut tail = take(buf, 9)?;
+            let ammo = tail.get_u32();
+            let worst_rating = tail.get_u8();
+            let updates_seen = tail.get_u32();
+            let digest_bytes = take(buf, 32)?;
+            let mut predecessor_digest = [0u8; 32];
+            predecessor_digest.copy_from_slice(digest_bytes);
+            Payload::Handoff(HandoffNotice {
+                player,
+                epoch,
+                last_state: StateUpdate { position, velocity, aim, health, armor, weapon, ammo },
+                worst_rating,
+                updates_seen,
+                predecessor_digest,
+            })
+        }
+        t => return Err(DecodeError::InvalidTag(t)),
+    };
+    Ok((Envelope { from, seq, frame, payload }, buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_state() -> StateUpdate {
+        StateUpdate {
+            position: Vec3::new(1.0, 2.0, 3.0),
+            velocity: Vec3::new(-1.0, 0.5, 0.0),
+            aim: Aim::new(0.7, -0.2),
+            health: 85,
+            armor: 40,
+            weapon: WeaponKind::Railgun,
+            ammo: 7,
+        }
+    }
+
+    fn all_payloads() -> Vec<Payload> {
+        vec![
+            Payload::State(sample_state()),
+            Payload::Position(PositionUpdate { position: Vec3::new(9.0, 8.0, 7.0) }),
+            Payload::Guidance(Guidance {
+                position: Vec3::ZERO,
+                velocity: Vec3::X,
+                aim: Aim::new(1.0, 0.1),
+                predicted_position: Vec3::new(2.0, 0.0, 0.0),
+                frame: 123,
+            }),
+            Payload::Subscribe { target: PlayerId(9), kind: SetKind::Interest },
+            Payload::Unsubscribe { target: PlayerId(3), kind: SetKind::Vision },
+            Payload::Kill(KillClaim {
+                victim: PlayerId(4),
+                weapon: WeaponKind::Shotgun,
+                attacker_position: Vec3::new(1.0, 1.0, 0.0),
+                victim_position: Vec3::new(5.0, 1.0, 0.0),
+            }),
+            Payload::Handoff(HandoffNotice {
+                player: PlayerId(6),
+                epoch: 3,
+                last_state: sample_state(),
+                worst_rating: 2,
+                updates_seen: 40,
+                predecessor_digest: [7u8; 32],
+            }),
+        ]
+    }
+
+    #[test]
+    fn envelope_roundtrip_all_payloads() {
+        for payload in all_payloads() {
+            let env = Envelope { from: PlayerId(2), seq: 42, frame: 1000, payload };
+            let decoded = Envelope::decode(&env.encode()).unwrap();
+            assert_eq!(env, decoded, "{}", payload.label());
+        }
+    }
+
+    #[test]
+    fn state_update_size_matches_paper_class() {
+        // ~700 bits ≈ 88 bytes in the paper; ours is the same order.
+        let env = Envelope {
+            from: PlayerId(0),
+            seq: 1,
+            frame: 1,
+            payload: Payload::State(sample_state()),
+        };
+        let size = env.wire_size();
+        assert!((80..130).contains(&size), "state update {size} bytes");
+        // Signature overhead is small relative to the update.
+        let signed = env.sign(&Keypair::generate(1));
+        assert_eq!(signed.wire_size(), size + SIGNATURE_LEN);
+        assert!(SIGNATURE_LEN * 4 < size, "signature should be light");
+    }
+
+    #[test]
+    fn position_update_is_much_smaller() {
+        let state = Envelope {
+            from: PlayerId(0),
+            seq: 1,
+            frame: 1,
+            payload: Payload::State(sample_state()),
+        };
+        let pos = Envelope {
+            from: PlayerId(0),
+            seq: 1,
+            frame: 1,
+            payload: Payload::Position(PositionUpdate { position: Vec3::ZERO }),
+        };
+        assert!(pos.wire_size() * 2 < state.wire_size());
+    }
+
+    #[test]
+    fn sign_verify_and_tamper() {
+        let keys = Keypair::generate(5);
+        let env = Envelope {
+            from: PlayerId(1),
+            seq: 7,
+            frame: 99,
+            payload: Payload::Position(PositionUpdate { position: Vec3::new(5.0, 5.0, 0.0) }),
+        };
+        let signed = env.sign(&keys);
+        assert!(signed.verify(&keys.public()));
+
+        // A forwarding proxy rewrites the position: signature breaks.
+        let mut tampered = signed;
+        tampered.envelope.payload =
+            Payload::Position(PositionUpdate { position: Vec3::new(50.0, 5.0, 0.0) });
+        assert!(!tampered.verify(&keys.public()));
+
+        // A different origin key does not verify (spoofing).
+        let other = Keypair::generate(6);
+        assert!(!signed.verify(&other.public()));
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        let keys = Keypair::generate(8);
+        for payload in all_payloads() {
+            let signed =
+                Envelope { from: PlayerId(3), seq: 11, frame: 22, payload }.sign(&keys);
+            let decoded = SignedEnvelope::decode(&signed.encode()).unwrap();
+            assert_eq!(signed, decoded);
+            assert!(decoded.verify(&keys.public()));
+        }
+    }
+
+    #[test]
+    fn replayed_seq_is_detectable() {
+        // Same payload, two different seqs: encodings differ, so a replay
+        // of the exact bytes carries the old seq, which receivers track.
+        let keys = Keypair::generate(9);
+        let mk = |seq| {
+            Envelope {
+                from: PlayerId(1),
+                seq,
+                frame: 10,
+                payload: Payload::Position(PositionUpdate { position: Vec3::X }),
+            }
+            .sign(&keys)
+        };
+        let first = mk(1);
+        let second = mk(2);
+        assert_ne!(first.encode(), second.encode());
+        assert_ne!(first.signature, second.signature);
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert_eq!(Envelope::decode(&[]), Err(DecodeError::Truncated));
+        let env = Envelope {
+            from: PlayerId(0),
+            seq: 0,
+            frame: 0,
+            payload: Payload::Position(PositionUpdate { position: Vec3::ZERO }),
+        };
+        let mut bytes = env.encode();
+        bytes[20] = 0xee; // payload tag
+        assert_eq!(Envelope::decode(&bytes), Err(DecodeError::InvalidTag(0xee)));
+        assert_eq!(SignedEnvelope::decode(&[0u8; 4]), Err(DecodeError::Truncated));
+        assert!(!DecodeError::Truncated.to_string().is_empty());
+    }
+}

@@ -1,0 +1,722 @@
+//! The per-player protocol endpoint: what a real game client embeds.
+//!
+//! [`WatchmenNode`] drives the complete player-side protocol from actual
+//! wire messages, with no global knowledge beyond the shared seed and key
+//! directory:
+//!
+//! * each frame it publishes the local avatar's signed state (plus 1 Hz
+//!   guidance and position updates) to its current proxy, and maintains
+//!   IS/VS subscriptions computed from *what it has learned from received
+//!   messages* — not from ground truth;
+//! * as a proxy it verifies incoming streams (signature, anti-replay,
+//!   physics sanity, dissemination rate), forwards the original signed
+//!   bytes to subscribers, and hands off at epoch boundaries;
+//! * as a receiver it verifies signatures and sequence numbers and emits
+//!   [`NodeEvent`]s for the application (deliveries) and the reputation
+//!   layer (suspicions).
+//!
+//! Transport is abstracted to `(destination, bytes)` pairs so the same
+//! node runs over [`watchmen_net::SimNetwork`], real UDP, or an in-memory
+//! bus (see the crate tests).
+
+use std::collections::BTreeMap;
+
+use watchmen_crypto::schnorr::{Keypair, PublicKey};
+use watchmen_game::trace::PlayerFrame;
+use watchmen_game::PlayerId;
+use watchmen_world::{GameMap, PhysicsConfig};
+
+use crate::dead_reckoning::Guidance;
+use crate::msg::{
+    Envelope, HandoffNotice, Payload, PositionUpdate, SignedEnvelope, StateUpdate,
+};
+use crate::proxy::ProxySchedule;
+use crate::rating::{CheatRating, Confidence};
+use crate::subscription::{compute_sets, NoRecency, SetKind};
+use crate::verify::Verifier;
+use crate::WatchmenConfig;
+
+/// The output of one [`WatchmenNode::begin_frame`] call.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FrameOutput {
+    /// Messages to transmit.
+    pub outgoing: Vec<Outgoing>,
+    /// Events for the application / reputation layer.
+    pub events: Vec<NodeEvent>,
+}
+
+/// A wire message queued for sending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outgoing {
+    /// Destination player.
+    pub to: PlayerId,
+    /// Encoded [`SignedEnvelope`] bytes (forwarded bytes keep the origin's
+    /// signature intact).
+    pub bytes: Vec<u8>,
+}
+
+/// Events surfaced to the embedding application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeEvent {
+    /// A verified update about another player arrived.
+    Delivery {
+        /// Who the update describes.
+        about: PlayerId,
+        /// The update class label (`"state"`, `"guidance"`, `"position"`).
+        class: &'static str,
+        /// The frame the update was generated in.
+        gen_frame: u64,
+    },
+    /// A message failed signature verification (tampering or spoofing).
+    BadSignature {
+        /// The origin the message claimed.
+        claimed_from: PlayerId,
+    },
+    /// A stale/duplicate sequence number arrived (replay).
+    Replay {
+        /// The replayed message's claimed origin.
+        from: PlayerId,
+    },
+    /// A verification check flagged a supervised player.
+    Suspicion {
+        /// The flagged player.
+        subject: PlayerId,
+        /// The rating produced.
+        rating: CheatRating,
+        /// Which check fired.
+        check: &'static str,
+    },
+    /// A handoff was received for a player this node now supervises.
+    HandoffReceived {
+        /// The supervised player.
+        player: PlayerId,
+        /// The predecessor's worst rating for longer-term follow-up.
+        worst_rating: u8,
+    },
+}
+
+/// Sliding-window anti-replay state for one origin: tolerates reordering
+/// (multi-path forwarding legitimately delivers messages out of order)
+/// while rejecting duplicates and stale sequence numbers.
+#[derive(Debug, Clone, Copy, Default)]
+struct ReplayWindow {
+    /// Highest sequence accepted.
+    high: u64,
+    /// Bitmask of the 64 sequences at and below `high` (bit 0 = `high`).
+    mask: u64,
+}
+
+impl ReplayWindow {
+    /// Accepts `seq` if fresh, recording it; returns `false` for
+    /// duplicates and sequences older than the window.
+    fn check_and_set(&mut self, seq: u64) -> bool {
+        if seq == 0 {
+            return false;
+        }
+        if seq > self.high {
+            let shift = seq - self.high;
+            self.mask = if shift >= 64 { 0 } else { self.mask << shift };
+            self.mask |= 1;
+            self.high = seq;
+            return true;
+        }
+        let offset = self.high - seq;
+        if offset >= 64 {
+            return false; // too old to distinguish from a replay
+        }
+        let bit = 1u64 << offset;
+        if self.mask & bit != 0 {
+            return false;
+        }
+        self.mask |= bit;
+        true
+    }
+}
+
+/// Per-supervised-player proxy state.
+#[derive(Debug, Clone, Default)]
+struct ProxyDuty {
+    /// Subscribers by kind, with expiry frames.
+    is_subs: BTreeMap<PlayerId, u64>,
+    vs_subs: BTreeMap<PlayerId, u64>,
+    /// Updates seen from the player this epoch.
+    updates_seen: u32,
+    /// Worst rating this epoch.
+    worst_rating: u8,
+    /// Last state seen.
+    last_state: Option<(u64, StateUpdate)>,
+}
+
+/// The player-side protocol endpoint. See the module docs.
+#[derive(Debug)]
+pub struct WatchmenNode {
+    id: PlayerId,
+    keys: Keypair,
+    directory: Vec<PublicKey>,
+    schedule: ProxySchedule,
+    config: WatchmenConfig,
+    map: GameMap,
+    verifier: Verifier,
+    seq: u64,
+    /// Anti-replay windows per origin.
+    replay: Vec<ReplayWindow>,
+    /// Proxy duties for players this node currently supervises.
+    duties: BTreeMap<PlayerId, ProxyDuty>,
+    /// This node's outgoing subscriptions with last-refresh frames.
+    my_subs: BTreeMap<(PlayerId, SetKind), u64>,
+    /// Best known state of every player, learned from received messages.
+    known: BTreeMap<PlayerId, (u64, StateUpdate)>,
+}
+
+impl WatchmenNode {
+    /// Creates a node for `id`.
+    ///
+    /// `directory` maps every player id to its public key (distributed by
+    /// the game lobby); `seed` is the shared game seed behind the
+    /// verifiable proxy schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory has fewer than two entries or does not
+    /// cover `id`.
+    #[must_use]
+    pub fn new(
+        id: PlayerId,
+        keys: Keypair,
+        directory: Vec<PublicKey>,
+        seed: u64,
+        config: WatchmenConfig,
+        map: GameMap,
+        physics: PhysicsConfig,
+    ) -> Self {
+        assert!(directory.len() >= 2, "need at least two players");
+        assert!(id.index() < directory.len(), "id outside directory");
+        let players = directory.len();
+        WatchmenNode {
+            id,
+            keys,
+            directory,
+            schedule: ProxySchedule::new(seed, players, config.proxy_period),
+            config,
+            map,
+            verifier: Verifier::new(config, physics),
+            seq: 0,
+            replay: vec![ReplayWindow::default(); players],
+            duties: BTreeMap::new(),
+            my_subs: BTreeMap::new(),
+            known: BTreeMap::new(),
+        }
+    }
+
+    /// This node's player id.
+    #[must_use]
+    pub fn id(&self) -> PlayerId {
+        self.id
+    }
+
+    /// This node's current proxy.
+    #[must_use]
+    pub fn proxy(&self, frame: u64) -> PlayerId {
+        self.schedule.proxy_of(self.id, frame)
+    }
+
+    /// The players this node currently holds proxy duties for.
+    #[must_use]
+    pub fn supervised(&self) -> Vec<PlayerId> {
+        self.duties.keys().copied().collect()
+    }
+
+    /// Best known state of `player`, if any update has been received.
+    #[must_use]
+    pub fn known_state(&self, player: PlayerId) -> Option<&StateUpdate> {
+        self.known.get(&player).map(|(_, s)| s)
+    }
+
+    fn sign_and_queue(&mut self, out: &mut Vec<Outgoing>, to: PlayerId, frame: u64, payload: Payload) {
+        self.seq += 1;
+        let env = Envelope { from: self.id, seq: self.seq, frame, payload };
+        out.push(Outgoing { to, bytes: env.sign(&self.keys).encode() });
+    }
+
+    /// Runs the per-frame sender side: publishes updates, refreshes
+    /// subscriptions, emits handoffs near epoch boundaries, and — at each
+    /// boundary — emits one *epoch summary* rating per supervised player
+    /// (score 1 when the epoch was clean), so the reputation layer sees
+    /// successful interactions as well as failed ones ("each player tags
+    /// the interactions he has with other players as successful … or as
+    /// failed"). `my_state` is the local avatar's authoritative state.
+    pub fn begin_frame(&mut self, frame: u64, my_state: &PlayerFrame) -> FrameOutput {
+        let mut output = FrameOutput::default();
+        let mut out = Vec::new();
+        let my_proxy = self.proxy(frame);
+
+        // Track self in the knowledge base so set computation has an
+        // observer entry.
+        self.known.insert(self.id, (frame, StateUpdate::from(my_state)));
+
+        // --- Subscriptions from *learned* knowledge.
+        let sets = self.compute_local_sets(frame, my_state);
+        for (target, kind) in sets {
+            let due = self
+                .my_subs
+                .get(&(target, kind))
+                .is_none_or(|&last| frame >= last + self.config.subscription_retention / 2);
+            if due {
+                self.my_subs.insert((target, kind), frame);
+                self.sign_and_queue(&mut out, my_proxy, frame, Payload::Subscribe { target, kind });
+            }
+        }
+        self.my_subs
+            .retain(|_, &mut last| frame < last + 4 * self.config.subscription_retention);
+
+        // --- Publications.
+        self.sign_and_queue(
+            &mut out,
+            my_proxy,
+            frame,
+            Payload::State(StateUpdate::from(my_state)),
+        );
+        if self.config.is_guidance_frame(frame, self.id.index()) {
+            let g = Guidance::from_state(
+                my_state,
+                frame,
+                self.config.guidance_period,
+                self.config.frame_seconds(),
+            );
+            self.sign_and_queue(&mut out, my_proxy, frame, Payload::Guidance(g));
+        }
+        if self.config.is_others_frame(frame, self.id.index()) {
+            self.sign_and_queue(
+                &mut out,
+                my_proxy,
+                frame,
+                Payload::Position(PositionUpdate { position: my_state.position }),
+            );
+        }
+
+        // --- Handoff: shortly before the boundary, ship summaries for all
+        // duties whose successor is someone else.
+        let handoff_lead = (self.config.proxy_period / 4).max(1);
+        if frame + handoff_lead == self.schedule.next_renewal(frame) {
+            let epoch = self.schedule.epoch_of(frame);
+            let duties: Vec<PlayerId> = self.duties.keys().copied().collect();
+            for player in duties {
+                let successor = self.schedule.next_proxy_of(player, frame);
+                if successor == self.id {
+                    continue;
+                }
+                let duty = &self.duties[&player];
+                let Some((_, last_state)) = duty.last_state else { continue };
+                let notice = HandoffNotice {
+                    player,
+                    epoch,
+                    last_state,
+                    worst_rating: duty.worst_rating.max(1),
+                    updates_seen: duty.updates_seen,
+                    predecessor_digest: [0; 32],
+                };
+                self.sign_and_queue(&mut out, successor, frame, Payload::Handoff(notice));
+            }
+        }
+
+        // --- Epoch turnover: summarize the finished epoch for each duty
+        // (clean epochs produce score-1 ratings, giving the reputation
+        // layer its denominator), run the dissemination-rate check, then
+        // drop duties this node no longer holds.
+        if frame > 0 && self.config.is_renewal_frame(frame) {
+            let duties: Vec<PlayerId> = self.duties.keys().copied().collect();
+            for player in duties {
+                // Only summarize epochs this node actually served — a
+                // successor holding a freshly handed-off duty has not seen
+                // the finished epoch's updates.
+                if self.schedule.proxy_of(player, frame - 1) != self.id {
+                    continue;
+                }
+                let duty = self.duties.get_mut(&player).expect("listed");
+                let rate_score = self
+                    .verifier
+                    .check_rate(self.config.proxy_period, u64::from(duty.updates_seen));
+                let score = duty.worst_rating.max(rate_score).max(1);
+                output.events.push(NodeEvent::Suspicion {
+                    subject: player,
+                    rating: CheatRating::new(score, Confidence::Proxy, 0),
+                    check: "epoch-summary",
+                });
+                duty.worst_rating = 1;
+                duty.updates_seen = 0;
+            }
+            self.duties.retain(|&player, _| self.schedule.proxy_of(player, frame) == self.id);
+        }
+
+        output.outgoing = out;
+        output
+    }
+
+    /// Broadcasts a signed kill claim through the proxy path so proxies
+    /// and witnesses can verify it ("interactions such as hit and
+    /// kill-claims are verified by proxies and by players acting as
+    /// witnesses"). The claim goes to this node's proxy, which forwards it
+    /// with the rest of the stream.
+    pub fn claim_kill(&mut self, frame: u64, claim: crate::msg::KillClaim) -> Vec<Outgoing> {
+        let mut out = Vec::new();
+        let my_proxy = self.proxy(frame);
+        self.sign_and_queue(&mut out, my_proxy, frame, Payload::Kill(claim));
+        out
+    }
+
+    /// The (target, kind) subscription list derived from learned state.
+    fn compute_local_sets(&self, frame: u64, my_state: &PlayerFrame) -> Vec<(PlayerId, SetKind)> {
+        // Build a dense state table from knowledge; unknown players stay
+        // at an unreachable position so they classify as others.
+        let far = watchmen_math::Vec3::new(-1e6, -1e6, 0.0);
+        let states: Vec<PlayerFrame> = (0..self.directory.len())
+            .map(|i| {
+                let id = PlayerId(i as u32);
+                if id == self.id {
+                    return *my_state;
+                }
+                match self.known.get(&id) {
+                    Some((_, s)) => PlayerFrame {
+                        position: s.position,
+                        velocity: s.velocity,
+                        aim: s.aim,
+                        health: s.health,
+                        armor: s.armor,
+                        weapon: s.weapon,
+                        ammo: s.ammo,
+                    },
+                    None => PlayerFrame { position: far, ..*my_state },
+                }
+            })
+            .collect();
+        let _ = frame;
+        let sets = compute_sets(self.id, &states, &self.map, &self.config, &NoRecency);
+        sets.interest
+            .into_iter()
+            .map(|t| (t, SetKind::Interest))
+            .chain(sets.vision.into_iter().map(|t| (t, SetKind::Vision)))
+            .collect()
+    }
+
+    /// Handles one received wire message. `wire_sender` is the transport-
+    /// level sender (which differs from the envelope origin on forwarded
+    /// messages). Returns messages to send and events for the application.
+    pub fn handle_message(
+        &mut self,
+        frame: u64,
+        wire_sender: PlayerId,
+        bytes: &[u8],
+    ) -> (Vec<Outgoing>, Vec<NodeEvent>) {
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+
+        let Ok(msg) = SignedEnvelope::decode(bytes) else {
+            events.push(NodeEvent::BadSignature { claimed_from: wire_sender });
+            return (out, events);
+        };
+        let origin = msg.envelope.from;
+        if origin.index() >= self.directory.len()
+            || !msg.verify(&self.directory[origin.index()])
+        {
+            events.push(NodeEvent::BadSignature { claimed_from: origin });
+            return (out, events);
+        }
+
+        // Anti-replay, per origin: a sliding window tolerates the
+        // reordering that multi-path forwarding causes, while duplicates
+        // and stale sequences are rejected.
+        if !self.replay[origin.index()].check_and_set(msg.envelope.seq) {
+            events.push(NodeEvent::Replay { from: origin });
+            return (out, events);
+        }
+
+        let origin_proxy = self.schedule.proxy_of(origin, msg.envelope.frame);
+        let i_am_origins_proxy = origin_proxy == self.id && wire_sender == origin;
+
+        match msg.envelope.payload {
+            Payload::State(update) => {
+                if i_am_origins_proxy {
+                    self.proxy_verify_and_account(origin, msg.envelope.frame, &update, &mut events);
+                    // Forward the original signed bytes to IS subscribers.
+                    let duty = self.duties.entry(origin).or_default();
+                    duty.expire(frame);
+                    let targets: Vec<PlayerId> = duty.is_subs.keys().copied().collect();
+                    for t in targets {
+                        if t != origin && t != self.id {
+                            out.push(Outgoing { to: t, bytes: bytes.to_vec() });
+                        }
+                    }
+                }
+                self.learn(origin, msg.envelope.frame, update);
+                events.push(NodeEvent::Delivery {
+                    about: origin,
+                    class: "state",
+                    gen_frame: msg.envelope.frame,
+                });
+            }
+            Payload::Guidance(g) => {
+                if i_am_origins_proxy {
+                    let duty = self.duties.entry(origin).or_default();
+                    duty.expire(frame);
+                    let targets: Vec<PlayerId> = duty.vs_subs.keys().copied().collect();
+                    for t in targets {
+                        if t != origin && t != self.id {
+                            out.push(Outgoing { to: t, bytes: bytes.to_vec() });
+                        }
+                    }
+                }
+                // Guidance carries position + velocity: learn those.
+                self.learn_position(origin, msg.envelope.frame, g.position);
+                events.push(NodeEvent::Delivery {
+                    about: origin,
+                    class: "guidance",
+                    gen_frame: msg.envelope.frame,
+                });
+            }
+            Payload::Position(p) => {
+                if i_am_origins_proxy {
+                    // Implicit broadcast to everyone without an explicit
+                    // subscription.
+                    let duty = self.duties.entry(origin).or_default();
+                    duty.expire(frame);
+                    let explicit: Vec<PlayerId> =
+                        duty.is_subs.keys().chain(duty.vs_subs.keys()).copied().collect();
+                    for i in 0..self.directory.len() {
+                        let t = PlayerId(i as u32);
+                        if t != origin && t != self.id && !explicit.contains(&t) {
+                            out.push(Outgoing { to: t, bytes: bytes.to_vec() });
+                        }
+                    }
+                }
+                self.learn_position(origin, msg.envelope.frame, p.position);
+                events.push(NodeEvent::Delivery {
+                    about: origin,
+                    class: "position",
+                    gen_frame: msg.envelope.frame,
+                });
+            }
+            Payload::Subscribe { target, kind } => {
+                // Two-hop control path: subscriber → subscriber's proxy →
+                // target's proxy.
+                if i_am_origins_proxy {
+                    // Verify the subscription is justified before relaying
+                    // ("the proxy of a player p can verify whether a
+                    // subscription of p to player q is justified").
+                    self.verify_subscription(origin, target, kind, &mut events);
+                    let target_proxy = self.schedule.proxy_of(target, msg.envelope.frame);
+                    if target_proxy == self.id {
+                        self.install_subscription(origin, target, kind, frame);
+                    } else {
+                        out.push(Outgoing { to: target_proxy, bytes: bytes.to_vec() });
+                    }
+                } else if self.schedule.proxy_of(target, msg.envelope.frame) == self.id {
+                    self.install_subscription(origin, target, kind, frame);
+                }
+            }
+            Payload::Unsubscribe { target, kind } => {
+                if self.schedule.proxy_of(target, msg.envelope.frame) == self.id {
+                    if let Some(duty) = self.duties.get_mut(&target) {
+                        match kind {
+                            SetKind::Interest => {
+                                duty.is_subs.remove(&origin);
+                            }
+                            SetKind::Vision => {
+                                duty.vs_subs.remove(&origin);
+                            }
+                            SetKind::Others => {}
+                        }
+                    }
+                } else if i_am_origins_proxy {
+                    let target_proxy = self.schedule.proxy_of(target, msg.envelope.frame);
+                    out.push(Outgoing { to: target_proxy, bytes: bytes.to_vec() });
+                }
+            }
+            Payload::Kill(claim) => {
+                if i_am_origins_proxy {
+                    // Forward to the claimant's IS subscribers — the
+                    // witnesses best placed to verify.
+                    let duty = self.duties.entry(origin).or_default();
+                    duty.expire(frame);
+                    let targets: Vec<PlayerId> = duty.is_subs.keys().copied().collect();
+                    for t in targets {
+                        if t != origin && t != self.id {
+                            out.push(Outgoing { to: t, bytes: bytes.to_vec() });
+                        }
+                    }
+                }
+                // Witness verification of kill claims.
+                if let Some((seen_frame, victim_state)) = self.known.get(&claim.victim) {
+                    let victim_frame = PlayerFrame {
+                        position: victim_state.position,
+                        velocity: victim_state.velocity,
+                        aim: victim_state.aim,
+                        health: victim_state.health,
+                        armor: victim_state.armor,
+                        weapon: victim_state.weapon,
+                        ammo: victim_state.ammo,
+                    };
+                    let score = self.verifier.check_kill(&claim, &victim_frame, &self.map, 5);
+                    if score > 1 {
+                        let confidence = if i_am_origins_proxy {
+                            Confidence::Proxy
+                        } else {
+                            Confidence::Vision
+                        };
+                        let staleness = msg.envelope.frame.saturating_sub(*seen_frame);
+                        events.push(NodeEvent::Suspicion {
+                            subject: origin,
+                            rating: CheatRating::new(score, confidence, staleness),
+                            check: "kill",
+                        });
+                    }
+                }
+            }
+            Payload::Handoff(notice) => {
+                // Only accept handoffs for players this node will serve.
+                let next_epoch_start = (notice.epoch + 1) * self.config.proxy_period;
+                if self.schedule.proxy_of(notice.player, next_epoch_start) == self.id {
+                    let duty = self.duties.entry(notice.player).or_default();
+                    duty.last_state = Some((msg.envelope.frame, notice.last_state));
+                    duty.worst_rating = duty.worst_rating.max(notice.worst_rating);
+                    events.push(NodeEvent::HandoffReceived {
+                        player: notice.player,
+                        worst_rating: notice.worst_rating,
+                    });
+                }
+            }
+        }
+
+        (out, events)
+    }
+
+    /// Proxy-side verification of a supervised player's state update.
+    fn proxy_verify_and_account(
+        &mut self,
+        origin: PlayerId,
+        gen_frame: u64,
+        update: &StateUpdate,
+        events: &mut Vec<NodeEvent>,
+    ) {
+        let previous = self.duties.get(&origin).and_then(|d| d.last_state);
+        // Respawns teleport legally: skip physics checks while the player
+        // was dead (health carried in the state updates makes the respawn
+        // observable to the proxy).
+        if let Some((prev_frame, prev_state)) = previous.filter(|(_, p)| p.health > 0) {
+            let elapsed = gen_frame.saturating_sub(prev_frame).max(1);
+            let score = self.verifier.check_position(
+                prev_state.position,
+                update.position,
+                elapsed,
+                &self.map,
+            );
+            if score > 1 {
+                events.push(NodeEvent::Suspicion {
+                    subject: origin,
+                    rating: CheatRating::new(score, Confidence::Proxy, 0),
+                    check: "position",
+                });
+            }
+            let aim_score = self.verifier.check_aim(prev_state.aim, update.aim, elapsed);
+            if aim_score > 1 {
+                events.push(NodeEvent::Suspicion {
+                    subject: origin,
+                    rating: CheatRating::new(aim_score, Confidence::Proxy, 0),
+                    check: "aim",
+                });
+            }
+            let duty = self.duties.entry(origin).or_default();
+            duty.worst_rating = duty.worst_rating.max(score).max(aim_score);
+        }
+        let duty = self.duties.entry(origin).or_default();
+        duty.updates_seen += 1;
+        duty.last_state = Some((gen_frame, *update));
+    }
+
+    /// Proxy-side verification of an outgoing subscription.
+    fn verify_subscription(
+        &mut self,
+        subscriber: PlayerId,
+        target: PlayerId,
+        kind: SetKind,
+        events: &mut Vec<NodeEvent>,
+    ) {
+        let (Some((_, sub_state)), Some((_, target_state))) =
+            (self.duties.get(&subscriber).and_then(|d| d.last_state), self.known.get(&target).copied())
+        else {
+            return; // not enough information yet
+        };
+        let sub_frame = PlayerFrame {
+            position: sub_state.position,
+            velocity: sub_state.velocity,
+            aim: sub_state.aim,
+            health: sub_state.health,
+            armor: sub_state.armor,
+            weapon: sub_state.weapon,
+            ammo: sub_state.ammo,
+        };
+        let score = match kind {
+            SetKind::Interest | SetKind::Vision => {
+                self.verifier.check_vs_subscription(&sub_frame, target_state.position, &self.map)
+            }
+            SetKind::Others => 1,
+        };
+        if score > 1 {
+            events.push(NodeEvent::Suspicion {
+                subject: subscriber,
+                rating: CheatRating::new(score, Confidence::Proxy, 0),
+                check: "subscription",
+            });
+        }
+    }
+
+    fn install_subscription(&mut self, subscriber: PlayerId, target: PlayerId, kind: SetKind, frame: u64) {
+        let expiry = frame + self.config.subscription_retention;
+        let duty = self.duties.entry(target).or_default();
+        match kind {
+            SetKind::Interest => {
+                duty.is_subs.insert(subscriber, expiry);
+            }
+            SetKind::Vision => {
+                duty.vs_subs.insert(subscriber, expiry);
+            }
+            SetKind::Others => {}
+        }
+    }
+
+    fn learn(&mut self, player: PlayerId, frame: u64, update: StateUpdate) {
+        let entry = self.known.entry(player).or_insert((frame, update));
+        if frame >= entry.0 {
+            *entry = (frame, update);
+        }
+    }
+
+    fn learn_position(&mut self, player: PlayerId, frame: u64, position: watchmen_math::Vec3) {
+        match self.known.get_mut(&player) {
+            Some(entry) if frame >= entry.0 => {
+                entry.0 = frame;
+                entry.1.position = position;
+            }
+            Some(_) => {}
+            None => {
+                // Synthesize a minimal record: position is all we know.
+                let stub = StateUpdate {
+                    position,
+                    velocity: watchmen_math::Vec3::ZERO,
+                    aim: watchmen_math::Aim::default(),
+                    health: 100,
+                    armor: 0,
+                    weapon: watchmen_game::WeaponKind::MachineGun,
+                    ammo: 0,
+                };
+                self.known.insert(player, (frame, stub));
+            }
+        }
+    }
+}
+
+impl ProxyDuty {
+    fn expire(&mut self, frame: u64) {
+        self.is_subs.retain(|_, &mut e| e > frame);
+        self.vs_subs.retain(|_, &mut e| e > frame);
+    }
+}

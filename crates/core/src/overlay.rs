@@ -1,0 +1,1131 @@
+//! Message-flow drivers: replaying a recorded game over a simulated
+//! network under each architecture.
+//!
+//! This is the reproduction of the paper's replay engine, which "can
+//! replay game traces and generate the same network traffic repeatedly and
+//! under different networking and proxy architectures to measure different
+//! aspects of the performance (e.g., latency)". Three drivers share the
+//! [`OverlayReport`] output:
+//!
+//! * [`run_watchmen`] — full Watchmen: per-frame state updates, 1 Hz
+//!   guidance and position updates, all routed player → proxy →
+//!   subscribers; subscriptions routed subscriber → subscriber's proxy →
+//!   target's proxy; proxies renewed with handoff.
+//! * [`run_donnybrook`] — the multi-resolution baseline: direct frequent
+//!   updates to interest-set subscribers, dead reckoning to everyone else.
+//! * [`run_client_server`] — the optimal-exposure baseline: one server
+//!   relays frequent updates for PVS-visible avatars only.
+
+use std::collections::BTreeMap;
+
+use watchmen_game::trace::GameTrace;
+use watchmen_game::PlayerId;
+use watchmen_math::stats::Histogram;
+use watchmen_net::{latency::LatencyModel, Delivery, SimNetwork};
+use watchmen_world::{potentially_visible_set, GameMap};
+
+use crate::proxy::ProxySchedule;
+use crate::subscription::{compute_sets, NoRecency, SetKind};
+use crate::WatchmenConfig;
+
+/// Wire sizes in bytes per message class, derived from the signed
+/// [`crate::msg`] encodings (state ≈ the paper's 700-bit updates,
+/// signature ≈ the 100-bit class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireSizes {
+    /// Frequent full state update.
+    pub state: usize,
+    /// Dead-reckoning guidance.
+    pub guidance: usize,
+    /// Infrequent position-only update.
+    pub position: usize,
+    /// Subscribe/unsubscribe control message.
+    pub subscribe: usize,
+    /// Handoff base size (plus 4 bytes per carried subscriber).
+    pub handoff_base: usize,
+}
+
+impl Default for WireSizes {
+    fn default() -> Self {
+        // Measured from the codec in `msg` (envelope + 16-byte signature).
+        WireSizes { state: 107, guidance: 115, position: 61, subscribe: 42, handoff_base: 64 }
+    }
+}
+
+/// Optional protocol features for [`run_watchmen_with_options`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OverlayOptions {
+    /// Delta-code frequent state updates against the previous frame
+    /// (§II: "updates show high temporal similarities and can be
+    /// delta-coded"), with a full baseline at every guidance period.
+    pub delta_coding: bool,
+    /// Send subscriptions one frame ahead of need (§VI: "players
+    /// calculate their subscriptions for the coming frame and send the
+    /// subscriptions ahead of time").
+    pub predictive_subscriptions: bool,
+}
+
+/// The simulated wire message exchanged by drivers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OverlayMsg {
+    /// An update about `about`, generated in `gen_frame`.
+    Update {
+        /// Update class.
+        class: UpdateClass,
+        /// The player the update describes.
+        about: PlayerId,
+        /// Frame the update was generated in.
+        gen_frame: u64,
+        /// `true` while on the player → proxy leg (Watchmen only).
+        to_proxy: bool,
+    },
+    /// A subscription request travelling the two-proxy path.
+    Subscribe {
+        /// Who subscribes.
+        subscriber: PlayerId,
+        /// Whose updates are requested.
+        target: PlayerId,
+        /// IS or VS.
+        kind: SetKind,
+        /// Hops taken so far (0: at subscriber's proxy, 1: at target's).
+        hop: u8,
+    },
+    /// End-of-epoch subscriber-list transfer to the successor proxy.
+    Handoff {
+        /// The player whose supervision transfers.
+        about: PlayerId,
+        /// The epoch the *new* proxy will serve.
+        epoch: u64,
+        /// IS subscribers carried over.
+        is_subs: Vec<PlayerId>,
+        /// VS subscribers carried over.
+        vs_subs: Vec<PlayerId>,
+    },
+}
+
+/// The three update classes of the subscription model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdateClass {
+    /// Frequent full state (IS subscribers).
+    State,
+    /// Dead-reckoning guidance (VS subscribers).
+    Guidance,
+    /// Infrequent position (others).
+    Position,
+}
+
+/// Metrics from one overlay run — the raw material for Figure 7 and the
+/// scalability table.
+#[derive(Debug)]
+pub struct OverlayReport {
+    /// Which driver produced this.
+    pub architecture: &'static str,
+    /// Latency model name.
+    pub latency_model: String,
+    /// Frames replayed.
+    pub frames: u64,
+    /// Player count (excluding any server node).
+    pub players: usize,
+    /// Histogram of delivered-update ages in frames (Figure 7's PDF).
+    pub ages: Histogram,
+    /// Updates arriving `loss_age_frames` or older, plus network drops,
+    /// as a fraction of all updates sent to final consumers.
+    pub late_or_lost: f64,
+    /// Mean per-player upload in kbps.
+    pub mean_up_kbps: f64,
+    /// Maximum per-player upload in kbps.
+    pub max_up_kbps: f64,
+    /// Mean per-player download in kbps.
+    pub mean_down_kbps: f64,
+    /// Server upload in kbps (client/server only, else 0).
+    pub server_up_kbps: f64,
+    /// Total updates delivered to final consumers.
+    pub updates_delivered: u64,
+    /// Messages dropped by the network.
+    pub network_dropped: u64,
+    /// Frames between a player entering an observer's interest set and
+    /// the first frequent update about them arriving (Watchmen runs only;
+    /// empty for other drivers).
+    pub subscription_latency: Histogram,
+}
+
+impl OverlayReport {
+    /// The fraction of delivered updates with age `< frames`.
+    #[must_use]
+    pub fn fraction_younger_than(&self, frames: u64) -> f64 {
+        (0..frames.min(self.ages.buckets() as u64))
+            .map(|i| self.ages.fraction(i as usize))
+            .sum()
+    }
+}
+
+/// Shared age/accounting state.
+struct Metrics {
+    ages: Histogram,
+    frame_ms: f64,
+    delivered: u64,
+    late: u64,
+    loss_age: u64,
+}
+
+impl Metrics {
+    fn new(config: &WatchmenConfig) -> Self {
+        Metrics {
+            ages: Histogram::new(0.0, 10.0, 10),
+            frame_ms: config.frame_ms,
+            delivered: 0,
+            late: 0,
+            loss_age: config.loss_age_frames,
+        }
+    }
+
+    fn record(&mut self, gen_frame: u64, deliver_ms: f64) {
+        let arrival_frame = (deliver_ms / self.frame_ms).floor() as u64;
+        let age = arrival_frame.saturating_sub(gen_frame) as f64;
+        self.ages.push(age);
+        self.delivered += 1;
+        if age >= self.loss_age as f64 {
+            self.late += 1;
+        }
+    }
+}
+
+fn finish_report(
+    architecture: &'static str,
+    net: &SimNetwork<OverlayMsg>,
+    metrics: Metrics,
+    players: usize,
+    frames: u64,
+    config: &WatchmenConfig,
+    server: Option<usize>,
+) -> OverlayReport {
+    finish_report_with(architecture, net, metrics, players, frames, config, server, Histogram::new(0.0, 20.0, 20))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish_report_with(
+    architecture: &'static str,
+    net: &SimNetwork<OverlayMsg>,
+    metrics: Metrics,
+    players: usize,
+    frames: u64,
+    config: &WatchmenConfig,
+    server: Option<usize>,
+    subscription_latency: Histogram,
+) -> OverlayReport {
+    let elapsed_ms = frames as f64 * config.frame_ms;
+    let ups: Vec<f64> = (0..players).map(|i| net.meter(i).up_kbps(elapsed_ms)).collect();
+    let downs: Vec<f64> = (0..players).map(|i| net.meter(i).down_kbps(elapsed_ms)).collect();
+    let dropped = net.stats().dropped;
+    let denominator = (metrics.delivered + dropped).max(1);
+    OverlayReport {
+        architecture,
+        latency_model: net.latency_name().to_owned(),
+        frames,
+        players,
+        late_or_lost: (metrics.late + dropped) as f64 / denominator as f64,
+        mean_up_kbps: ups.iter().sum::<f64>() / players as f64,
+        max_up_kbps: ups.iter().copied().fold(0.0, f64::max),
+        mean_down_kbps: downs.iter().sum::<f64>() / players as f64,
+        server_up_kbps: server.map_or(0.0, |s| net.meter(s).up_kbps(elapsed_ms)),
+        updates_delivered: metrics.delivered,
+        network_dropped: dropped,
+        ages: metrics.ages,
+        subscription_latency,
+    }
+}
+
+/// Per-proxied-player subscriber bookkeeping at a proxy.
+#[derive(Debug, Clone, Default)]
+struct SubscriberLists {
+    /// subscriber → expiry frame.
+    is_subs: BTreeMap<PlayerId, u64>,
+    vs_subs: BTreeMap<PlayerId, u64>,
+}
+
+impl SubscriberLists {
+    fn add(&mut self, subscriber: PlayerId, kind: SetKind, expiry: u64) {
+        match kind {
+            SetKind::Interest => {
+                self.is_subs.insert(subscriber, expiry);
+            }
+            SetKind::Vision => {
+                self.vs_subs.insert(subscriber, expiry);
+            }
+            SetKind::Others => {}
+        }
+    }
+
+    fn expire(&mut self, frame: u64) {
+        self.is_subs.retain(|_, &mut e| e > frame);
+        self.vs_subs.retain(|_, &mut e| e > frame);
+    }
+}
+
+/// Runs the full Watchmen architecture over the trace with default
+/// options (no delta coding, no predictive subscriptions).
+///
+/// # Panics
+///
+/// Panics if the trace has fewer than 2 players or is empty.
+#[must_use]
+pub fn run_watchmen(
+    trace: &GameTrace,
+    map: &GameMap,
+    config: &WatchmenConfig,
+    latency: Box<dyn LatencyModel>,
+    loss_rate: f64,
+    seed: u64,
+) -> OverlayReport {
+    run_watchmen_with_options(trace, map, config, latency, loss_rate, seed, OverlayOptions::default())
+}
+
+/// Runs Watchmen with explicit [`OverlayOptions`] (delta coding,
+/// predictive subscriptions) and subscription-latency tracking.
+///
+/// # Panics
+///
+/// Panics if the trace has fewer than 2 players or is empty.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_watchmen_with_options(
+    trace: &GameTrace,
+    map: &GameMap,
+    config: &WatchmenConfig,
+    latency: Box<dyn LatencyModel>,
+    loss_rate: f64,
+    seed: u64,
+    options: OverlayOptions,
+) -> OverlayReport {
+    assert!(trace.players >= 2 && !trace.is_empty());
+    let n = trace.players;
+    let sizes = WireSizes::default();
+    let mut net: SimNetwork<OverlayMsg> = SimNetwork::new(n, latency, loss_rate, seed);
+    let schedule = ProxySchedule::new(seed, n, config.proxy_period);
+    let mut metrics = Metrics::new(config);
+
+    // proxy-side lists: lists[proxy][about] → subscribers.
+    let mut lists: Vec<BTreeMap<PlayerId, SubscriberLists>> = vec![BTreeMap::new(); n];
+    // Subscriber-side view of who they asked for, with last-refresh frame.
+    let mut my_subs: Vec<BTreeMap<(PlayerId, SetKind), u64>> = vec![BTreeMap::new(); n];
+    // Handoff lead time: a quarter period before the boundary.
+    let handoff_lead = (config.proxy_period / 4).max(1);
+    // Subscription-latency tracking: (subscriber, target) → IS entry frame
+    // awaiting the first frequent update.
+    let mut awaiting_first: BTreeMap<(usize, PlayerId), u64> = BTreeMap::new();
+    let mut prev_interest: Vec<Vec<PlayerId>> = vec![Vec::new(); n];
+    let mut sub_latency = Histogram::new(0.0, 20.0, 20);
+    // Delta-coding wire sizing per publisher: envelope header (21) + delta
+    // payload + signature (16); a full baseline is sent once per guidance
+    // period.
+    let delta_overhead = 21 + 16;
+
+    let frames = trace.len() as u64;
+    for frame in 0..frames {
+        let frame_end = (frame + 1) as f64 * config.frame_ms;
+        let states = &trace.frames[frame as usize].states;
+
+        // --- Deliveries: process events up to the end of this frame,
+        // forwarding at the exact delivery instants.
+        while net.next_delivery_ms().is_some_and(|t| t <= frame_end) {
+            let t = net.next_delivery_ms().expect("peeked");
+            let batch: Vec<Delivery<OverlayMsg>> = net.advance_to(t);
+            for d in batch {
+                let receiver = d.to;
+                match d.payload {
+                    OverlayMsg::Update { class, about, gen_frame, to_proxy } => {
+                        if to_proxy {
+                            // Proxy leg: forward per subscriber lists.
+                            let now_frame = (t / config.frame_ms) as u64;
+                            let entry =
+                                lists[receiver].entry(about).or_default();
+                            entry.expire(now_frame);
+                            let (targets, size): (Vec<PlayerId>, usize) = match class {
+                                UpdateClass::State => {
+                                    // When delta coding, the forwarded leg
+                                    // reuses the incoming wire size.
+                                    let fwd =
+                                        if options.delta_coding { d.bytes } else { sizes.state };
+                                    (entry.is_subs.keys().copied().collect(), fwd)
+                                }
+                                UpdateClass::Guidance => {
+                                    (entry.vs_subs.keys().copied().collect(), sizes.guidance)
+                                }
+                                UpdateClass::Position => {
+                                    // Implicit: everyone not IS/VS-subscribed.
+                                    let explicit: Vec<PlayerId> = entry
+                                        .is_subs
+                                        .keys()
+                                        .chain(entry.vs_subs.keys())
+                                        .copied()
+                                        .collect();
+                                    let all = (0..n as u32)
+                                        .map(PlayerId)
+                                        .filter(|&p| {
+                                            p != about
+                                                && p.index() != receiver
+                                                && !explicit.contains(&p)
+                                        })
+                                        .collect();
+                                    (all, sizes.position)
+                                }
+                            };
+                            for target in targets {
+                                if target.index() == receiver {
+                                    // The proxy itself consumes the update.
+                                    metrics.record(gen_frame, t);
+                                    continue;
+                                }
+                                net.send(
+                                    receiver,
+                                    target.index(),
+                                    OverlayMsg::Update {
+                                        class,
+                                        about,
+                                        gen_frame,
+                                        to_proxy: false,
+                                    },
+                                    size,
+                                );
+                            }
+                        } else {
+                            metrics.record(gen_frame, t);
+                            if class == UpdateClass::State {
+                                if let Some(entered) =
+                                    awaiting_first.remove(&(receiver, about))
+                                {
+                                    let arrival_frame =
+                                        (t / config.frame_ms).floor() as u64;
+                                    sub_latency
+                                        .push(arrival_frame.saturating_sub(entered) as f64);
+                                }
+                            }
+                        }
+                    }
+                    OverlayMsg::Subscribe { subscriber, target, kind, hop } => {
+                        let now_frame = (t / config.frame_ms) as u64;
+                        if hop == 0 {
+                            // At the subscriber's proxy: relay to the
+                            // target's proxy.
+                            let target_proxy = schedule.proxy_of(target, now_frame).index();
+                            let msg = OverlayMsg::Subscribe { subscriber, target, kind, hop: 1 };
+                            if target_proxy == receiver {
+                                // Same node serves both roles: install.
+                                lists[receiver].entry(target).or_default().add(
+                                    subscriber,
+                                    kind,
+                                    now_frame + config.subscription_retention,
+                                );
+                            } else {
+                                net.send(receiver, target_proxy, msg, sizes.subscribe);
+                            }
+                        } else {
+                            // At the target's proxy: install.
+                            lists[receiver].entry(target).or_default().add(
+                                subscriber,
+                                kind,
+                                now_frame + config.subscription_retention,
+                            );
+                        }
+                    }
+                    OverlayMsg::Handoff { about, epoch, is_subs, vs_subs } => {
+                        // The successor installs the carried lists.
+                        let expiry = (epoch + 1) * config.proxy_period
+                            + config.subscription_retention;
+                        let entry = lists[receiver].entry(about).or_default();
+                        for s in is_subs {
+                            entry.add(s, SetKind::Interest, expiry);
+                        }
+                        for s in vs_subs {
+                            entry.add(s, SetKind::Vision, expiry);
+                        }
+                    }
+                }
+            }
+        }
+        // Make sure virtual time reaches the frame boundary even if no
+        // deliveries were pending.
+        if net.now_ms() < frame as f64 * config.frame_ms {
+            let _ = net.advance_to(frame as f64 * config.frame_ms);
+        }
+
+        // --- Per-player actions at the frame boundary.
+        for p in 0..n {
+            let pid = PlayerId(p as u32);
+            if !states[p].is_alive() {
+                continue;
+            }
+            let my_proxy = schedule.proxy_of(pid, frame).index();
+
+            // Subscriptions: (re-)subscribe to current IS/VS members.
+            // With predictive subscriptions, the player extrapolates one
+            // frame ahead and subscribes for the *coming* frame's sets.
+            let lookahead_states;
+            let set_states = if options.predictive_subscriptions
+                && (frame as usize + 1) < trace.len()
+            {
+                lookahead_states = &trace.frames[frame as usize + 1].states;
+                lookahead_states
+            } else {
+                states
+            };
+            let sets = compute_sets(pid, set_states, map, config, &NoRecency);
+
+            // Track IS entrances for subscription-latency measurement
+            // (always against the *current* frame's ground truth).
+            let truth_sets = if options.predictive_subscriptions {
+                compute_sets(pid, states, map, config, &NoRecency)
+            } else {
+                sets.clone()
+            };
+            for target in &truth_sets.interest {
+                if !prev_interest[p].contains(target) {
+                    awaiting_first.entry((p, *target)).or_insert(frame);
+                }
+            }
+            // Entries for players that left the IS are abandoned.
+            awaiting_first.retain(|&(sub, target), _| {
+                sub != p || truth_sets.interest.contains(&target)
+            });
+            prev_interest[p] = truth_sets.interest.clone();
+            let wanted: Vec<(PlayerId, SetKind)> = sets
+                .interest
+                .iter()
+                .map(|&t| (t, SetKind::Interest))
+                .chain(sets.vision.iter().map(|&t| (t, SetKind::Vision)))
+                .collect();
+            for (target, kind) in wanted {
+                let refresh_due = my_subs[p]
+                    .get(&(target, kind))
+                    .is_none_or(|&last| frame >= last + config.subscription_retention / 2);
+                if refresh_due {
+                    my_subs[p].insert((target, kind), frame);
+                    let msg =
+                        OverlayMsg::Subscribe { subscriber: pid, target, kind, hop: 0 };
+                    if my_proxy == p {
+                        unreachable!("schedule never assigns self-proxy");
+                    }
+                    net.send(p, my_proxy, msg, sizes.subscribe);
+                }
+            }
+            // Forget stale local records so they get re-sent when needed.
+            my_subs[p].retain(|_, &mut last| frame < last + 4 * config.subscription_retention);
+
+            // Publications: state every frame; guidance / position 1 Hz.
+            // With delta coding, non-baseline frames carry only the
+            // changed fields (sized from the actual trace deltas).
+            let state_size = if options.delta_coding
+                && frame % config.guidance_period != p as u64 % config.guidance_period
+                && frame > 0
+            {
+                let prev = crate::msg::StateUpdate::from(
+                    &trace.frames[frame as usize - 1].states[p],
+                );
+                let cur = crate::msg::StateUpdate::from(&states[p]);
+                let delta = crate::delta::DeltaStateUpdate::encode_against(0, &prev, &cur);
+                delta.wire_size() + delta_overhead
+            } else {
+                sizes.state
+            };
+            net.send(
+                p,
+                my_proxy,
+                OverlayMsg::Update {
+                    class: UpdateClass::State,
+                    about: pid,
+                    gen_frame: frame,
+                    to_proxy: true,
+                },
+                state_size,
+            );
+            if config.is_guidance_frame(frame, p) {
+                net.send(
+                    p,
+                    my_proxy,
+                    OverlayMsg::Update {
+                        class: UpdateClass::Guidance,
+                        about: pid,
+                        gen_frame: frame,
+                        to_proxy: true,
+                    },
+                    sizes.guidance,
+                );
+            }
+            if config.is_others_frame(frame, p) {
+                net.send(
+                    p,
+                    my_proxy,
+                    OverlayMsg::Update {
+                        class: UpdateClass::Position,
+                        about: pid,
+                        gen_frame: frame,
+                        to_proxy: true,
+                    },
+                    sizes.position,
+                );
+            }
+        }
+
+        // --- Handoff: shortly before each epoch boundary, the old proxy
+        // ships its lists to the successor.
+        let next_boundary = schedule.next_renewal(frame);
+        if frame + handoff_lead == next_boundary {
+            for about_idx in 0..n {
+                let about = PlayerId(about_idx as u32);
+                let old_proxy = schedule.proxy_of(about, frame).index();
+                let new_proxy = schedule.proxy_of(about, next_boundary).index();
+                if old_proxy == new_proxy {
+                    continue;
+                }
+                let (is_subs, vs_subs) = lists[old_proxy]
+                    .get(&about)
+                    .map(|l| {
+                        (
+                            l.is_subs.keys().copied().collect::<Vec<_>>(),
+                            l.vs_subs.keys().copied().collect::<Vec<_>>(),
+                        )
+                    })
+                    .unwrap_or_default();
+                let size =
+                    sizes.handoff_base + 4 * (is_subs.len() + vs_subs.len());
+                net.send(
+                    old_proxy,
+                    new_proxy,
+                    OverlayMsg::Handoff {
+                        about,
+                        epoch: schedule.epoch_of(next_boundary),
+                        is_subs,
+                        vs_subs,
+                    },
+                    size,
+                );
+            }
+        }
+    }
+
+    finish_report_with(
+        "watchmen",
+        &net,
+        metrics,
+        n,
+        frames,
+        config,
+        None,
+        sub_latency,
+    )
+}
+
+/// Runs the Donnybrook baseline: frequent updates direct to interest-set
+/// subscribers, dead-reckoning broadcast to everyone else at 1 Hz.
+///
+/// # Panics
+///
+/// Panics if the trace has fewer than 2 players or is empty.
+#[must_use]
+pub fn run_donnybrook(
+    trace: &GameTrace,
+    map: &GameMap,
+    config: &WatchmenConfig,
+    latency: Box<dyn LatencyModel>,
+    loss_rate: f64,
+    seed: u64,
+) -> OverlayReport {
+    assert!(trace.players >= 2 && !trace.is_empty());
+    let n = trace.players;
+    let sizes = WireSizes::default();
+    let mut net: SimNetwork<OverlayMsg> = SimNetwork::new(n, latency, loss_rate, seed);
+    let mut metrics = Metrics::new(config);
+
+    let frames = trace.len() as u64;
+    for frame in 0..frames {
+        let frame_end = (frame + 1) as f64 * config.frame_ms;
+        while net.next_delivery_ms().is_some_and(|t| t <= frame_end) {
+            let t = net.next_delivery_ms().expect("peeked");
+            for d in net.advance_to(t) {
+                if let OverlayMsg::Update { gen_frame, .. } = d.payload {
+                    metrics.record(gen_frame, t);
+                }
+            }
+        }
+        if net.now_ms() < frame as f64 * config.frame_ms {
+            let _ = net.advance_to(frame as f64 * config.frame_ms);
+        }
+
+        let states = &trace.frames[frame as usize].states;
+        // Interest sets determine who receives whose frequent updates.
+        for p in 0..n {
+            let pid = PlayerId(p as u32);
+            if !states[p].is_alive() {
+                continue;
+            }
+            let sets = compute_sets(pid, states, map, config, &NoRecency);
+            // Donnybrook: p receives frequent updates about its IS — the
+            // *members* send them directly to p.
+            for member in &sets.interest {
+                net.send(
+                    member.index(),
+                    p,
+                    OverlayMsg::Update {
+                        class: UpdateClass::State,
+                        about: *member,
+                        gen_frame: frame,
+                        to_proxy: false,
+                    },
+                    sizes.state,
+                );
+            }
+            // 1 Hz dead reckoning from p to everyone (not in their IS —
+            // approximated as broadcast, the paper's lower bound remark).
+            if config.is_guidance_frame(frame, p) {
+                for q in 0..n {
+                    if q != p {
+                        net.send(
+                            p,
+                            q,
+                            OverlayMsg::Update {
+                                class: UpdateClass::Guidance,
+                                about: pid,
+                                gen_frame: frame,
+                                to_proxy: false,
+                            },
+                            sizes.guidance,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    finish_report("donnybrook", &net, metrics, n, frames, config, None)
+}
+
+/// Runs the optimal Client/Server baseline: every player sends its state
+/// to the server each frame; the server relays to exactly the players
+/// whose PVS contains the sender, and nothing else.
+///
+/// # Panics
+///
+/// Panics if the trace has fewer than 2 players or is empty.
+#[must_use]
+pub fn run_client_server(
+    trace: &GameTrace,
+    map: &GameMap,
+    config: &WatchmenConfig,
+    latency: Box<dyn LatencyModel>,
+    loss_rate: f64,
+    seed: u64,
+) -> OverlayReport {
+    assert!(trace.players >= 2 && !trace.is_empty());
+    let n = trace.players;
+    let server = n; // extra node
+    let sizes = WireSizes::default();
+    let mut net: SimNetwork<OverlayMsg> = SimNetwork::new(n + 1, latency, loss_rate, seed);
+    let mut metrics = Metrics::new(config);
+
+    // Per-frame PVS cache: visibility is symmetric in open space but we
+    // store the full per-observer sets; recomputed once per frame rather
+    // than per delivery (PVS per delivery is quadratic in players).
+    let mut pvs_cache: Vec<Vec<usize>> = Vec::new();
+
+    let frames = trace.len() as u64;
+    for frame in 0..frames {
+        let frame_end = (frame + 1) as f64 * config.frame_ms;
+        let states = &trace.frames[frame as usize].states;
+        let positions: Vec<_> = states.iter().map(|s| s.position).collect();
+        pvs_cache.clear();
+        for q in 0..n {
+            pvs_cache.push(potentially_visible_set(map, &positions, q, config.vision_radius));
+        }
+
+        while net.next_delivery_ms().is_some_and(|t| t <= frame_end) {
+            let t = net.next_delivery_ms().expect("peeked");
+            let batch: Vec<Delivery<OverlayMsg>> = net.advance_to(t);
+            for d in batch {
+                if let OverlayMsg::Update { class, about, gen_frame, to_proxy } = d.payload {
+                    if d.to == server && to_proxy {
+                        // Relay to players whose PVS contains `about`.
+                        for q in 0..n {
+                            if q == about.index() || !states[q].is_alive() {
+                                continue;
+                            }
+                            if pvs_cache[q].contains(&about.index()) {
+                                net.send(
+                                    server,
+                                    q,
+                                    OverlayMsg::Update {
+                                        class,
+                                        about,
+                                        gen_frame,
+                                        to_proxy: false,
+                                    },
+                                    sizes.state,
+                                );
+                            }
+                        }
+                    } else if d.to != server {
+                        metrics.record(gen_frame, t);
+                    }
+                }
+            }
+        }
+        if net.now_ms() < frame as f64 * config.frame_ms {
+            let _ = net.advance_to(frame as f64 * config.frame_ms);
+        }
+
+        #[allow(clippy::needless_range_loop)] // states indexed by player id
+        for p in 0..n {
+            if !states[p].is_alive() {
+                continue;
+            }
+            net.send(
+                p,
+                server,
+                OverlayMsg::Update {
+                    class: UpdateClass::State,
+                    about: PlayerId(p as u32),
+                    gen_frame: frame,
+                    to_proxy: true,
+                },
+                sizes.state,
+            );
+        }
+    }
+
+    finish_report("client-server", &net, metrics, n, frames, config, Some(server))
+}
+
+/// Runs the hybrid architecture of §VI: "if game servers exist they can
+/// be easily incorporated by providing the game lobby, extra bandwidth,
+/// and becoming the proxy for some or all players". Here one trusted
+/// server node is the proxy for *all* players — the same multi-resolution
+/// subscription model as Watchmen, but with proxy duty centralized, so no
+/// randomization/handoff traffic is needed.
+///
+/// # Panics
+///
+/// Panics if the trace has fewer than 2 players or is empty.
+#[must_use]
+pub fn run_hybrid(
+    trace: &GameTrace,
+    map: &GameMap,
+    config: &WatchmenConfig,
+    latency: Box<dyn LatencyModel>,
+    loss_rate: f64,
+    seed: u64,
+) -> OverlayReport {
+    assert!(trace.players >= 2 && !trace.is_empty());
+    let n = trace.players;
+    let server = n;
+    let sizes = WireSizes::default();
+    let mut net: SimNetwork<OverlayMsg> = SimNetwork::new(n + 1, latency, loss_rate, seed);
+    let mut metrics = Metrics::new(config);
+
+    // All subscriber lists live at the server.
+    let mut lists: BTreeMap<PlayerId, SubscriberLists> = BTreeMap::new();
+    let mut my_subs: Vec<BTreeMap<(PlayerId, SetKind), u64>> = vec![BTreeMap::new(); n];
+
+    let frames = trace.len() as u64;
+    for frame in 0..frames {
+        let frame_end = (frame + 1) as f64 * config.frame_ms;
+        while net.next_delivery_ms().is_some_and(|t| t <= frame_end) {
+            let t = net.next_delivery_ms().expect("peeked");
+            let batch: Vec<Delivery<OverlayMsg>> = net.advance_to(t);
+            for d in batch {
+                match d.payload {
+                    OverlayMsg::Update { class, about, gen_frame, to_proxy } => {
+                        if d.to == server && to_proxy {
+                            let now_frame = (t / config.frame_ms) as u64;
+                            let entry = lists.entry(about).or_default();
+                            entry.expire(now_frame);
+                            let (targets, size): (Vec<PlayerId>, usize) = match class {
+                                UpdateClass::State => {
+                                    (entry.is_subs.keys().copied().collect(), sizes.state)
+                                }
+                                UpdateClass::Guidance => {
+                                    (entry.vs_subs.keys().copied().collect(), sizes.guidance)
+                                }
+                                UpdateClass::Position => {
+                                    let explicit: Vec<PlayerId> = entry
+                                        .is_subs
+                                        .keys()
+                                        .chain(entry.vs_subs.keys())
+                                        .copied()
+                                        .collect();
+                                    let all = (0..n as u32)
+                                        .map(PlayerId)
+                                        .filter(|&p| p != about && !explicit.contains(&p))
+                                        .collect();
+                                    (all, sizes.position)
+                                }
+                            };
+                            for target in targets {
+                                net.send(
+                                    server,
+                                    target.index(),
+                                    OverlayMsg::Update { class, about, gen_frame, to_proxy: false },
+                                    size,
+                                );
+                            }
+                        } else if d.to != server {
+                            metrics.record(gen_frame, t);
+                        }
+                    }
+                    OverlayMsg::Subscribe { subscriber, target, kind, .. } => {
+                        // Single hop: subscriptions land directly at the
+                        // trusted server.
+                        let now_frame = (t / config.frame_ms) as u64;
+                        lists.entry(target).or_default().add(
+                            subscriber,
+                            kind,
+                            now_frame + config.subscription_retention,
+                        );
+                    }
+                    OverlayMsg::Handoff { .. } => unreachable!("hybrid has no handoffs"),
+                }
+            }
+        }
+        if net.now_ms() < frame as f64 * config.frame_ms {
+            let _ = net.advance_to(frame as f64 * config.frame_ms);
+        }
+
+        let states = &trace.frames[frame as usize].states;
+        #[allow(clippy::needless_range_loop)] // parallel arrays indexed by player
+        for p in 0..n {
+            let pid = PlayerId(p as u32);
+            if !states[p].is_alive() {
+                continue;
+            }
+            let sets = compute_sets(pid, states, map, config, &NoRecency);
+            let wanted: Vec<(PlayerId, SetKind)> = sets
+                .interest
+                .iter()
+                .map(|&t| (t, SetKind::Interest))
+                .chain(sets.vision.iter().map(|&t| (t, SetKind::Vision)))
+                .collect();
+            for (target, kind) in wanted {
+                let refresh_due = my_subs[p]
+                    .get(&(target, kind))
+                    .is_none_or(|&last| frame >= last + config.subscription_retention / 2);
+                if refresh_due {
+                    my_subs[p].insert((target, kind), frame);
+                    net.send(
+                        p,
+                        server,
+                        OverlayMsg::Subscribe { subscriber: pid, target, kind, hop: 1 },
+                        sizes.subscribe,
+                    );
+                }
+            }
+            my_subs[p].retain(|_, &mut last| frame < last + 4 * config.subscription_retention);
+
+            net.send(
+                p,
+                server,
+                OverlayMsg::Update {
+                    class: UpdateClass::State,
+                    about: pid,
+                    gen_frame: frame,
+                    to_proxy: true,
+                },
+                sizes.state,
+            );
+            if config.is_guidance_frame(frame, p) {
+                net.send(
+                    p,
+                    server,
+                    OverlayMsg::Update {
+                        class: UpdateClass::Guidance,
+                        about: pid,
+                        gen_frame: frame,
+                        to_proxy: true,
+                    },
+                    sizes.guidance,
+                );
+            }
+            if config.is_others_frame(frame, p) {
+                net.send(
+                    p,
+                    server,
+                    OverlayMsg::Update {
+                        class: UpdateClass::Position,
+                        about: pid,
+                        gen_frame: frame,
+                        to_proxy: true,
+                    },
+                    sizes.position,
+                );
+            }
+        }
+    }
+
+    finish_report("hybrid", &net, metrics, n, frames, config, Some(server))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use watchmen_game::trace::standard_trace;
+    use watchmen_net::latency;
+    use watchmen_world::maps;
+
+    fn small_inputs() -> (GameTrace, GameMap, WatchmenConfig) {
+        (standard_trace(8, 3, 200), maps::q3dm17_like(), WatchmenConfig::default())
+    }
+
+    #[test]
+    fn watchmen_delivers_updates_with_low_age() {
+        let (trace, map, config) = small_inputs();
+        let report =
+            run_watchmen(&trace, &map, &config, latency::constant(20.0), 0.0, 7);
+        assert!(report.updates_delivered > 1000, "{}", report.updates_delivered);
+        // Two constant 20 ms hops = 40 ms < 1 frame budget for most.
+        assert!(
+            report.fraction_younger_than(3) > 0.9,
+            "young fraction {}",
+            report.fraction_younger_than(3)
+        );
+        assert!(report.mean_up_kbps > 0.0);
+    }
+
+    #[test]
+    fn watchmen_loss_counts_drops() {
+        let (trace, map, config) = small_inputs();
+        let lossless =
+            run_watchmen(&trace, &map, &config, latency::constant(20.0), 0.0, 7);
+        let lossy = run_watchmen(&trace, &map, &config, latency::constant(20.0), 0.05, 7);
+        assert_eq!(lossless.network_dropped, 0);
+        assert!(lossy.network_dropped > 0);
+        assert!(lossy.late_or_lost > lossless.late_or_lost);
+    }
+
+    #[test]
+    fn donnybrook_delivers_one_hop_faster_legs() {
+        let (trace, map, config) = small_inputs();
+        let report =
+            run_donnybrook(&trace, &map, &config, latency::constant(20.0), 0.0, 7);
+        assert!(report.updates_delivered > 1000);
+        // Single 20 ms hop: virtually everything inside 1 frame.
+        assert!(report.fraction_younger_than(2) > 0.95);
+    }
+
+    #[test]
+    fn client_server_relays_pvs_only() {
+        let (trace, map, config) = small_inputs();
+        let report =
+            run_client_server(&trace, &map, &config, latency::constant(10.0), 0.0, 7);
+        assert!(report.updates_delivered > 0);
+        assert!(report.server_up_kbps > 0.0, "server should relay");
+        // Two 10 ms hops stay within the budget.
+        assert!(report.fraction_younger_than(3) > 0.9);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let (trace, map, config) = small_inputs();
+        let a = run_watchmen(&trace, &map, &config, latency::king_like(8, 5), 0.01, 5);
+        let b = run_watchmen(&trace, &map, &config, latency::king_like(8, 5), 0.01, 5);
+        assert_eq!(a.updates_delivered, b.updates_delivered);
+        assert_eq!(a.network_dropped, b.network_dropped);
+        assert_eq!(a.mean_up_kbps, b.mean_up_kbps);
+    }
+
+    #[test]
+    fn delta_coding_cuts_bandwidth_without_hurting_delivery() {
+        let (trace, map, config) = small_inputs();
+        let full = run_watchmen(&trace, &map, &config, latency::constant(20.0), 0.0, 9);
+        let delta = run_watchmen_with_options(
+            &trace,
+            &map,
+            &config,
+            latency::constant(20.0),
+            0.0,
+            9,
+            OverlayOptions { delta_coding: true, ..OverlayOptions::default() },
+        );
+        assert!(
+            delta.mean_up_kbps < full.mean_up_kbps * 0.8,
+            "delta {} vs full {}",
+            delta.mean_up_kbps,
+            full.mean_up_kbps
+        );
+        assert_eq!(delta.updates_delivered, full.updates_delivered);
+    }
+
+    #[test]
+    fn predictive_subscriptions_reduce_first_update_latency() {
+        let (trace, map, config) = small_inputs();
+        let base = run_watchmen_with_options(
+            &trace,
+            &map,
+            &config,
+            latency::constant(30.0),
+            0.0,
+            9,
+            OverlayOptions::default(),
+        );
+        let predictive = run_watchmen_with_options(
+            &trace,
+            &map,
+            &config,
+            latency::constant(30.0),
+            0.0,
+            9,
+            OverlayOptions { predictive_subscriptions: true, ..OverlayOptions::default() },
+        );
+        let mean = |h: &watchmen_math::stats::Histogram| {
+            let total: f64 = (0..h.buckets()).map(|i| h.fraction(i)).sum();
+            if total == 0.0 {
+                return f64::INFINITY;
+            }
+            (0..h.buckets())
+                .map(|i| h.bucket_range(i).0 * h.fraction(i))
+                .sum::<f64>()
+                / total
+        };
+        let base_mean = mean(&base.subscription_latency);
+        let pred_mean = mean(&predictive.subscription_latency);
+        assert!(base.subscription_latency.count() > 50, "few IS entrances tracked");
+        assert!(
+            pred_mean <= base_mean + 0.2,
+            "predictive {pred_mean} not better than base {base_mean}"
+        );
+    }
+
+    #[test]
+    fn hybrid_centralizes_proxy_duty() {
+        let (trace, map, config) = small_inputs();
+        let hybrid =
+            run_hybrid(&trace, &map, &config, latency::constant(15.0), 0.0, 13);
+        let p2p = run_watchmen(&trace, &map, &config, latency::constant(15.0), 0.0, 13);
+        assert!(hybrid.updates_delivered > 1000);
+        // The trusted server carries the forwarding load…
+        assert!(hybrid.server_up_kbps > hybrid.mean_up_kbps * 2.0);
+        // …so player uplinks are lighter than in pure P2P Watchmen.
+        assert!(
+            hybrid.mean_up_kbps < p2p.mean_up_kbps,
+            "hybrid {} vs p2p {}",
+            hybrid.mean_up_kbps,
+            p2p.mean_up_kbps
+        );
+        // And latency behaviour is the same two-hop class.
+        assert!(hybrid.fraction_younger_than(3) > 0.9);
+    }
+
+    #[test]
+    fn watchmen_bandwidth_beats_full_broadcast() {
+        let (trace, map, config) = small_inputs();
+        let report =
+            run_watchmen(&trace, &map, &config, latency::constant(20.0), 0.0, 11);
+        // Full mesh would be state-size × (n−1) × 20 Hz per player
+        // upstream ≈ 107·8·7·20 bits/ms. Watchmen's multi-resolution +
+        // proxy scheme must come in well under the all-pairs bound for
+        // the publisher leg… but proxies forward, so compare mean.
+        let full_mesh_kbps = (107.0 * 8.0 * 7.0 * 20.0) / 1000.0;
+        assert!(
+            report.mean_up_kbps < full_mesh_kbps,
+            "mean {} vs mesh {}",
+            report.mean_up_kbps,
+            full_mesh_kbps
+        );
+    }
+}

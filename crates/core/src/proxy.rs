@@ -1,0 +1,385 @@
+//! Random, verifiable, dynamic proxy assignment (Sections III-B, IV).
+//!
+//! "At any frame, a player has a single designated proxy (another player)
+//! … Proxy assignment is done in a random, but verifiable way … each
+//! player maintains a pseudo-random number generator for each player,
+//! including himself, initialized with the player's id and a common seed.
+//! This means each player can determine both its own proxy and the other
+//! players' proxies, in any given frame, without the need for
+//! communication. … proxies are rearranged after a predetermined period of
+//! time."
+//!
+//! [`ProxySchedule`] is that computation: a pure function of
+//! `(common seed, player id, epoch)`, so every honest node derives the
+//! identical assignment with no messages, and any node can verify any
+//! other node's claimed proxy.
+
+use watchmen_crypto::rng::Xoshiro256;
+use watchmen_game::PlayerId;
+
+/// The deterministic proxy schedule shared by all players in a game.
+///
+/// Proxies are fixed within an *epoch* of `period` frames and re-drawn at
+/// every epoch boundary. A player is never its own proxy. Players removed
+/// from the pool (banned, disconnected, or resource-poor nodes excluded by
+/// the refinement of Section VI) are skipped by re-drawing.
+///
+/// # Examples
+///
+/// ```
+/// use watchmen_core::proxy::ProxySchedule;
+/// use watchmen_game::PlayerId;
+///
+/// let s = ProxySchedule::new(42, 8, 40);
+/// let p = s.proxy_of(PlayerId(3), 79);
+/// // Stable within the epoch…
+/// assert_eq!(p, s.proxy_of(PlayerId(3), 40));
+/// // …and never the player itself.
+/// assert_ne!(p, PlayerId(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProxySchedule {
+    seed: u64,
+    players: usize,
+    period: u64,
+    /// Players excluded from proxy duty (still assigned proxies
+    /// themselves if present in the game).
+    excluded: Vec<bool>,
+    /// Relative proxy-duty capacity per player (§VI: "more powerful
+    /// [nodes] can become proxies for more than one player"). Uniform by
+    /// default.
+    weights: Vec<f64>,
+}
+
+impl ProxySchedule {
+    /// Creates a schedule for `players` players with renewal every
+    /// `period` frames, derived from the game's common seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `players < 2` (no one else to proxy) or `period == 0`.
+    #[must_use]
+    pub fn new(seed: u64, players: usize, period: u64) -> Self {
+        assert!(players >= 2, "proxying needs at least 2 players");
+        assert!(period > 0, "period must be positive");
+        ProxySchedule {
+            seed,
+            players,
+            period,
+            excluded: vec![false; players],
+            weights: vec![1.0; players],
+        }
+    }
+
+    /// Creates a capacity-weighted schedule: players are drawn as proxies
+    /// proportionally to `weights` (§VI's resource-heterogeneity
+    /// refinement — "the selection process can be refined … players with
+    /// low resources are removed from the proxy pool and more powerful
+    /// [ones] can become proxies for more than one player"). A zero weight
+    /// removes the player from the pool entirely; all nodes must use the
+    /// identical (advertised) weight vector to stay verifiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() < 2`, any weight is negative/non-finite,
+    /// fewer than two weights are positive, or `period == 0`.
+    #[must_use]
+    pub fn with_weights(seed: u64, weights: Vec<f64>, period: u64) -> Self {
+        assert!(weights.len() >= 2, "proxying needs at least 2 players");
+        assert!(period > 0, "period must be positive");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let positive = weights.iter().filter(|&&w| w > 0.0).count();
+        assert!(positive >= 2, "need at least 2 positive-capacity proxies");
+        let excluded = weights.iter().map(|&w| w <= 0.0).collect();
+        ProxySchedule { seed, players: weights.len(), period, excluded, weights }
+    }
+
+    /// Number of players covered.
+    #[must_use]
+    pub fn players(&self) -> usize {
+        self.players
+    }
+
+    /// Frames per epoch.
+    #[must_use]
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// The epoch index containing `frame`.
+    #[must_use]
+    pub fn epoch_of(&self, frame: u64) -> u64 {
+        frame / self.period
+    }
+
+    /// The first frame of the epoch *after* the one containing `frame`.
+    #[must_use]
+    pub fn next_renewal(&self, frame: u64) -> u64 {
+        (self.epoch_of(frame) + 1) * self.period
+    }
+
+    /// Removes a player from the proxy pool ("these nodes are removed in
+    /// the next round … from the proxy pool"). Takes effect for all
+    /// epochs — callers handling churn mid-game should construct the
+    /// schedule per-membership-change, as the agreement protocol would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exclusion would leave fewer than two eligible
+    /// proxies, or the id is out of range.
+    pub fn exclude(&mut self, player: PlayerId) {
+        self.excluded[player.index()] = true;
+        let eligible = self.excluded.iter().filter(|&&e| !e).count();
+        assert!(eligible >= 2, "cannot exclude below 2 eligible proxies");
+    }
+
+    /// Number of players still eligible for proxy duty.
+    #[must_use]
+    pub fn eligible_count(&self) -> usize {
+        self.excluded.iter().filter(|&&e| !e).count()
+    }
+
+    /// Returns `true` if `player` is excluded from proxy duty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn is_excluded(&self, player: PlayerId) -> bool {
+        self.excluded[player.index()]
+    }
+
+    /// The proxy assigned to `player` during the epoch containing
+    /// `frame` — the core verifiable computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn proxy_of(&self, player: PlayerId, frame: u64) -> PlayerId {
+        assert!(player.index() < self.players, "player {player} out of range");
+        let epoch = self.epoch_of(frame);
+        // Per-player stream keyed by (seed, player id), advanced to the
+        // epoch: this is the "PRNG per player initialized with the
+        // player's id and a common seed" construction. Seeding with the
+        // epoch directly (rather than discarding `epoch` draws) keeps
+        // random access O(1).
+        let mut rng = Xoshiro256::seed_from(
+            self.seed ^ 0x7077_0000,
+            (u64::from(player.0) << 32) ^ epoch,
+        );
+        // Weighted draw over the eligible pool (uniform weights reduce to
+        // a uniform draw). Rejection keeps the self-exclusion unbiased.
+        let total: f64 = (0..self.players)
+            .filter(|&i| i != player.index() && !self.excluded[i])
+            .map(|i| self.weights[i])
+            .sum();
+        debug_assert!(total > 0.0, "empty proxy pool");
+        loop {
+            let mut pick = rng.next_f64() * total;
+            for i in 0..self.players {
+                if i == player.index() || self.excluded[i] {
+                    continue;
+                }
+                pick -= self.weights[i];
+                if pick <= 0.0 {
+                    return PlayerId(i as u32);
+                }
+            }
+            // Float round-off fell off the end: redraw.
+        }
+    }
+
+    /// All players whose proxy is `proxy` during the epoch containing
+    /// `frame` — what a node computes to learn its own proxy duties.
+    #[must_use]
+    pub fn clients_of(&self, proxy: PlayerId, frame: u64) -> Vec<PlayerId> {
+        (0..self.players)
+            .map(|i| PlayerId(i as u32))
+            .filter(|&p| p != proxy && self.proxy_of(p, frame) == proxy)
+            .collect()
+    }
+
+    /// The successor proxy for handoff purposes: who takes over `player`
+    /// at the next renewal.
+    #[must_use]
+    pub fn next_proxy_of(&self, player: PlayerId, frame: u64) -> PlayerId {
+        self.proxy_of(player, self.next_renewal(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_nodes() {
+        let a = ProxySchedule::new(99, 48, 40);
+        let b = ProxySchedule::new(99, 48, 40);
+        for frame in [0u64, 39, 40, 1000, 99_999] {
+            for p in 0..48 {
+                let id = PlayerId(p);
+                assert_eq!(a.proxy_of(id, frame), b.proxy_of(id, frame));
+            }
+        }
+    }
+
+    #[test]
+    fn never_own_proxy() {
+        let s = ProxySchedule::new(7, 16, 40);
+        for frame in (0..4000).step_by(40) {
+            for p in 0..16 {
+                let id = PlayerId(p);
+                assert_ne!(s.proxy_of(id, frame), id);
+            }
+        }
+    }
+
+    #[test]
+    fn stable_within_epoch_changes_across() {
+        let s = ProxySchedule::new(5, 48, 40);
+        let id = PlayerId(7);
+        let e0 = s.proxy_of(id, 0);
+        for f in 0..40 {
+            assert_eq!(s.proxy_of(id, f), e0);
+        }
+        // Across many epochs the proxy must change at least sometimes.
+        let changes = (1..50).filter(|&e| s.proxy_of(id, e * 40) != e0).count();
+        assert!(changes > 30, "proxy barely rotates: {changes}/49");
+    }
+
+    #[test]
+    fn assignment_is_roughly_uniform() {
+        let s = ProxySchedule::new(11, 16, 40);
+        let mut counts = [0u32; 16];
+        for epoch in 0..1000 {
+            counts[s.proxy_of(PlayerId(3), epoch * 40).index()] += 1;
+        }
+        assert_eq!(counts[3], 0);
+        // 1000 draws over 15 candidates ≈ 66.7 each; allow wide slack.
+        for (i, &c) in counts.iter().enumerate() {
+            if i != 3 {
+                assert!((30..110).contains(&c), "player {i} drawn {c} times");
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ProxySchedule::new(1, 48, 40);
+        let b = ProxySchedule::new(2, 48, 40);
+        let same = (0..48)
+            .filter(|&p| a.proxy_of(PlayerId(p), 0) == b.proxy_of(PlayerId(p), 0))
+            .count();
+        assert!(same < 10, "seeds barely differ: {same}/48 identical");
+    }
+
+    #[test]
+    fn clients_of_inverts_proxy_of() {
+        let s = ProxySchedule::new(13, 24, 40);
+        for frame in [0u64, 40, 4000] {
+            for p in 0..24 {
+                let proxy = PlayerId(p);
+                for client in s.clients_of(proxy, frame) {
+                    assert_eq!(s.proxy_of(client, frame), proxy);
+                }
+            }
+            // Every player appears in exactly one client list.
+            let total: usize =
+                (0..24).map(|p| s.clients_of(PlayerId(p), frame).len()).sum();
+            assert_eq!(total, 24);
+        }
+    }
+
+    #[test]
+    fn excluded_players_never_serve() {
+        let mut s = ProxySchedule::new(17, 8, 40);
+        s.exclude(PlayerId(2));
+        s.exclude(PlayerId(5));
+        assert!(s.is_excluded(PlayerId(2)));
+        assert!(!s.is_excluded(PlayerId(0)));
+        for epoch in 0..200 {
+            for p in 0..8 {
+                let proxy = s.proxy_of(PlayerId(p), epoch * 40);
+                assert_ne!(proxy, PlayerId(2));
+                assert_ne!(proxy, PlayerId(5));
+            }
+        }
+        // Excluded players still get proxies themselves.
+        assert_ne!(s.proxy_of(PlayerId(2), 0), PlayerId(2));
+    }
+
+    #[test]
+    fn renewal_bookkeeping() {
+        let s = ProxySchedule::new(3, 4, 40);
+        assert_eq!(s.epoch_of(0), 0);
+        assert_eq!(s.epoch_of(39), 0);
+        assert_eq!(s.epoch_of(40), 1);
+        assert_eq!(s.next_renewal(0), 40);
+        assert_eq!(s.next_renewal(40), 80);
+        assert_eq!(s.period(), 40);
+        assert_eq!(s.players(), 4);
+    }
+
+    #[test]
+    fn next_proxy_matches_next_epoch() {
+        let s = ProxySchedule::new(23, 16, 40);
+        let id = PlayerId(4);
+        assert_eq!(s.next_proxy_of(id, 35), s.proxy_of(id, 40));
+    }
+
+    #[test]
+    fn weighted_schedule_respects_capacity() {
+        // Player 0 advertises 4x capacity; player 3 has none.
+        let s = ProxySchedule::with_weights(5, vec![4.0, 1.0, 1.0, 0.0, 1.0, 1.0], 40);
+        assert!(s.is_excluded(PlayerId(3)));
+        let mut counts = [0u32; 6];
+        for epoch in 0..2000 {
+            counts[s.proxy_of(PlayerId(5), epoch * 40).index()] += 1;
+        }
+        assert_eq!(counts[3], 0, "zero-capacity node drafted");
+        assert_eq!(counts[5], 0, "self-proxy");
+        // Heavy node drawn ≈ 4x a unit node (4/7 vs 1/7 of draws).
+        let heavy = f64::from(counts[0]);
+        let unit = f64::from(counts[1].max(1));
+        assert!(
+            (2.5..6.0).contains(&(heavy / unit)),
+            "capacity ratio off: {heavy} vs {unit}"
+        );
+    }
+
+    #[test]
+    fn weighted_schedule_is_deterministic() {
+        let w = vec![2.0, 1.0, 1.0, 3.0];
+        let a = ProxySchedule::with_weights(9, w.clone(), 40);
+        let b = ProxySchedule::with_weights(9, w, 40);
+        for f in (0..4000).step_by(40) {
+            for p in 0..4 {
+                assert_eq!(a.proxy_of(PlayerId(p), f), b.proxy_of(PlayerId(p), f));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive-capacity")]
+    fn weighted_needs_two_capable_nodes() {
+        let _ = ProxySchedule::with_weights(1, vec![1.0, 0.0, 0.0], 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_pool_panics() {
+        let _ = ProxySchedule::new(1, 1, 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "below 2 eligible")]
+    fn over_exclusion_panics() {
+        let mut s = ProxySchedule::new(1, 3, 40);
+        s.exclude(PlayerId(0));
+        s.exclude(PlayerId(1));
+    }
+}

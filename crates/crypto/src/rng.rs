@@ -1,0 +1,255 @@
+//! Deterministic pseudo-random number generators with a stable output
+//! sequence.
+//!
+//! The Watchmen proxy schedule is *verifiable*: "each player maintains a
+//! pseudo-random number generator for each player, including himself,
+//! initialized with the player's id and a common seed", so every node can
+//! compute every node's proxy without communication. That only works if the
+//! generator's output sequence is identical everywhere and never changes
+//! between versions — hence this from-scratch implementation of the
+//! published SplitMix64 and Xoshiro256\*\* algorithms rather than `rand`'s
+//! unspecified `StdRng`.
+
+/// SplitMix64 (Steele, Lea & Flood): a tiny, fast, well-distributed
+/// generator, used here mainly to expand seeds for [`Xoshiro256`].
+///
+/// # Examples
+///
+/// ```
+/// use watchmen_crypto::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Xoshiro256\*\* (Blackman & Vigna): the workhorse deterministic generator
+/// used for the verifiable proxy schedule.
+///
+/// # Examples
+///
+/// ```
+/// use watchmen_crypto::rng::Xoshiro256;
+///
+/// let mut rng = Xoshiro256::seed_from(1, 2);
+/// let x = rng.next_range(10);
+/// assert!(x < 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Creates a generator by expanding `seed` with SplitMix64, per the
+    /// authors' recommendation.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        // An all-zero state is invalid; SplitMix64 cannot produce four
+        // consecutive zeros, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 1;
+        }
+        Xoshiro256 { s }
+    }
+
+    /// Creates a generator from two seed words (e.g. a common game seed and
+    /// a player id), mixed so that nearby pairs yield unrelated streams.
+    #[must_use]
+    pub fn seed_from(common: u64, stream: u64) -> Self {
+        let mut sm = SplitMix64::new(common);
+        let a = sm.next_u64();
+        let mut sm2 = SplitMix64::new(stream ^ 0x9e37_79b9_7f4a_7c15);
+        let b = sm2.next_u64();
+        Xoshiro256::new(a ^ b.rotate_left(17) ^ stream.wrapping_mul(0xd131_0ba6_98df_b5ac))
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform value in `[0, bound)` by Lemire's unbiased method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_range: zero bound");
+        // Rejection sampling on the top bits to avoid modulo bias.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= (u64::MAX - bound + 1) % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A boolean that is `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_range((i + 1) as u64) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element, or `None` for an empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.next_range(slice.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Reference sequence for seed 1234567 from the public-domain
+        // splitmix64.c reference implementation.
+        let mut rng = SplitMix64::new(1234567);
+        let first = rng.next_u64();
+        let second = rng.next_u64();
+        assert_eq!(first, 6457827717110365317);
+        assert_eq!(second, 3203168211198807973);
+    }
+
+    #[test]
+    fn xoshiro_deterministic_across_instances() {
+        let mut a = Xoshiro256::new(99);
+        let mut b = Xoshiro256::new(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn xoshiro_seeds_differ() {
+        let mut a = Xoshiro256::new(1);
+        let mut b = Xoshiro256::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn seed_from_streams_are_independent() {
+        let mut a = Xoshiro256::seed_from(7, 0);
+        let mut b = Xoshiro256::seed_from(7, 1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn next_range_bounds_and_coverage() {
+        let mut rng = Xoshiro256::new(5);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let x = rng.next_range(7) as usize;
+            assert!(x < 7);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bound")]
+    fn next_range_zero_panics() {
+        Xoshiro256::new(0).next_range(0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = Xoshiro256::new(11);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_f64_roughly_uniform() {
+        let mut rng = Xoshiro256::new(13);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn next_bool_probability() {
+        let mut rng = Xoshiro256::new(17);
+        let hits = (0..10_000).filter(|_| rng.next_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "hits {hits}");
+        assert!(!Xoshiro256::new(1).next_bool(0.0));
+        assert!(Xoshiro256::new(1).next_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Xoshiro256::new(23);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice sorted (astronomically unlikely)");
+    }
+
+    #[test]
+    fn choose_behaviour() {
+        let mut rng = Xoshiro256::new(29);
+        let empty: [u8; 0] = [];
+        assert_eq!(rng.choose(&empty), None);
+        let one = [42];
+        assert_eq!(rng.choose(&one), Some(&42));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the crypto crate.
+
+use proptest::prelude::*;
+use watchmen_crypto::field::{add_mod, inv_mod_prime, mul_mod, pow_mod, sub_mod};
+use watchmen_crypto::rng::Xoshiro256;
+use watchmen_crypto::schnorr::{Keypair, PublicKey, Signature, GROUP_ORDER};
+use watchmen_crypto::{hmac_sha256, sha256};
+
+const P: u64 = 1_000_000_007;
+
+proptest! {
+    #[test]
+    fn field_add_sub_inverse(a in 0..P, b in 0..P) {
+        prop_assert_eq!(sub_mod(add_mod(a, b, P), b, P), a);
+        prop_assert_eq!(add_mod(sub_mod(a, b, P), b, P), a);
+    }
+
+    #[test]
+    fn field_mul_commutes_and_distributes(a in 0..P, b in 0..P, c in 0..P) {
+        prop_assert_eq!(mul_mod(a, b, P), mul_mod(b, a, P));
+        let left = mul_mod(a, add_mod(b, c, P), P);
+        let right = add_mod(mul_mod(a, b, P), mul_mod(a, c, P), P);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn field_pow_laws(a in 1..P, x in 0u64..1000, y in 0u64..1000) {
+        let lhs = pow_mod(a, x + y, P);
+        let rhs = mul_mod(pow_mod(a, x, P), pow_mod(a, y, P), P);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn field_inverse_multiplies_to_one(a in 1..P) {
+        let inv = inv_mod_prime(a, P).unwrap();
+        prop_assert_eq!(mul_mod(a, inv, P), 1);
+    }
+
+    #[test]
+    fn sha256_deterministic_and_sensitive(data in prop::collection::vec(any::<u8>(), 0..300)) {
+        prop_assert_eq!(sha256(&data), sha256(&data));
+        if !data.is_empty() {
+            let mut flipped = data.clone();
+            flipped[0] ^= 1;
+            prop_assert_ne!(sha256(&data), sha256(&flipped));
+        }
+    }
+
+    #[test]
+    fn hmac_differs_by_key(
+        key in prop::collection::vec(any::<u8>(), 1..100),
+        msg in prop::collection::vec(any::<u8>(), 0..100),
+    ) {
+        let mut key2 = key.clone();
+        key2[0] ^= 0xff;
+        prop_assert_ne!(hmac_sha256(&key, &msg), hmac_sha256(&key2, &msg));
+    }
+
+    #[test]
+    fn schnorr_roundtrip(seed in any::<u64>(), msg in prop::collection::vec(any::<u8>(), 0..200)) {
+        let keys = Keypair::generate(seed);
+        let sig = keys.sign(&msg);
+        prop_assert!(keys.public().verify(&msg, &sig));
+    }
+
+    #[test]
+    fn schnorr_rejects_bit_flips(seed in any::<u64>(), msg in prop::collection::vec(any::<u8>(), 1..100), bit in 0usize..8) {
+        let keys = Keypair::generate(seed);
+        let sig = keys.sign(&msg);
+        let mut tampered = msg.clone();
+        tampered[0] ^= 1 << bit;
+        prop_assert!(!keys.public().verify(&tampered, &sig));
+    }
+
+    #[test]
+    fn schnorr_signature_encoding_roundtrip(seed in any::<u64>(), msg in prop::collection::vec(any::<u8>(), 0..50)) {
+        let sig = Keypair::generate(seed).sign(&msg);
+        prop_assert_eq!(Signature::from_bytes(&sig.to_bytes()), Some(sig));
+    }
+
+    #[test]
+    fn schnorr_pubkey_encoding_roundtrip(seed in any::<u64>()) {
+        let pk = Keypair::generate(seed).public();
+        prop_assert_eq!(PublicKey::from_u64(pk.to_u64()), Some(pk));
+    }
+
+    #[test]
+    fn rng_range_respects_bound(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = Xoshiro256::new(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.next_range(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn rng_same_seed_same_stream(seed in any::<u64>(), stream in any::<u64>()) {
+        let mut a = Xoshiro256::seed_from(seed, stream);
+        let mut b = Xoshiro256::seed_from(seed, stream);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn scalars_in_range(seed in any::<u64>(), msg in prop::collection::vec(any::<u8>(), 0..30)) {
+        let sig = Keypair::generate(seed).sign(&msg);
+        let bytes = sig.to_bytes();
+        let e = u64::from_be_bytes(bytes[..8].try_into().unwrap());
+        let s = u64::from_be_bytes(bytes[8..].try_into().unwrap());
+        prop_assert!(e < GROUP_ORDER && s < GROUP_ORDER);
+    }
+}

@@ -1,0 +1,224 @@
+//! Player identities and avatar state.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use watchmen_math::{Aim, Vec3};
+
+use crate::weapon::WeaponKind;
+
+/// A player identifier, unique within a game session.
+///
+/// # Examples
+///
+/// ```
+/// use watchmen_game::PlayerId;
+///
+/// let p = PlayerId(3);
+/// assert_eq!(p.index(), 3);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct PlayerId(pub u32);
+
+impl PlayerId {
+    /// The id as a `usize` index (players are numbered `0..n`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PlayerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for PlayerId {
+    fn from(v: u32) -> Self {
+        PlayerId(v)
+    }
+}
+
+/// The full state of an avatar: "the state of an avatar typically includes
+/// its position, aim, objects it owns, health, etc.".
+///
+/// This is the payload of the *frequent state updates* sent to interest-set
+/// subscribers and of proxy handoff summaries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AvatarState {
+    /// World position.
+    pub position: Vec3,
+    /// Current velocity (world units / s).
+    pub velocity: Vec3,
+    /// Aim direction.
+    pub aim: Aim,
+    /// Hit points; `0` means dead (awaiting respawn).
+    pub health: i32,
+    /// Armor points (absorb a fraction of damage).
+    pub armor: i32,
+    /// Currently held weapon.
+    pub weapon: WeaponKind,
+    /// Remaining ammunition for the held weapon.
+    pub ammo: u32,
+    /// Kill count.
+    pub score: i32,
+}
+
+impl AvatarState {
+    /// Maximum regular health.
+    pub const MAX_HEALTH: i32 = 100;
+    /// Health granted by a mega-health pickup (can exceed the regular max).
+    pub const MEGA_HEALTH: i32 = 200;
+    /// Maximum armor.
+    pub const MAX_ARMOR: i32 = 100;
+
+    /// A freshly spawned avatar at `position`.
+    #[must_use]
+    pub fn spawn(position: Vec3) -> Self {
+        AvatarState {
+            position,
+            velocity: Vec3::ZERO,
+            aim: Aim::default(),
+            health: Self::MAX_HEALTH,
+            armor: 0,
+            weapon: WeaponKind::MachineGun,
+            ammo: WeaponKind::MachineGun.initial_ammo(),
+            score: 0,
+        }
+    }
+
+    /// Returns `true` if the avatar is alive.
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.health > 0
+    }
+
+    /// Applies `damage` hit points, letting armor absorb two thirds while
+    /// it lasts (Quake III's armor rule). Returns `true` if this kills the
+    /// avatar.
+    pub fn apply_damage(&mut self, damage: i32) -> bool {
+        debug_assert!(damage >= 0);
+        let absorbed = ((damage * 2) / 3).min(self.armor);
+        self.armor -= absorbed;
+        self.health -= damage - absorbed;
+        if self.health <= 0 {
+            self.health = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Applies an item pickup.
+    pub fn apply_pickup(&mut self, kind: watchmen_world::ItemKind) {
+        use watchmen_world::ItemKind;
+        match kind {
+            ItemKind::HealthPack => self.health = (self.health + 25).min(Self::MAX_HEALTH),
+            ItemKind::MegaHealth => self.health = Self::MEGA_HEALTH,
+            ItemKind::Ammo => self.ammo += self.weapon.ammo_pack(),
+            ItemKind::Weapon => {
+                self.weapon = self.weapon.upgrade();
+                self.ammo = self.ammo.max(self.weapon.initial_ammo());
+            }
+            ItemKind::Armor => self.armor = (self.armor + 50).min(Self::MAX_ARMOR),
+        }
+    }
+
+    /// Re-initializes the mutable combat state after a respawn, keeping the
+    /// score.
+    pub fn respawn_at(&mut self, position: Vec3) {
+        let score = self.score;
+        *self = AvatarState::spawn(position);
+        self.score = score;
+    }
+}
+
+impl Default for AvatarState {
+    fn default() -> Self {
+        AvatarState::spawn(Vec3::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use watchmen_world::ItemKind;
+
+    #[test]
+    fn spawn_state() {
+        let a = AvatarState::spawn(Vec3::X);
+        assert_eq!(a.position, Vec3::X);
+        assert_eq!(a.health, 100);
+        assert!(a.is_alive());
+        assert_eq!(a.score, 0);
+    }
+
+    #[test]
+    fn damage_without_armor() {
+        let mut a = AvatarState::default();
+        assert!(!a.apply_damage(40));
+        assert_eq!(a.health, 60);
+        assert!(a.apply_damage(100));
+        assert_eq!(a.health, 0);
+        assert!(!a.is_alive());
+    }
+
+    #[test]
+    fn armor_absorbs_two_thirds() {
+        let mut a = AvatarState { armor: 100, ..AvatarState::default() };
+        a.apply_damage(30);
+        assert_eq!(a.armor, 80);
+        assert_eq!(a.health, 90);
+    }
+
+    #[test]
+    fn armor_depletes_then_health_takes_rest() {
+        let mut a = AvatarState { armor: 10, ..AvatarState::default() };
+        a.apply_damage(60);
+        assert_eq!(a.armor, 0);
+        assert_eq!(a.health, 50);
+    }
+
+    #[test]
+    fn pickups() {
+        let mut a = AvatarState { health: 50, ..AvatarState::default() };
+        a.apply_pickup(ItemKind::HealthPack);
+        assert_eq!(a.health, 75);
+        a.apply_pickup(ItemKind::MegaHealth);
+        assert_eq!(a.health, 200);
+        let before = a.ammo;
+        a.apply_pickup(ItemKind::Ammo);
+        assert!(a.ammo > before);
+        a.apply_pickup(ItemKind::Armor);
+        assert_eq!(a.armor, 50);
+        a.apply_pickup(ItemKind::Weapon);
+        assert_ne!(a.weapon, WeaponKind::MachineGun);
+    }
+
+    #[test]
+    fn health_pack_caps_at_max() {
+        let mut a = AvatarState::default();
+        a.apply_pickup(ItemKind::HealthPack);
+        assert_eq!(a.health, AvatarState::MAX_HEALTH);
+    }
+
+    #[test]
+    fn respawn_keeps_score() {
+        let mut a = AvatarState { score: 7, ..AvatarState::default() };
+        a.apply_damage(200);
+        a.respawn_at(Vec3::Y);
+        assert_eq!(a.score, 7);
+        assert_eq!(a.health, 100);
+        assert_eq!(a.position, Vec3::Y);
+    }
+
+    #[test]
+    fn player_id_display_and_index() {
+        let p = PlayerId::from(5);
+        assert_eq!(p.to_string(), "p5");
+        assert_eq!(p.index(), 5);
+    }
+}

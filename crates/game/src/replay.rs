@@ -1,0 +1,198 @@
+//! Frame-by-frame replay of recorded traces.
+//!
+//! Mirrors the paper's Python replay engine: "a replay engine … can replay
+//! game traces and generate the same network traffic repeatedly and under
+//! different networking and proxy architectures". Architecture drivers in
+//! `watchmen-core` walk a [`Replay`] and synthesize the corresponding
+//! subscription/update traffic.
+
+use std::collections::HashMap;
+
+use crate::trace::{GameTrace, PlayerFrame};
+use crate::{GameEvent, PlayerId};
+
+/// A cursor over a [`GameTrace`] that additionally maintains derived state
+/// the trace does not store explicitly — currently the pairwise
+/// *interaction recency* needed by the attention metric ("proximity, aim
+/// and interaction recency").
+///
+/// # Examples
+///
+/// ```
+/// use watchmen_game::replay::Replay;
+/// use watchmen_game::trace::standard_trace;
+///
+/// let trace = standard_trace(4, 7, 30);
+/// let mut replay = Replay::new(&trace);
+/// while replay.advance().is_some() {}
+/// assert_eq!(replay.frame(), 30);
+/// ```
+#[derive(Debug)]
+pub struct Replay<'a> {
+    trace: &'a GameTrace,
+    frame: usize,
+    /// `(a, b) → last frame in which a and b interacted` (symmetric).
+    last_interaction: HashMap<(PlayerId, PlayerId), u64>,
+}
+
+impl<'a> Replay<'a> {
+    /// Creates a replay positioned before the first frame.
+    #[must_use]
+    pub fn new(trace: &'a GameTrace) -> Self {
+        Replay { trace, frame: 0, last_interaction: HashMap::new() }
+    }
+
+    /// The underlying trace.
+    #[must_use]
+    pub fn trace(&self) -> &'a GameTrace {
+        self.trace
+    }
+
+    /// Frames consumed so far.
+    #[must_use]
+    pub fn frame(&self) -> usize {
+        self.frame
+    }
+
+    /// Number of players in the trace.
+    #[must_use]
+    pub fn players(&self) -> usize {
+        self.trace.players
+    }
+
+    /// Consumes the next frame, returning its index, or `None` at the end.
+    ///
+    /// Interaction recency is updated from the frame's events as a side
+    /// effect.
+    pub fn advance(&mut self) -> Option<usize> {
+        if self.frame >= self.trace.len() {
+            return None;
+        }
+        let idx = self.frame;
+        for e in &self.trace.frames[idx].events {
+            if let Some((a, b)) = e.interaction_pair() {
+                let key = Self::pair_key(a, b);
+                self.last_interaction.insert(key, idx as u64);
+            }
+        }
+        self.frame += 1;
+        Some(idx)
+    }
+
+    /// The most recently consumed frame's player states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before the first [`Replay::advance`].
+    #[must_use]
+    pub fn current_states(&self) -> &'a [PlayerFrame] {
+        assert!(self.frame > 0, "replay not started");
+        &self.trace.frames[self.frame - 1].states
+    }
+
+    /// The most recently consumed frame's events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before the first [`Replay::advance`].
+    #[must_use]
+    pub fn current_events(&self) -> &'a [GameEvent] {
+        assert!(self.frame > 0, "replay not started");
+        &self.trace.frames[self.frame - 1].events
+    }
+
+    /// Frames elapsed since `a` and `b` last interacted (hit or kill in
+    /// either direction), as of the current frame; `None` if they never
+    /// have.
+    #[must_use]
+    pub fn frames_since_interaction(&self, a: PlayerId, b: PlayerId) -> Option<u64> {
+        self.last_interaction
+            .get(&Self::pair_key(a, b))
+            .map(|&at| (self.frame as u64).saturating_sub(at + 1))
+    }
+
+    fn pair_key(a: PlayerId, b: PlayerId) -> (PlayerId, PlayerId) {
+        if a <= b { (a, b) } else { (b, a) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{FrameRecord, GameTrace, PlayerFrame};
+    use crate::WeaponKind;
+    use watchmen_math::{Aim, Vec3};
+
+    fn frame_with(events: Vec<GameEvent>) -> FrameRecord {
+        let state = PlayerFrame {
+            position: Vec3::ZERO,
+            velocity: Vec3::ZERO,
+            aim: Aim::default(),
+            health: 100,
+            armor: 0,
+            weapon: WeaponKind::MachineGun,
+            ammo: 10,
+        };
+        FrameRecord { states: vec![state; 3], events }
+    }
+
+    fn synthetic_trace() -> GameTrace {
+        let hit = GameEvent::Hit {
+            attacker: PlayerId(0),
+            target: PlayerId(2),
+            weapon: WeaponKind::MachineGun,
+            damage: 7,
+            distance: 30.0,
+        };
+        GameTrace {
+            map_name: "synthetic".into(),
+            players: 3,
+            seed: 0,
+            frames: vec![frame_with(vec![]), frame_with(vec![hit]), frame_with(vec![])],
+        }
+    }
+
+    #[test]
+    fn advance_walks_all_frames() {
+        let t = synthetic_trace();
+        let mut r = Replay::new(&t);
+        assert_eq!(r.advance(), Some(0));
+        assert_eq!(r.advance(), Some(1));
+        assert_eq!(r.advance(), Some(2));
+        assert_eq!(r.advance(), None);
+        assert_eq!(r.players(), 3);
+    }
+
+    #[test]
+    fn interaction_recency_updates_symmetrically() {
+        let t = synthetic_trace();
+        let mut r = Replay::new(&t);
+        r.advance();
+        assert_eq!(r.frames_since_interaction(PlayerId(0), PlayerId(2)), None);
+        r.advance(); // frame 1 contains the hit
+        assert_eq!(r.frames_since_interaction(PlayerId(0), PlayerId(2)), Some(0));
+        assert_eq!(r.frames_since_interaction(PlayerId(2), PlayerId(0)), Some(0));
+        r.advance();
+        assert_eq!(r.frames_since_interaction(PlayerId(0), PlayerId(2)), Some(1));
+        assert_eq!(r.frames_since_interaction(PlayerId(0), PlayerId(1)), None);
+    }
+
+    #[test]
+    fn current_accessors() {
+        let t = synthetic_trace();
+        let mut r = Replay::new(&t);
+        r.advance();
+        assert_eq!(r.current_states().len(), 3);
+        assert!(r.current_events().is_empty());
+        r.advance();
+        assert_eq!(r.current_events().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not started")]
+    fn current_before_advance_panics() {
+        let t = synthetic_trace();
+        let r = Replay::new(&t);
+        let _ = r.current_states();
+    }
+}

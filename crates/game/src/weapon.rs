@@ -1,0 +1,173 @@
+//! Weapons and their game-rule parameters.
+//!
+//! Kill verification in the paper checks "the type of weapon, the
+//! distance, the visibility, and how long the attacker had the target in
+//! his IS"; these per-weapon rules (range, damage, fire period) are the
+//! shared contract between the honest game and the verifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The weapon roster (a Quake III-flavored subset).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum WeaponKind {
+    /// Starting hitscan weapon: low damage, medium range, fast fire.
+    MachineGun,
+    /// Close-range burst damage.
+    Shotgun,
+    /// Slow projectile with splash damage.
+    RocketLauncher,
+    /// Long-range hitscan with high damage and slow fire.
+    Railgun,
+}
+
+impl WeaponKind {
+    /// All weapons in upgrade order.
+    pub const ALL: [WeaponKind; 4] = [
+        WeaponKind::MachineGun,
+        WeaponKind::Shotgun,
+        WeaponKind::RocketLauncher,
+        WeaponKind::Railgun,
+    ];
+
+    /// Damage per hit.
+    #[must_use]
+    pub fn damage(&self) -> i32 {
+        match self {
+            WeaponKind::MachineGun => 7,
+            WeaponKind::Shotgun => 60,
+            WeaponKind::RocketLauncher => 100,
+            WeaponKind::Railgun => 100,
+        }
+    }
+
+    /// Maximum effective range in world units; kill claims beyond this are
+    /// invalid by rule.
+    #[must_use]
+    pub fn max_range(&self) -> f64 {
+        match self {
+            WeaponKind::MachineGun => 120.0,
+            WeaponKind::Shotgun => 40.0,
+            WeaponKind::RocketLauncher => 150.0,
+            WeaponKind::Railgun => 300.0,
+        }
+    }
+
+    /// Minimum frames between shots; firing faster is the *fast-rate
+    /// cheat*.
+    #[must_use]
+    pub fn fire_period_frames(&self) -> u64 {
+        match self {
+            WeaponKind::MachineGun => 2,
+            WeaponKind::Shotgun => 20,
+            WeaponKind::RocketLauncher => 16,
+            WeaponKind::Railgun => 30,
+        }
+    }
+
+    /// Projectile travel speed (world units / s); `None` for hitscan.
+    #[must_use]
+    pub fn projectile_speed(&self) -> Option<f64> {
+        match self {
+            WeaponKind::RocketLauncher => Some(180.0),
+            _ => None,
+        }
+    }
+
+    /// Splash damage radius for explosive weapons (`0.0` otherwise).
+    #[must_use]
+    pub fn splash_radius(&self) -> f64 {
+        match self {
+            WeaponKind::RocketLauncher => 10.0,
+            _ => 0.0,
+        }
+    }
+
+    /// Ammunition granted when the weapon is first acquired.
+    #[must_use]
+    pub fn initial_ammo(&self) -> u32 {
+        match self {
+            WeaponKind::MachineGun => 100,
+            WeaponKind::Shotgun => 10,
+            WeaponKind::RocketLauncher => 10,
+            WeaponKind::Railgun => 10,
+        }
+    }
+
+    /// Ammunition granted by an ammo pack.
+    #[must_use]
+    pub fn ammo_pack(&self) -> u32 {
+        match self {
+            WeaponKind::MachineGun => 50,
+            WeaponKind::Shotgun => 10,
+            WeaponKind::RocketLauncher => 5,
+            WeaponKind::Railgun => 5,
+        }
+    }
+
+    /// The next weapon in the pickup ladder (a weapon pickup upgrades; the
+    /// railgun stays).
+    #[must_use]
+    pub fn upgrade(&self) -> WeaponKind {
+        match self {
+            WeaponKind::MachineGun => WeaponKind::Shotgun,
+            WeaponKind::Shotgun => WeaponKind::RocketLauncher,
+            WeaponKind::RocketLauncher | WeaponKind::Railgun => WeaponKind::Railgun,
+        }
+    }
+}
+
+impl fmt::Display for WeaponKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            WeaponKind::MachineGun => "machine gun",
+            WeaponKind::Shotgun => "shotgun",
+            WeaponKind::RocketLauncher => "rocket launcher",
+            WeaponKind::Railgun => "railgun",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_ordered_sensibly() {
+        assert!(WeaponKind::Shotgun.max_range() < WeaponKind::MachineGun.max_range());
+        assert!(WeaponKind::Railgun.max_range() > WeaponKind::RocketLauncher.max_range());
+    }
+
+    #[test]
+    fn fire_periods_positive() {
+        for w in WeaponKind::ALL {
+            assert!(w.fire_period_frames() >= 1);
+            assert!(w.damage() > 0);
+            assert!(w.initial_ammo() > 0);
+            assert!(w.ammo_pack() > 0);
+            assert!(!w.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn only_rockets_are_projectiles() {
+        assert!(WeaponKind::RocketLauncher.projectile_speed().is_some());
+        assert!(WeaponKind::Railgun.projectile_speed().is_none());
+        assert!(WeaponKind::RocketLauncher.splash_radius() > 0.0);
+        assert_eq!(WeaponKind::MachineGun.splash_radius(), 0.0);
+    }
+
+    #[test]
+    fn upgrade_ladder_terminates() {
+        let mut w = WeaponKind::MachineGun;
+        for _ in 0..10 {
+            w = w.upgrade();
+        }
+        assert_eq!(w, WeaponKind::Railgun);
+        assert_eq!(WeaponKind::Railgun.upgrade(), WeaponKind::Railgun);
+    }
+}

@@ -1,0 +1,200 @@
+//! Axis-aligned bounding boxes.
+
+use std::fmt;
+
+use crate::{Segment, Vec3};
+
+/// An axis-aligned box, used for map geometry (walls, platforms) and
+/// world bounds.
+///
+/// # Examples
+///
+/// ```
+/// use watchmen_math::{Aabb, Vec3};
+///
+/// let b = Aabb::new(Vec3::ZERO, Vec3::splat(10.0));
+/// assert!(b.contains(Vec3::splat(5.0)));
+/// assert!(!b.contains(Vec3::splat(11.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    min: Vec3,
+    max: Vec3,
+}
+
+impl Aabb {
+    /// Creates a box from two opposite corners (in any order).
+    #[must_use]
+    pub fn new(a: Vec3, b: Vec3) -> Self {
+        Aabb { min: a.min(b), max: a.max(b) }
+    }
+
+    /// The corner with the smallest coordinates.
+    #[must_use]
+    pub fn min(&self) -> Vec3 {
+        self.min
+    }
+
+    /// The corner with the largest coordinates.
+    #[must_use]
+    pub fn max(&self) -> Vec3 {
+        self.max
+    }
+
+    /// The box center.
+    #[must_use]
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// The box dimensions.
+    #[must_use]
+    pub fn size(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// Returns `true` if `p` is inside or on the boundary.
+    #[must_use]
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// Returns `true` if the two boxes overlap (touching counts).
+    #[must_use]
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+            && self.min.z <= other.max.z
+            && self.max.z >= other.min.z
+    }
+
+    /// Clamps a point onto or into the box.
+    #[must_use]
+    pub fn clamp_point(&self, p: Vec3) -> Vec3 {
+        p.max(self.min).min(self.max)
+    }
+
+    /// Returns the entry parameter `t ∈ [0, 1]` at which the segment first
+    /// intersects the box, or `None` if it misses entirely.
+    ///
+    /// A segment starting inside the box reports `t = 0`.
+    #[must_use]
+    pub fn segment_intersection(&self, seg: &Segment) -> Option<f64> {
+        let d = seg.end - seg.start;
+        let mut t_min: f64 = 0.0;
+        let mut t_max: f64 = 1.0;
+        for axis in 0..3 {
+            let (s, dv, lo, hi) = (seg.start[axis], d[axis], self.min[axis], self.max[axis]);
+            if dv.abs() < crate::EPSILON {
+                if s < lo || s > hi {
+                    return None;
+                }
+            } else {
+                let mut t1 = (lo - s) / dv;
+                let mut t2 = (hi - s) / dv;
+                if t1 > t2 {
+                    std::mem::swap(&mut t1, &mut t2);
+                }
+                t_min = t_min.max(t1);
+                t_max = t_max.min(t2);
+                if t_min > t_max {
+                    return None;
+                }
+            }
+        }
+        Some(t_min)
+    }
+}
+
+impl fmt::Display for Aabb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_box() -> Aabb {
+        Aabb::new(Vec3::ZERO, Vec3::splat(10.0))
+    }
+
+    #[test]
+    fn corners_normalized() {
+        let b = Aabb::new(Vec3::splat(10.0), Vec3::ZERO);
+        assert_eq!(b.min(), Vec3::ZERO);
+        assert_eq!(b.max(), Vec3::splat(10.0));
+        assert_eq!(b.center(), Vec3::splat(5.0));
+        assert_eq!(b.size(), Vec3::splat(10.0));
+    }
+
+    #[test]
+    fn containment() {
+        let b = unit_box();
+        assert!(b.contains(Vec3::ZERO));
+        assert!(b.contains(Vec3::splat(10.0)));
+        assert!(!b.contains(Vec3::new(5.0, 5.0, -0.1)));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = unit_box();
+        let b = Aabb::new(Vec3::splat(5.0), Vec3::splat(15.0));
+        let c = Aabb::new(Vec3::splat(11.0), Vec3::splat(12.0));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn clamp_point_projects() {
+        let b = unit_box();
+        assert_eq!(b.clamp_point(Vec3::new(-5.0, 5.0, 20.0)), Vec3::new(0.0, 5.0, 10.0));
+        assert_eq!(b.clamp_point(Vec3::splat(5.0)), Vec3::splat(5.0));
+    }
+
+    #[test]
+    fn segment_hits_face() {
+        let b = unit_box();
+        let seg = Segment::new(Vec3::new(-5.0, 5.0, 5.0), Vec3::new(15.0, 5.0, 5.0));
+        let t = b.segment_intersection(&seg).unwrap();
+        assert!((t - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segment_misses() {
+        let b = unit_box();
+        let seg = Segment::new(Vec3::new(-5.0, 20.0, 5.0), Vec3::new(15.0, 20.0, 5.0));
+        assert!(b.segment_intersection(&seg).is_none());
+    }
+
+    #[test]
+    fn segment_starting_inside() {
+        let b = unit_box();
+        let seg = Segment::new(Vec3::splat(5.0), Vec3::new(20.0, 5.0, 5.0));
+        assert_eq!(b.segment_intersection(&seg), Some(0.0));
+    }
+
+    #[test]
+    fn segment_parallel_outside_slab() {
+        let b = unit_box();
+        // Parallel to x-axis but outside the y slab: degenerate axis check.
+        let seg = Segment::new(Vec3::new(2.0, -1.0, 5.0), Vec3::new(8.0, -1.0, 5.0));
+        assert!(b.segment_intersection(&seg).is_none());
+    }
+
+    #[test]
+    fn segment_short_of_box() {
+        let b = unit_box();
+        let seg = Segment::new(Vec3::new(-10.0, 5.0, 5.0), Vec3::new(-5.0, 5.0, 5.0));
+        assert!(b.segment_intersection(&seg).is_none());
+    }
+}

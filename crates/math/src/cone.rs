@@ -1,0 +1,211 @@
+//! The spherical vision cone used by the Watchmen vision set.
+
+use std::fmt;
+
+use crate::{Vec3, EPSILON};
+
+/// A spherical cone: the set of points within `radius` of `apex` whose
+/// direction from the apex is within `half_angle` of `axis`.
+///
+/// This is the geometric model of a player's *vision set* region in the
+/// paper (Figure 2): a fixed-radius cone of ±60° around the avatar's aim,
+/// made slightly larger than the true field of view to absorb rapid spins.
+///
+/// # Examples
+///
+/// ```
+/// use watchmen_math::{Cone, Vec3};
+///
+/// let cone = Cone::new(Vec3::ZERO, Vec3::X, 60f64.to_radians(), 100.0);
+/// assert!(cone.contains(Vec3::new(10.0, 5.0, 0.0)));
+/// assert!(!cone.contains(Vec3::new(200.0, 0.0, 0.0))); // beyond radius
+/// assert!(!cone.contains(Vec3::new(-10.0, 0.0, 0.0))); // behind
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cone {
+    apex: Vec3,
+    axis: Vec3,
+    half_angle: f64,
+    radius: f64,
+}
+
+impl Cone {
+    /// Creates a cone from its apex, axis direction, half-angle (radians)
+    /// and radius.
+    ///
+    /// The axis is normalized internally; a zero axis falls back to `+x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `half_angle` is outside `(0, π]` or
+    /// `radius` is not positive.
+    #[must_use]
+    pub fn new(apex: Vec3, axis: Vec3, half_angle: f64, radius: f64) -> Self {
+        debug_assert!(half_angle > 0.0 && half_angle <= std::f64::consts::PI);
+        debug_assert!(radius > 0.0);
+        Cone { apex, axis: axis.normalized_or(Vec3::X), half_angle, radius }
+    }
+
+    /// The cone's apex (the viewer's eye position).
+    #[must_use]
+    pub fn apex(&self) -> Vec3 {
+        self.apex
+    }
+
+    /// The normalized view axis.
+    #[must_use]
+    pub fn axis(&self) -> Vec3 {
+        self.axis
+    }
+
+    /// The half-angle in radians.
+    #[must_use]
+    pub fn half_angle(&self) -> f64 {
+        self.half_angle
+    }
+
+    /// The cone radius (view distance).
+    #[must_use]
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Returns `true` if `p` lies inside the spherical cone.
+    ///
+    /// Points exactly at the apex are considered inside.
+    #[must_use]
+    pub fn contains(&self, p: Vec3) -> bool {
+        let v = p - self.apex;
+        let dist = v.length();
+        if dist > self.radius {
+            return false;
+        }
+        if dist <= EPSILON {
+            return true;
+        }
+        self.axis.angle_between(v) <= self.half_angle + EPSILON
+    }
+
+    /// The *deviation* of a point from the cone: `0.0` for points inside,
+    /// otherwise an increasing measure of how far outside they are.
+    ///
+    /// The paper uses "the distance between q and p's vision cone … as a
+    /// metric of the deviation" when a proxy rates an unjustified VS
+    /// subscription. We combine the radial excess (how far beyond the cone
+    /// radius) and the arc excess (angular excess converted to an arc length
+    /// at the point's range), taking the larger of the two. This is exact on
+    /// the axis/sphere boundaries and a tight upper-bound approximation
+    /// elsewhere, which is all the rating system needs.
+    #[must_use]
+    pub fn deviation(&self, p: Vec3) -> f64 {
+        let v = p - self.apex;
+        let dist = v.length();
+        if dist <= EPSILON {
+            return 0.0;
+        }
+        let radial_excess = (dist - self.radius).max(0.0);
+        let angular_excess = (self.axis.angle_between(v) - self.half_angle).max(0.0);
+        // Arc length at the clamped range: how far the point would have to
+        // travel around the apex to re-enter the cone.
+        let arc = angular_excess * dist.min(self.radius);
+        radial_excess.max(arc)
+    }
+}
+
+impl fmt::Display for Cone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cone(apex {}, axis {}, ±{:.1}°, r {:.1})",
+            self.apex,
+            self.axis,
+            self.half_angle.to_degrees(),
+            self.radius
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_cone() -> Cone {
+        Cone::new(Vec3::ZERO, Vec3::X, 60f64.to_radians(), 100.0)
+    }
+
+    #[test]
+    fn contains_axis_points() {
+        let c = unit_cone();
+        assert!(c.contains(Vec3::new(1.0, 0.0, 0.0)));
+        assert!(c.contains(Vec3::new(100.0, 0.0, 0.0)));
+        assert!(!c.contains(Vec3::new(100.1, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn contains_apex() {
+        assert!(unit_cone().contains(Vec3::ZERO));
+    }
+
+    #[test]
+    fn boundary_angle() {
+        let c = unit_cone();
+        // 60° off axis, inside.
+        let at_60 = Vec3::new(0.5, 3f64.sqrt() / 2.0, 0.0) * 10.0;
+        assert!(c.contains(at_60));
+        // 61° off axis, outside.
+        let a = 61f64.to_radians();
+        let at_61 = Vec3::new(a.cos(), a.sin(), 0.0) * 10.0;
+        assert!(!c.contains(at_61));
+    }
+
+    #[test]
+    fn behind_is_outside() {
+        assert!(!unit_cone().contains(Vec3::new(-1.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn deviation_zero_inside() {
+        let c = unit_cone();
+        assert_eq!(c.deviation(Vec3::new(50.0, 0.0, 0.0)), 0.0);
+        assert_eq!(c.deviation(Vec3::ZERO), 0.0);
+    }
+
+    #[test]
+    fn deviation_radial() {
+        let c = unit_cone();
+        let d = c.deviation(Vec3::new(150.0, 0.0, 0.0));
+        assert!((d - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deviation_angular_grows_with_angle() {
+        let c = unit_cone();
+        let a90 = c.deviation(Vec3::new(0.0, 50.0, 0.0));
+        let a180 = c.deviation(Vec3::new(-50.0, 0.0, 0.0));
+        assert!(a90 > 0.0);
+        assert!(a180 > a90);
+    }
+
+    #[test]
+    fn deviation_monotone_in_distance_behind() {
+        let c = unit_cone();
+        let near = c.deviation(Vec3::new(-10.0, 0.0, 0.0));
+        let far = c.deviation(Vec3::new(-90.0, 0.0, 0.0));
+        assert!(far > near);
+    }
+
+    #[test]
+    fn zero_axis_falls_back() {
+        let c = Cone::new(Vec3::ZERO, Vec3::ZERO, 1.0, 10.0);
+        assert_eq!(c.axis(), Vec3::X);
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let c = unit_cone();
+        assert_eq!(c.apex(), Vec3::ZERO);
+        assert_eq!(c.radius(), 100.0);
+        assert!((c.half_angle() - 60f64.to_radians()).abs() < 1e-12);
+        assert!(format!("{c}").contains("cone"));
+    }
+}

@@ -1,0 +1,409 @@
+//! 3-D vector type.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::EPSILON;
+
+/// A 3-D vector of `f64` components.
+///
+/// Used throughout the workspace for positions, velocities and aim
+/// directions. The game world convention is: `x`/`y` span the horizontal
+/// plane, `z` is up.
+///
+/// # Examples
+///
+/// ```
+/// use watchmen_math::Vec3;
+///
+/// let a = Vec3::new(1.0, 2.0, 3.0);
+/// let b = Vec3::new(4.0, 5.0, 6.0);
+/// assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+/// assert_eq!(a.dot(b), 32.0);
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// East/west component.
+    pub x: f64,
+    /// North/south component.
+    pub y: f64,
+    /// Vertical component (up is positive).
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// Unit vector along `x`.
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    /// Unit vector along `y`.
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    /// Unit vector along `z` (up).
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Creates a vector from components.
+    #[must_use]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Creates a vector with all components equal to `v`.
+    #[must_use]
+    pub const fn splat(v: f64) -> Self {
+        Vec3::new(v, v, v)
+    }
+
+    /// Dot product.
+    #[must_use]
+    pub fn dot(self, rhs: Vec3) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product (right-handed).
+    #[must_use]
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+
+    /// Euclidean length.
+    #[must_use]
+    pub fn length(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean length (cheaper than [`Vec3::length`]).
+    #[must_use]
+    pub fn length_squared(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Distance between two points.
+    #[must_use]
+    pub fn distance(self, other: Vec3) -> f64 {
+        (self - other).length()
+    }
+
+    /// Squared distance between two points.
+    #[must_use]
+    pub fn distance_squared(self, other: Vec3) -> f64 {
+        (self - other).length_squared()
+    }
+
+    /// Returns the unit vector in the same direction, or `None` for a
+    /// (near-)zero vector.
+    #[must_use]
+    pub fn normalized(self) -> Option<Vec3> {
+        let len = self.length();
+        (len > EPSILON).then(|| self / len)
+    }
+
+    /// Returns the unit vector in the same direction, falling back to
+    /// `fallback` for a (near-)zero vector.
+    #[must_use]
+    pub fn normalized_or(self, fallback: Vec3) -> Vec3 {
+        self.normalized().unwrap_or(fallback)
+    }
+
+    /// Component-wise linear interpolation; `t = 0` yields `self`, `t = 1`
+    /// yields `other`.
+    #[must_use]
+    pub fn lerp(self, other: Vec3, t: f64) -> Vec3 {
+        self + (other - self) * t
+    }
+
+    /// The angle in radians between two vectors, in `[0, π]`.
+    ///
+    /// Returns `0.0` if either vector is (near-)zero.
+    #[must_use]
+    pub fn angle_between(self, other: Vec3) -> f64 {
+        let denom = self.length() * other.length();
+        if denom <= EPSILON {
+            return 0.0;
+        }
+        crate::clamp(self.dot(other) / denom, -1.0, 1.0).acos()
+    }
+
+    /// Projects this vector onto the horizontal (`x`/`y`) plane.
+    #[must_use]
+    pub fn horizontal(self) -> Vec3 {
+        Vec3::new(self.x, self.y, 0.0)
+    }
+
+    /// Horizontal (2-D) distance between two points, ignoring `z`.
+    #[must_use]
+    pub fn horizontal_distance(self, other: Vec3) -> f64 {
+        self.horizontal().distance(other.horizontal())
+    }
+
+    /// Returns `true` if all components are finite.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Component-wise minimum.
+    #[must_use]
+    pub fn min(self, other: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+    }
+
+    /// Component-wise maximum.
+    #[must_use]
+    pub fn max(self, other: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+    }
+
+    /// Returns a copy with length clamped to at most `max_len`.
+    ///
+    /// Used by the physics substrate to enforce the game's maximum velocity.
+    #[must_use]
+    pub fn clamp_length(self, max_len: f64) -> Vec3 {
+        debug_assert!(max_len >= 0.0);
+        let len = self.length();
+        if len > max_len && len > EPSILON {
+            self * (max_len / len)
+        } else {
+            self
+        }
+    }
+
+    /// Returns `true` if the two vectors differ by at most `tol` in every
+    /// component.
+    #[must_use]
+    pub fn approx_eq(self, other: Vec3, tol: f64) -> bool {
+        (self.x - other.x).abs() <= tol
+            && (self.y - other.y).abs() <= tol
+            && (self.z - other.z).abs() <= tol
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3}, {:.3})", self.x, self.y, self.z)
+    }
+}
+
+impl From<(f64, f64, f64)> for Vec3 {
+    fn from((x, y, z): (f64, f64, f64)) -> Self {
+        Vec3::new(x, y, z)
+    }
+}
+
+impl From<[f64; 3]> for Vec3 {
+    fn from(a: [f64; 3]) -> Self {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<Vec3> for [f64; 3] {
+    fn from(v: Vec3) -> Self {
+        [v.x, v.y, v.z]
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+
+    /// Indexes components as `0 → x`, `1 → y`, `2 → z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 2`.
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl MulAssign<f64> for Vec3 {
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    fn div(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl DivAssign<f64> for Vec3 {
+    fn div_assign(&mut self, rhs: f64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Sum for Vec3 {
+    fn sum<I: Iterator<Item = Vec3>>(iter: I) -> Vec3 {
+        iter.fold(Vec3::ZERO, |acc, v| acc + v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-1.0, 0.5, 2.0);
+        assert_eq!(a + b, Vec3::new(0.0, 2.5, 5.0));
+        assert_eq!(a - b, Vec3::new(2.0, 1.5, 1.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut v = Vec3::new(1.0, 1.0, 1.0);
+        v += Vec3::X;
+        v -= Vec3::Y;
+        v *= 3.0;
+        v /= 1.5;
+        assert!(v.approx_eq(Vec3::new(4.0, 0.0, 2.0), 1e-12));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        assert_eq!(Vec3::X.dot(Vec3::Y), 0.0);
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert_eq!(Vec3::Y.cross(Vec3::Z), Vec3::X);
+        assert_eq!(Vec3::Z.cross(Vec3::X), Vec3::Y);
+    }
+
+    #[test]
+    fn length_and_distance() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.length(), 5.0);
+        assert_eq!(v.length_squared(), 25.0);
+        assert_eq!(Vec3::ZERO.distance(v), 5.0);
+        assert_eq!(Vec3::ZERO.distance_squared(v), 25.0);
+    }
+
+    #[test]
+    fn normalization() {
+        let v = Vec3::new(0.0, 0.0, 10.0);
+        assert_eq!(v.normalized(), Some(Vec3::Z));
+        assert_eq!(Vec3::ZERO.normalized(), None);
+        assert_eq!(Vec3::ZERO.normalized_or(Vec3::X), Vec3::X);
+    }
+
+    #[test]
+    fn angle_between() {
+        let a = Vec3::X.angle_between(Vec3::Y);
+        assert!((a - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert_eq!(Vec3::X.angle_between(Vec3::ZERO), 0.0);
+        let opposite = Vec3::X.angle_between(-Vec3::X);
+        assert!((opposite - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_length_caps_speed() {
+        let fast = Vec3::new(30.0, 40.0, 0.0);
+        let capped = fast.clamp_length(10.0);
+        assert!((capped.length() - 10.0).abs() < 1e-12);
+        // Direction preserved.
+        assert!(capped.normalized().unwrap().approx_eq(fast.normalized().unwrap(), 1e-12));
+        // Short vectors untouched.
+        assert_eq!(Vec3::X.clamp_length(10.0), Vec3::X);
+    }
+
+    #[test]
+    fn horizontal_projection() {
+        let v = Vec3::new(3.0, 4.0, 12.0);
+        assert_eq!(v.horizontal(), Vec3::new(3.0, 4.0, 0.0));
+        assert_eq!(Vec3::ZERO.horizontal_distance(v), 5.0);
+    }
+
+    #[test]
+    fn conversions_and_index() {
+        let v = Vec3::from((1.0, 2.0, 3.0));
+        let a: [f64; 3] = v.into();
+        assert_eq!(a, [1.0, 2.0, 3.0]);
+        assert_eq!(Vec3::from(a), v);
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[1], 2.0);
+        assert_eq!(v[2], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_out_of_range_panics() {
+        let _ = Vec3::ZERO[3];
+    }
+
+    #[test]
+    fn sum_and_minmax() {
+        let total: Vec3 = [Vec3::X, Vec3::Y, Vec3::Z].into_iter().sum();
+        assert_eq!(total, Vec3::splat(1.0));
+        let a = Vec3::new(1.0, 5.0, -2.0);
+        let b = Vec3::new(2.0, 1.0, 0.0);
+        assert_eq!(a.min(b), Vec3::new(1.0, 1.0, -2.0));
+        assert_eq!(a.max(b), Vec3::new(2.0, 5.0, 0.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Vec3::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the math crate's invariants.
+
+use proptest::prelude::*;
+use watchmen_math::poly::{area_between, dead_reckon_path, Polyline};
+use watchmen_math::stats::{percentile, Running};
+use watchmen_math::{grid, wrap_angle, Aim, Cone, Segment, Vec3};
+
+fn small_vec3() -> impl Strategy<Value = Vec3> {
+    (-1e3..1e3f64, -1e3..1e3f64, -1e3..1e3f64).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #[test]
+    fn vec_add_commutes(a in small_vec3(), b in small_vec3()) {
+        prop_assert!((a + b).approx_eq(b + a, 1e-9));
+    }
+
+    #[test]
+    fn vec_normalized_has_unit_length(v in small_vec3()) {
+        if let Some(n) = v.normalized() {
+            prop_assert!((n.length() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn vec_clamp_length_never_exceeds(v in small_vec3(), cap in 0.0..100.0f64) {
+        prop_assert!(v.clamp_length(cap).length() <= cap + 1e-9);
+    }
+
+    #[test]
+    fn cross_is_orthogonal(a in small_vec3(), b in small_vec3()) {
+        let c = a.cross(b);
+        prop_assert!(c.dot(a).abs() < 1e-3);
+        prop_assert!(c.dot(b).abs() < 1e-3);
+    }
+
+    #[test]
+    fn wrap_angle_in_range(a in -100.0..100.0f64) {
+        let w = wrap_angle(a);
+        prop_assert!(w > -std::f64::consts::PI - 1e-12 && w <= std::f64::consts::PI + 1e-12);
+        // Wrapping preserves the angle modulo 2π.
+        prop_assert!(((a - w) / std::f64::consts::TAU).rem_euclid(1.0) < 1e-6
+            || ((a - w) / std::f64::consts::TAU).rem_euclid(1.0) > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn aim_direction_is_unit(yaw in -10.0..10.0f64, pitch in -2.0..2.0f64) {
+        let d = Aim::new(yaw, pitch).direction();
+        prop_assert!((d.length() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cone_deviation_zero_iff_contains(p in small_vec3()) {
+        let cone = Cone::new(Vec3::ZERO, Vec3::X, 60f64.to_radians(), 100.0);
+        if cone.contains(p) {
+            prop_assert_eq!(cone.deviation(p), 0.0);
+        } else {
+            prop_assert!(cone.deviation(p) > 0.0);
+        }
+    }
+
+    #[test]
+    fn cone_contains_matches_bruteforce(p in small_vec3()) {
+        let cone = Cone::new(Vec3::ZERO, Vec3::X, 60f64.to_radians(), 100.0);
+        let v = p - cone.apex();
+        let brute = v.length() <= 100.0
+            && (v.length() < 1e-9 || cone.axis().angle_between(v) <= 60f64.to_radians() + 1e-9);
+        prop_assert_eq!(cone.contains(p), brute);
+    }
+
+    #[test]
+    fn segment_closest_point_is_closest(a in small_vec3(), b in small_vec3(), p in small_vec3()) {
+        let seg = Segment::new(a, b);
+        let d = seg.distance_to_point(p);
+        for t in [0.0, 0.1, 0.33, 0.5, 0.77, 1.0] {
+            prop_assert!(d <= seg.point_at(t).distance(p) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn dda_traversal_is_4_connected(from in small_vec3(), to in small_vec3()) {
+        let cells = grid::traverse(from, to, 16.0);
+        prop_assert_eq!(cells[0], grid::cell_of(from, 16.0));
+        for w in cells.windows(2) {
+            prop_assert_eq!(w[0].manhattan(w[1]), 1);
+        }
+    }
+
+    #[test]
+    fn area_between_nonnegative_and_symmetric(
+        pts_a in prop::collection::vec(small_vec3(), 2..10),
+        pts_b in prop::collection::vec(small_vec3(), 2..10),
+    ) {
+        let a = Polyline::from_points(pts_a);
+        let b = Polyline::from_points(pts_b);
+        let ab = area_between(&a, &b, 16);
+        let ba = area_between(&b, &a, 16);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-6 * (1.0 + ab.abs()));
+    }
+
+    #[test]
+    fn area_between_self_is_zero(pts in prop::collection::vec(small_vec3(), 2..10)) {
+        let line = Polyline::from_points(pts);
+        prop_assert_eq!(area_between(&line, &line, 16), 0.0);
+    }
+
+    #[test]
+    fn dead_reckoning_path_is_straight(
+        pos in small_vec3(),
+        vel in small_vec3(),
+        frames in 1usize..40,
+    ) {
+        let path = dead_reckon_path(pos, vel, frames, 0.05);
+        prop_assert_eq!(path.len(), frames + 1);
+        // Constant velocity: equal spacing between consecutive samples.
+        let step = vel.length() * 0.05;
+        for w in path.points().windows(2) {
+            prop_assert!((w[0].distance(w[1]) - step).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn running_mean_within_minmax(xs in prop::collection::vec(-1e6..1e6f64, 1..100)) {
+        let r: Running = xs.iter().copied().collect();
+        prop_assert!(r.mean() >= r.min() - 1e-9);
+        prop_assert!(r.mean() <= r.max() + 1e-9);
+        prop_assert!(r.variance() >= 0.0);
+    }
+
+    #[test]
+    fn percentile_is_monotone(xs in prop::collection::vec(-1e6..1e6f64, 1..100)) {
+        let p25 = percentile(&xs, 0.25).unwrap();
+        let p50 = percentile(&xs, 0.50).unwrap();
+        let p75 = percentile(&xs, 0.75).unwrap();
+        prop_assert!(p25 <= p50 && p50 <= p75);
+    }
+
+    #[test]
+    fn polyline_sample_stays_on_hull_bounds(
+        pts in prop::collection::vec(small_vec3(), 2..10),
+        u in 0.0..1.0f64,
+    ) {
+        let line = Polyline::from_points(pts.clone());
+        let s = line.sample_by_time(u);
+        let min = pts.iter().copied().reduce(Vec3::min).unwrap();
+        let max = pts.iter().copied().reduce(Vec3::max).unwrap();
+        prop_assert!(s.x >= min.x - 1e-9 && s.x <= max.x + 1e-9);
+        prop_assert!(s.y >= min.y - 1e-9 && s.y <= max.y + 1e-9);
+        prop_assert!(s.z >= min.z - 1e-9 && s.z <= max.z + 1e-9);
+    }
+}

@@ -1,0 +1,173 @@
+//! A deterministic time-ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A priority queue of timestamped events with deterministic FIFO
+/// tie-breaking: events scheduled for the same instant pop in insertion
+/// order, regardless of heap internals. Determinism here is what makes
+/// whole-simulation runs reproducible byte-for-byte.
+///
+/// # Examples
+///
+/// ```
+/// use watchmen_net::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(5.0, "b");
+/// q.push(1.0, "a");
+/// q.push(5.0, "c");
+/// assert_eq!(q.pop(), Some((1.0, "a")));
+/// assert_eq!(q.pop(), Some((5.0, "b")));
+/// assert_eq!(q.pop(), Some((5.0, "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    time: f64,
+    seq: u64,
+    value: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedules `value` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN.
+    pub fn push(&mut self, time: f64, value: T) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        self.heap.push(Entry { time, seq: self.seq, value });
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        self.heap.pop().map(|e| (e.time, e.value))
+    }
+
+    /// The timestamp of the earliest event without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pops every event with `time <= until`, earliest first.
+    pub fn drain_until(&mut self, until: f64) -> Vec<(f64, T)> {
+        let mut out = Vec::new();
+        while self.peek_time().is_some_and(|t| t <= until) {
+            out.push(self.pop().expect("peeked"));
+        }
+        out
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(3.0, 3);
+        q.push(1.0, 1);
+        q.push(2.0, 2);
+        assert_eq!(q.pop(), Some((1.0, 1)));
+        assert_eq!(q.pop(), Some((2.0, 2)));
+        assert_eq!(q.pop(), Some((3.0, 3)));
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(7.0, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((7.0, i)));
+        }
+    }
+
+    #[test]
+    fn drain_until_respects_bound() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(i as f64, i);
+        }
+        let first = q.drain_until(4.0);
+        assert_eq!(first.len(), 5);
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.peek_time(), Some(5.0));
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::default();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+        assert!(q.drain_until(100.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_time_panics() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, ());
+    }
+}

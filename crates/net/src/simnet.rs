@@ -1,0 +1,277 @@
+//! The in-process discrete-event network simulator.
+
+use watchmen_crypto::rng::Xoshiro256;
+
+use crate::latency::LatencyModel;
+use crate::{BandwidthMeter, EventQueue};
+
+/// Index of a node (player machine) in the simulated network.
+pub type NodeId = usize;
+
+/// A message delivered by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery<T> {
+    /// Sender node.
+    pub from: NodeId,
+    /// Receiver node.
+    pub to: NodeId,
+    /// Virtual time the message was sent (ms).
+    pub sent_ms: f64,
+    /// Virtual time the message arrived (ms).
+    pub deliver_ms: f64,
+    /// The payload.
+    pub payload: T,
+    /// Wire size used for bandwidth accounting.
+    pub bytes: usize,
+}
+
+/// Aggregate traffic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStats {
+    /// Messages submitted to the network.
+    pub sent: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Messages dropped by the loss model.
+    pub dropped: u64,
+}
+
+/// A virtual-time network connecting `n` nodes with a pluggable latency
+/// model and Bernoulli loss, as in the paper's replay experiments
+/// ("Message loss is simulated with a rate of 1%").
+///
+/// Time only moves forward via [`SimNetwork::advance_to`]; all state is
+/// deterministic for a fixed seed.
+///
+/// # Examples
+///
+/// ```
+/// use watchmen_net::{latency, SimNetwork};
+///
+/// let mut net: SimNetwork<u32> = SimNetwork::new(2, latency::constant(5.0), 0.0, 1);
+/// net.send(0, 1, 99, 70);
+/// assert!(net.advance_to(4.9).is_empty());
+/// let got = net.advance_to(5.1);
+/// assert_eq!(got[0].payload, 99);
+/// ```
+#[derive(Debug)]
+pub struct SimNetwork<T> {
+    n: usize,
+    now_ms: f64,
+    queue: EventQueue<Delivery<T>>,
+    latency: Box<dyn LatencyModel>,
+    loss_rate: f64,
+    rng: Xoshiro256,
+    meters: Vec<BandwidthMeter>,
+    stats: NetStats,
+}
+
+impl<T> SimNetwork<T> {
+    /// Creates a network of `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `loss_rate` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(n: usize, latency: Box<dyn LatencyModel>, loss_rate: f64, seed: u64) -> Self {
+        assert!(n > 0, "network needs at least one node");
+        assert!((0.0..=1.0).contains(&loss_rate), "loss rate {loss_rate} out of range");
+        SimNetwork {
+            n,
+            now_ms: 0.0,
+            queue: EventQueue::new(),
+            latency,
+            loss_rate,
+            rng: Xoshiro256::seed_from(seed, 0x10c0),
+            meters: vec![BandwidthMeter::new(); n],
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Current virtual time in milliseconds.
+    #[must_use]
+    pub fn now_ms(&self) -> f64 {
+        self.now_ms
+    }
+
+    /// Aggregate counters.
+    #[must_use]
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// One node's bandwidth meter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn meter(&self, node: NodeId) -> &BandwidthMeter {
+        &self.meters[node]
+    }
+
+    /// The latency model's display name.
+    #[must_use]
+    pub fn latency_name(&self) -> &str {
+        self.latency.name()
+    }
+
+    /// Submits a message of `bytes` from `from` to `to` at the current
+    /// virtual time. Upload bandwidth is charged even if the loss model
+    /// later drops the packet (the bits still left the uplink).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range or `from == to`.
+    pub fn send(&mut self, from: NodeId, to: NodeId, payload: T, bytes: usize) {
+        assert!(from < self.n && to < self.n, "node out of range");
+        assert_ne!(from, to, "no self-sends; local delivery is free");
+        self.stats.sent += 1;
+        self.meters[from].record_up(bytes);
+        if self.rng.next_bool(self.loss_rate) {
+            self.stats.dropped += 1;
+            return;
+        }
+        let delay = self.latency.sample_ms(from, to);
+        let deliver_ms = self.now_ms + delay;
+        self.queue.push(
+            deliver_ms,
+            Delivery { from, to, sent_ms: self.now_ms, deliver_ms, payload, bytes },
+        );
+    }
+
+    /// Advances virtual time to `t_ms`, returning every message delivered
+    /// on the way, in delivery order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_ms` would move time backwards.
+    pub fn advance_to(&mut self, t_ms: f64) -> Vec<Delivery<T>> {
+        assert!(t_ms >= self.now_ms, "time cannot go backwards ({t_ms} < {})", self.now_ms);
+        self.now_ms = t_ms;
+        let delivered = self.queue.drain_until(t_ms);
+        let mut out = Vec::with_capacity(delivered.len());
+        for (_, d) in delivered {
+            self.meters[d.to].record_down(d.bytes);
+            self.stats.delivered += 1;
+            out.push(d);
+        }
+        out
+    }
+
+    /// Messages still in flight.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The virtual time of the next pending delivery, if any — lets
+    /// drivers advance event-by-event and react (e.g. forward) at the
+    /// exact delivery instant.
+    #[must_use]
+    pub fn next_delivery_ms(&self) -> Option<f64> {
+        self.queue.peek_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency;
+
+    #[test]
+    fn delivery_timing() {
+        let mut net: SimNetwork<u8> = SimNetwork::new(3, latency::constant(10.0), 0.0, 1);
+        net.send(0, 1, 1, 100);
+        net.advance_to(5.0);
+        net.send(0, 2, 2, 100);
+        let batch = net.advance_to(16.0);
+        // First message at t=10, second at t=15.
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].payload, 1);
+        assert_eq!(batch[0].deliver_ms, 10.0);
+        assert_eq!(batch[1].payload, 2);
+        assert_eq!(batch[1].deliver_ms, 15.0);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn loss_rate_one_drops_everything() {
+        let mut net: SimNetwork<u8> = SimNetwork::new(2, latency::constant(1.0), 1.0, 2);
+        for _ in 0..50 {
+            net.send(0, 1, 0, 10);
+        }
+        assert!(net.advance_to(100.0).is_empty());
+        assert_eq!(net.stats().dropped, 50);
+        assert_eq!(net.stats().delivered, 0);
+    }
+
+    #[test]
+    fn loss_rate_statistics() {
+        let mut net: SimNetwork<u8> = SimNetwork::new(2, latency::constant(1.0), 0.1, 3);
+        for _ in 0..5000 {
+            net.send(0, 1, 0, 10);
+        }
+        net.advance_to(10.0);
+        let dropped = net.stats().dropped;
+        assert!((350..650).contains(&dropped), "dropped {dropped}");
+    }
+
+    #[test]
+    fn bandwidth_charged_correctly() {
+        let mut net: SimNetwork<u8> = SimNetwork::new(2, latency::constant(1.0), 0.0, 4);
+        net.send(0, 1, 0, 250);
+        net.send(0, 1, 0, 250);
+        net.advance_to(10.0);
+        assert_eq!(net.meter(0).up_bytes(), 500);
+        assert_eq!(net.meter(1).down_bytes(), 500);
+        assert_eq!(net.meter(0).down_bytes(), 0);
+    }
+
+    #[test]
+    fn upload_charged_even_on_drop() {
+        let mut net: SimNetwork<u8> = SimNetwork::new(2, latency::constant(1.0), 1.0, 5);
+        net.send(0, 1, 0, 100);
+        net.advance_to(10.0);
+        assert_eq!(net.meter(0).up_bytes(), 100);
+        assert_eq!(net.meter(1).down_bytes(), 0);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let run = |seed| {
+            let mut net: SimNetwork<u32> =
+                SimNetwork::new(8, latency::king_like(8, seed), 0.01, seed);
+            for i in 0..100u32 {
+                net.send((i % 8) as usize, ((i + 1) % 8) as usize, i, 90);
+            }
+            net.advance_to(500.0)
+                .into_iter()
+                .map(|d| (d.payload, d.deliver_ms.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn time_backwards_panics() {
+        let mut net: SimNetwork<u8> = SimNetwork::new(2, latency::constant(1.0), 0.0, 6);
+        net.advance_to(10.0);
+        net.advance_to(5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-sends")]
+    fn self_send_panics() {
+        let mut net: SimNetwork<u8> = SimNetwork::new(2, latency::constant(1.0), 0.0, 7);
+        net.send(1, 1, 0, 10);
+    }
+}

@@ -1,0 +1,205 @@
+//! A small framed transport over real UDP sockets.
+//!
+//! The paper's prototype "rel\[ies\] on UDP for faster communication"; this
+//! module lets the overlay run over genuine sockets for live demos (see
+//! the `udp_overlay` example), while the experiments use the deterministic
+//! [`crate::SimNetwork`].
+//!
+//! Frames are length-prefixed datagrams tagged with the sender's logical
+//! node id, so a receiver can demultiplex players without a lookup table.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::Duration;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Maximum payload accepted per frame (fits comfortably in one datagram).
+pub const MAX_PAYLOAD: usize = 1400;
+
+/// Magic bytes marking a Watchmen frame.
+const MAGIC: u16 = 0x574d; // "WM"
+
+/// A UDP endpoint bound to a local address, sending and receiving framed
+/// payloads tagged with logical node ids.
+///
+/// # Examples
+///
+/// ```no_run
+/// use watchmen_net::udp::UdpEndpoint;
+///
+/// # fn main() -> std::io::Result<()> {
+/// let a = UdpEndpoint::bind(0, "127.0.0.1:0")?;
+/// let b = UdpEndpoint::bind(1, "127.0.0.1:0")?;
+/// a.send_to(b.local_addr()?, b"hello")?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct UdpEndpoint {
+    node_id: u32,
+    socket: UdpSocket,
+}
+
+impl UdpEndpoint {
+    /// Binds a socket for logical node `node_id` at `addr` (use port 0 for
+    /// an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket binding failures.
+    pub fn bind(node_id: u32, addr: &str) -> io::Result<Self> {
+        let socket = UdpSocket::bind(addr)?;
+        socket.set_nonblocking(true)?;
+        Ok(UdpEndpoint { node_id, socket })
+    }
+
+    /// The bound local address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// This endpoint's logical node id.
+    #[must_use]
+    pub fn node_id(&self) -> u32 {
+        self.node_id
+    }
+
+    /// Sends `payload` to `dest`, framed with this node's id.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidInput` if the payload exceeds [`MAX_PAYLOAD`];
+    /// propagates socket errors.
+    pub fn send_to(&self, dest: SocketAddr, payload: &[u8]) -> io::Result<()> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("payload {} exceeds {MAX_PAYLOAD}", payload.len()),
+            ));
+        }
+        let mut frame = BytesMut::with_capacity(8 + payload.len());
+        frame.put_u16(MAGIC);
+        frame.put_u32(self.node_id);
+        frame.put_u16(payload.len() as u16);
+        frame.put_slice(payload);
+        self.socket.send_to(&frame, dest)?;
+        Ok(())
+    }
+
+    /// Receives one frame if available, returning the sender's logical
+    /// node id, socket address and payload. Returns `Ok(None)` when no
+    /// datagram is pending or a malformed frame was discarded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors other than `WouldBlock`.
+    pub fn try_recv(&self) -> io::Result<Option<(u32, SocketAddr, Bytes)>> {
+        let mut buf = [0u8; 2048];
+        match self.socket.recv_from(&mut buf) {
+            Ok((len, from)) => Ok(parse_frame(&buf[..len]).map(|(id, payload)| (id, from, payload))),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Blocks up to `timeout` for one frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; `Ok(None)` on timeout or a malformed
+    /// frame.
+    pub fn recv_timeout(
+        &self,
+        timeout: Duration,
+    ) -> io::Result<Option<(u32, SocketAddr, Bytes)>> {
+        self.socket.set_nonblocking(false)?;
+        self.socket.set_read_timeout(Some(timeout))?;
+        let mut buf = [0u8; 2048];
+        let result = match self.socket.recv_from(&mut buf) {
+            Ok((len, from)) => {
+                Ok(parse_frame(&buf[..len]).map(|(id, payload)| (id, from, payload)))
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        };
+        self.socket.set_nonblocking(true)?;
+        result
+    }
+}
+
+/// Parses a frame, returning the sender id and payload, or `None` if
+/// malformed.
+fn parse_frame(mut data: &[u8]) -> Option<(u32, Bytes)> {
+    if data.len() < 8 || data.get_u16() != MAGIC {
+        return None;
+    }
+    let id = data.get_u32();
+    let len = data.get_u16() as usize;
+    if data.len() != len {
+        return None;
+    }
+    Some((id, Bytes::copy_from_slice(data)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_over_loopback() {
+        let a = UdpEndpoint::bind(7, "127.0.0.1:0").unwrap();
+        let b = UdpEndpoint::bind(9, "127.0.0.1:0").unwrap();
+        a.send_to(b.local_addr().unwrap(), b"state update").unwrap();
+        let (id, _from, payload) =
+            b.recv_timeout(Duration::from_secs(2)).unwrap().expect("frame arrives");
+        assert_eq!(id, 7);
+        assert_eq!(&payload[..], b"state update");
+        assert_eq!(b.node_id(), 9);
+    }
+
+    #[test]
+    fn try_recv_empty_is_none() {
+        let a = UdpEndpoint::bind(1, "127.0.0.1:0").unwrap();
+        assert!(a.try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let a = UdpEndpoint::bind(1, "127.0.0.1:0").unwrap();
+        let big = vec![0u8; MAX_PAYLOAD + 1];
+        let err = a.send_to("127.0.0.1:9".parse().unwrap(), &big).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn malformed_frames_discarded() {
+        assert!(parse_frame(b"junk").is_none());
+        assert!(parse_frame(&[0u8; 8]).is_none());
+        // Correct magic but wrong length field.
+        let mut f = BytesMut::new();
+        f.put_u16(MAGIC);
+        f.put_u32(1);
+        f.put_u16(10); // claims 10 bytes, provides 2
+        f.put_slice(b"xy");
+        assert!(parse_frame(&f).is_none());
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let a = UdpEndpoint::bind(2, "127.0.0.1:0").unwrap();
+        let b = UdpEndpoint::bind(3, "127.0.0.1:0").unwrap();
+        a.send_to(b.local_addr().unwrap(), b"").unwrap();
+        let got = b.recv_timeout(Duration::from_secs(2)).unwrap().expect("frame");
+        assert!(got.2.is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 1: presence heatmaps.
+//!
+//! Wraps [`watchmen_game::heatmap`] into the experiment interface: runs
+//! the standard deathmatch and reports the log-normalized presence grid
+//! plus the concentration statistics that justify the paper's claim that
+//! "players show an exponential presence in some areas of the game".
+
+use watchmen_game::heatmap::Heatmap;
+
+use crate::report::pct;
+use crate::workload::Workload;
+
+/// The Figure 1 data: heatmap plus concentration summary.
+#[derive(Debug)]
+pub struct HeatReport {
+    /// The presence heatmap over the map grid.
+    pub heatmap: Heatmap,
+    /// Share of presence held by the busiest 10 % of visited cells.
+    pub top_decile_share: f64,
+    /// Gini coefficient of the presence distribution.
+    pub gini: f64,
+    /// Total presence samples.
+    pub samples: u64,
+}
+
+/// Builds the heatmap from a workload.
+#[must_use]
+pub fn run_heat(workload: &Workload) -> HeatReport {
+    let heatmap = Heatmap::from_trace(&workload.map, &workload.trace);
+    HeatReport {
+        top_decile_share: heatmap.top_share(0.1),
+        gini: heatmap.gini(),
+        samples: heatmap.total(),
+        heatmap,
+    }
+}
+
+/// Renders the heatmap and its concentration statistics.
+#[must_use]
+pub fn format_heat(report: &HeatReport) -> String {
+    format!(
+        "{}\n\nsamples: {}   top-decile share: {}   gini: {:.3}",
+        report.heatmap.to_ascii(),
+        report.samples,
+        pct(report.top_decile_share),
+        report.gini,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::standard_workload;
+
+    #[test]
+    fn heat_report_shows_concentration() {
+        let w = standard_workload(16, 2, 800);
+        let r = run_heat(&w);
+        assert!(r.samples > 5000);
+        assert!(r.top_decile_share > 0.2, "share {}", r.top_decile_share);
+        assert!(r.gini > 0.2, "gini {}", r.gini);
+    }
+
+    #[test]
+    fn formatting_contains_grid_and_stats() {
+        let w = standard_workload(8, 2, 100);
+        let s = format_heat(&run_heat(&w));
+        assert!(s.contains("gini"));
+        assert!(s.lines().count() > 10);
+    }
+}

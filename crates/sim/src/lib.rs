@@ -1,0 +1,33 @@
+//! Experiment harness: one module per table/figure of the paper's
+//! evaluation (Section VII).
+//!
+//! Every module exposes a `run…` function returning a typed report and a
+//! `format…` function rendering the same rows/series the paper plots:
+//!
+//! | Paper artifact | Module |
+//! |---|---|
+//! | Figure 1 (presence heatmap) | [`heat`] |
+//! | Table I (cheat catalog & responses) | [`cheat_matrix`] |
+//! | Figure 4 (information disclosure under collusion) | [`disclosure`] |
+//! | Figure 5 (witness availability) | [`witness`] |
+//! | Figure 6 (verification success rates) | [`detection`] |
+//! | Figure 7 (update-age PDF) | [`age`] |
+//! | §VI scalability / bandwidth claims | [`bandwidth_exp`] |
+//! | §VI subscriber-retention statistics | [`is_churn`] |
+//!
+//! [`workload`] builds the shared trace inputs (the 48-player
+//! q3dm17-like deathmatch standing in for the paper's Quake III traces).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod age;
+pub mod bandwidth_exp;
+pub mod cheat_matrix;
+pub mod detection;
+pub mod disclosure;
+pub mod heat;
+pub mod is_churn;
+pub mod report;
+pub mod witness;
+pub mod workload;

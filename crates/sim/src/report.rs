@@ -1,0 +1,101 @@
+//! Plain-text table rendering shared by the experiment binaries.
+
+/// Renders a table with a header row, aligning columns to the widest cell.
+///
+/// # Examples
+///
+/// ```
+/// let t = watchmen_sim::report::render_table(
+///     &["arch", "kbps"],
+///     &[vec!["watchmen".into(), "42.0".into()]],
+/// );
+/// assert!(t.contains("watchmen"));
+/// ```
+///
+/// # Panics
+///
+/// Panics if any row has a different arity than the header.
+#[must_use]
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row arity mismatch");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let render_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+            .trim_end()
+            .to_owned()
+    };
+    let head: Vec<String> = header.iter().map(|s| (*s).to_owned()).collect();
+    let separator: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    let mut out = vec![render_row(&head), render_row(&separator)];
+    out.extend(rows.iter().map(|r| render_row(r)));
+    out.join("\n")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+#[must_use]
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// A unicode bar of `width` cells filled proportionally to
+/// `fraction ∈ [0, 1]` — the text rendition of the paper's bar charts.
+#[must_use]
+pub fn bar(fraction: f64, width: usize) -> String {
+    let filled = (fraction.clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = "█".repeat(filled);
+    s.push_str(&"·".repeat(width - filled.min(width)));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a "));
+        assert!(lines[3].starts_with("long-name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let _ = render_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.314), "31.4%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+
+    #[test]
+    fn bar_fills() {
+        assert_eq!(bar(0.0, 4), "····");
+        assert_eq!(bar(1.0, 4), "████");
+        assert_eq!(bar(0.5, 4), "██··");
+        assert_eq!(bar(2.0, 4), "████"); // clamped
+    }
+}

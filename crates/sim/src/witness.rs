@@ -1,0 +1,192 @@
+//! Figure 5: witness availability around a cheater.
+//!
+//! "To evaluate the potential for effectiveness, we measure, for a given
+//! cheater, the average number of honest players that: act as proxy for
+//! him, have him in their IS, or have him in their VS. … even when a
+//! player colludes with 3 other cheaters (out of 48 players), he is
+//! assigned an honest proxy in 94% of the cases (1 − 3/47) and 10 players
+//! on average witness his actions."
+
+use watchmen_core::proxy::ProxySchedule;
+use watchmen_core::subscription::{compute_sets, NoRecency};
+use watchmen_core::WatchmenConfig;
+use watchmen_game::PlayerId;
+
+use crate::report::render_table;
+use crate::workload::Workload;
+
+/// Witness statistics for one coalition size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WitnessRow {
+    /// Number of colluding cheaters.
+    pub coalition: usize,
+    /// Fraction of (cheater, frame) pairs with an honest proxy
+    /// (complete-information witness).
+    pub honest_proxy_rate: f64,
+    /// Average number of honest players holding the cheater in their IS
+    /// (frequent-update witnesses).
+    pub avg_is_witnesses: f64,
+    /// Average number of honest players holding the cheater in their VS
+    /// (dead-reckoning witnesses).
+    pub avg_vs_witnesses: f64,
+}
+
+impl WitnessRow {
+    /// Total average witnesses (proxy + IS + VS).
+    #[must_use]
+    pub fn total_witnesses(&self) -> f64 {
+        self.honest_proxy_rate + self.avg_is_witnesses + self.avg_vs_witnesses
+    }
+}
+
+/// Runs the witness measurement for each coalition size (cheaters are
+/// players `0..c`).
+///
+/// # Panics
+///
+/// Panics if any coalition size is zero or not smaller than the player
+/// count.
+#[must_use]
+pub fn run_witness(
+    workload: &Workload,
+    coalition_sizes: &[usize],
+    config: &WatchmenConfig,
+    seed: u64,
+    frame_stride: usize,
+) -> Vec<WitnessRow> {
+    let n = workload.players();
+    let schedule = ProxySchedule::new(seed, n, config.proxy_period);
+    let stride = frame_stride.max(1);
+
+    coalition_sizes
+        .iter()
+        .map(|&c| {
+            assert!(c >= 1 && c < n, "coalition {c} out of range");
+            let mut proxy_hits = 0u64;
+            let mut is_count = 0u64;
+            let mut vs_count = 0u64;
+            let mut samples = 0u64;
+
+            for frame in (0..workload.trace.len()).step_by(stride) {
+                let states = &workload.trace.frames[frame].states;
+                // Honest observers' sets (honest players are c..n).
+                let honest_sets: Vec<_> = (c..n)
+                    .map(|i| {
+                        compute_sets(
+                            PlayerId(i as u32),
+                            states,
+                            &workload.map,
+                            config,
+                            &NoRecency,
+                        )
+                    })
+                    .collect();
+                for cheater in 0..c {
+                    let cheater_id = PlayerId(cheater as u32);
+                    samples += 1;
+                    let proxy = schedule.proxy_of(cheater_id, frame as u64);
+                    if proxy.index() >= c {
+                        proxy_hits += 1;
+                    }
+                    for sets in &honest_sets {
+                        if sets.interest.contains(&cheater_id) {
+                            is_count += 1;
+                        } else if sets.vision.contains(&cheater_id) {
+                            vs_count += 1;
+                        }
+                    }
+                }
+            }
+
+            let samples = samples.max(1) as f64;
+            WitnessRow {
+                coalition: c,
+                honest_proxy_rate: proxy_hits as f64 / samples,
+                avg_is_witnesses: is_count as f64 / samples,
+                avg_vs_witnesses: vs_count as f64 / samples,
+            }
+        })
+        .collect()
+}
+
+/// Renders the Figure 5 series as a table.
+#[must_use]
+pub fn format_witness(rows: &[WitnessRow]) -> String {
+    let header = ["colluders", "honest-proxy rate", "avg IS witnesses", "avg VS witnesses"];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.coalition.to_string(),
+                format!("{:.3}", r.honest_proxy_rate),
+                format!("{:.2}", r.avg_is_witnesses),
+                format!("{:.2}", r.avg_vs_witnesses),
+            ]
+        })
+        .collect();
+    render_table(&header, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::standard_workload;
+
+    fn rows() -> Vec<WitnessRow> {
+        // 800 frames = 20 proxy epochs: enough independent draws for the
+        // analytic honest-proxy rate to stabilize.
+        let w = standard_workload(16, 3, 800);
+        run_witness(&w, &[1, 2, 4, 8], &WatchmenConfig::default(), 9, 8)
+    }
+
+    #[test]
+    fn honest_proxy_rate_matches_analytic() {
+        // With c cheaters out of n, an honest proxy is drawn with
+        // probability (n - c) / (n - 1).
+        let rows = rows();
+        let n = 16.0;
+        for r in &rows {
+            let expected = (n - r.coalition as f64) / (n - 1.0);
+            assert!(
+                (r.honest_proxy_rate - expected).abs() < 0.15,
+                "c={} rate {} expected {expected}",
+                r.coalition,
+                r.honest_proxy_rate
+            );
+        }
+    }
+
+    #[test]
+    fn witnesses_shrink_with_coalition() {
+        let rows = rows();
+        let first = rows.first().unwrap();
+        let last = rows.last().unwrap();
+        assert!(last.honest_proxy_rate < first.honest_proxy_rate);
+        // Fewer honest observers → fewer witnesses on average.
+        assert!(last.total_witnesses() <= first.total_witnesses() + 1.0);
+    }
+
+    #[test]
+    fn there_are_witnesses_at_all() {
+        let rows = rows();
+        let r = &rows[0];
+        assert!(
+            r.avg_is_witnesses + r.avg_vs_witnesses > 0.5,
+            "expected some witnesses: {r:?}"
+        );
+    }
+
+    #[test]
+    fn formatting_lists_all_rows() {
+        let s = format_witness(&rows());
+        assert_eq!(s.lines().count(), 2 + 4);
+        assert!(s.contains("honest-proxy"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_coalition_panics() {
+        let w = standard_workload(4, 1, 10);
+        let _ = run_witness(&w, &[4], &WatchmenConfig::default(), 1, 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! Shared experiment workloads.
+//!
+//! The paper's headline runs use "a 48-player trace from a Quake III game
+//! in the q3dm17 map"; [`standard_workload`] is the equivalent synthetic
+//! trace, bundled with the map it was played on.
+
+use watchmen_game::trace::GameTrace;
+use watchmen_game::GameConfig;
+use watchmen_world::{maps, GameMap};
+
+/// A trace plus the map it was recorded on — what every experiment
+/// consumes.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The recorded game.
+    pub trace: GameTrace,
+    /// The map it was played on.
+    pub map: GameMap,
+}
+
+impl Workload {
+    /// Number of players.
+    #[must_use]
+    pub fn players(&self) -> usize {
+        self.trace.players
+    }
+
+    /// Number of frames.
+    #[must_use]
+    pub fn frames(&self) -> usize {
+        self.trace.len()
+    }
+}
+
+/// The paper's headline workload: a 48-player deathmatch on the
+/// q3dm17-like map.
+///
+/// `frames` controls the length (the paper's sessions run minutes; 1200
+/// frames = one minute of play).
+///
+/// # Examples
+///
+/// ```
+/// let w = watchmen_sim::workload::standard_workload(8, 42, 50);
+/// assert_eq!(w.players(), 8);
+/// assert_eq!(w.frames(), 50);
+/// ```
+#[must_use]
+pub fn standard_workload(players: usize, seed: u64, frames: u64) -> Workload {
+    let map = maps::q3dm17_like();
+    let config = GameConfig { map: map.clone(), ..GameConfig::default() };
+    Workload { trace: GameTrace::record(config, players, seed, frames), map }
+}
+
+/// A smaller, denser arena workload for quick tests.
+#[must_use]
+pub fn arena_workload(players: usize, seed: u64, frames: u64) -> Workload {
+    let map = maps::arena(16, 10.0);
+    let config = GameConfig { map: map.clone(), ..GameConfig::default() };
+    Workload { trace: GameTrace::record(config, players, seed, frames), map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_workload_shape() {
+        let w = standard_workload(8, 1, 30);
+        assert_eq!(w.players(), 8);
+        assert_eq!(w.frames(), 30);
+        assert_eq!(w.map.name(), "q3dm17-like");
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = standard_workload(4, 9, 20);
+        let b = standard_workload(4, 9, 20);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn arena_workload_uses_arena() {
+        let w = arena_workload(4, 1, 10);
+        assert_eq!(w.map.name(), "arena");
+    }
+}

@@ -1,0 +1,174 @@
+//! Game items: health packs, ammunition, weapons, armor.
+//!
+//! Figure 1 of the paper attributes player-presence hotspots to "their
+//! strategic location or presence of important game items"; the legend
+//! lists health packs, ammunitions, weapons, armors and respawn spots.
+//! Items respawn a fixed number of frames after being picked up, exactly
+//! like Quake III item spawners.
+
+use std::fmt;
+
+use watchmen_math::Vec3;
+
+/// The kinds of items that can appear in the world.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ItemKind {
+    /// Restores 25 health (capped at the max).
+    HealthPack,
+    /// Restores a large amount of health and raises the cap temporarily.
+    MegaHealth,
+    /// Refills ammunition for the current weapon.
+    Ammo,
+    /// A weapon pickup (the specific weapon is decided by the game layer).
+    Weapon,
+    /// Absorbs a fraction of incoming damage.
+    Armor,
+}
+
+impl ItemKind {
+    /// All item kinds, in display order.
+    pub const ALL: [ItemKind; 5] = [
+        ItemKind::HealthPack,
+        ItemKind::MegaHealth,
+        ItemKind::Ammo,
+        ItemKind::Weapon,
+        ItemKind::Armor,
+    ];
+
+    /// How attractive the item is to bots (relative weight); mega items
+    /// draw crowds, which is what produces Figure 1's hotspots.
+    #[must_use]
+    pub fn attraction(&self) -> f64 {
+        match self {
+            ItemKind::HealthPack => 1.0,
+            ItemKind::MegaHealth => 3.0,
+            ItemKind::Ammo => 0.8,
+            ItemKind::Weapon => 2.0,
+            ItemKind::Armor => 1.5,
+        }
+    }
+}
+
+impl fmt::Display for ItemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ItemKind::HealthPack => "health pack",
+            ItemKind::MegaHealth => "mega health",
+            ItemKind::Ammo => "ammunition",
+            ItemKind::Weapon => "weapon",
+            ItemKind::Armor => "armor",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A fixed spawner that produces an item at a position and respawns it a
+/// fixed delay after each pickup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ItemSpawner {
+    /// What the spawner produces.
+    pub kind: ItemKind,
+    /// Where the item appears.
+    pub position: Vec3,
+    /// Frames between a pickup and the next respawn.
+    pub respawn_frames: u64,
+}
+
+impl ItemSpawner {
+    /// Creates a spawner.
+    #[must_use]
+    pub const fn new(kind: ItemKind, position: Vec3, respawn_frames: u64) -> Self {
+        ItemSpawner { kind, position, respawn_frames }
+    }
+}
+
+/// The live state of one spawner's item during a game.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ItemInstance {
+    spawner: ItemSpawner,
+    /// Frame at which the item (re)becomes available.
+    available_at: u64,
+}
+
+impl ItemInstance {
+    /// Creates an instance that is available immediately.
+    #[must_use]
+    pub const fn new(spawner: ItemSpawner) -> Self {
+        ItemInstance { spawner, available_at: 0 }
+    }
+
+    /// The underlying spawner.
+    #[must_use]
+    pub fn spawner(&self) -> &ItemSpawner {
+        &self.spawner
+    }
+
+    /// Returns `true` if the item can be picked up at `frame`.
+    #[must_use]
+    pub fn is_available(&self, frame: u64) -> bool {
+        frame >= self.available_at
+    }
+
+    /// Attempts to pick the item up at `frame`; returns the kind on
+    /// success and schedules the respawn.
+    pub fn try_pickup(&mut self, frame: u64) -> Option<ItemKind> {
+        if self.is_available(frame) {
+            self.available_at = frame + self.spawner.respawn_frames;
+            Some(self.spawner.kind)
+        } else {
+            None
+        }
+    }
+
+    /// Frames until the item is available again (`0` if available now).
+    #[must_use]
+    pub fn frames_until_available(&self, frame: u64) -> u64 {
+        self.available_at.saturating_sub(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spawner() -> ItemSpawner {
+        ItemSpawner::new(ItemKind::HealthPack, Vec3::ZERO, 100)
+    }
+
+    #[test]
+    fn pickup_then_respawn_cycle() {
+        let mut item = ItemInstance::new(spawner());
+        assert!(item.is_available(0));
+        assert_eq!(item.try_pickup(10), Some(ItemKind::HealthPack));
+        assert!(!item.is_available(11));
+        assert_eq!(item.try_pickup(50), None);
+        assert_eq!(item.frames_until_available(50), 60);
+        assert!(item.is_available(110));
+        assert_eq!(item.try_pickup(110), Some(ItemKind::HealthPack));
+    }
+
+    #[test]
+    fn attraction_ordering() {
+        assert!(ItemKind::MegaHealth.attraction() > ItemKind::HealthPack.attraction());
+        assert!(ItemKind::Weapon.attraction() > ItemKind::Ammo.attraction());
+        for kind in ItemKind::ALL {
+            assert!(kind.attraction() > 0.0);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ItemKind::MegaHealth.to_string(), "mega health");
+        for kind in ItemKind::ALL {
+            assert!(!kind.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn frames_until_available_when_ready() {
+        let item = ItemInstance::new(spawner());
+        assert_eq!(item.frames_until_available(42), 0);
+        assert_eq!(item.spawner().respawn_frames, 100);
+    }
+}

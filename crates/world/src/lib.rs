@@ -1,0 +1,42 @@
+//! Game-world substrate for the Watchmen reproduction.
+//!
+//! The paper prototypes on Quake III: a 3-D arena ("q3dm17", *The Longest
+//! Yard*) with walls, platforms, jump pads, items (health packs,
+//! ammunition, weapons, armor) and respawn spots. The evaluation depends on
+//! specific world features:
+//!
+//! * **Occlusion** — the vision set excludes "avatars that are in a
+//!   player's vision range, but behind a wall"; [`GameMap::line_of_sight`]
+//!   provides that test.
+//! * **Hotspots** — Figure 1 shows exponential presence concentration
+//!   around items and respawn spots; [`maps::q3dm17_like`] reproduces an
+//!   item-driven hotspot structure.
+//! * **Physics limits** — verification checks that moves "follow game
+//!   physics (e.g., gravity, limited velocity, angular speed, permitted
+//!   position)"; [`PhysicsConfig`] is the single source of those limits.
+//!
+//! # Examples
+//!
+//! ```
+//! use watchmen_world::maps;
+//!
+//! let map = maps::q3dm17_like();
+//! let spawn = map.spawn_points()[0];
+//! assert!(map.is_walkable_pos(spawn));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod items;
+mod map;
+pub mod maps;
+mod physics;
+mod pvs;
+mod tile;
+
+pub use items::{ItemInstance, ItemKind, ItemSpawner};
+pub use map::GameMap;
+pub use physics::{step_movement, MoveOutcome, PhysicsConfig};
+pub use pvs::potentially_visible_set;
+pub use tile::Tile;

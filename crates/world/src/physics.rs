@@ -1,0 +1,235 @@
+//! Movement physics: the game rules that verification enforces.
+//!
+//! The paper's position-update checks "control whether the movements
+//! follow game physics (e.g., gravity, limited velocity, angular speed,
+//! permitted position)". [`PhysicsConfig`] is the shared contract: the
+//! honest game layer integrates motion with it, and the verification layer
+//! uses the same numbers as its acceptance thresholds.
+
+use watchmen_math::Vec3;
+
+use crate::GameMap;
+
+/// Global movement limits and integration parameters.
+///
+/// Defaults approximate Quake III (world units ≈ Quake units / 8, so the
+/// default 40 units/s ≈ Quake's 320 ups run speed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhysicsConfig {
+    /// Maximum horizontal speed (world units / s).
+    pub max_speed: f64,
+    /// Maximum horizontal acceleration (world units / s²).
+    pub max_accel: f64,
+    /// Downward gravity (world units / s²).
+    pub gravity: f64,
+    /// Initial vertical speed of a jump (world units / s).
+    pub jump_speed: f64,
+    /// Maximum aim rotation speed (radians / s).
+    pub max_angular_speed: f64,
+    /// Avatar collision radius (world units).
+    pub avatar_radius: f64,
+}
+
+impl Default for PhysicsConfig {
+    fn default() -> Self {
+        PhysicsConfig {
+            max_speed: 40.0,
+            max_accel: 200.0,
+            gravity: 100.0,
+            jump_speed: 34.0,
+            max_angular_speed: 2.0 * std::f64::consts::PI,
+            avatar_radius: 2.0,
+        }
+    }
+}
+
+impl PhysicsConfig {
+    /// The farthest an avatar can travel horizontally in `dt` seconds.
+    #[must_use]
+    pub fn max_step(&self, dt: f64) -> f64 {
+        self.max_speed * dt
+    }
+
+    /// The largest legal aim rotation over `dt` seconds.
+    #[must_use]
+    pub fn max_turn(&self, dt: f64) -> f64 {
+        self.max_angular_speed * dt
+    }
+}
+
+/// The result of integrating one movement step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoveOutcome {
+    /// The post-step position.
+    pub position: Vec3,
+    /// The post-step velocity (collisions zero the blocked components).
+    pub velocity: Vec3,
+    /// `true` if the avatar ended the step on the ground.
+    pub on_ground: bool,
+    /// `true` if the avatar fell into a pit (the game layer should respawn
+    /// and apply death).
+    pub fell_in_pit: bool,
+    /// `true` if a jump pad launched the avatar this step.
+    pub launched: bool,
+}
+
+/// Integrates one step of avatar movement against the map.
+///
+/// The horizontal velocity is clamped to `max_speed`, gravity is applied
+/// while airborne, wall collisions slide (the blocked axis component is
+/// cancelled), jump pads launch, and pits report a lethal fall.
+///
+/// # Examples
+///
+/// ```
+/// use watchmen_world::{maps, PhysicsConfig};
+/// use watchmen_math::Vec3;
+///
+/// let map = maps::arena(16, 10.0);
+/// let cfg = PhysicsConfig::default();
+/// let start = Vec3::new(50.0, 50.0, 0.0);
+/// let out = watchmen_world::step_movement(&map, &cfg, start, Vec3::new(10.0, 0.0, 0.0), 0.05);
+/// assert!(out.position.x > start.x);
+/// ```
+#[must_use]
+pub fn step_movement(
+    map: &GameMap,
+    cfg: &PhysicsConfig,
+    position: Vec3,
+    velocity: Vec3,
+    dt: f64,
+) -> MoveOutcome {
+    // Clamp horizontal speed; vertical speed is governed by gravity/jumps.
+    let mut vel = velocity.horizontal().clamp_length(cfg.max_speed) + Vec3::Z * velocity.z;
+
+    // Attempt the horizontal move axis-by-axis so walls slide.
+    let mut pos = position;
+    let try_x = Vec3::new(pos.x + vel.x * dt, pos.y, pos.z);
+    if map.tile_at(try_x).blocks_movement() {
+        vel.x = 0.0;
+    } else {
+        pos.x = try_x.x;
+    }
+    let try_y = Vec3::new(pos.x, pos.y + vel.y * dt, pos.z);
+    if map.tile_at(try_y).blocks_movement() {
+        vel.y = 0.0;
+    } else {
+        pos.y = try_y.y;
+    }
+
+    let tile = map.tile_at(pos);
+    if tile.is_lethal() {
+        return MoveOutcome { position: pos, velocity: Vec3::ZERO, on_ground: false, fell_in_pit: true, launched: false };
+    }
+
+    // Vertical motion: gravity, floor clamping, jump pads.
+    let floor = tile.floor_height().unwrap_or(0.0);
+    let mut launched = false;
+    vel.z -= cfg.gravity * dt;
+    pos.z += vel.z * dt;
+    let mut on_ground = false;
+    if pos.z <= floor {
+        pos.z = floor;
+        vel.z = 0.0;
+        on_ground = true;
+        if let crate::Tile::JumpPad { boost, .. } = tile {
+            vel.z = boost;
+            on_ground = false;
+            launched = true;
+        }
+    }
+
+    MoveOutcome { position: pos, velocity: vel, on_ground, fell_in_pit: false, launched }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{maps, Tile};
+
+    fn setup() -> (GameMap, PhysicsConfig) {
+        (maps::arena(16, 10.0), PhysicsConfig::default())
+    }
+
+    #[test]
+    fn straight_move_advances() {
+        let (map, cfg) = setup();
+        let out = step_movement(&map, &cfg, Vec3::new(50.0, 50.0, 0.0), Vec3::new(20.0, 0.0, 0.0), 0.05);
+        assert!((out.position.x - 51.0).abs() < 1e-9);
+        assert!(out.on_ground);
+        assert!(!out.fell_in_pit);
+    }
+
+    #[test]
+    fn speed_is_clamped() {
+        let (map, cfg) = setup();
+        let out = step_movement(&map, &cfg, Vec3::new(80.0, 80.0, 0.0), Vec3::new(1000.0, 0.0, 0.0), 0.05);
+        let moved = out.position.x - 80.0;
+        assert!(moved <= cfg.max_speed * 0.05 + 1e-9, "moved {moved}");
+    }
+
+    #[test]
+    fn wall_blocks_and_slides() {
+        let (mut map, cfg) = setup();
+        map.set_tile(6, 5, Tile::Wall);
+        // Moving diagonally into the wall: x blocked, y slides.
+        let pos = Vec3::new(59.0, 55.0, 0.0);
+        let out = step_movement(&map, &cfg, pos, Vec3::new(40.0, 20.0, 0.0), 0.1);
+        assert_eq!(out.velocity.x, 0.0);
+        assert!(out.position.y > pos.y);
+        assert_eq!(out.position.x, pos.x);
+    }
+
+    #[test]
+    fn gravity_pulls_down_to_floor() {
+        let (map, cfg) = setup();
+        let mut pos = Vec3::new(50.0, 50.0, 20.0);
+        let mut vel = Vec3::ZERO;
+        let mut landed = false;
+        for _ in 0..100 {
+            let out = step_movement(&map, &cfg, pos, vel, 0.05);
+            pos = out.position;
+            vel = out.velocity;
+            if out.on_ground {
+                landed = true;
+                break;
+            }
+        }
+        assert!(landed);
+        assert_eq!(pos.z, 0.0);
+    }
+
+    #[test]
+    fn jump_pad_launches() {
+        let (mut map, cfg) = setup();
+        map.set_tile(5, 5, Tile::JumpPad { height: 0.0, boost: 30.0 });
+        let out = step_movement(&map, &cfg, Vec3::new(55.0, 55.0, 0.0), Vec3::ZERO, 0.05);
+        assert!(out.launched);
+        assert_eq!(out.velocity.z, 30.0);
+        assert!(!out.on_ground);
+    }
+
+    #[test]
+    fn pit_is_lethal() {
+        let (mut map, cfg) = setup();
+        map.set_tile(5, 5, Tile::Pit);
+        let out = step_movement(&map, &cfg, Vec3::new(54.0, 55.0, 0.0), Vec3::new(40.0, 0.0, 0.0), 0.1);
+        assert!(out.fell_in_pit);
+    }
+
+    #[test]
+    fn raised_floor_supports() {
+        let (mut map, cfg) = setup();
+        map.set_tile(5, 5, Tile::Floor { height: 15.0 });
+        let out = step_movement(&map, &cfg, Vec3::new(55.0, 55.0, 15.0), Vec3::ZERO, 0.05);
+        assert!(out.on_ground);
+        assert_eq!(out.position.z, 15.0);
+    }
+
+    #[test]
+    fn config_helpers() {
+        let cfg = PhysicsConfig::default();
+        assert_eq!(cfg.max_step(0.05), cfg.max_speed * 0.05);
+        assert_eq!(cfg.max_turn(0.05), cfg.max_angular_speed * 0.05);
+    }
+}

@@ -1,0 +1,127 @@
+//! Map tiles.
+
+use std::fmt;
+
+/// One cell of the 2.5-D tile map.
+///
+/// The map is a uniform grid; each cell is either walkable floor (at a
+/// given height), an opaque wall, a deadly pit, or a jump pad that
+/// launches avatars upward (q3dm17's signature feature).
+///
+/// # Examples
+///
+/// ```
+/// use watchmen_world::Tile;
+///
+/// assert!(Tile::Floor { height: 0.0 }.is_walkable());
+/// assert!(Tile::Wall.blocks_sight());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tile {
+    /// Walkable floor at the given height.
+    Floor {
+        /// Floor elevation; avatars stand at this `z`.
+        height: f64,
+    },
+    /// An opaque, impassable wall.
+    Wall,
+    /// A pit: walking in kills the avatar (forces a respawn).
+    Pit,
+    /// A jump pad on the floor that launches avatars with the given
+    /// vertical boost.
+    JumpPad {
+        /// Floor elevation of the pad.
+        height: f64,
+        /// Vertical launch speed applied on contact.
+        boost: f64,
+    },
+}
+
+impl Tile {
+    /// Returns `true` if avatars can stand on this tile.
+    #[must_use]
+    pub fn is_walkable(&self) -> bool {
+        matches!(self, Tile::Floor { .. } | Tile::JumpPad { .. })
+    }
+
+    /// Returns `true` if the tile blocks line of sight.
+    #[must_use]
+    pub fn blocks_sight(&self) -> bool {
+        matches!(self, Tile::Wall)
+    }
+
+    /// Returns `true` if the tile blocks movement.
+    #[must_use]
+    pub fn blocks_movement(&self) -> bool {
+        matches!(self, Tile::Wall)
+    }
+
+    /// Returns `true` if entering the tile is lethal.
+    #[must_use]
+    pub fn is_lethal(&self) -> bool {
+        matches!(self, Tile::Pit)
+    }
+
+    /// The floor height, if the tile has one.
+    #[must_use]
+    pub fn floor_height(&self) -> Option<f64> {
+        match self {
+            Tile::Floor { height } | Tile::JumpPad { height, .. } => Some(*height),
+            Tile::Wall | Tile::Pit => None,
+        }
+    }
+}
+
+impl Default for Tile {
+    fn default() -> Self {
+        Tile::Floor { height: 0.0 }
+    }
+}
+
+impl fmt::Display for Tile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Tile::Floor { .. } => '.',
+            Tile::Wall => '#',
+            Tile::Pit => ' ',
+            Tile::JumpPad { .. } => '^',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walkability() {
+        assert!(Tile::Floor { height: 1.0 }.is_walkable());
+        assert!(Tile::JumpPad { height: 0.0, boost: 10.0 }.is_walkable());
+        assert!(!Tile::Wall.is_walkable());
+        assert!(!Tile::Pit.is_walkable());
+    }
+
+    #[test]
+    fn sight_and_movement() {
+        assert!(Tile::Wall.blocks_sight());
+        assert!(Tile::Wall.blocks_movement());
+        assert!(!Tile::Pit.blocks_sight()); // you can see across a pit
+        assert!(!Tile::Pit.blocks_movement()); // …and fall into it
+    }
+
+    #[test]
+    fn lethality_and_heights() {
+        assert!(Tile::Pit.is_lethal());
+        assert!(!Tile::Wall.is_lethal());
+        assert_eq!(Tile::Floor { height: 2.0 }.floor_height(), Some(2.0));
+        assert_eq!(Tile::Wall.floor_height(), None);
+        assert_eq!(Tile::default().floor_height(), Some(0.0));
+    }
+
+    #[test]
+    fn display_glyphs() {
+        assert_eq!(format!("{}", Tile::Wall), "#");
+        assert_eq!(format!("{}", Tile::default()), ".");
+    }
+}

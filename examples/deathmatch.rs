@@ -1,0 +1,76 @@
+//! A full 48-player deathmatch on the q3dm17-like arena: the paper's
+//! headline workload, with a live scoreboard and the Figure 1 presence
+//! heatmap at the end.
+//!
+//! ```sh
+//! cargo run --release --example deathmatch [players] [frames]
+//! ```
+
+use watchmen::game::heatmap::Heatmap;
+use watchmen::game::trace::GameTrace;
+use watchmen::game::{GameConfig, GameEvent};
+use watchmen::world::maps;
+
+fn main() {
+    let mut args = std::env::args().skip(1).inspect(|a| {
+        if a.parse::<u64>().is_err() && !a.contains('/') && !a.contains('.') {
+            eprintln!("warning: ignoring unparseable argument {a:?}, using the default");
+        }
+    });
+    let players: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(48);
+    let frames: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2400);
+
+    let map = maps::q3dm17_like();
+    println!("map: {map}");
+    println!("{}\n", map.to_ascii());
+
+    println!("running a {players}-player deathmatch for {frames} frames ({}s of play)…", frames / 20);
+    let config = GameConfig { map: map.clone(), ..GameConfig::default() };
+    let trace = GameTrace::record(config, players, 2013, frames);
+
+    // Event tally.
+    let (mut shots, mut hits, mut kills, mut falls, mut pickups) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut scores = vec![0i64; players];
+    for frame in &trace.frames {
+        for e in &frame.events {
+            match e {
+                GameEvent::Shot { .. } => shots += 1,
+                GameEvent::Hit { .. } => hits += 1,
+                GameEvent::Kill { attacker, victim, .. } => {
+                    kills += 1;
+                    if attacker != victim {
+                        scores[attacker.index()] += 1;
+                    }
+                    scores[victim.index()] -= 0; // deaths tracked implicitly
+                }
+                GameEvent::Fall { victim } => {
+                    falls += 1;
+                    scores[victim.index()] -= 1;
+                }
+                GameEvent::Pickup { .. } => pickups += 1,
+                GameEvent::Respawn { .. } => {}
+            }
+        }
+    }
+    println!(
+        "events: {shots} shots, {hits} hits, {kills} kills, {falls} falls, {pickups} pickups"
+    );
+
+    // Top 5 scoreboard.
+    let mut board: Vec<(usize, i64)> = scores.iter().copied().enumerate().collect();
+    board.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
+    println!("\ntop fraggers:");
+    for (rank, (p, s)) in board.iter().take(5).enumerate() {
+        println!("  {}. p{p} with {s} frags", rank + 1);
+    }
+
+    // Figure 1: the presence heatmap.
+    let heat = Heatmap::from_trace(&map, &trace);
+    println!("\npresence heatmap (log-normalized, '9' = hottest):");
+    println!("{}", heat.to_ascii());
+    println!(
+        "\nconcentration: top decile of visited cells holds {:.0}% of presence (gini {:.2})",
+        heat.top_share(0.1) * 100.0,
+        heat.gini()
+    );
+}

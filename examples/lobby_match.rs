@@ -1,0 +1,131 @@
+//! A full match through the lobby: players register their keys, the lobby
+//! freezes the roster into the shared seed + directory, every player runs
+//! a [`watchmen::core::node::WatchmenNode`], proxy-side verification
+//! reports flow back to the lobby's reputation system, and a speed-hacking
+//! player gets banned and ejected from the proxy pool mid-match.
+//!
+//! ```sh
+//! cargo run --release --example lobby_match
+//! ```
+
+use std::collections::VecDeque;
+
+use watchmen::core::lobby::{GameLobby, LobbyEvent, PlayerStatus};
+use watchmen::core::node::{NodeEvent, WatchmenNode};
+use watchmen::core::WatchmenConfig;
+use watchmen::crypto::schnorr::Keypair;
+use watchmen::game::trace::standard_trace;
+use watchmen::game::PlayerId;
+use watchmen::world::{maps, PhysicsConfig};
+
+const PLAYERS: usize = 10;
+const CHEATER: u32 = 4;
+const FRAMES: u64 = 600;
+
+fn main() {
+    let config = WatchmenConfig::default();
+    let seed = 0x10bb7;
+
+    // --- Lobby phase: everyone registers a key; the roster freezes.
+    let mut lobby = GameLobby::new(seed, config, 100);
+    let keys: Vec<Keypair> = (0..PLAYERS).map(|i| Keypair::generate(seed ^ i as u64)).collect();
+    for k in &keys {
+        lobby.register(k.public());
+    }
+    lobby.start();
+    println!("lobby: {} players registered, roster frozen, seed {seed:#x}", lobby.players());
+
+    // --- Match phase: one node per player over an in-memory bus.
+    let map = maps::q3dm17_like();
+    let mut nodes: Vec<WatchmenNode> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, k)| {
+            WatchmenNode::new(
+                PlayerId(i as u32),
+                k.clone(),
+                lobby.directory().to_vec(),
+                seed,
+                config,
+                map.clone(),
+                PhysicsConfig::default(),
+            )
+        })
+        .collect();
+    let trace = standard_trace(PLAYERS, seed, FRAMES);
+
+    let mut bus: VecDeque<(PlayerId, PlayerId, Vec<u8>)> = VecDeque::new();
+    let mut banned_frame: Option<u64> = None;
+    for frame in 0..FRAMES {
+        let states = &trace.frames[frame as usize].states;
+        for i in 0..PLAYERS {
+            let pid = PlayerId(i as u32);
+            if lobby.status(pid) == PlayerStatus::Banned {
+                continue; // ejected players stop playing
+            }
+            let mut state = states[i];
+            // The cheater falsifies some of its positions.
+            if pid.0 == CHEATER && frame % 5 == 0 && frame > 0 {
+                state.position.x += 25.0;
+            }
+            lobby.heartbeat(pid, frame);
+            let output = nodes[i].begin_frame(frame, &state);
+            for e in output.events {
+                // Epoch summaries (clean or not) feed the reputation
+                // denominator.
+                if let NodeEvent::Suspicion { subject, rating, .. } = e {
+                    lobby.report(pid, subject, &rating);
+                }
+            }
+            for o in output.outgoing {
+                bus.push_back((pid, o.to, o.bytes));
+            }
+        }
+        while let Some((sender, to, bytes)) = bus.pop_front() {
+            let (out, events) = nodes[to.index()].handle_message(frame, sender, &bytes);
+            for o in out {
+                bus.push_back((to, o.to, o.bytes));
+            }
+            for e in events {
+                if let NodeEvent::Suspicion { subject, rating, check } = e {
+                    // Proxy reports flow to the lobby.
+                    lobby.report(to, subject, &rating);
+                    if rating.score >= 8 {
+                        println!(
+                            "frame {frame:3}: {to} flags {subject} ({check}, {rating})"
+                        );
+                    }
+                }
+            }
+        }
+        for event in lobby.tick(frame) {
+            match event {
+                LobbyEvent::Banned(p) => {
+                    println!("frame {frame:3}: lobby BANS {p} (suspicion {:.2})", lobby.suspicion(p));
+                    banned_frame.get_or_insert(frame);
+                }
+                LobbyEvent::Disconnected(p) => {
+                    println!("frame {frame:3}: lobby drops {p} (timeout)");
+                }
+            }
+        }
+        if banned_frame.is_some() {
+            break;
+        }
+    }
+
+    println!("\nfinal standings:");
+    for i in 0..PLAYERS {
+        let pid = PlayerId(i as u32);
+        println!(
+            "  {pid:>3} {:<12} suspicion {:.3}{}",
+            format!("{:?}", lobby.status(pid)).to_lowercase(),
+            lobby.suspicion(pid),
+            if pid.0 == CHEATER { "  ← the cheater" } else { "" }
+        );
+    }
+    match banned_frame {
+        Some(f) => println!("\ncheater banned after {f} frames ({:.1} s of play)", f as f64 * 0.05),
+        None => println!("\ncheater escaped detection (unexpected!)"),
+    }
+}

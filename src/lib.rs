@@ -1,0 +1,16 @@
+//! Facade crate re-exporting the Watchmen workspace.
+//!
+//! Downstream users can depend on `watchmen` alone and reach every subsystem:
+//!
+//! ```
+//! use watchmen::math::Vec3;
+//! let v = Vec3::new(1.0, 2.0, 3.0);
+//! assert_eq!(v.x, 1.0);
+//! ```
+pub use watchmen_core as core;
+pub use watchmen_crypto as crypto;
+pub use watchmen_game as game;
+pub use watchmen_math as math;
+pub use watchmen_net as net;
+pub use watchmen_sim as sim;
+pub use watchmen_world as world;

@@ -1,0 +1,317 @@
+#![allow(clippy::needless_range_loop)] // nodes/states are index-parallel
+
+//! Drives a cluster of [`watchmen::core::node::WatchmenNode`]s over an
+//! in-memory message bus: the full player-side protocol with no global
+//! knowledge, exactly as it would run over UDP.
+
+use std::collections::VecDeque;
+
+use watchmen::core::node::{NodeEvent, Outgoing, WatchmenNode};
+use watchmen::core::WatchmenConfig;
+use watchmen::crypto::schnorr::{Keypair, PublicKey};
+use watchmen::game::trace::{standard_trace, GameTrace};
+use watchmen::game::PlayerId;
+use watchmen::world::{maps, PhysicsConfig};
+
+/// An in-memory cluster: N nodes plus a FIFO bus.
+struct Cluster {
+    nodes: Vec<WatchmenNode>,
+    /// (wire sender, destination, bytes)
+    bus: VecDeque<(PlayerId, PlayerId, Vec<u8>)>,
+    events: Vec<(PlayerId, NodeEvent)>,
+}
+
+impl Cluster {
+    fn new(players: usize, seed: u64) -> Self {
+        let keys: Vec<Keypair> =
+            (0..players).map(|i| Keypair::generate(seed ^ i as u64)).collect();
+        let directory: Vec<PublicKey> = keys.iter().map(Keypair::public).collect();
+        let map = maps::q3dm17_like();
+        let nodes = keys
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| {
+                WatchmenNode::new(
+                    PlayerId(i as u32),
+                    k,
+                    directory.clone(),
+                    seed,
+                    WatchmenConfig::default(),
+                    map.clone(),
+                    PhysicsConfig::default(),
+                )
+            })
+            .collect();
+        Cluster { nodes, bus: VecDeque::new(), events: Vec::new() }
+    }
+
+    fn enqueue(&mut self, from: PlayerId, outgoing: Vec<Outgoing>) {
+        for o in outgoing {
+            self.bus.push_back((from, o.to, o.bytes));
+        }
+    }
+
+    /// Runs one frame: every node publishes, then the bus drains fully
+    /// (instant delivery — latency is exercised by the simnet tests).
+    fn run_frame(&mut self, frame: u64, trace: &GameTrace) {
+        let states = &trace.frames[frame as usize].states;
+        for i in 0..self.nodes.len() {
+            let output = self.nodes[i].begin_frame(frame, &states[i]);
+            for e in output.events {
+                self.events.push((PlayerId(i as u32), e));
+            }
+            self.enqueue(PlayerId(i as u32), output.outgoing);
+        }
+        // Drain with a safety cap against forwarding loops.
+        let mut hops = 0;
+        while let Some((sender, to, bytes)) = self.bus.pop_front() {
+            hops += 1;
+            assert!(hops < 2_000_000, "message storm: forwarding loop?");
+            let (out, events) = self.nodes[to.index()].handle_message(frame, sender, &bytes);
+            self.enqueue(to, out);
+            for e in events {
+                self.events.push((to, e));
+            }
+        }
+    }
+
+    fn deliveries_about(&self, about: PlayerId, class: &str) -> usize {
+        self.events
+            .iter()
+            .filter(|(receiver, e)| {
+                *receiver != about
+                    && matches!(e, NodeEvent::Delivery { about: a, class: c, .. }
+                        if *a == about && *c == class)
+            })
+            .count()
+    }
+
+    fn suspicions_about(&self, subject: PlayerId) -> Vec<&NodeEvent> {
+        self.events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                NodeEvent::Suspicion { subject: s, .. } if *s == subject => Some(e),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[test]
+fn nodes_learn_about_each_other_and_deliver_updates() {
+    let trace = standard_trace(6, 5, 80);
+    let mut cluster = Cluster::new(6, 5);
+    for f in 0..80 {
+        cluster.run_frame(f, &trace);
+    }
+    // Position updates reach everyone (implicit subscription), so every
+    // node eventually knows every other.
+    for p in 0..6u32 {
+        for q in 0..6u32 {
+            if p != q {
+                assert!(
+                    cluster.nodes[p as usize].known_state(PlayerId(q)).is_some(),
+                    "p{p} never learned about p{q}"
+                );
+            }
+        }
+    }
+    // And state updates flow to interest-set subscribers.
+    let total_state: usize =
+        (0..6u32).map(|p| cluster.deliveries_about(PlayerId(p), "state")).sum();
+    assert!(total_state > 200, "only {total_state} state deliveries");
+    let total_guidance: usize =
+        (0..6u32).map(|p| cluster.deliveries_about(PlayerId(p), "guidance")).sum();
+    let total_pos: usize =
+        (0..6u32).map(|p| cluster.deliveries_about(PlayerId(p), "position")).sum();
+    assert!(total_pos > 0, "no position updates forwarded");
+    // Guidance flows only once VS subscriptions exist; with 6 players on
+    // a big map the VS is often empty, so just require no storm.
+    assert!(total_guidance < total_state);
+}
+
+#[test]
+fn honest_cluster_raises_no_high_confidence_alarms() {
+    let trace = standard_trace(5, 9, 60);
+    let mut cluster = Cluster::new(5, 9);
+    for f in 0..60 {
+        cluster.run_frame(f, &trace);
+    }
+    let severe: Vec<_> = cluster
+        .events
+        .iter()
+        .filter(|(_, e)| match e {
+            NodeEvent::Suspicion { rating, .. } => rating.score >= 6,
+            NodeEvent::BadSignature { .. } | NodeEvent::Replay { .. } => true,
+            _ => false,
+        })
+        .collect();
+    assert!(severe.is_empty(), "honest run raised: {severe:?}");
+}
+
+#[test]
+fn proxies_rotate_and_handoffs_arrive() {
+    let trace = standard_trace(6, 11, 130);
+    let mut cluster = Cluster::new(6, 11);
+    for f in 0..130 {
+        cluster.run_frame(f, &trace);
+    }
+    // 130 frames cover three proxy epochs (period 40): handoffs happen.
+    let handoffs = cluster
+        .events
+        .iter()
+        .filter(|(_, e)| matches!(e, NodeEvent::HandoffReceived { .. }))
+        .count();
+    assert!(handoffs > 0, "no handoffs across 3 epochs");
+    // Supervision exists and rotates.
+    let supervised: usize = cluster.nodes.iter().map(|n| n.supervised().len()).sum();
+    assert!(supervised > 0);
+}
+
+#[test]
+fn tampering_proxy_is_caught_by_receivers() {
+    let trace = standard_trace(4, 13, 10);
+    let mut cluster = Cluster::new(4, 13);
+    // Run a few frames honestly.
+    for f in 0..5 {
+        cluster.run_frame(f, &trace);
+    }
+    // Now inject a tampered message: take a node's outgoing state update,
+    // flip a payload byte, and deliver it claiming to be forwarded.
+    let out = cluster.nodes[0].begin_frame(5, &trace.frames[5].states[0]).outgoing;
+    let victim = out.iter().find(|o| o.bytes.len() > 60).expect("a state update");
+    let mut tampered = victim.bytes.clone();
+    let mid = tampered.len() / 2;
+    tampered[mid] ^= 0xff;
+    let (_, events) = cluster.nodes[1].handle_message(5, PlayerId(2), &tampered);
+    assert!(
+        events.iter().any(|e| matches!(e, NodeEvent::BadSignature { .. })),
+        "tampered bytes accepted: {events:?}"
+    );
+}
+
+#[test]
+fn replayed_bytes_are_flagged() {
+    let trace = standard_trace(4, 17, 10);
+    let mut cluster = Cluster::new(4, 17);
+    let out = cluster.nodes[0].begin_frame(0, &trace.frames[0].states[0]).outgoing;
+    let msg = out.first().expect("something sent").clone();
+    // First delivery is fine…
+    let (_, first) = cluster.nodes[msg.to.index()].handle_message(0, PlayerId(0), &msg.bytes);
+    assert!(!first.iter().any(|e| matches!(e, NodeEvent::Replay { .. })));
+    // …the byte-identical second one is a replay.
+    let (_, second) = cluster.nodes[msg.to.index()].handle_message(0, PlayerId(0), &msg.bytes);
+    assert!(second.iter().any(|e| matches!(e, NodeEvent::Replay { .. })), "{second:?}");
+}
+
+#[test]
+fn speed_hacking_node_draws_proxy_suspicion() {
+    let trace = standard_trace(5, 23, 120);
+    let mut cluster = Cluster::new(5, 23);
+    for f in 0..120 {
+        let states = &trace.frames[f as usize].states;
+        for i in 0..5usize {
+            let mut state = states[i];
+            // Player 2 lies: every 4th frame it reports a teleported
+            // position.
+            if i == 2 && f % 4 == 0 && f > 0 {
+                state.position.x += 30.0;
+            }
+            let output = cluster.nodes[i].begin_frame(f, &state);
+            for e in output.events {
+                cluster.events.push((PlayerId(i as u32), e));
+            }
+            cluster.enqueue(PlayerId(i as u32), output.outgoing);
+        }
+        let mut hops = 0;
+        while let Some((sender, to, bytes)) = cluster.bus.pop_front() {
+            hops += 1;
+            assert!(hops < 1_000_000);
+            let (out, events) = cluster.nodes[to.index()].handle_message(f, sender, &bytes);
+            cluster.enqueue(to, out);
+            for e in events {
+                cluster.events.push((to, e));
+            }
+        }
+    }
+    let cheater_flags = cluster.suspicions_about(PlayerId(2));
+    let severe_position = |events: &[&NodeEvent]| {
+        events
+            .iter()
+            .filter(|e| {
+                matches!(e, NodeEvent::Suspicion { rating, check, .. }
+                    if rating.score >= 6 && *check == "position")
+            })
+            .count()
+    };
+    assert!(
+        severe_position(&cheater_flags) > 3,
+        "speed hacker never strongly flagged: {} suspicions",
+        cheater_flags.len()
+    );
+    // Honest players draw no severe *position* flags. (A cheater's faked
+    // positions can poison the knowledge behind honest players'
+    // subscription checks — collateral the reputation layer absorbs — but
+    // the physics check itself must never misfire on honest movement.)
+    for honest in [0u32, 1, 3, 4] {
+        let flags = cluster.suspicions_about(PlayerId(honest));
+        assert_eq!(severe_position(&flags), 0, "honest p{honest} flagged severely");
+    }
+}
+
+#[test]
+fn kill_claims_are_verified_by_proxies_and_witnesses() {
+    use watchmen::core::msg::KillClaim;
+    use watchmen::game::WeaponKind;
+
+    let trace = standard_trace(6, 29, 40);
+    let mut cluster = Cluster::new(6, 29);
+    for f in 0..40 {
+        cluster.run_frame(f, &trace);
+    }
+    // Player 0 fabricates a shotgun kill on the farthest player — far
+    // beyond the weapon's 40-unit reach, an impossible claim by rule.
+    let attacker_pos = trace.frames[39].states[0].position;
+    let victim = (1..6u32)
+        .max_by(|&a, &b| {
+            let da = trace.frames[39].states[a as usize].position.distance(attacker_pos);
+            let db = trace.frames[39].states[b as usize].position.distance(attacker_pos);
+            da.partial_cmp(&db).unwrap()
+        })
+        .map(PlayerId)
+        .unwrap();
+    let victim_pos = trace.frames[39].states[victim.index()].position;
+    assert!(victim_pos.distance(attacker_pos) > 60.0, "players too bunched for the test");
+    let claim = KillClaim {
+        victim,
+        weapon: WeaponKind::Shotgun,
+        attacker_position: attacker_pos,
+        victim_position: victim_pos,
+    };
+
+    let out = cluster.nodes[0].claim_kill(40, claim);
+    assert!(!out.is_empty());
+    let mut flagged = false;
+    for o in out {
+        let (fwd, events) = cluster.nodes[o.to.index()].handle_message(40, PlayerId(0), &o.bytes);
+        for e in &events {
+            if matches!(e, NodeEvent::Suspicion { subject, check, rating }
+                if *subject == PlayerId(0) && *check == "kill" && rating.score >= 6)
+            {
+                flagged = true;
+            }
+        }
+        // Witness forwarding can add further verifiers.
+        for f2 in fwd {
+            let (_, ev) = cluster.nodes[f2.to.index()].handle_message(40, o.to, &f2.bytes);
+            for e in &ev {
+                if matches!(e, NodeEvent::Suspicion { subject, check, rating }
+                    if *subject == PlayerId(0) && *check == "kill" && rating.score >= 6)
+                {
+                    flagged = true;
+                }
+            }
+        }
+    }
+    assert!(flagged, "fabricated kill claim went unflagged");
+}

@@ -1,0 +1,138 @@
+//! Proxy rotation, verifiability and handoff continuity across the stack.
+
+use watchmen::core::handoff::HandoffSummary;
+use watchmen::core::msg::StateUpdate;
+use watchmen::core::proxy::ProxySchedule;
+use watchmen::core::WatchmenConfig;
+use watchmen::game::trace::standard_trace;
+use watchmen::game::PlayerId;
+use watchmen::math::{Aim, Vec3};
+
+#[test]
+fn every_node_computes_identical_schedules() {
+    // Simulate 48 independent nodes each instantiating the schedule from
+    // the common seed: all assignments agree, for all players and epochs.
+    let nodes: Vec<ProxySchedule> = (0..48).map(|_| ProxySchedule::new(0xC0FFEE, 48, 40)).collect();
+    for frame in [0u64, 39, 40, 999, 12_345] {
+        for p in 0..48 {
+            let pid = PlayerId(p);
+            let expected = nodes[0].proxy_of(pid, frame);
+            for node in &nodes[1..] {
+                assert_eq!(node.proxy_of(pid, frame), expected);
+            }
+        }
+    }
+}
+
+#[test]
+fn proxy_rotation_limits_exposure_window() {
+    // "A cheating proxy can only disrupt a single other player's updates,
+    // only for a very limited period": over many epochs, no player keeps
+    // the same proxy for long, and no proxy accumulates many clients.
+    let schedule = ProxySchedule::new(7, 48, 40);
+    let target = PlayerId(13);
+    let mut longest_run = 0u64;
+    let mut current_run = 0u64;
+    let mut prev = None;
+    for epoch in 0..500u64 {
+        let proxy = schedule.proxy_of(target, epoch * 40);
+        if Some(proxy) == prev {
+            current_run += 1;
+        } else {
+            current_run = 1;
+            prev = Some(proxy);
+        }
+        longest_run = longest_run.max(current_run);
+    }
+    // Repeated same-proxy epochs happen by chance (p = 1/47) but runs of
+    // four would be a broken generator.
+    assert!(longest_run <= 3, "same proxy held for {longest_run} consecutive epochs");
+
+    // Load balance across proxy duty.
+    for frame in (0..40 * 50).step_by(40) {
+        let max_clients = (0..48)
+            .map(|p| schedule.clients_of(PlayerId(p), frame as u64).len())
+            .max()
+            .unwrap();
+        assert!(max_clients <= 8, "proxy overloaded with {max_clients} clients");
+    }
+}
+
+fn summary_for_epoch(epoch: u64, rating: u8, position: Vec3) -> HandoffSummary {
+    let schedule = ProxySchedule::new(1, 16, 40);
+    let player = PlayerId(3);
+    HandoffSummary::new(
+        player,
+        schedule.proxy_of(player, epoch * 40),
+        epoch,
+        StateUpdate {
+            position,
+            velocity: Vec3::ZERO,
+            aim: Aim::default(),
+            health: 80,
+            armor: 10,
+            weapon: watchmen::game::WeaponKind::Shotgun,
+            ammo: 5,
+        },
+        rating,
+        40,
+        4,
+    )
+}
+
+#[test]
+fn handoff_chain_survives_colluding_middleman() {
+    let config = WatchmenConfig::default();
+    // Epoch 0: honest proxy saw rating 9. Epoch 1: colluding proxy reports
+    // clean but must embed the predecessor summary. Epoch 2's proxy still
+    // sees the dirt through the chain.
+    let honest = summary_for_epoch(0, 9, Vec3::new(10.0, 10.0, 0.0));
+    let colluding =
+        summary_for_epoch(1, 1, Vec3::new(12.0, 10.0, 0.0)).with_predecessor(honest, config.handoff_depth);
+    let next =
+        summary_for_epoch(2, 1, Vec3::new(14.0, 10.0, 0.0)).with_predecessor(colluding, config.handoff_depth);
+    assert_eq!(next.chain_len(), config.handoff_depth);
+    // Depth 2 keeps epochs 2 and 1 — epoch 0 aged out, but epoch 2's proxy
+    // received the chain at epoch-1 handoff time, when it still contained
+    // epoch 0:
+    let at_handoff = summary_for_epoch(1, 1, Vec3::ZERO)
+        .with_predecessor(summary_for_epoch(0, 9, Vec3::ZERO), config.handoff_depth);
+    assert_eq!(at_handoff.chain_worst_rating(), 9);
+}
+
+#[test]
+fn handoff_continuity_detects_teleports_between_epochs() {
+    let summary = summary_for_epoch(0, 1, Vec3::new(100.0, 100.0, 0.0));
+    // Legal: the player moved ≤ 2 units/frame × 40 frames since.
+    assert!(summary.continuity_gap(Vec3::new(150.0, 100.0, 0.0)) <= 80.0);
+    // Illegal: across the map in one epoch.
+    assert!(summary.continuity_gap(Vec3::new(400.0, 100.0, 0.0)) > 80.0);
+}
+
+#[test]
+fn handoff_digest_detects_chain_rewrites() {
+    let honest = summary_for_epoch(0, 9, Vec3::ZERO);
+    let chained = summary_for_epoch(1, 2, Vec3::X).with_predecessor(honest.clone(), 2);
+    let original_digest = chained.digest();
+
+    let mut laundered_prev = honest;
+    laundered_prev.worst_rating = 1;
+    let laundered = summary_for_epoch(1, 2, Vec3::X).with_predecessor(laundered_prev, 2);
+    assert_ne!(original_digest, laundered.digest());
+}
+
+#[test]
+fn schedule_is_stable_against_trace_contents() {
+    // The schedule depends only on (seed, players, period) — never on
+    // game events — so all nodes stay in sync regardless of what they see.
+    let t1 = standard_trace(8, 1, 50);
+    let t2 = standard_trace(8, 2, 50);
+    assert_ne!(t1, t2);
+    let s1 = ProxySchedule::new(5, 8, 40);
+    let s2 = ProxySchedule::new(5, 8, 40);
+    for f in 0..200 {
+        for p in 0..8 {
+            assert_eq!(s1.proxy_of(PlayerId(p), f), s2.proxy_of(PlayerId(p), f));
+        }
+    }
+}
