@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Offline-safe CI gate: format, lint, build, test.
+#
+# The workspace has zero external dependencies, so every step below runs
+# without network access. This script is the single source of truth; the
+# GitHub Actions workflow just calls it.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "CI OK"

@@ -25,15 +25,9 @@ fn main() {
                 ),
                 (
                     "predictive subs",
-                    OverlayOptions {
-                        predictive_subscriptions: true,
-                        ..OverlayOptions::default()
-                    },
+                    OverlayOptions { predictive_subscriptions: true, ..OverlayOptions::default() },
                 ),
-                (
-                    "both",
-                    OverlayOptions { delta_coding: true, predictive_subscriptions: true },
-                ),
+                ("both", OverlayOptions { delta_coding: true, predictive_subscriptions: true }),
             ];
             let mut rows = Vec::new();
             for (name, options) in variants {

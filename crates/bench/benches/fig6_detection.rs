@@ -9,8 +9,7 @@ fn main() {
     let params = BenchParams::from_env();
     run_experiment("fig6_detection", "Figure 6 (verification success rates)", || {
         let workload = params.workload();
-        let rows =
-            run_detection(&workload, &WatchmenConfig::default(), 0.10, 0.05, params.seed);
+        let rows = run_detection(&workload, &WatchmenConfig::default(), 0.10, 0.05, params.seed);
         format_detection(&rows)
     });
 }

@@ -7,13 +7,17 @@ use watchmen_sim::is_churn::{format_churn, run_is_churn};
 
 fn main() {
     let params = BenchParams::from_env();
-    run_experiment("is_churn", "§VI (IS retention: ~50% change by 40 frames; ~88% frame-to-frame)", || {
-        let workload = params.workload();
-        let report = run_is_churn(
-            &workload,
-            &WatchmenConfig::default(),
-            &[1, 5, 10, 20, 40, 80, 150, 300],
-        );
-        format_churn(&report)
-    });
+    run_experiment(
+        "is_churn",
+        "§VI (IS retention: ~50% change by 40 frames; ~88% frame-to-frame)",
+        || {
+            let workload = params.workload();
+            let report = run_is_churn(
+                &workload,
+                &WatchmenConfig::default(),
+                &[1, 5, 10, 20, 40, 80, 150, 300],
+            );
+            format_churn(&report)
+        },
+    );
 }

@@ -1,9 +1,15 @@
-//! Criterion microbenchmarks of the architecture's hot kernels: signature
+//! Microbenchmarks of the architecture's hot kernels: signature
 //! sign/verify, subscription-set computation, proxy schedule evaluation
 //! and the verification suite.
+//!
+//! Each kernel is timed into a [`watchmen_telemetry::Histogram`], so the
+//! reported p50/p99 come from the same quantile machinery the runtime
+//! instrumentation uses.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
+
+use watchmen_bench::run_experiment;
 use watchmen_core::proxy::ProxySchedule;
 use watchmen_core::subscription::{compute_sets, NoRecency};
 use watchmen_core::verify::Verifier;
@@ -11,53 +17,88 @@ use watchmen_core::WatchmenConfig;
 use watchmen_crypto::schnorr::Keypair;
 use watchmen_game::PlayerId;
 use watchmen_sim::workload::standard_workload;
+use watchmen_telemetry::Registry;
 use watchmen_world::PhysicsConfig;
 
-fn bench_signatures(c: &mut Criterion) {
-    let keys = Keypair::generate(1);
-    let msg = vec![0xabu8; 88]; // a 700-bit state update
-    let sig = keys.sign(&msg);
-    c.bench_function("schnorr_sign_88B", |b| b.iter(|| keys.sign(black_box(&msg))));
-    c.bench_function("schnorr_verify_88B", |b| {
-        b.iter(|| keys.public().verify(black_box(&msg), black_box(&sig)))
-    });
+/// Iterations per kernel (quick mode: fewer).
+fn iterations() -> u32 {
+    if std::env::var_os("WATCHMEN_QUICK").is_some() {
+        200
+    } else {
+        2000
+    }
 }
 
-fn bench_subscriptions(c: &mut Criterion) {
-    let w = standard_workload(48, 7, 10);
-    let states = &w.trace.frames[9].states;
-    let config = WatchmenConfig::default();
-    c.bench_function("compute_sets_48p", |b| {
-        b.iter(|| compute_sets(black_box(PlayerId(0)), states, &w.map, &config, &NoRecency))
-    });
+/// Times `body` `iters` times into a per-kernel histogram and renders one
+/// summary line (all figures in microseconds).
+fn bench_kernel(registry: &Registry, name: &'static str, mut body: impl FnMut()) -> String {
+    let hist = registry.histogram_with("kernel_duration_us", &[("kernel", name)]);
+    // Warm up caches and branch predictors outside the measurement.
+    for _ in 0..8 {
+        body();
+    }
+    for _ in 0..iterations() {
+        let start = Instant::now();
+        body();
+        hist.record(start.elapsed().as_secs_f64() * 1e6);
+    }
+    format!(
+        "{name:<22} p50 {:>9.2}us  p99 {:>9.2}us  mean {:>9.2}us  ({} iters)",
+        hist.quantile(0.5),
+        hist.quantile(0.99),
+        hist.mean(),
+        hist.count(),
+    )
 }
 
-fn bench_proxy_schedule(c: &mut Criterion) {
-    let schedule = ProxySchedule::new(42, 48, 40);
-    c.bench_function("proxy_of_48p", |b| {
-        b.iter(|| schedule.proxy_of(black_box(PlayerId(17)), black_box(4321)))
-    });
-    c.bench_function("clients_of_48p", |b| {
-        b.iter(|| schedule.clients_of(black_box(PlayerId(17)), black_box(4321)))
-    });
-}
+fn main() {
+    run_experiment(
+        "micro_kernels",
+        "hot-kernel costs (sign/verify, IS, proxy schedule, checks)",
+        || {
+            let registry = Registry::new();
+            let mut lines = Vec::new();
 
-fn bench_verification(c: &mut Criterion) {
-    let w = standard_workload(16, 7, 40);
-    let config = WatchmenConfig::default();
-    let verifier = Verifier::new(config, PhysicsConfig::default());
-    let prev = w.trace.frames[30].states[3].position;
-    let next = w.trace.frames[31].states[3].position;
-    c.bench_function("check_position", |b| {
-        b.iter(|| verifier.check_position(black_box(prev), black_box(next), 1, &w.map))
-    });
-}
+            let keys = Keypair::generate(1);
+            let msg = vec![0xabu8; 88]; // a 700-bit state update
+            let sig = keys.sign(&msg);
+            lines.push(bench_kernel(&registry, "schnorr_sign_88B", || {
+                black_box(keys.sign(black_box(&msg)));
+            }));
+            lines.push(bench_kernel(&registry, "schnorr_verify_88B", || {
+                black_box(keys.public().verify(black_box(&msg), black_box(&sig)));
+            }));
 
-criterion_group!(
-    benches,
-    bench_signatures,
-    bench_subscriptions,
-    bench_proxy_schedule,
-    bench_verification
-);
-criterion_main!(benches);
+            let w = standard_workload(48, 7, 10);
+            let states = &w.trace.frames[9].states;
+            let config = WatchmenConfig::default();
+            lines.push(bench_kernel(&registry, "compute_sets_48p", || {
+                black_box(compute_sets(
+                    black_box(PlayerId(0)),
+                    states,
+                    &w.map,
+                    &config,
+                    &NoRecency,
+                ));
+            }));
+
+            let schedule = ProxySchedule::new(42, 48, 40);
+            lines.push(bench_kernel(&registry, "proxy_of_48p", || {
+                black_box(schedule.proxy_of(black_box(PlayerId(17)), black_box(4321)));
+            }));
+            lines.push(bench_kernel(&registry, "clients_of_48p", || {
+                black_box(schedule.clients_of(black_box(PlayerId(17)), black_box(4321)));
+            }));
+
+            let wv = standard_workload(16, 7, 40);
+            let verifier = Verifier::new(config, PhysicsConfig::default());
+            let prev = wv.trace.frames[30].states[3].position;
+            let next = wv.trace.frames[31].states[3].position;
+            lines.push(bench_kernel(&registry, "check_position", || {
+                black_box(verifier.check_position(black_box(prev), black_box(next), 1, &wv.map));
+            }));
+
+            lines.join("\n")
+        },
+    );
+}

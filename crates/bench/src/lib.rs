@@ -47,6 +47,10 @@ impl BenchParams {
 
 /// Prints a standard experiment banner and runs the body, reporting wall
 /// time — so `cargo bench` output reads as a lab notebook.
+///
+/// Set `WATCHMEN_TELEMETRY=prom` (or `json`) in the environment to also
+/// dump the global telemetry registry after the body runs — every
+/// counter, gauge, and histogram the experiment touched.
 pub fn run_experiment(name: &str, paper_ref: &str, body: impl FnOnce() -> String) {
     let params = BenchParams::from_env();
     println!("=== {name} ===");
@@ -58,4 +62,21 @@ pub fn run_experiment(name: &str, paper_ref: &str, body: impl FnOnce() -> String
     let output = body();
     println!("{output}");
     println!("[{name} completed in {:.2?}]\n", start.elapsed());
+    let registry = watchmen_telemetry::global();
+    match std::env::var("WATCHMEN_TELEMETRY").as_deref() {
+        Ok("json") => {
+            println!("--- telemetry ({name}) ---");
+            println!("{}", watchmen_telemetry::export::json(&registry.snapshot()));
+        }
+        Ok(_) => {
+            println!("--- telemetry ({name}) ---");
+            print!(
+                "{}",
+                watchmen_telemetry::export::prometheus_text_with_help(&registry.snapshot(), &|n| {
+                    registry.help_for(n)
+                })
+            );
+        }
+        Err(_) => {}
+    }
 }

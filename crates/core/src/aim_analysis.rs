@@ -89,7 +89,11 @@ impl AimProfile {
     /// Fraction of frames rotating at ≥ 90 % of the legal cap.
     #[must_use]
     pub fn saturation_rate(&self) -> f64 {
-        if self.total == 0 { 0.0 } else { self.saturated as f64 / self.total as f64 }
+        if self.total == 0 {
+            0.0
+        } else {
+            self.saturated as f64 / self.total as f64
+        }
     }
 
     /// Standard deviation of small (tracking-band) aim adjustments, in

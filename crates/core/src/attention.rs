@@ -194,7 +194,12 @@ mod tests {
     fn behind_gets_no_aim_component() {
         let obs = frame_at(Vec3::ZERO, Aim::default()); // looking +x
         let behind = frame_at(Vec3::new(-50.0, 0.0, 0.0), Aim::default());
-        let w = AttentionWeights { proximity: 0.0, aim: 1.0, recency: 0.0, ..AttentionWeights::default() };
+        let w = AttentionWeights {
+            proximity: 0.0,
+            aim: 1.0,
+            recency: 0.0,
+            ..AttentionWeights::default()
+        };
         let s = score(
             &AttentionInput { observer: &obs, candidate: &behind, frames_since_interaction: None },
             &w,

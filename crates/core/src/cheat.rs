@@ -254,7 +254,7 @@ impl CheatInjector {
         let angle = std::f64::consts::FRAC_PI_2 + self.rng.next_f64() * std::f64::consts::PI;
         let (s, c) = angle.sin_cos();
         let rotated = Vec3::new(honest.x * c - honest.y * s, honest.x * s + honest.y * c, 0.0);
-        
+
         rotated.normalized_or(Vec3::X) * max_speed
     }
 
@@ -284,10 +284,8 @@ mod tests {
             .iter()
             .filter(|c| c.category() == CheatCategory::DisruptionOfInformationFlow)
             .count();
-        let invalid = CheatKind::ALL
-            .iter()
-            .filter(|c| c.category() == CheatCategory::InvalidUpdates)
-            .count();
+        let invalid =
+            CheatKind::ALL.iter().filter(|c| c.category() == CheatCategory::InvalidUpdates).count();
         let access = CheatKind::ALL
             .iter()
             .filter(|c| c.category() == CheatCategory::UnauthorizedAccess)

@@ -196,8 +196,7 @@ mod tests {
     fn deviation_zero_for_honest_linear_motion() {
         let s = moving_state(Vec3::ZERO, Vec3::new(10.0, 5.0, 0.0));
         let g = Guidance::from_state(&s, 0, 20, 0.05);
-        let actual: Polyline =
-            (0..=20).map(|k| s.velocity * (k as f64 * 0.05)).collect();
+        let actual: Polyline = (0..=20).map(|k| s.velocity * (k as f64 * 0.05)).collect();
         assert!(guidance_deviation(&g, &actual, 0.05) < 1e-9);
     }
 
@@ -205,12 +204,10 @@ mod tests {
     fn deviation_grows_with_divergence() {
         let s = moving_state(Vec3::ZERO, Vec3::new(10.0, 0.0, 0.0));
         let g = Guidance::from_state(&s, 0, 20, 0.05);
-        let small_turn: Polyline = (0..=20)
-            .map(|k| Vec3::new(k as f64 * 0.5, k as f64 * 0.05, 0.0))
-            .collect();
-        let big_turn: Polyline = (0..=20)
-            .map(|k| Vec3::new(k as f64 * 0.5, k as f64 * 0.4, 0.0))
-            .collect();
+        let small_turn: Polyline =
+            (0..=20).map(|k| Vec3::new(k as f64 * 0.5, k as f64 * 0.05, 0.0)).collect();
+        let big_turn: Polyline =
+            (0..=20).map(|k| Vec3::new(k as f64 * 0.5, k as f64 * 0.4, 0.0)).collect();
         let small = guidance_deviation(&g, &small_turn, 0.05);
         let big = guidance_deviation(&g, &big_turn, 0.05);
         assert!(small > 0.0);
@@ -254,11 +251,8 @@ mod tests {
         let speed = omega * r;
         let dt = 0.05;
         let pos_at = |t: f64| Vec3::new(r * (omega * t).cos(), r * (omega * t).sin(), 0.0);
-        let vel_at = |t: f64| {
-            Vec3::new(-speed * (omega * t).sin(), speed * (omega * t).cos(), 0.0)
-        };
-        let predictor =
-            TurnAwarePredictor::from_samples(pos_at(dt), vel_at(0.0), vel_at(dt), dt);
+        let vel_at = |t: f64| Vec3::new(-speed * (omega * t).sin(), speed * (omega * t).cos(), 0.0);
+        let predictor = TurnAwarePredictor::from_samples(pos_at(dt), vel_at(0.0), vel_at(dt), dt);
         assert!((predictor.yaw_rate - omega).abs() < 1e-6);
 
         // One second ahead: the arc predictor stays on the circle…
@@ -291,12 +285,8 @@ mod tests {
                     continue;
                 }
                 let truth = trace.frames[f + horizon].states[p].position;
-                let arc = TurnAwarePredictor::from_samples(
-                    s1.position,
-                    s0.velocity,
-                    s1.velocity,
-                    dt,
-                );
+                let arc =
+                    TurnAwarePredictor::from_samples(s1.position, s0.velocity, s1.velocity, dt);
                 let arc_err = arc.predict(horizon as f64 * dt).distance(truth);
                 let linear_err =
                     (s1.position + s1.velocity * (horizon as f64 * dt)).distance(truth);
@@ -307,10 +297,7 @@ mod tests {
             }
         }
         assert!(comparisons > 50, "too few comparisons: {comparisons}");
-        assert!(
-            arc_wins * 2 >= comparisons,
-            "arc won only {arc_wins}/{comparisons}"
-        );
+        assert!(arc_wins * 2 >= comparisons, "arc won only {arc_wins}/{comparisons}");
     }
 
     #[test]

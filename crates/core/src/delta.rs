@@ -15,8 +15,8 @@
 //! game scales): rendering tolerates it, periodic full baselines bound
 //! any drift, and it halves the dominant field sizes.
 
-use bytes::{Buf, BufMut, BytesMut};
 use watchmen_math::{Aim, Vec3};
+use watchmen_net::wire::{GetBytes, PutBytes};
 
 use crate::msg::{DecodeError, StateUpdate};
 
@@ -48,7 +48,11 @@ pub struct DeltaStateUpdate {
 impl DeltaStateUpdate {
     /// Builds a delta of `current` against `baseline`.
     #[must_use]
-    pub fn encode_against(baseline_seq: u64, baseline: &StateUpdate, current: &StateUpdate) -> Self {
+    pub fn encode_against(
+        baseline_seq: u64,
+        baseline: &StateUpdate,
+        current: &StateUpdate,
+    ) -> Self {
         let mut mask = 0u8;
         if !current.position.approx_eq(baseline.position, QUANTUM) {
             mask |= F_POSITION;
@@ -161,7 +165,7 @@ impl DeltaStateUpdate {
     /// fields (floats quantized to `f32`).
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut b = BytesMut::with_capacity(16);
+        let mut b = Vec::with_capacity(16);
         b.put_u64(self.baseline_seq);
         b.put_u8(self.mask);
         if self.mask & F_POSITION != 0 {
@@ -186,7 +190,7 @@ impl DeltaStateUpdate {
         if self.mask & F_AMMO != 0 {
             b.put_u32(self.update.ammo);
         }
-        b.to_vec()
+        b
     }
 
     /// Deserializes from [`DeltaStateUpdate::to_bytes`] output. Fields not
@@ -203,9 +207,7 @@ impl DeltaStateUpdate {
         }
         let baseline_seq = buf.get_u64();
         let mask = buf.get_u8();
-        if mask & !(F_POSITION | F_VELOCITY | F_AIM | F_HEALTH | F_ARMOR | F_WEAPON | F_AMMO)
-            != 0
-        {
+        if mask & !(F_POSITION | F_VELOCITY | F_AIM | F_HEALTH | F_ARMOR | F_WEAPON | F_AMMO) != 0 {
             return Err(DecodeError::InvalidTag(mask));
         }
         let mut update = StateUpdate {
@@ -288,7 +290,7 @@ impl std::fmt::Display for DeltaError {
 
 impl std::error::Error for DeltaError {}
 
-fn put_vec3(b: &mut BytesMut, v: Vec3) {
+fn put_vec3(b: &mut Vec<u8>, v: Vec3) {
     b.put_f32(v.x as f32);
     b.put_f32(v.y as f32);
     b.put_f32(v.z as f32);
@@ -298,11 +300,7 @@ fn get_vec3(buf: &mut &[u8]) -> Result<Vec3, DecodeError> {
     if buf.len() < 12 {
         return Err(DecodeError::Truncated);
     }
-    Ok(Vec3::new(
-        f64::from(buf.get_f32()),
-        f64::from(buf.get_f32()),
-        f64::from(buf.get_f32()),
-    ))
+    Ok(Vec3::new(f64::from(buf.get_f32()), f64::from(buf.get_f32()), f64::from(buf.get_f32())))
 }
 
 fn weapon_tag(w: watchmen_game::WeaponKind) -> u8 {

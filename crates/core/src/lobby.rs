@@ -329,11 +329,7 @@ mod tests {
         let mut lobby = lobby_with(3);
         for subject in [PlayerId(0), PlayerId(1)] {
             for _ in 0..40 {
-                lobby.report(
-                    PlayerId(2),
-                    subject,
-                    &CheatRating::new(10, Confidence::Proxy, 0),
-                );
+                lobby.report(PlayerId(2), subject, &CheatRating::new(10, Confidence::Proxy, 0));
             }
         }
         let events = lobby.tick(10);

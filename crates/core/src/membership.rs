@@ -90,9 +90,7 @@ impl MembershipTracker {
     pub fn suspects(&self, frame: u64) -> Vec<PlayerId> {
         (0..self.last_seen.len())
             .map(|i| PlayerId(i as u32))
-            .filter(|&p| {
-                self.removed_at[p.index()].is_none() && !self.is_live(p, frame)
-            })
+            .filter(|&p| self.removed_at[p.index()].is_none() && !self.is_live(p, frame))
             .collect()
     }
 
@@ -103,11 +101,7 @@ impl MembershipTracker {
     ///
     /// All honest nodes observing the same silence make the same decision
     /// at the same boundary, keeping their schedules identical.
-    pub fn agree_and_remove(
-        &mut self,
-        frame: u64,
-        schedule: &mut ProxySchedule,
-    ) -> Vec<PlayerId> {
+    pub fn agree_and_remove(&mut self, frame: u64, schedule: &mut ProxySchedule) -> Vec<PlayerId> {
         let boundary = schedule.next_renewal(frame);
         let mut removed = Vec::new();
         for p in self.suspects(frame) {
@@ -138,9 +132,7 @@ impl MembershipTracker {
     /// Number of players never removed and heard from recently.
     #[must_use]
     pub fn live_count(&self, frame: u64) -> usize {
-        (0..self.last_seen.len())
-            .filter(|&i| self.is_live(PlayerId(i as u32), frame))
-            .count()
+        (0..self.last_seen.len()).filter(|&i| self.is_live(PlayerId(i as u32), frame)).count()
     }
 }
 

@@ -12,11 +12,11 @@
 //! byte-identical replays detectable; the origin binding makes spoofing
 //! detectable; the signature makes proxy tampering detectable.
 
-use bytes::{Buf, BufMut, BytesMut};
 use watchmen_crypto::schnorr::{Keypair, PublicKey, Signature, SIGNATURE_LEN};
 use watchmen_game::trace::PlayerFrame;
 use watchmen_game::{PlayerId, WeaponKind};
 use watchmen_math::{Aim, Vec3};
+use watchmen_net::wire::{GetBytes, PutBytes};
 
 use crate::dead_reckoning::Guidance;
 use crate::subscription::SetKind;
@@ -163,12 +163,12 @@ impl Envelope {
     /// Serializes the envelope (without signature).
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
-        let mut b = BytesMut::with_capacity(96);
+        let mut b = Vec::with_capacity(96);
         b.put_u32(self.from.0);
         b.put_u64(self.seq);
         b.put_u64(self.frame);
         encode_payload(&mut b, &self.payload);
-        b.to_vec()
+        b
     }
 
     /// Deserializes an envelope.
@@ -237,8 +237,7 @@ impl SignedEnvelope {
         }
         let (env_bytes, sig_bytes) = bytes.split_at(bytes.len() - SIGNATURE_LEN);
         let envelope = Envelope::decode(env_bytes)?;
-        let sig_array: [u8; SIGNATURE_LEN] =
-            sig_bytes.try_into().expect("split guarantees length");
+        let sig_array: [u8; SIGNATURE_LEN] = sig_bytes.try_into().expect("split guarantees length");
         let signature = Signature::from_bytes(&sig_array).ok_or(DecodeError::BadSignature)?;
         Ok(SignedEnvelope { envelope, signature })
     }
@@ -267,13 +266,13 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-fn put_vec3(b: &mut BytesMut, v: Vec3) {
+fn put_vec3(b: &mut Vec<u8>, v: Vec3) {
     b.put_f64(v.x);
     b.put_f64(v.y);
     b.put_f64(v.z);
 }
 
-fn put_weapon(b: &mut BytesMut, w: WeaponKind) {
+fn put_weapon(b: &mut Vec<u8>, w: WeaponKind) {
     b.put_u8(match w {
         WeaponKind::MachineGun => 0,
         WeaponKind::Shotgun => 1,
@@ -282,7 +281,7 @@ fn put_weapon(b: &mut BytesMut, w: WeaponKind) {
     });
 }
 
-fn put_set_kind(b: &mut BytesMut, k: SetKind) {
+fn put_set_kind(b: &mut Vec<u8>, k: SetKind) {
     b.put_u8(match k {
         SetKind::Interest => 0,
         SetKind::Vision => 1,
@@ -290,7 +289,7 @@ fn put_set_kind(b: &mut BytesMut, k: SetKind) {
     });
 }
 
-fn encode_payload(b: &mut BytesMut, p: &Payload) {
+fn encode_payload(b: &mut Vec<u8>, p: &Payload) {
     match p {
         Payload::State(s) => {
             b.put_u8(0);
@@ -586,8 +585,7 @@ mod tests {
     fn signed_roundtrip() {
         let keys = Keypair::generate(8);
         for payload in all_payloads() {
-            let signed =
-                Envelope { from: PlayerId(3), seq: 11, frame: 22, payload }.sign(&keys);
+            let signed = Envelope { from: PlayerId(3), seq: 11, frame: 22, payload }.sign(&keys);
             let decoded = SignedEnvelope::decode(&signed.encode()).unwrap();
             assert_eq!(signed, decoded);
             assert!(decoded.verify(&keys.public()));

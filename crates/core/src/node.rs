@@ -20,16 +20,16 @@
 //! bus (see the crate tests).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use watchmen_crypto::schnorr::{Keypair, PublicKey};
 use watchmen_game::trace::PlayerFrame;
 use watchmen_game::PlayerId;
+use watchmen_telemetry::{Counter, FrameTimer, Histogram};
 use watchmen_world::{GameMap, PhysicsConfig};
 
 use crate::dead_reckoning::Guidance;
-use crate::msg::{
-    Envelope, HandoffNotice, Payload, PositionUpdate, SignedEnvelope, StateUpdate,
-};
+use crate::msg::{Envelope, HandoffNotice, Payload, PositionUpdate, SignedEnvelope, StateUpdate};
 use crate::proxy::ProxySchedule;
 use crate::rating::{CheatRating, Confidence};
 use crate::subscription::{compute_sets, NoRecency, SetKind};
@@ -147,6 +147,73 @@ struct ProxyDuty {
     last_state: Option<(u64, StateUpdate)>,
 }
 
+/// Cached global-registry handles for the node's hot paths. Handles are
+/// fetched once per node so per-frame recording is a couple of atomic
+/// adds, never a registry lookup.
+#[derive(Debug)]
+struct NodeMetrics {
+    tick_ms: Arc<Histogram>,
+    subscription_phase_ms: Arc<Histogram>,
+    publish_phase_ms: Arc<Histogram>,
+    handoff_phase_ms: Arc<Histogram>,
+    handle_message_ms: Arc<Histogram>,
+    subscriptions_sent: Arc<Counter>,
+    messages_forwarded: Arc<Counter>,
+    handoffs_sent: Arc<Counter>,
+    handoffs_received: Arc<Counter>,
+    bad_signatures: Arc<Counter>,
+    replays: Arc<Counter>,
+}
+
+impl NodeMetrics {
+    fn new() -> Self {
+        let t = watchmen_telemetry::global();
+        t.describe("node_tick_duration_ms", "wall time of one begin_frame call");
+        t.describe("node_tick_phase_duration_ms", "wall time of one begin_frame phase");
+        t.describe("node_handle_message_duration_ms", "wall time of one handle_message call");
+        t.describe("node_subscriptions_sent_total", "subscribe messages issued");
+        t.describe("node_messages_forwarded_total", "signed messages forwarded as proxy");
+        t.describe("proxy_handoffs_total", "handoff notices sent at epoch boundaries");
+        t.describe("proxy_handoffs_received_total", "handoff notices accepted from predecessors");
+        t.describe("node_bad_signatures_total", "messages rejected for signature failure");
+        t.describe("node_replays_total", "messages rejected as replayed or stale");
+        t.describe("node_suspicions_total", "verification checks that flagged a player");
+        let phase = |p: &str| t.histogram_with("node_tick_phase_duration_ms", &[("phase", p)]);
+        NodeMetrics {
+            tick_ms: t.histogram("node_tick_duration_ms"),
+            subscription_phase_ms: phase("subscriptions"),
+            publish_phase_ms: phase("publish"),
+            handoff_phase_ms: phase("handoff"),
+            handle_message_ms: t.histogram("node_handle_message_duration_ms"),
+            subscriptions_sent: t.counter("node_subscriptions_sent_total"),
+            messages_forwarded: t.counter("node_messages_forwarded_total"),
+            handoffs_sent: t.counter("proxy_handoffs_total"),
+            handoffs_received: t.counter("proxy_handoffs_received_total"),
+            bad_signatures: t.counter("node_bad_signatures_total"),
+            replays: t.counter("node_replays_total"),
+        }
+    }
+
+    /// Tallies the security-relevant events of one call: signature and
+    /// replay rejections, accepted handoffs, and per-check suspicions
+    /// (labelled by the closed set of check names).
+    fn observe_events(&self, events: &[NodeEvent]) {
+        for e in events {
+            match e {
+                NodeEvent::BadSignature { .. } => self.bad_signatures.inc(),
+                NodeEvent::Replay { .. } => self.replays.inc(),
+                NodeEvent::HandoffReceived { .. } => self.handoffs_received.inc(),
+                NodeEvent::Suspicion { check, .. } => {
+                    watchmen_telemetry::global()
+                        .counter_with("node_suspicions_total", &[("check", check)])
+                        .inc();
+                }
+                NodeEvent::Delivery { .. } => {}
+            }
+        }
+    }
+}
+
 /// The player-side protocol endpoint. See the module docs.
 #[derive(Debug)]
 pub struct WatchmenNode {
@@ -166,6 +233,8 @@ pub struct WatchmenNode {
     my_subs: BTreeMap<(PlayerId, SetKind), u64>,
     /// Best known state of every player, learned from received messages.
     known: BTreeMap<PlayerId, (u64, StateUpdate)>,
+    /// Cached telemetry handles.
+    metrics: NodeMetrics,
 }
 
 impl WatchmenNode {
@@ -205,6 +274,7 @@ impl WatchmenNode {
             duties: BTreeMap::new(),
             my_subs: BTreeMap::new(),
             known: BTreeMap::new(),
+            metrics: NodeMetrics::new(),
         }
     }
 
@@ -232,7 +302,13 @@ impl WatchmenNode {
         self.known.get(&player).map(|(_, s)| s)
     }
 
-    fn sign_and_queue(&mut self, out: &mut Vec<Outgoing>, to: PlayerId, frame: u64, payload: Payload) {
+    fn sign_and_queue(
+        &mut self,
+        out: &mut Vec<Outgoing>,
+        to: PlayerId,
+        frame: u64,
+        payload: Payload,
+    ) {
         self.seq += 1;
         let env = Envelope { from: self.id, seq: self.seq, frame, payload };
         out.push(Outgoing { to, bytes: env.sign(&self.keys).encode() });
@@ -246,6 +322,7 @@ impl WatchmenNode {
     /// the interactions he has with other players as successful … or as
     /// failed"). `my_state` is the local avatar's authoritative state.
     pub fn begin_frame(&mut self, frame: u64, my_state: &PlayerFrame) -> FrameOutput {
+        let _tick = FrameTimer::start(&self.metrics.tick_ms);
         let mut output = FrameOutput::default();
         let mut out = Vec::new();
         let my_proxy = self.proxy(frame);
@@ -255,6 +332,7 @@ impl WatchmenNode {
         self.known.insert(self.id, (frame, StateUpdate::from(my_state)));
 
         // --- Subscriptions from *learned* knowledge.
+        let sub_span = FrameTimer::start(&self.metrics.subscription_phase_ms);
         let sets = self.compute_local_sets(frame, my_state);
         for (target, kind) in sets {
             let due = self
@@ -264,18 +342,15 @@ impl WatchmenNode {
             if due {
                 self.my_subs.insert((target, kind), frame);
                 self.sign_and_queue(&mut out, my_proxy, frame, Payload::Subscribe { target, kind });
+                self.metrics.subscriptions_sent.inc();
             }
         }
-        self.my_subs
-            .retain(|_, &mut last| frame < last + 4 * self.config.subscription_retention);
+        self.my_subs.retain(|_, &mut last| frame < last + 4 * self.config.subscription_retention);
+        sub_span.stop();
 
         // --- Publications.
-        self.sign_and_queue(
-            &mut out,
-            my_proxy,
-            frame,
-            Payload::State(StateUpdate::from(my_state)),
-        );
+        let publish_span = FrameTimer::start(&self.metrics.publish_phase_ms);
+        self.sign_and_queue(&mut out, my_proxy, frame, Payload::State(StateUpdate::from(my_state)));
         if self.config.is_guidance_frame(frame, self.id.index()) {
             let g = Guidance::from_state(
                 my_state,
@@ -293,9 +368,11 @@ impl WatchmenNode {
                 Payload::Position(PositionUpdate { position: my_state.position }),
             );
         }
+        publish_span.stop();
 
         // --- Handoff: shortly before the boundary, ship summaries for all
         // duties whose successor is someone else.
+        let handoff_span = FrameTimer::start(&self.metrics.handoff_phase_ms);
         let handoff_lead = (self.config.proxy_period / 4).max(1);
         if frame + handoff_lead == self.schedule.next_renewal(frame) {
             let epoch = self.schedule.epoch_of(frame);
@@ -316,8 +393,10 @@ impl WatchmenNode {
                     predecessor_digest: [0; 32],
                 };
                 self.sign_and_queue(&mut out, successor, frame, Payload::Handoff(notice));
+                self.metrics.handoffs_sent.inc();
             }
         }
+        handoff_span.stop();
 
         // --- Epoch turnover: summarize the finished epoch for each duty
         // (clean epochs produce score-1 ratings, giving the reputation
@@ -348,6 +427,7 @@ impl WatchmenNode {
             self.duties.retain(|&player, _| self.schedule.proxy_of(player, frame) == self.id);
         }
 
+        self.metrics.observe_events(&output.events);
         output.outgoing = out;
         output
     }
@@ -407,18 +487,19 @@ impl WatchmenNode {
         wire_sender: PlayerId,
         bytes: &[u8],
     ) -> (Vec<Outgoing>, Vec<NodeEvent>) {
+        let _span = FrameTimer::start(&self.metrics.handle_message_ms);
         let mut out = Vec::new();
         let mut events = Vec::new();
 
         let Ok(msg) = SignedEnvelope::decode(bytes) else {
             events.push(NodeEvent::BadSignature { claimed_from: wire_sender });
+            self.metrics.observe_events(&events);
             return (out, events);
         };
         let origin = msg.envelope.from;
-        if origin.index() >= self.directory.len()
-            || !msg.verify(&self.directory[origin.index()])
-        {
+        if origin.index() >= self.directory.len() || !msg.verify(&self.directory[origin.index()]) {
             events.push(NodeEvent::BadSignature { claimed_from: origin });
+            self.metrics.observe_events(&events);
             return (out, events);
         }
 
@@ -427,6 +508,7 @@ impl WatchmenNode {
         // and stale sequences are rejected.
         if !self.replay[origin.index()].check_and_set(msg.envelope.seq) {
             events.push(NodeEvent::Replay { from: origin });
+            self.metrics.observe_events(&events);
             return (out, events);
         }
 
@@ -557,11 +639,8 @@ impl WatchmenNode {
                     };
                     let score = self.verifier.check_kill(&claim, &victim_frame, &self.map, 5);
                     if score > 1 {
-                        let confidence = if i_am_origins_proxy {
-                            Confidence::Proxy
-                        } else {
-                            Confidence::Vision
-                        };
+                        let confidence =
+                            if i_am_origins_proxy { Confidence::Proxy } else { Confidence::Vision };
                         let staleness = msg.envelope.frame.saturating_sub(*seen_frame);
                         events.push(NodeEvent::Suspicion {
                             subject: origin,
@@ -586,6 +665,8 @@ impl WatchmenNode {
             }
         }
 
+        self.metrics.messages_forwarded.add(out.len() as u64);
+        self.metrics.observe_events(&events);
         (out, events)
     }
 
@@ -640,9 +721,10 @@ impl WatchmenNode {
         kind: SetKind,
         events: &mut Vec<NodeEvent>,
     ) {
-        let (Some((_, sub_state)), Some((_, target_state))) =
-            (self.duties.get(&subscriber).and_then(|d| d.last_state), self.known.get(&target).copied())
-        else {
+        let (Some((_, sub_state)), Some((_, target_state))) = (
+            self.duties.get(&subscriber).and_then(|d| d.last_state),
+            self.known.get(&target).copied(),
+        ) else {
             return; // not enough information yet
         };
         let sub_frame = PlayerFrame {
@@ -669,7 +751,13 @@ impl WatchmenNode {
         }
     }
 
-    fn install_subscription(&mut self, subscriber: PlayerId, target: PlayerId, kind: SetKind, frame: u64) {
+    fn install_subscription(
+        &mut self,
+        subscriber: PlayerId,
+        target: PlayerId,
+        kind: SetKind,
+        frame: u64,
+    ) {
         let expiry = frame + self.config.subscription_retention;
         let duty = self.duties.entry(target).or_default();
         match kind {

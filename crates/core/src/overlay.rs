@@ -17,11 +17,13 @@
 //!   relays frequent updates for PVS-visible avatars only.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use watchmen_game::trace::GameTrace;
 use watchmen_game::PlayerId;
 use watchmen_math::stats::Histogram;
 use watchmen_net::{latency::LatencyModel, Delivery, SimNetwork};
+use watchmen_telemetry as telemetry;
 use watchmen_world::{potentially_visible_set, GameMap};
 
 use crate::proxy::ProxySchedule;
@@ -153,29 +155,39 @@ impl OverlayReport {
     /// The fraction of delivered updates with age `< frames`.
     #[must_use]
     pub fn fraction_younger_than(&self, frames: u64) -> f64 {
-        (0..frames.min(self.ages.buckets() as u64))
-            .map(|i| self.ages.fraction(i as usize))
-            .sum()
+        (0..frames.min(self.ages.buckets() as u64)).map(|i| self.ages.fraction(i as usize)).sum()
     }
 }
 
-/// Shared age/accounting state.
+/// Shared age/accounting state, mirrored into the global telemetry
+/// registry labelled by driver architecture.
 struct Metrics {
     ages: Histogram,
     frame_ms: f64,
     delivered: u64,
     late: u64,
     loss_age: u64,
+    delivered_total: Arc<telemetry::Counter>,
+    late_total: Arc<telemetry::Counter>,
+    age_frames: Arc<telemetry::Histogram>,
 }
 
 impl Metrics {
-    fn new(config: &WatchmenConfig) -> Self {
+    fn new(config: &WatchmenConfig, architecture: &'static str) -> Self {
+        let t = telemetry::global();
+        t.describe("sim_updates_delivered_total", "Updates delivered to final consumers");
+        t.describe("sim_updates_late_total", "Delivered updates at or past the loss-age bound");
+        t.describe("sim_update_age_frames", "Age of delivered updates in frames");
+        let arch = &[("arch", architecture)];
         Metrics {
             ages: Histogram::new(0.0, 10.0, 10),
             frame_ms: config.frame_ms,
             delivered: 0,
             late: 0,
             loss_age: config.loss_age_frames,
+            delivered_total: t.counter_with("sim_updates_delivered_total", arch),
+            late_total: t.counter_with("sim_updates_late_total", arch),
+            age_frames: t.histogram_with("sim_update_age_frames", arch),
         }
     }
 
@@ -183,9 +195,12 @@ impl Metrics {
         let arrival_frame = (deliver_ms / self.frame_ms).floor() as u64;
         let age = arrival_frame.saturating_sub(gen_frame) as f64;
         self.ages.push(age);
+        self.age_frames.record(age);
         self.delivered += 1;
+        self.delivered_total.inc();
         if age >= self.loss_age as f64 {
             self.late += 1;
+            self.late_total.inc();
         }
     }
 }
@@ -199,7 +214,16 @@ fn finish_report(
     config: &WatchmenConfig,
     server: Option<usize>,
 ) -> OverlayReport {
-    finish_report_with(architecture, net, metrics, players, frames, config, server, Histogram::new(0.0, 20.0, 20))
+    finish_report_with(
+        architecture,
+        net,
+        metrics,
+        players,
+        frames,
+        config,
+        server,
+        Histogram::new(0.0, 20.0, 20),
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -216,6 +240,16 @@ fn finish_report_with(
     let elapsed_ms = frames as f64 * config.frame_ms;
     let ups: Vec<f64> = (0..players).map(|i| net.meter(i).up_kbps(elapsed_ms)).collect();
     let downs: Vec<f64> = (0..players).map(|i| net.meter(i).down_kbps(elapsed_ms)).collect();
+    let t = telemetry::global();
+    t.describe("sim_player_up_kbps", "Per-player upstream bandwidth over a full run");
+    t.describe("sim_player_down_kbps", "Per-player downstream bandwidth over a full run");
+    let arch = &[("arch", architecture)];
+    let up_hist = t.histogram_with("sim_player_up_kbps", arch);
+    let down_hist = t.histogram_with("sim_player_down_kbps", arch);
+    for (&up, &down) in ups.iter().zip(&downs) {
+        up_hist.record(up);
+        down_hist.record(down);
+    }
     let dropped = net.stats().dropped;
     let denominator = (metrics.delivered + dropped).max(1);
     OverlayReport {
@@ -277,7 +311,15 @@ pub fn run_watchmen(
     loss_rate: f64,
     seed: u64,
 ) -> OverlayReport {
-    run_watchmen_with_options(trace, map, config, latency, loss_rate, seed, OverlayOptions::default())
+    run_watchmen_with_options(
+        trace,
+        map,
+        config,
+        latency,
+        loss_rate,
+        seed,
+        OverlayOptions::default(),
+    )
 }
 
 /// Runs Watchmen with explicit [`OverlayOptions`] (delta coding,
@@ -302,7 +344,10 @@ pub fn run_watchmen_with_options(
     let sizes = WireSizes::default();
     let mut net: SimNetwork<OverlayMsg> = SimNetwork::new(n, latency, loss_rate, seed);
     let schedule = ProxySchedule::new(seed, n, config.proxy_period);
-    let mut metrics = Metrics::new(config);
+    let mut metrics = Metrics::new(config, "watchmen");
+    telemetry::global()
+        .describe("proxy_handoffs_total", "handoff notices sent at epoch boundaries");
+    let handoffs_sent = telemetry::global().counter("proxy_handoffs_total");
 
     // proxy-side lists: lists[proxy][about] → subscribers.
     let mut lists: Vec<BTreeMap<PlayerId, SubscriberLists>> = vec![BTreeMap::new(); n];
@@ -337,8 +382,7 @@ pub fn run_watchmen_with_options(
                         if to_proxy {
                             // Proxy leg: forward per subscriber lists.
                             let now_frame = (t / config.frame_ms) as u64;
-                            let entry =
-                                lists[receiver].entry(about).or_default();
+                            let entry = lists[receiver].entry(about).or_default();
                             entry.expire(now_frame);
                             let (targets, size): (Vec<PlayerId>, usize) = match class {
                                 UpdateClass::State => {
@@ -379,25 +423,16 @@ pub fn run_watchmen_with_options(
                                 net.send(
                                     receiver,
                                     target.index(),
-                                    OverlayMsg::Update {
-                                        class,
-                                        about,
-                                        gen_frame,
-                                        to_proxy: false,
-                                    },
+                                    OverlayMsg::Update { class, about, gen_frame, to_proxy: false },
                                     size,
                                 );
                             }
                         } else {
                             metrics.record(gen_frame, t);
                             if class == UpdateClass::State {
-                                if let Some(entered) =
-                                    awaiting_first.remove(&(receiver, about))
-                                {
-                                    let arrival_frame =
-                                        (t / config.frame_ms).floor() as u64;
-                                    sub_latency
-                                        .push(arrival_frame.saturating_sub(entered) as f64);
+                                if let Some(entered) = awaiting_first.remove(&(receiver, about)) {
+                                    let arrival_frame = (t / config.frame_ms).floor() as u64;
+                                    sub_latency.push(arrival_frame.saturating_sub(entered) as f64);
                                 }
                             }
                         }
@@ -430,8 +465,8 @@ pub fn run_watchmen_with_options(
                     }
                     OverlayMsg::Handoff { about, epoch, is_subs, vs_subs } => {
                         // The successor installs the carried lists.
-                        let expiry = (epoch + 1) * config.proxy_period
-                            + config.subscription_retention;
+                        let expiry =
+                            (epoch + 1) * config.proxy_period + config.subscription_retention;
                         let entry = lists[receiver].entry(about).or_default();
                         for s in is_subs {
                             entry.add(s, SetKind::Interest, expiry);
@@ -461,14 +496,13 @@ pub fn run_watchmen_with_options(
             // With predictive subscriptions, the player extrapolates one
             // frame ahead and subscribes for the *coming* frame's sets.
             let lookahead_states;
-            let set_states = if options.predictive_subscriptions
-                && (frame as usize + 1) < trace.len()
-            {
-                lookahead_states = &trace.frames[frame as usize + 1].states;
-                lookahead_states
-            } else {
-                states
-            };
+            let set_states =
+                if options.predictive_subscriptions && (frame as usize + 1) < trace.len() {
+                    lookahead_states = &trace.frames[frame as usize + 1].states;
+                    lookahead_states
+                } else {
+                    states
+                };
             let sets = compute_sets(pid, set_states, map, config, &NoRecency);
 
             // Track IS entrances for subscription-latency measurement
@@ -484,9 +518,8 @@ pub fn run_watchmen_with_options(
                 }
             }
             // Entries for players that left the IS are abandoned.
-            awaiting_first.retain(|&(sub, target), _| {
-                sub != p || truth_sets.interest.contains(&target)
-            });
+            awaiting_first
+                .retain(|&(sub, target), _| sub != p || truth_sets.interest.contains(&target));
             prev_interest[p] = truth_sets.interest.clone();
             let wanted: Vec<(PlayerId, SetKind)> = sets
                 .interest
@@ -500,8 +533,7 @@ pub fn run_watchmen_with_options(
                     .is_none_or(|&last| frame >= last + config.subscription_retention / 2);
                 if refresh_due {
                     my_subs[p].insert((target, kind), frame);
-                    let msg =
-                        OverlayMsg::Subscribe { subscriber: pid, target, kind, hop: 0 };
+                    let msg = OverlayMsg::Subscribe { subscriber: pid, target, kind, hop: 0 };
                     if my_proxy == p {
                         unreachable!("schedule never assigns self-proxy");
                     }
@@ -518,9 +550,8 @@ pub fn run_watchmen_with_options(
                 && frame % config.guidance_period != p as u64 % config.guidance_period
                 && frame > 0
             {
-                let prev = crate::msg::StateUpdate::from(
-                    &trace.frames[frame as usize - 1].states[p],
-                );
+                let prev =
+                    crate::msg::StateUpdate::from(&trace.frames[frame as usize - 1].states[p]);
                 let cur = crate::msg::StateUpdate::from(&states[p]);
                 let delta = crate::delta::DeltaStateUpdate::encode_against(0, &prev, &cur);
                 delta.wire_size() + delta_overhead
@@ -586,8 +617,8 @@ pub fn run_watchmen_with_options(
                         )
                     })
                     .unwrap_or_default();
-                let size =
-                    sizes.handoff_base + 4 * (is_subs.len() + vs_subs.len());
+                let size = sizes.handoff_base + 4 * (is_subs.len() + vs_subs.len());
+                handoffs_sent.inc();
                 net.send(
                     old_proxy,
                     new_proxy,
@@ -603,16 +634,7 @@ pub fn run_watchmen_with_options(
         }
     }
 
-    finish_report_with(
-        "watchmen",
-        &net,
-        metrics,
-        n,
-        frames,
-        config,
-        None,
-        sub_latency,
-    )
+    finish_report_with("watchmen", &net, metrics, n, frames, config, None, sub_latency)
 }
 
 /// Runs the Donnybrook baseline: frequent updates direct to interest-set
@@ -634,7 +656,7 @@ pub fn run_donnybrook(
     let n = trace.players;
     let sizes = WireSizes::default();
     let mut net: SimNetwork<OverlayMsg> = SimNetwork::new(n, latency, loss_rate, seed);
-    let mut metrics = Metrics::new(config);
+    let mut metrics = Metrics::new(config, "donnybrook");
 
     let frames = trace.len() as u64;
     for frame in 0..frames {
@@ -720,7 +742,7 @@ pub fn run_client_server(
     let server = n; // extra node
     let sizes = WireSizes::default();
     let mut net: SimNetwork<OverlayMsg> = SimNetwork::new(n + 1, latency, loss_rate, seed);
-    let mut metrics = Metrics::new(config);
+    let mut metrics = Metrics::new(config, "client-server");
 
     // Per-frame PVS cache: visibility is symmetric in open space but we
     // store the full per-observer sets; recomputed once per frame rather
@@ -752,12 +774,7 @@ pub fn run_client_server(
                                 net.send(
                                     server,
                                     q,
-                                    OverlayMsg::Update {
-                                        class,
-                                        about,
-                                        gen_frame,
-                                        to_proxy: false,
-                                    },
+                                    OverlayMsg::Update { class, about, gen_frame, to_proxy: false },
                                     sizes.state,
                                 );
                             }
@@ -818,7 +835,7 @@ pub fn run_hybrid(
     let server = n;
     let sizes = WireSizes::default();
     let mut net: SimNetwork<OverlayMsg> = SimNetwork::new(n + 1, latency, loss_rate, seed);
-    let mut metrics = Metrics::new(config);
+    let mut metrics = Metrics::new(config, "hybrid");
 
     // All subscriber lists live at the server.
     let mut lists: BTreeMap<PlayerId, SubscriberLists> = BTreeMap::new();
@@ -975,8 +992,7 @@ mod tests {
     #[test]
     fn watchmen_delivers_updates_with_low_age() {
         let (trace, map, config) = small_inputs();
-        let report =
-            run_watchmen(&trace, &map, &config, latency::constant(20.0), 0.0, 7);
+        let report = run_watchmen(&trace, &map, &config, latency::constant(20.0), 0.0, 7);
         assert!(report.updates_delivered > 1000, "{}", report.updates_delivered);
         // Two constant 20 ms hops = 40 ms < 1 frame budget for most.
         assert!(
@@ -990,8 +1006,7 @@ mod tests {
     #[test]
     fn watchmen_loss_counts_drops() {
         let (trace, map, config) = small_inputs();
-        let lossless =
-            run_watchmen(&trace, &map, &config, latency::constant(20.0), 0.0, 7);
+        let lossless = run_watchmen(&trace, &map, &config, latency::constant(20.0), 0.0, 7);
         let lossy = run_watchmen(&trace, &map, &config, latency::constant(20.0), 0.05, 7);
         assert_eq!(lossless.network_dropped, 0);
         assert!(lossy.network_dropped > 0);
@@ -1001,8 +1016,7 @@ mod tests {
     #[test]
     fn donnybrook_delivers_one_hop_faster_legs() {
         let (trace, map, config) = small_inputs();
-        let report =
-            run_donnybrook(&trace, &map, &config, latency::constant(20.0), 0.0, 7);
+        let report = run_donnybrook(&trace, &map, &config, latency::constant(20.0), 0.0, 7);
         assert!(report.updates_delivered > 1000);
         // Single 20 ms hop: virtually everything inside 1 frame.
         assert!(report.fraction_younger_than(2) > 0.95);
@@ -1011,8 +1025,7 @@ mod tests {
     #[test]
     fn client_server_relays_pvs_only() {
         let (trace, map, config) = small_inputs();
-        let report =
-            run_client_server(&trace, &map, &config, latency::constant(10.0), 0.0, 7);
+        let report = run_client_server(&trace, &map, &config, latency::constant(10.0), 0.0, 7);
         assert!(report.updates_delivered > 0);
         assert!(report.server_up_kbps > 0.0, "server should relay");
         // Two 10 ms hops stay within the budget.
@@ -1077,10 +1090,7 @@ mod tests {
             if total == 0.0 {
                 return f64::INFINITY;
             }
-            (0..h.buckets())
-                .map(|i| h.bucket_range(i).0 * h.fraction(i))
-                .sum::<f64>()
-                / total
+            (0..h.buckets()).map(|i| h.bucket_range(i).0 * h.fraction(i)).sum::<f64>() / total
         };
         let base_mean = mean(&base.subscription_latency);
         let pred_mean = mean(&predictive.subscription_latency);
@@ -1094,8 +1104,7 @@ mod tests {
     #[test]
     fn hybrid_centralizes_proxy_duty() {
         let (trace, map, config) = small_inputs();
-        let hybrid =
-            run_hybrid(&trace, &map, &config, latency::constant(15.0), 0.0, 13);
+        let hybrid = run_hybrid(&trace, &map, &config, latency::constant(15.0), 0.0, 13);
         let p2p = run_watchmen(&trace, &map, &config, latency::constant(15.0), 0.0, 13);
         assert!(hybrid.updates_delivered > 1000);
         // The trusted server carries the forwarding load…
@@ -1114,8 +1123,7 @@ mod tests {
     #[test]
     fn watchmen_bandwidth_beats_full_broadcast() {
         let (trace, map, config) = small_inputs();
-        let report =
-            run_watchmen(&trace, &map, &config, latency::constant(20.0), 0.0, 11);
+        let report = run_watchmen(&trace, &map, &config, latency::constant(20.0), 0.0, 11);
         // Full mesh would be state-size × (n−1) × 20 Hz per player
         // upstream ≈ 107·8·7·20 bits/ms. Watchmen's multi-resolution +
         // proxy scheme must come in well under the all-pairs bound for

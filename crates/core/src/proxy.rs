@@ -167,10 +167,8 @@ impl ProxySchedule {
         // player's id and a common seed" construction. Seeding with the
         // epoch directly (rather than discarding `epoch` draws) keeps
         // random access O(1).
-        let mut rng = Xoshiro256::seed_from(
-            self.seed ^ 0x7077_0000,
-            (u64::from(player.0) << 32) ^ epoch,
-        );
+        let mut rng =
+            Xoshiro256::seed_from(self.seed ^ 0x7077_0000, (u64::from(player.0) << 32) ^ epoch);
         // Weighted draw over the eligible pool (uniform weights reduce to
         // a uniform draw). Rejection keeps the self-exclusion unbiased.
         let total: f64 = (0..self.players)
@@ -271,9 +269,8 @@ mod tests {
     fn different_seeds_differ() {
         let a = ProxySchedule::new(1, 48, 40);
         let b = ProxySchedule::new(2, 48, 40);
-        let same = (0..48)
-            .filter(|&p| a.proxy_of(PlayerId(p), 0) == b.proxy_of(PlayerId(p), 0))
-            .count();
+        let same =
+            (0..48).filter(|&p| a.proxy_of(PlayerId(p), 0) == b.proxy_of(PlayerId(p), 0)).count();
         assert!(same < 10, "seeds barely differ: {same}/48 identical");
     }
 
@@ -288,8 +285,7 @@ mod tests {
                 }
             }
             // Every player appears in exactly one client list.
-            let total: usize =
-                (0..24).map(|p| s.clients_of(PlayerId(p), frame).len()).sum();
+            let total: usize = (0..24).map(|p| s.clients_of(PlayerId(p), frame).len()).sum();
             assert_eq!(total, 24);
         }
     }
@@ -345,10 +341,7 @@ mod tests {
         // Heavy node drawn ≈ 4x a unit node (4/7 vs 1/7 of draws).
         let heavy = f64::from(counts[0]);
         let unit = f64::from(counts[1].max(1));
-        assert!(
-            (2.5..6.0).contains(&(heavy / unit)),
-            "capacity ratio off: {heavy} vs {unit}"
-        );
+        assert!((2.5..6.0).contains(&(heavy / unit)), "capacity ratio off: {heavy} vs {unit}");
     }
 
     #[test]

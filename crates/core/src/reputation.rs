@@ -62,11 +62,7 @@ impl ThresholdReputation {
             acceptable_threshold > 0.0 && acceptable_threshold < 1.0,
             "threshold {acceptable_threshold} out of range"
         );
-        ThresholdReputation {
-            counts: vec![(0, 0); players],
-            acceptable_threshold,
-            min_reports,
-        }
+        ThresholdReputation { counts: vec![(0, 0); players], acceptable_threshold, min_reports }
     }
 
     /// Total reports about `subject`.
@@ -94,21 +90,21 @@ impl Reputation for ThresholdReputation {
     fn suspicion(&self, subject: PlayerId) -> f64 {
         let (ok, fail) = self.counts[subject.index()];
         let total = ok + fail;
-        if total == 0 { 0.0 } else { fail as f64 / total as f64 }
+        if total == 0 {
+            0.0
+        } else {
+            fail as f64 / total as f64
+        }
     }
 
     fn is_banned(&self, subject: PlayerId) -> bool {
         let (ok, fail) = self.counts[subject.index()];
         let total = ok + fail;
-        total >= self.min_reports
-            && (ok as f64 / total as f64) < self.acceptable_threshold
+        total >= self.min_reports && (ok as f64 / total as f64) < self.acceptable_threshold
     }
 
     fn banned_players(&self) -> Vec<PlayerId> {
-        (0..self.counts.len())
-            .map(|i| PlayerId(i as u32))
-            .filter(|&p| self.is_banned(p))
-            .collect()
+        (0..self.counts.len()).map(|i| PlayerId(i as u32)).filter(|&p| self.is_banned(p)).collect()
     }
 }
 
@@ -161,7 +157,11 @@ impl Reputation for WeightedReputation {
 
     fn suspicion(&self, subject: PlayerId) -> f64 {
         let (weight, suspicion) = self.scores[subject.index()];
-        if weight <= 0.0 { 0.0 } else { (suspicion / weight).min(1.0) }
+        if weight <= 0.0 {
+            0.0
+        } else {
+            (suspicion / weight).min(1.0)
+        }
     }
 
     fn is_banned(&self, subject: PlayerId) -> bool {
@@ -170,10 +170,7 @@ impl Reputation for WeightedReputation {
     }
 
     fn banned_players(&self) -> Vec<PlayerId> {
-        (0..self.scores.len())
-            .map(|i| PlayerId(i as u32))
-            .filter(|&p| self.is_banned(p))
-            .collect()
+        (0..self.scores.len()).map(|i| PlayerId(i as u32)).filter(|&p| self.is_banned(p)).collect()
     }
 }
 

@@ -242,21 +242,12 @@ mod tests {
         for k in 1..10 {
             let angle = k as f64 * 0.7;
             let r = 20.0 + k as f64 * 15.0;
-            states.push(frame_at(Vec3::new(
-                200.0 + r * angle.cos(),
-                200.0 + r * angle.sin(),
-                0.0,
-            )));
+            states.push(frame_at(Vec3::new(200.0 + r * angle.cos(), 200.0 + r * angle.sin(), 0.0)));
         }
         let sets = compute_sets(PlayerId(0), &states, &map, &config, &NoRecency);
         assert_eq!(sets.len(), 9);
-        let mut all: Vec<PlayerId> = sets
-            .interest
-            .iter()
-            .chain(&sets.vision)
-            .chain(&sets.others)
-            .copied()
-            .collect();
+        let mut all: Vec<PlayerId> =
+            sets.interest.iter().chain(&sets.vision).chain(&sets.others).copied().collect();
         all.sort();
         all.dedup();
         assert_eq!(all.len(), 9, "overlap between sets");

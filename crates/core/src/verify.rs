@@ -101,13 +101,7 @@ impl Verifier {
     ///
     /// `frames_elapsed` is the number of frames between the updates.
     #[must_use]
-    pub fn check_position(
-        &self,
-        prev: Vec3,
-        next: Vec3,
-        frames_elapsed: u64,
-        map: &GameMap,
-    ) -> u8 {
+    pub fn check_position(&self, prev: Vec3, next: Vec3, frames_elapsed: u64, map: &GameMap) -> u8 {
         let frames = frames_elapsed.max(1);
         // Standing inside a wall is never legal…
         if map.tile_at(next).blocks_movement() {
@@ -126,8 +120,7 @@ impl Verifier {
                 return 9;
             }
         }
-        let max_travel =
-            self.physics.max_speed * self.config.frame_seconds() * frames as f64 * PHYSICS_SLACK
+        let max_travel = self.physics.max_speed * self.config.frame_seconds() * frames as f64 * PHYSICS_SLACK
                 // Falling adds vertical distance beyond run speed.
                 + self.physics.gravity * (self.config.frame_seconds() * frames as f64).powi(2);
         rate_deviation(prev.distance(next), max_travel)
@@ -138,9 +131,10 @@ impl Verifier {
     #[must_use]
     pub fn check_aim(&self, prev: Aim, next: Aim, frames_elapsed: u64) -> u8 {
         let frames = frames_elapsed.max(1);
-        let max_turn =
-            self.physics.max_angular_speed * self.config.frame_seconds() * frames as f64
-                * PHYSICS_SLACK;
+        let max_turn = self.physics.max_angular_speed
+            * self.config.frame_seconds()
+            * frames as f64
+            * PHYSICS_SLACK;
         rate_deviation(prev.max_component_delta(next), max_turn.min(std::f64::consts::PI))
     }
 
@@ -222,7 +216,8 @@ impl Verifier {
         // distance between the position of the rocket and that of the
         // target is used as a metric of the deviation").
         let observation_gap = claim.victim_position.distance(victim_observed.position);
-        let gap_tolerance = self.physics.max_speed * self.config.frame_seconds()
+        let gap_tolerance = self.physics.max_speed
+            * self.config.frame_seconds()
             * self.config.guidance_period as f64;
         worst = worst.max(rate_deviation(observation_gap, gap_tolerance));
 
@@ -259,7 +254,8 @@ impl Verifier {
         let deviation = cone.deviation(target_position + Vec3::Z * 1.5);
         // Tolerance: one guidance period of target movement (the proxy's
         // information about q may be that stale).
-        let tolerance = self.physics.max_speed * self.config.frame_seconds()
+        let tolerance = self.physics.max_speed
+            * self.config.frame_seconds()
             * self.config.guidance_period as f64;
         let mut score = rate_deviation(deviation, tolerance);
         // Subscribing through a wall leaks map-hack information even when
@@ -298,7 +294,8 @@ impl Verifier {
         if !crate::subscription::in_vision(observer, target_state, map, &self.config) {
             let cone = vision_cone(observer, &self.config);
             let deviation = cone.deviation(target_state.position + Vec3::Z * 1.5);
-            let tolerance = self.physics.max_speed * self.config.frame_seconds()
+            let tolerance = self.physics.max_speed
+                * self.config.frame_seconds()
                 * self.config.guidance_period as f64;
             return rate_deviation(deviation, tolerance).max(6);
         }
@@ -324,10 +321,7 @@ impl Verifier {
         scores.sort_by(|a, b| {
             b.1.partial_cmp(&a.1).expect("finite attention").then_with(|| a.0.cmp(&b.0))
         });
-        let rank = scores
-            .iter()
-            .position(|&(id, _)| id == target_id)
-            .unwrap_or(scores.len());
+        let rank = scores.iter().position(|&(id, _)| id == target_id).unwrap_or(scores.len());
         // Rank within interest_size + slack is justified; beyond that the
         // excess rank scales the score.
         let slack = 2;
@@ -386,12 +380,7 @@ mod tests {
         let v = verifier();
         let map = maps::arena(40, 10.0);
         // 2 units in one frame at max 40 u/s * 0.05 s = 2 u.
-        let s = v.check_position(
-            Vec3::new(50.0, 50.0, 0.0),
-            Vec3::new(52.0, 50.0, 0.0),
-            1,
-            &map,
-        );
+        let s = v.check_position(Vec3::new(50.0, 50.0, 0.0), Vec3::new(52.0, 50.0, 0.0), 1, &map);
         assert_eq!(s, 1);
     }
 
@@ -400,20 +389,11 @@ mod tests {
         let v = verifier();
         let map = maps::arena(40, 10.0);
         // 20 units in one frame = 10x max speed.
-        let s = v.check_position(
-            Vec3::new(50.0, 50.0, 0.0),
-            Vec3::new(70.0, 50.0, 0.0),
-            1,
-            &map,
-        );
+        let s = v.check_position(Vec3::new(50.0, 50.0, 0.0), Vec3::new(70.0, 50.0, 0.0), 1, &map);
         assert!(s >= 9, "score {s}");
         // 1.5x speed is mildly suspicious, not maximal.
-        let mild = v.check_position(
-            Vec3::new(50.0, 50.0, 0.0),
-            Vec3::new(53.5, 50.0, 0.0),
-            1,
-            &map,
-        );
+        let mild =
+            v.check_position(Vec3::new(50.0, 50.0, 0.0), Vec3::new(53.5, 50.0, 0.0), 1, &map);
         assert!((2..9).contains(&mild), "mild score {mild}");
     }
 
@@ -422,12 +402,8 @@ mod tests {
         let v = verifier();
         let mut map = maps::arena(40, 10.0);
         map.set_tile(10, 10, watchmen_world::Tile::Wall);
-        let s = v.check_position(
-            Vec3::new(104.0, 105.0, 0.0),
-            Vec3::new(105.0, 105.0, 0.0),
-            1,
-            &map,
-        );
+        let s =
+            v.check_position(Vec3::new(104.0, 105.0, 0.0), Vec3::new(105.0, 105.0, 0.0), 1, &map);
         assert_eq!(s, 10);
     }
 
@@ -437,12 +413,7 @@ mod tests {
         let mut map = maps::arena(40, 10.0);
         map.fill_rect(10, 1, 10, 38, watchmen_world::Tile::Wall);
         // Both endpoints legal, straight line crosses the wall.
-        let s = v.check_position(
-            Vec3::new(95.0, 50.0, 0.0),
-            Vec3::new(115.0, 50.0, 0.0),
-            12,
-            &map,
-        );
+        let s = v.check_position(Vec3::new(95.0, 50.0, 0.0), Vec3::new(115.0, 50.0, 0.0), 12, &map);
         assert!(s >= 9, "phased through a wall with score {s}");
     }
 
@@ -451,12 +422,7 @@ mod tests {
         let v = verifier();
         let map = maps::arena(40, 10.0);
         // 20 units over 10 frames = legal.
-        let s = v.check_position(
-            Vec3::new(50.0, 50.0, 0.0),
-            Vec3::new(70.0, 50.0, 0.0),
-            10,
-            &map,
-        );
+        let s = v.check_position(Vec3::new(50.0, 50.0, 0.0), Vec3::new(70.0, 50.0, 0.0), 10, &map);
         assert_eq!(s, 1);
     }
 
@@ -494,8 +460,7 @@ mod tests {
         let honest: Polyline = (0..=20).map(|k| Vec3::new(k as f64 * 0.5, 0.0, 0.0)).collect();
         assert_eq!(v.check_guidance(&g, &honest), 1);
         // Teleporting path: large area.
-        let bogus: Polyline =
-            (0..=20).map(|k| Vec3::new(k as f64 * 0.5, 200.0, 0.0)).collect();
+        let bogus: Polyline = (0..=20).map(|k| Vec3::new(k as f64 * 0.5, 200.0, 0.0)).collect();
         assert!(v.check_guidance(&g, &bogus) >= 9);
     }
 

@@ -1,6 +1,6 @@
-//! Property-based tests for the core architecture's invariants.
+//! Randomized property tests for the core architecture's invariants,
+//! driven by the workspace's deterministic [`Xoshiro256`] generator.
 
-use proptest::prelude::*;
 use watchmen_core::delta::DeltaStateUpdate;
 use watchmen_core::msg::{
     Envelope, HandoffNotice, KillClaim, Payload, PositionUpdate, SignedEnvelope, StateUpdate,
@@ -8,159 +8,173 @@ use watchmen_core::msg::{
 use watchmen_core::proxy::ProxySchedule;
 use watchmen_core::rating::{rate_deviation, CheatRating, Confidence};
 use watchmen_core::subscription::SetKind;
+use watchmen_crypto::rng::Xoshiro256;
 use watchmen_crypto::schnorr::Keypair;
 use watchmen_game::{PlayerId, WeaponKind};
 use watchmen_math::{Aim, Vec3};
 
-fn arb_vec3() -> impl Strategy<Value = Vec3> {
-    (-1e4..1e4f64, -1e4..1e4f64, -1e4..1e4f64).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+const CASES: usize = 128;
+
+fn f64_in(rng: &mut Xoshiro256, lo: f64, hi: f64) -> f64 {
+    lo + rng.next_f64() * (hi - lo)
 }
 
-fn arb_weapon() -> impl Strategy<Value = WeaponKind> {
-    prop_oneof![
-        Just(WeaponKind::MachineGun),
-        Just(WeaponKind::Shotgun),
-        Just(WeaponKind::RocketLauncher),
-        Just(WeaponKind::Railgun),
-    ]
+fn arb_vec3(rng: &mut Xoshiro256) -> Vec3 {
+    Vec3::new(f64_in(rng, -1e4, 1e4), f64_in(rng, -1e4, 1e4), f64_in(rng, -1e4, 1e4))
 }
 
-fn arb_state() -> impl Strategy<Value = StateUpdate> {
-    (
-        arb_vec3(),
-        arb_vec3(),
-        -3.1..3.1f64,
-        -1.5..1.5f64,
-        0..200i32,
-        0..100i32,
-        arb_weapon(),
-        0..1000u32,
-    )
-        .prop_map(|(position, velocity, yaw, pitch, health, armor, weapon, ammo)| StateUpdate {
-            position,
-            velocity,
-            aim: Aim::new(yaw, pitch),
-            health,
-            armor,
-            weapon,
-            ammo,
-        })
-}
-
-fn arb_payload() -> impl Strategy<Value = Payload> {
-    prop_oneof![
-        arb_state().prop_map(Payload::State),
-        arb_vec3().prop_map(|p| Payload::Position(PositionUpdate { position: p })),
-        (0u32..64, prop_oneof![Just(SetKind::Interest), Just(SetKind::Vision)])
-            .prop_map(|(t, kind)| Payload::Subscribe { target: PlayerId(t), kind }),
-        (0u32..64, arb_weapon(), arb_vec3(), arb_vec3()).prop_map(|(v, w, a, t)| {
-            Payload::Kill(KillClaim {
-                victim: PlayerId(v),
-                weapon: w,
-                attacker_position: a,
-                victim_position: t,
-            })
-        }),
-        (0u32..64, 0u64..100, arb_state(), 1u8..=10, 0u32..100, any::<[u8; 32]>()).prop_map(
-            |(p, epoch, last_state, worst, seen, digest)| {
-                Payload::Handoff(HandoffNotice {
-                    player: PlayerId(p),
-                    epoch,
-                    last_state,
-                    worst_rating: worst,
-                    updates_seen: seen,
-                    predecessor_digest: digest,
-                })
-            }
-        ),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn envelope_codec_roundtrips(
-        from in 0u32..64,
-        seq in any::<u64>(),
-        frame in any::<u64>(),
-        payload in arb_payload(),
-    ) {
-        let env = Envelope { from: PlayerId(from), seq, frame, payload };
-        prop_assert_eq!(Envelope::decode(&env.encode()).unwrap(), env);
+fn arb_weapon(rng: &mut Xoshiro256) -> WeaponKind {
+    match rng.next_range(4) {
+        0 => WeaponKind::MachineGun,
+        1 => WeaponKind::Shotgun,
+        2 => WeaponKind::RocketLauncher,
+        _ => WeaponKind::Railgun,
     }
+}
 
-    #[test]
-    fn signed_envelope_roundtrips_and_verifies(
-        seed in any::<u64>(),
-        payload in arb_payload(),
-    ) {
-        let keys = Keypair::generate(seed);
+fn arb_state(rng: &mut Xoshiro256) -> StateUpdate {
+    StateUpdate {
+        position: arb_vec3(rng),
+        velocity: arb_vec3(rng),
+        aim: Aim::new(f64_in(rng, -3.1, 3.1), f64_in(rng, -1.5, 1.5)),
+        health: rng.next_range(200) as i32,
+        armor: rng.next_range(100) as i32,
+        weapon: arb_weapon(rng),
+        ammo: rng.next_range(1000) as u32,
+    }
+}
+
+fn arb_payload(rng: &mut Xoshiro256) -> Payload {
+    match rng.next_range(5) {
+        0 => Payload::State(arb_state(rng)),
+        1 => Payload::Position(PositionUpdate { position: arb_vec3(rng) }),
+        2 => Payload::Subscribe {
+            target: PlayerId(rng.next_range(64) as u32),
+            kind: if rng.next_bool(0.5) { SetKind::Interest } else { SetKind::Vision },
+        },
+        3 => Payload::Kill(KillClaim {
+            victim: PlayerId(rng.next_range(64) as u32),
+            weapon: arb_weapon(rng),
+            attacker_position: arb_vec3(rng),
+            victim_position: arb_vec3(rng),
+        }),
+        _ => {
+            let mut digest = [0u8; 32];
+            for b in &mut digest {
+                *b = rng.next_u64() as u8;
+            }
+            Payload::Handoff(HandoffNotice {
+                player: PlayerId(rng.next_range(64) as u32),
+                epoch: rng.next_range(100),
+                last_state: arb_state(rng),
+                worst_rating: 1 + rng.next_range(10) as u8,
+                updates_seen: rng.next_range(100) as u32,
+                predecessor_digest: digest,
+            })
+        }
+    }
+}
+
+#[test]
+fn envelope_codec_roundtrips() {
+    let mut rng = Xoshiro256::new(41);
+    for _ in 0..CASES {
+        let env = Envelope {
+            from: PlayerId(rng.next_range(64) as u32),
+            seq: rng.next_u64(),
+            frame: rng.next_u64(),
+            payload: arb_payload(&mut rng),
+        };
+        assert_eq!(Envelope::decode(&env.encode()).unwrap(), env);
+    }
+}
+
+#[test]
+fn signed_envelope_roundtrips_and_verifies() {
+    let mut rng = Xoshiro256::new(42);
+    for _ in 0..32 {
+        let keys = Keypair::generate(rng.next_u64());
+        let payload = arb_payload(&mut rng);
         let signed = Envelope { from: PlayerId(1), seq: 1, frame: 1, payload }.sign(&keys);
         let decoded = SignedEnvelope::decode(&signed.encode()).unwrap();
-        prop_assert_eq!(decoded, signed);
-        prop_assert!(decoded.verify(&keys.public()));
+        assert_eq!(decoded, signed);
+        assert!(decoded.verify(&keys.public()));
     }
+}
 
-    #[test]
-    fn envelope_decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+#[test]
+fn envelope_decoder_never_panics_on_garbage() {
+    let mut rng = Xoshiro256::new(43);
+    for _ in 0..CASES {
+        let n = rng.next_range(300);
+        let bytes: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
         let _ = Envelope::decode(&bytes);
         let _ = SignedEnvelope::decode(&bytes);
         let _ = DeltaStateUpdate::from_bytes(&bytes);
     }
+}
 
-    #[test]
-    fn bitflip_always_breaks_signature(
-        seed in any::<u64>(),
-        payload in arb_payload(),
-        flip_bit in 0usize..8,
-        pos_fraction in 0.0..1.0f64,
-    ) {
-        let keys = Keypair::generate(seed);
+#[test]
+fn bitflip_always_breaks_signature() {
+    let mut rng = Xoshiro256::new(44);
+    for _ in 0..32 {
+        let keys = Keypair::generate(rng.next_u64());
+        let payload = arb_payload(&mut rng);
         let signed = Envelope { from: PlayerId(2), seq: 9, frame: 9, payload }.sign(&keys);
         let mut bytes = signed.encode();
-        let idx = ((bytes.len() - 17) as f64 * pos_fraction) as usize; // within envelope
-        bytes[idx] ^= 1 << flip_bit;
+        let idx = ((bytes.len() - 17) as f64 * rng.next_f64()) as usize; // within envelope
+        bytes[idx] ^= 1 << rng.next_range(8);
         // Structural rejection (a decode error) is also acceptable.
         if let Ok(tampered) = SignedEnvelope::decode(&bytes) {
-            prop_assert!(!tampered.verify(&keys.public()));
+            assert!(!tampered.verify(&keys.public()));
         }
     }
+}
 
-    #[test]
-    fn delta_apply_reconstructs(
-        baseline in arb_state(),
-        current in arb_state(),
-        seq in any::<u64>(),
-    ) {
+#[test]
+fn delta_apply_reconstructs() {
+    let mut rng = Xoshiro256::new(45);
+    for _ in 0..CASES {
+        let baseline = arb_state(&mut rng);
+        let current = arb_state(&mut rng);
+        let seq = rng.next_u64();
         let delta = DeltaStateUpdate::encode_against(seq, &baseline, &current);
         // In-memory application is exact.
         let rebuilt = delta.apply_to(seq, &baseline).unwrap();
-        prop_assert_eq!(rebuilt, current);
+        assert_eq!(rebuilt, current);
         // Wire roundtrip is exact on integers, f32-accurate on floats.
         let decoded = DeltaStateUpdate::from_bytes(&delta.to_bytes()).unwrap();
         let wire = decoded.apply_to(seq, &baseline).unwrap();
         let tol = |v: f64| v.abs().max(1.0) * 1e-6;
-        prop_assert!(wire.position.approx_eq(current.position, tol(current.position.length())));
-        prop_assert!(wire.velocity.approx_eq(current.velocity, tol(current.velocity.length())));
-        prop_assert!((wire.aim.yaw() - current.aim.yaw()).abs() <= 1e-6);
-        prop_assert!((wire.aim.pitch() - current.aim.pitch()).abs() <= 1e-6);
-        prop_assert_eq!(wire.health, current.health);
-        prop_assert_eq!(wire.armor, current.armor);
-        prop_assert_eq!(wire.weapon, current.weapon);
-        prop_assert_eq!(wire.ammo, current.ammo);
+        assert!(wire.position.approx_eq(current.position, tol(current.position.length())));
+        assert!(wire.velocity.approx_eq(current.velocity, tol(current.velocity.length())));
+        assert!((wire.aim.yaw() - current.aim.yaw()).abs() <= 1e-6);
+        assert!((wire.aim.pitch() - current.aim.pitch()).abs() <= 1e-6);
+        assert_eq!(wire.health, current.health);
+        assert_eq!(wire.armor, current.armor);
+        assert_eq!(wire.weapon, current.weapon);
+        assert_eq!(wire.ammo, current.ammo);
     }
+}
 
-    #[test]
-    fn delta_never_larger_than_quantized_full_plus_header(
-        baseline in arb_state(),
-        current in arb_state(),
-    ) {
+#[test]
+fn delta_never_larger_than_quantized_full_plus_header() {
+    let mut rng = Xoshiro256::new(46);
+    for _ in 0..CASES {
+        let baseline = arb_state(&mut rng);
+        let current = arb_state(&mut rng);
         let delta = DeltaStateUpdate::encode_against(0, &baseline, &current);
         // All-fields-changed worst case: 9-byte header + 12+12+8+4+4+1+4.
-        prop_assert!(delta.wire_size() <= 9 + 45);
+        assert!(delta.wire_size() <= 9 + 45);
     }
+}
 
-    #[test]
-    fn proxy_schedule_uniformity_rough(seed in any::<u64>(), players in 4usize..24) {
+#[test]
+fn proxy_schedule_uniformity_rough() {
+    let mut rng = Xoshiro256::new(47);
+    for _ in 0..16 {
+        let seed = rng.next_u64();
+        let players = 4 + rng.next_range(20) as usize;
         let s = ProxySchedule::new(seed, players, 40);
         let target = PlayerId(0);
         let mut counts = vec![0u32; players];
@@ -168,37 +182,41 @@ proptest! {
         for e in 0..epochs {
             counts[s.proxy_of(target, e * 40).index()] += 1;
         }
-        prop_assert_eq!(counts[0], 0);
+        assert_eq!(counts[0], 0);
         let expected = epochs as f64 / (players - 1) as f64;
         for (i, &c) in counts.iter().enumerate().skip(1) {
-            prop_assert!(
+            assert!(
                 (c as f64) < expected * 3.0 + 10.0,
                 "player {i} drawn {c} times (expected ~{expected})"
             );
         }
     }
+}
 
-    #[test]
-    fn rate_deviation_monotone_in_deviation(
-        tolerance in 0.1..1e4f64,
-        a in 0.0..1e5f64,
-        b in 0.0..1e5f64,
-    ) {
+#[test]
+fn rate_deviation_monotone_in_deviation() {
+    let mut rng = Xoshiro256::new(48);
+    for _ in 0..CASES {
+        let tolerance = f64_in(&mut rng, 0.1, 1e4);
+        let a = f64_in(&mut rng, 0.0, 1e5);
+        let b = f64_in(&mut rng, 0.0, 1e5);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(rate_deviation(lo, tolerance) <= rate_deviation(hi, tolerance));
+        assert!(rate_deviation(lo, tolerance) <= rate_deviation(hi, tolerance));
     }
+}
 
-    #[test]
-    fn suspicion_bounded_and_monotone_in_score(
-        score_a in 1u8..=10,
-        score_b in 1u8..=10,
-        staleness in 0u64..1000,
-    ) {
+#[test]
+fn suspicion_bounded_and_monotone_in_score() {
+    let mut rng = Xoshiro256::new(49);
+    for _ in 0..CASES {
+        let score_a = 1 + rng.next_range(10) as u8;
+        let score_b = 1 + rng.next_range(10) as u8;
+        let staleness = rng.next_range(1000);
         let mk = |s| CheatRating::new(s, Confidence::Proxy, staleness).suspicion();
         let (sa, sb) = (mk(score_a), mk(score_b));
-        prop_assert!((0.0..=1.0).contains(&sa));
+        assert!((0.0..=1.0).contains(&sa));
         if score_a <= score_b {
-            prop_assert!(sa <= sb + 1e-12);
+            assert!(sa <= sb + 1e-12);
         }
     }
 }

@@ -24,7 +24,11 @@ pub fn add_mod(a: u64, b: u64, m: u64) -> u64 {
 #[must_use]
 pub fn sub_mod(a: u64, b: u64, m: u64) -> u64 {
     debug_assert!(m > 0 && a < m && b < m);
-    if a >= b { a - b } else { m - (b - a) }
+    if a >= b {
+        a - b
+    } else {
+        m - (b - a)
+    }
 }
 
 /// `(a * b) mod m` using a 128-bit intermediate.

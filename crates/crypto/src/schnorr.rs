@@ -136,8 +136,8 @@ impl Keypair {
         h.update(&self.secret.0.to_be_bytes());
         h.update(message);
         let digest = h.finalize();
-        let k = 1 + (u64::from_be_bytes(digest[..8].try_into().expect("8 bytes"))
-            % (GROUP_ORDER - 1));
+        let k =
+            1 + (u64::from_be_bytes(digest[..8].try_into().expect("8 bytes")) % (GROUP_ORDER - 1));
         let r = pow_mod(GENERATOR, k, MODULUS);
         let e = challenge(r, self.public.0, message);
         let s = add_mod(k % GROUP_ORDER, mul_mod(self.secret.0, e, GROUP_ORDER), GROUP_ORDER);

@@ -1,112 +1,172 @@
-//! Property-based tests for the crypto crate.
+//! Randomized property tests for the crypto crate, driven by its own
+//! deterministic [`Xoshiro256`] generator.
 
-use proptest::prelude::*;
 use watchmen_crypto::field::{add_mod, inv_mod_prime, mul_mod, pow_mod, sub_mod};
 use watchmen_crypto::rng::Xoshiro256;
 use watchmen_crypto::schnorr::{Keypair, PublicKey, Signature, GROUP_ORDER};
 use watchmen_crypto::{hmac_sha256, sha256};
 
 const P: u64 = 1_000_000_007;
+const CASES: usize = 256;
 
-proptest! {
-    #[test]
-    fn field_add_sub_inverse(a in 0..P, b in 0..P) {
-        prop_assert_eq!(sub_mod(add_mod(a, b, P), b, P), a);
-        prop_assert_eq!(add_mod(sub_mod(a, b, P), b, P), a);
+fn bytes_of(rng: &mut Xoshiro256, min: u64, max: u64) -> Vec<u8> {
+    let n = min + rng.next_range(max - min);
+    (0..n).map(|_| rng.next_u64() as u8).collect()
+}
+
+#[test]
+fn field_add_sub_inverse() {
+    let mut rng = Xoshiro256::new(21);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_range(P), rng.next_range(P));
+        assert_eq!(sub_mod(add_mod(a, b, P), b, P), a);
+        assert_eq!(add_mod(sub_mod(a, b, P), b, P), a);
     }
+}
 
-    #[test]
-    fn field_mul_commutes_and_distributes(a in 0..P, b in 0..P, c in 0..P) {
-        prop_assert_eq!(mul_mod(a, b, P), mul_mod(b, a, P));
+#[test]
+fn field_mul_commutes_and_distributes() {
+    let mut rng = Xoshiro256::new(22);
+    for _ in 0..CASES {
+        let (a, b, c) = (rng.next_range(P), rng.next_range(P), rng.next_range(P));
+        assert_eq!(mul_mod(a, b, P), mul_mod(b, a, P));
         let left = mul_mod(a, add_mod(b, c, P), P);
         let right = add_mod(mul_mod(a, b, P), mul_mod(a, c, P), P);
-        prop_assert_eq!(left, right);
+        assert_eq!(left, right);
     }
+}
 
-    #[test]
-    fn field_pow_laws(a in 1..P, x in 0u64..1000, y in 0u64..1000) {
+#[test]
+fn field_pow_laws() {
+    let mut rng = Xoshiro256::new(23);
+    for _ in 0..CASES {
+        let a = 1 + rng.next_range(P - 1);
+        let x = rng.next_range(1000);
+        let y = rng.next_range(1000);
         let lhs = pow_mod(a, x + y, P);
         let rhs = mul_mod(pow_mod(a, x, P), pow_mod(a, y, P), P);
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
     }
+}
 
-    #[test]
-    fn field_inverse_multiplies_to_one(a in 1..P) {
+#[test]
+fn field_inverse_multiplies_to_one() {
+    let mut rng = Xoshiro256::new(24);
+    for _ in 0..CASES {
+        let a = 1 + rng.next_range(P - 1);
         let inv = inv_mod_prime(a, P).unwrap();
-        prop_assert_eq!(mul_mod(a, inv, P), 1);
+        assert_eq!(mul_mod(a, inv, P), 1);
     }
+}
 
-    #[test]
-    fn sha256_deterministic_and_sensitive(data in prop::collection::vec(any::<u8>(), 0..300)) {
-        prop_assert_eq!(sha256(&data), sha256(&data));
+#[test]
+fn sha256_deterministic_and_sensitive() {
+    let mut rng = Xoshiro256::new(25);
+    for _ in 0..64 {
+        let data = bytes_of(&mut rng, 0, 300);
+        assert_eq!(sha256(&data), sha256(&data));
         if !data.is_empty() {
             let mut flipped = data.clone();
             flipped[0] ^= 1;
-            prop_assert_ne!(sha256(&data), sha256(&flipped));
+            assert_ne!(sha256(&data), sha256(&flipped));
         }
     }
+}
 
-    #[test]
-    fn hmac_differs_by_key(
-        key in prop::collection::vec(any::<u8>(), 1..100),
-        msg in prop::collection::vec(any::<u8>(), 0..100),
-    ) {
+#[test]
+fn hmac_differs_by_key() {
+    let mut rng = Xoshiro256::new(26);
+    for _ in 0..64 {
+        let key = bytes_of(&mut rng, 1, 100);
+        let msg = bytes_of(&mut rng, 0, 100);
         let mut key2 = key.clone();
         key2[0] ^= 0xff;
-        prop_assert_ne!(hmac_sha256(&key, &msg), hmac_sha256(&key2, &msg));
+        assert_ne!(hmac_sha256(&key, &msg), hmac_sha256(&key2, &msg));
     }
+}
 
-    #[test]
-    fn schnorr_roundtrip(seed in any::<u64>(), msg in prop::collection::vec(any::<u8>(), 0..200)) {
-        let keys = Keypair::generate(seed);
+#[test]
+fn schnorr_roundtrip() {
+    let mut rng = Xoshiro256::new(27);
+    for _ in 0..64 {
+        let keys = Keypair::generate(rng.next_u64());
+        let msg = bytes_of(&mut rng, 0, 200);
         let sig = keys.sign(&msg);
-        prop_assert!(keys.public().verify(&msg, &sig));
+        assert!(keys.public().verify(&msg, &sig));
     }
+}
 
-    #[test]
-    fn schnorr_rejects_bit_flips(seed in any::<u64>(), msg in prop::collection::vec(any::<u8>(), 1..100), bit in 0usize..8) {
-        let keys = Keypair::generate(seed);
+#[test]
+fn schnorr_rejects_bit_flips() {
+    let mut rng = Xoshiro256::new(28);
+    for _ in 0..64 {
+        let keys = Keypair::generate(rng.next_u64());
+        let msg = bytes_of(&mut rng, 1, 100);
+        let bit = rng.next_range(8);
         let sig = keys.sign(&msg);
         let mut tampered = msg.clone();
         tampered[0] ^= 1 << bit;
-        prop_assert!(!keys.public().verify(&tampered, &sig));
+        assert!(!keys.public().verify(&tampered, &sig));
     }
+}
 
-    #[test]
-    fn schnorr_signature_encoding_roundtrip(seed in any::<u64>(), msg in prop::collection::vec(any::<u8>(), 0..50)) {
+#[test]
+fn schnorr_signature_encoding_roundtrip() {
+    let mut rng = Xoshiro256::new(29);
+    for _ in 0..64 {
+        let seed = rng.next_u64();
+        let msg = bytes_of(&mut rng, 0, 50);
         let sig = Keypair::generate(seed).sign(&msg);
-        prop_assert_eq!(Signature::from_bytes(&sig.to_bytes()), Some(sig));
+        assert_eq!(Signature::from_bytes(&sig.to_bytes()), Some(sig));
     }
+}
 
-    #[test]
-    fn schnorr_pubkey_encoding_roundtrip(seed in any::<u64>()) {
-        let pk = Keypair::generate(seed).public();
-        prop_assert_eq!(PublicKey::from_u64(pk.to_u64()), Some(pk));
+#[test]
+fn schnorr_pubkey_encoding_roundtrip() {
+    let mut rng = Xoshiro256::new(30);
+    for _ in 0..CASES {
+        let pk = Keypair::generate(rng.next_u64()).public();
+        assert_eq!(PublicKey::from_u64(pk.to_u64()), Some(pk));
     }
+}
 
-    #[test]
-    fn rng_range_respects_bound(seed in any::<u64>(), bound in 1u64..1_000_000) {
+#[test]
+fn rng_range_respects_bound() {
+    let mut outer = Xoshiro256::new(31);
+    for _ in 0..CASES {
+        let seed = outer.next_u64();
+        let bound = 1 + outer.next_range(1_000_000);
         let mut rng = Xoshiro256::new(seed);
         for _ in 0..32 {
-            prop_assert!(rng.next_range(bound) < bound);
+            assert!(rng.next_range(bound) < bound);
         }
     }
+}
 
-    #[test]
-    fn rng_same_seed_same_stream(seed in any::<u64>(), stream in any::<u64>()) {
+#[test]
+fn rng_same_seed_same_stream() {
+    let mut outer = Xoshiro256::new(32);
+    for _ in 0..CASES {
+        let seed = outer.next_u64();
+        let stream = outer.next_u64();
         let mut a = Xoshiro256::seed_from(seed, stream);
         let mut b = Xoshiro256::seed_from(seed, stream);
         for _ in 0..16 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
+}
 
-    #[test]
-    fn scalars_in_range(seed in any::<u64>(), msg in prop::collection::vec(any::<u8>(), 0..30)) {
+#[test]
+fn scalars_in_range() {
+    let mut rng = Xoshiro256::new(33);
+    for _ in 0..64 {
+        let seed = rng.next_u64();
+        let msg = bytes_of(&mut rng, 0, 30);
         let sig = Keypair::generate(seed).sign(&msg);
         let bytes = sig.to_bytes();
         let e = u64::from_be_bytes(bytes[..8].try_into().unwrap());
         let s = u64::from_be_bytes(bytes[8..].try_into().unwrap());
-        prop_assert!(e < GROUP_ORDER && s < GROUP_ORDER);
+        assert!(e < GROUP_ORDER && s < GROUP_ORDER);
     }
 }

@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use watchmen_math::{Aim, Vec3};
 
 use crate::weapon::WeaponKind;
@@ -17,9 +16,7 @@ use crate::weapon::WeaponKind;
 /// let p = PlayerId(3);
 /// assert_eq!(p.index(), 3);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct PlayerId(pub u32);
 
 impl PlayerId {
@@ -47,7 +44,7 @@ impl From<u32> for PlayerId {
 ///
 /// This is the payload of the *frequent state updates* sent to interest-set
 /// subscribers and of proxy handoff summaries.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AvatarState {
     /// World position.
     pub position: Vec3,

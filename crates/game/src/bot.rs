@@ -82,7 +82,15 @@ impl BotController {
         let aggression = 0.5 + rng.next_f64();
         let strafe_sign = if rng.next_bool(0.5) { 1.0 } else { -1.0 };
         let speed_factor = 0.7 + 0.3 * rng.next_f64();
-        BotController { id, rng, goal_item: None, wander_target: None, aggression, strafe_sign, speed_factor }
+        BotController {
+            id,
+            rng,
+            goal_item: None,
+            wander_target: None,
+            aggression,
+            strafe_sign,
+            speed_factor,
+        }
     }
 
     /// The player this bot controls.
@@ -124,11 +132,7 @@ impl BotController {
     }
 
     /// The nearest living enemy with line of sight, if any.
-    fn nearest_visible_enemy(
-        &self,
-        view: &BotView<'_>,
-        me: &AvatarState,
-    ) -> Option<(usize, f64)> {
+    fn nearest_visible_enemy(&self, view: &BotView<'_>, me: &AvatarState) -> Option<(usize, f64)> {
         let eye = me.position + Vec3::Z * 1.5;
         view.avatars
             .iter()
@@ -168,8 +172,7 @@ impl BotController {
         }
         let strafe_sign = self.strafe_sign;
         let range_push = ((dist - PREFERRED_RANGE) / PREFERRED_RANGE).clamp(-1.0, 1.0);
-        let desired = (forward * range_push + side * strafe_sign)
-            .normalized_or(side)
+        let desired = (forward * range_push + side * strafe_sign).normalized_or(side)
             * view.physics.max_speed;
         let desired = self.steer(view, me.position, desired) * view.physics.max_speed;
 
@@ -187,9 +190,7 @@ impl BotController {
     fn current_goal(&mut self, view: &BotView<'_>, me: &AvatarState) -> Vec3 {
         if let Some(idx) = self.goal_item {
             let item = &view.items[idx];
-            if item.is_available(view.frame)
-                || item.frames_until_available(view.frame) < 100
-            {
+            if item.is_available(view.frame) || item.frames_until_available(view.frame) < 100 {
                 return item.spawner().position;
             }
             self.goal_item = None;
@@ -224,10 +225,7 @@ impl BotController {
             }
         }
         let spawns = view.map.spawn_points();
-        let target = *self
-            .rng
-            .choose(spawns)
-            .expect("maps always have spawn points");
+        let target = *self.rng.choose(spawns).expect("maps always have spawn points");
         self.wander_target = Some(target);
         target
     }

@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use watchmen_math::Vec3;
 use watchmen_world::ItemKind;
 
@@ -15,7 +14,7 @@ use crate::{PlayerId, WeaponKind};
 /// the paper's tracing module records ("item pickups, shootings, and
 /// killing of players"), and the raw material for interaction-recency in
 /// the attention metric and for kill verification.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum GameEvent {
     /// A weapon was fired.
     Shot {

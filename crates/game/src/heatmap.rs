@@ -201,12 +201,8 @@ mod tests {
     #[test]
     fn empty_heatmap_degenerate_stats() {
         let map = maps::arena(8, 10.0);
-        let trace = crate::trace::GameTrace {
-            map_name: "x".into(),
-            players: 0,
-            seed: 0,
-            frames: vec![],
-        };
+        let trace =
+            crate::trace::GameTrace { map_name: "x".into(), players: 0, seed: 0, frames: vec![] };
         let heat = Heatmap::from_trace(&map, &trace);
         assert_eq!(heat.total(), 0);
         assert_eq!(heat.top_share(0.1), 0.0);
@@ -225,10 +221,10 @@ mod tests {
     #[test]
     fn count_accessor_matches_total() {
         let heat = q3_heat(50);
-        let sum: u64 =
-            (0..heat.height()).flat_map(|y| (0..heat.width()).map(move |x| (x, y)))
-                .map(|(x, y)| heat.count(x, y))
-                .sum();
+        let sum: u64 = (0..heat.height())
+            .flat_map(|y| (0..heat.width()).map(move |x| (x, y)))
+            .map(|(x, y)| heat.count(x, y))
+            .sum();
         assert_eq!(sum, heat.total());
     }
 }

@@ -112,7 +112,11 @@ impl<'a> Replay<'a> {
     }
 
     fn pair_key(a: PlayerId, b: PlayerId) -> (PlayerId, PlayerId) {
-        if a <= b { (a, b) } else { (b, a) }
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
     }
 }
 

@@ -104,8 +104,7 @@ impl GameSession {
             .map(|i| {
                 let base = spawns[i % spawns.len()];
                 // Jitter so stacked players separate.
-                let jitter =
-                    Vec3::new(rng.next_f64() * 4.0 - 2.0, rng.next_f64() * 4.0 - 2.0, 0.0);
+                let jitter = Vec3::new(rng.next_f64() * 4.0 - 2.0, rng.next_f64() * 4.0 - 2.0, 0.0);
                 AvatarState::spawn(config.map.snap_to_floor(base + jitter))
             })
             .collect();
@@ -198,8 +197,8 @@ impl GameSession {
             // Clamp aim rotation to the legal angular speed.
             let current = self.avatars[i].aim;
             let max_turn = self.config.physics.max_turn(dt);
-            let d_yaw = watchmen_math::wrap_angle(cmd.aim.yaw() - current.yaw())
-                .clamp(-max_turn, max_turn);
+            let d_yaw =
+                watchmen_math::wrap_angle(cmd.aim.yaw() - current.yaw()).clamp(-max_turn, max_turn);
             let d_pitch = (cmd.aim.pitch() - current.pitch()).clamp(-max_turn, max_turn);
             self.avatars[i].aim = current.rotated(d_yaw, d_pitch);
 
@@ -208,10 +207,8 @@ impl GameSession {
             // satisfies the verification contract.
             let dt_accel = self.config.physics.max_accel * dt;
             let current_h = self.avatars[i].velocity.horizontal();
-            let desired_h = cmd
-                .desired_velocity
-                .horizontal()
-                .clamp_length(self.config.physics.max_speed);
+            let desired_h =
+                cmd.desired_velocity.horizontal().clamp_length(self.config.physics.max_speed);
             let mut velocity = current_h + (desired_h - current_h).clamp_length(dt_accel);
             let grounded = {
                 let pos = self.avatars[i].position;
@@ -369,8 +366,7 @@ impl GameSession {
             } else {
                 self.avatars[attacker.index()].score += 1;
             }
-            self.respawn_at[victim.index()] =
-                Some(self.frame + self.config.respawn_delay);
+            self.respawn_at[victim.index()] = Some(self.frame + self.config.respawn_delay);
         }
     }
 
@@ -428,10 +424,7 @@ mod tests {
     use super::*;
 
     fn small_session(players: usize, seed: u64) -> GameSession {
-        let config = GameConfig {
-            map: maps::arena(16, 10.0),
-            ..GameConfig::default()
-        };
+        let config = GameConfig { map: maps::arena(16, 10.0), ..GameConfig::default() };
         GameSession::deathmatch(config, players, seed)
     }
 
@@ -468,12 +461,8 @@ mod tests {
             a.step();
             b.step();
         }
-        let same = a
-            .avatars()
-            .iter()
-            .zip(b.avatars())
-            .filter(|(x, y)| x.position == y.position)
-            .count();
+        let same =
+            a.avatars().iter().zip(b.avatars()).filter(|(x, y)| x.position == y.position).count();
         assert!(same < 6, "seeds produced identical games");
     }
 
@@ -513,10 +502,7 @@ mod tests {
                     continue; // teleport, not movement
                 }
                 let moved = a.position.horizontal_distance(prev[i]);
-                assert!(
-                    moved <= max_step + 1e-6,
-                    "p{i} moved {moved} > {max_step}"
-                );
+                assert!(moved <= max_step + 1e-6, "p{i} moved {moved} > {max_step}");
             }
             prev = s.avatars().iter().map(|a| a.position).collect();
         }

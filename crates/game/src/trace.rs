@@ -10,16 +10,14 @@
 //!
 //! Traces serialize to a compact self-describing binary format
 //! ([`GameTrace::to_bytes`] / [`GameTrace::from_bytes`]) so sessions can be
-//! recorded once and replayed across processes; the types also derive
-//! serde traits for users who prefer their own format.
+//! recorded once and replayed across processes.
 
-use serde::{Deserialize, Serialize};
 use watchmen_math::{Aim, Vec3};
 
 use crate::{GameConfig, GameEvent, GameSession, PlayerId, WeaponKind};
 
 /// One player's state in one frame.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlayerFrame {
     /// World position.
     pub position: Vec3,
@@ -46,7 +44,7 @@ impl PlayerFrame {
 }
 
 /// Everything that happened in one frame.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct FrameRecord {
     /// Player states, indexed by player id.
     pub states: Vec<PlayerFrame>,
@@ -55,7 +53,7 @@ pub struct FrameRecord {
 }
 
 /// A complete recorded game.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GameTrace {
     /// Name of the map played.
     pub map_name: String,
@@ -457,10 +455,9 @@ mod codec {
                     kind: self.item()?,
                     spawner: self.u64()? as usize,
                 }),
-                5 => Ok(GameEvent::Respawn {
-                    player: PlayerId(self.u32()?),
-                    position: self.vec3()?,
-                }),
+                5 => {
+                    Ok(GameEvent::Respawn { player: PlayerId(self.u32()?), position: self.vec3()? })
+                }
                 t => Err(TraceDecodeError::InvalidTag(t)),
             }
         }

@@ -7,12 +7,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The weapon roster (a Quake III-flavored subset).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum WeaponKind {
     /// Starting hitscan weapon: low damage, medium range, fast fire.
     MachineGun,

@@ -19,7 +19,6 @@ use crate::Vec3;
 /// let aim = Aim::new(0.0, 0.0);
 /// assert!(aim.direction().approx_eq(Vec3::X, 1e-12));
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Aim {
     yaw: f64,

@@ -195,10 +195,7 @@ mod tests {
     #[test]
     fn traverse_horizontal() {
         let cells = traverse(Vec3::new(0.5, 0.5, 0.0), Vec3::new(3.5, 0.5, 0.0), 1.0);
-        assert_eq!(
-            cells,
-            vec![Cell::new(0, 0), Cell::new(1, 0), Cell::new(2, 0), Cell::new(3, 0)]
-        );
+        assert_eq!(cells, vec![Cell::new(0, 0), Cell::new(1, 0), Cell::new(2, 0), Cell::new(3, 0)]);
     }
 
     #[test]

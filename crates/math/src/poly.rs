@@ -215,7 +215,9 @@ pub fn resample(line: &Polyline, n: usize) -> Polyline {
     match n {
         0 => Polyline::new(),
         1 => Polyline::from_points(vec![line.sample_by_time(0.0)]),
-        _ => (0..n).map(|k| line.sample_by_time(lerp(0.0, 1.0, k as f64 / (n - 1) as f64))).collect(),
+        _ => {
+            (0..n).map(|k| line.sample_by_time(lerp(0.0, 1.0, k as f64 / (n - 1) as f64))).collect()
+        }
     }
 }
 

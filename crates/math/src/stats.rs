@@ -58,13 +58,21 @@ impl Running {
     /// Sample mean (`0.0` when empty).
     #[must_use]
     pub fn mean(&self) -> f64 {
-        if self.n == 0 { 0.0 } else { self.mean }
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
     }
 
     /// Population variance (`0.0` with fewer than two samples).
     #[must_use]
     pub fn variance(&self) -> f64 {
-        if self.n < 2 { 0.0 } else { self.m2 / self.n as f64 }
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
     }
 
     /// Population standard deviation.
@@ -230,7 +238,11 @@ impl Histogram {
     #[must_use]
     pub fn fraction(&self, i: usize) -> f64 {
         let total = self.count();
-        if total == 0 { 0.0 } else { self.buckets[i] as f64 / total as f64 }
+        if total == 0 {
+            0.0
+        } else {
+            self.buckets[i] as f64 / total as f64
+        }
     }
 
     /// Iterates `(bucket_start, fraction)` pairs — the PDF series plotted in

@@ -22,7 +22,6 @@ use crate::EPSILON;
 /// assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
 /// assert_eq!(a.dot(b), 32.0);
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec3 {
     /// East/west component.

@@ -1,152 +1,222 @@
-//! Property-based tests for the math crate's invariants.
+//! Randomized property tests for the math crate's invariants, driven by
+//! the workspace's own deterministic [`Xoshiro256`] generator.
 
-use proptest::prelude::*;
+use watchmen_crypto::rng::Xoshiro256;
 use watchmen_math::poly::{area_between, dead_reckon_path, Polyline};
 use watchmen_math::stats::{percentile, Running};
 use watchmen_math::{grid, wrap_angle, Aim, Cone, Segment, Vec3};
 
-fn small_vec3() -> impl Strategy<Value = Vec3> {
-    (-1e3..1e3f64, -1e3..1e3f64, -1e3..1e3f64).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+const CASES: usize = 256;
+
+fn f64_in(rng: &mut Xoshiro256, lo: f64, hi: f64) -> f64 {
+    lo + rng.next_f64() * (hi - lo)
 }
 
-proptest! {
-    #[test]
-    fn vec_add_commutes(a in small_vec3(), b in small_vec3()) {
-        prop_assert!((a + b).approx_eq(b + a, 1e-9));
-    }
+fn small_vec3(rng: &mut Xoshiro256) -> Vec3 {
+    Vec3::new(f64_in(rng, -1e3, 1e3), f64_in(rng, -1e3, 1e3), f64_in(rng, -1e3, 1e3))
+}
 
-    #[test]
-    fn vec_normalized_has_unit_length(v in small_vec3()) {
+fn vec_of_vec3(rng: &mut Xoshiro256, min: u64, max: u64) -> Vec<Vec3> {
+    let n = min + rng.next_range(max - min);
+    (0..n).map(|_| small_vec3(rng)).collect()
+}
+
+#[test]
+fn vec_add_commutes() {
+    let mut rng = Xoshiro256::new(1);
+    for _ in 0..CASES {
+        let (a, b) = (small_vec3(&mut rng), small_vec3(&mut rng));
+        assert!((a + b).approx_eq(b + a, 1e-9));
+    }
+}
+
+#[test]
+fn vec_normalized_has_unit_length() {
+    let mut rng = Xoshiro256::new(2);
+    for _ in 0..CASES {
+        let v = small_vec3(&mut rng);
         if let Some(n) = v.normalized() {
-            prop_assert!((n.length() - 1.0).abs() < 1e-9);
+            assert!((n.length() - 1.0).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn vec_clamp_length_never_exceeds(v in small_vec3(), cap in 0.0..100.0f64) {
-        prop_assert!(v.clamp_length(cap).length() <= cap + 1e-9);
+#[test]
+fn vec_clamp_length_never_exceeds() {
+    let mut rng = Xoshiro256::new(3);
+    for _ in 0..CASES {
+        let v = small_vec3(&mut rng);
+        let cap = f64_in(&mut rng, 0.0, 100.0);
+        assert!(v.clamp_length(cap).length() <= cap + 1e-9);
     }
+}
 
-    #[test]
-    fn cross_is_orthogonal(a in small_vec3(), b in small_vec3()) {
+#[test]
+fn cross_is_orthogonal() {
+    let mut rng = Xoshiro256::new(4);
+    for _ in 0..CASES {
+        let (a, b) = (small_vec3(&mut rng), small_vec3(&mut rng));
         let c = a.cross(b);
-        prop_assert!(c.dot(a).abs() < 1e-3);
-        prop_assert!(c.dot(b).abs() < 1e-3);
+        assert!(c.dot(a).abs() < 1e-3);
+        assert!(c.dot(b).abs() < 1e-3);
     }
+}
 
-    #[test]
-    fn wrap_angle_in_range(a in -100.0..100.0f64) {
+#[test]
+fn wrap_angle_in_range() {
+    let mut rng = Xoshiro256::new(5);
+    for _ in 0..CASES {
+        let a = f64_in(&mut rng, -100.0, 100.0);
         let w = wrap_angle(a);
-        prop_assert!(w > -std::f64::consts::PI - 1e-12 && w <= std::f64::consts::PI + 1e-12);
+        assert!(w > -std::f64::consts::PI - 1e-12 && w <= std::f64::consts::PI + 1e-12);
         // Wrapping preserves the angle modulo 2π.
-        prop_assert!(((a - w) / std::f64::consts::TAU).rem_euclid(1.0) < 1e-6
-            || ((a - w) / std::f64::consts::TAU).rem_euclid(1.0) > 1.0 - 1e-6);
+        let turns = ((a - w) / std::f64::consts::TAU).rem_euclid(1.0);
+        assert!(!(1e-6..=1.0 - 1e-6).contains(&turns), "angle {a} wrapped to {w}");
     }
+}
 
-    #[test]
-    fn aim_direction_is_unit(yaw in -10.0..10.0f64, pitch in -2.0..2.0f64) {
+#[test]
+fn aim_direction_is_unit() {
+    let mut rng = Xoshiro256::new(6);
+    for _ in 0..CASES {
+        let yaw = f64_in(&mut rng, -10.0, 10.0);
+        let pitch = f64_in(&mut rng, -2.0, 2.0);
         let d = Aim::new(yaw, pitch).direction();
-        prop_assert!((d.length() - 1.0).abs() < 1e-9);
+        assert!((d.length() - 1.0).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn cone_deviation_zero_iff_contains(p in small_vec3()) {
-        let cone = Cone::new(Vec3::ZERO, Vec3::X, 60f64.to_radians(), 100.0);
+#[test]
+fn cone_deviation_zero_iff_contains() {
+    let mut rng = Xoshiro256::new(7);
+    let cone = Cone::new(Vec3::ZERO, Vec3::X, 60f64.to_radians(), 100.0);
+    for _ in 0..CASES {
+        let p = small_vec3(&mut rng);
         if cone.contains(p) {
-            prop_assert_eq!(cone.deviation(p), 0.0);
+            assert_eq!(cone.deviation(p), 0.0);
         } else {
-            prop_assert!(cone.deviation(p) > 0.0);
+            assert!(cone.deviation(p) > 0.0);
         }
     }
+}
 
-    #[test]
-    fn cone_contains_matches_bruteforce(p in small_vec3()) {
-        let cone = Cone::new(Vec3::ZERO, Vec3::X, 60f64.to_radians(), 100.0);
+#[test]
+fn cone_contains_matches_bruteforce() {
+    let mut rng = Xoshiro256::new(8);
+    let cone = Cone::new(Vec3::ZERO, Vec3::X, 60f64.to_radians(), 100.0);
+    for _ in 0..CASES {
+        let p = small_vec3(&mut rng);
         let v = p - cone.apex();
         let brute = v.length() <= 100.0
             && (v.length() < 1e-9 || cone.axis().angle_between(v) <= 60f64.to_radians() + 1e-9);
-        prop_assert_eq!(cone.contains(p), brute);
+        assert_eq!(cone.contains(p), brute, "at {p:?}");
     }
+}
 
-    #[test]
-    fn segment_closest_point_is_closest(a in small_vec3(), b in small_vec3(), p in small_vec3()) {
-        let seg = Segment::new(a, b);
+#[test]
+fn segment_closest_point_is_closest() {
+    let mut rng = Xoshiro256::new(9);
+    for _ in 0..CASES {
+        let seg = Segment::new(small_vec3(&mut rng), small_vec3(&mut rng));
+        let p = small_vec3(&mut rng);
         let d = seg.distance_to_point(p);
         for t in [0.0, 0.1, 0.33, 0.5, 0.77, 1.0] {
-            prop_assert!(d <= seg.point_at(t).distance(p) + 1e-9);
+            assert!(d <= seg.point_at(t).distance(p) + 1e-9);
         }
     }
+}
 
-    #[test]
-    fn dda_traversal_is_4_connected(from in small_vec3(), to in small_vec3()) {
+#[test]
+fn dda_traversal_is_4_connected() {
+    let mut rng = Xoshiro256::new(10);
+    for _ in 0..CASES {
+        let from = small_vec3(&mut rng);
+        let to = small_vec3(&mut rng);
         let cells = grid::traverse(from, to, 16.0);
-        prop_assert_eq!(cells[0], grid::cell_of(from, 16.0));
+        assert_eq!(cells[0], grid::cell_of(from, 16.0));
         for w in cells.windows(2) {
-            prop_assert_eq!(w[0].manhattan(w[1]), 1);
+            assert_eq!(w[0].manhattan(w[1]), 1);
         }
     }
+}
 
-    #[test]
-    fn area_between_nonnegative_and_symmetric(
-        pts_a in prop::collection::vec(small_vec3(), 2..10),
-        pts_b in prop::collection::vec(small_vec3(), 2..10),
-    ) {
-        let a = Polyline::from_points(pts_a);
-        let b = Polyline::from_points(pts_b);
+#[test]
+fn area_between_nonnegative_and_symmetric() {
+    let mut rng = Xoshiro256::new(11);
+    for _ in 0..64 {
+        let a = Polyline::from_points(vec_of_vec3(&mut rng, 2, 10));
+        let b = Polyline::from_points(vec_of_vec3(&mut rng, 2, 10));
         let ab = area_between(&a, &b, 16);
         let ba = area_between(&b, &a, 16);
-        prop_assert!(ab >= 0.0);
-        prop_assert!((ab - ba).abs() < 1e-6 * (1.0 + ab.abs()));
+        assert!(ab >= 0.0);
+        assert!((ab - ba).abs() < 1e-6 * (1.0 + ab.abs()));
     }
+}
 
-    #[test]
-    fn area_between_self_is_zero(pts in prop::collection::vec(small_vec3(), 2..10)) {
-        let line = Polyline::from_points(pts);
-        prop_assert_eq!(area_between(&line, &line, 16), 0.0);
+#[test]
+fn area_between_self_is_zero() {
+    let mut rng = Xoshiro256::new(12);
+    for _ in 0..64 {
+        let line = Polyline::from_points(vec_of_vec3(&mut rng, 2, 10));
+        assert_eq!(area_between(&line, &line, 16), 0.0);
     }
+}
 
-    #[test]
-    fn dead_reckoning_path_is_straight(
-        pos in small_vec3(),
-        vel in small_vec3(),
-        frames in 1usize..40,
-    ) {
+#[test]
+fn dead_reckoning_path_is_straight() {
+    let mut rng = Xoshiro256::new(13);
+    for _ in 0..CASES {
+        let pos = small_vec3(&mut rng);
+        let vel = small_vec3(&mut rng);
+        let frames = 1 + rng.next_range(39) as usize;
         let path = dead_reckon_path(pos, vel, frames, 0.05);
-        prop_assert_eq!(path.len(), frames + 1);
+        assert_eq!(path.len(), frames + 1);
         // Constant velocity: equal spacing between consecutive samples.
         let step = vel.length() * 0.05;
         for w in path.points().windows(2) {
-            prop_assert!((w[0].distance(w[1]) - step).abs() < 1e-6);
+            assert!((w[0].distance(w[1]) - step).abs() < 1e-6);
         }
     }
+}
 
-    #[test]
-    fn running_mean_within_minmax(xs in prop::collection::vec(-1e6..1e6f64, 1..100)) {
+#[test]
+fn running_mean_within_minmax() {
+    let mut rng = Xoshiro256::new(14);
+    for _ in 0..CASES {
+        let n = 1 + rng.next_range(99);
+        let xs: Vec<f64> = (0..n).map(|_| f64_in(&mut rng, -1e6, 1e6)).collect();
         let r: Running = xs.iter().copied().collect();
-        prop_assert!(r.mean() >= r.min() - 1e-9);
-        prop_assert!(r.mean() <= r.max() + 1e-9);
-        prop_assert!(r.variance() >= 0.0);
+        assert!(r.mean() >= r.min() - 1e-9);
+        assert!(r.mean() <= r.max() + 1e-9);
+        assert!(r.variance() >= 0.0);
     }
+}
 
-    #[test]
-    fn percentile_is_monotone(xs in prop::collection::vec(-1e6..1e6f64, 1..100)) {
+#[test]
+fn percentile_is_monotone() {
+    let mut rng = Xoshiro256::new(15);
+    for _ in 0..CASES {
+        let n = 1 + rng.next_range(99);
+        let xs: Vec<f64> = (0..n).map(|_| f64_in(&mut rng, -1e6, 1e6)).collect();
         let p25 = percentile(&xs, 0.25).unwrap();
         let p50 = percentile(&xs, 0.50).unwrap();
         let p75 = percentile(&xs, 0.75).unwrap();
-        prop_assert!(p25 <= p50 && p50 <= p75);
+        assert!(p25 <= p50 && p50 <= p75);
     }
+}
 
-    #[test]
-    fn polyline_sample_stays_on_hull_bounds(
-        pts in prop::collection::vec(small_vec3(), 2..10),
-        u in 0.0..1.0f64,
-    ) {
+#[test]
+fn polyline_sample_stays_on_hull_bounds() {
+    let mut rng = Xoshiro256::new(16);
+    for _ in 0..CASES {
+        let pts = vec_of_vec3(&mut rng, 2, 10);
+        let u = rng.next_f64();
         let line = Polyline::from_points(pts.clone());
         let s = line.sample_by_time(u);
         let min = pts.iter().copied().reduce(Vec3::min).unwrap();
         let max = pts.iter().copied().reduce(Vec3::max).unwrap();
-        prop_assert!(s.x >= min.x - 1e-9 && s.x <= max.x + 1e-9);
-        prop_assert!(s.y >= min.y - 1e-9 && s.y <= max.y + 1e-9);
-        prop_assert!(s.z >= min.z - 1e-9 && s.z <= max.z + 1e-9);
+        assert!(s.x >= min.x - 1e-9 && s.x <= max.x + 1e-9);
+        assert!(s.y >= min.y - 1e-9 && s.y <= max.y + 1e-9);
+        assert!(s.z >= min.z - 1e-9 && s.z <= max.z + 1e-9);
     }
 }

@@ -102,7 +102,14 @@ impl Matrix {
     ///
     /// Panics if `n < 2`, or parameters are non-positive.
     #[must_use]
-    pub fn log_normal(name: &str, n: usize, mean_ms: f64, sigma: f64, jitter: f64, seed: u64) -> Self {
+    pub fn log_normal(
+        name: &str,
+        n: usize,
+        mean_ms: f64,
+        sigma: f64,
+        jitter: f64,
+        seed: u64,
+    ) -> Self {
         assert!(n >= 2, "need at least 2 nodes");
         assert!(mean_ms > 0.0 && sigma > 0.0 && jitter >= 0.0);
         let mut rng = Xoshiro256::seed_from(seed, 0x1a7e);

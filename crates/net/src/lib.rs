@@ -40,6 +40,7 @@ mod event_queue;
 pub mod latency;
 mod simnet;
 pub mod udp;
+pub mod wire;
 
 pub use bandwidth::BandwidthMeter;
 pub use event_queue::EventQueue;

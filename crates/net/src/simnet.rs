@@ -1,6 +1,9 @@
 //! The in-process discrete-event network simulator.
 
+use std::sync::Arc;
+
 use watchmen_crypto::rng::Xoshiro256;
+use watchmen_telemetry::{Counter, Gauge, Histogram};
 
 use crate::latency::LatencyModel;
 use crate::{BandwidthMeter, EventQueue};
@@ -34,6 +37,45 @@ pub struct NetStats {
     pub delivered: u64,
     /// Messages dropped by the loss model.
     pub dropped: u64,
+    /// Messages accepted but not yet delivered.
+    pub in_flight: u64,
+}
+
+impl NetStats {
+    /// Conservation invariant: every submitted message is delivered,
+    /// dropped, or still queued — nothing is lost or double-counted.
+    #[must_use]
+    pub fn invariant_holds(&self) -> bool {
+        self.sent == self.delivered + self.dropped + self.in_flight
+    }
+}
+
+/// Cached global-registry handles for the simulator's hot paths.
+#[derive(Debug)]
+struct SimNetMetrics {
+    sent: Arc<Counter>,
+    delivered: Arc<Counter>,
+    dropped: Arc<Counter>,
+    in_flight: Arc<Gauge>,
+    latency_ms: Arc<Histogram>,
+}
+
+impl SimNetMetrics {
+    fn new() -> Self {
+        let t = watchmen_telemetry::global();
+        t.describe("net_messages_sent_total", "messages submitted to the simulated network");
+        t.describe("net_messages_delivered_total", "messages delivered by the simulated network");
+        t.describe("net_messages_dropped_total", "messages dropped by the Bernoulli loss model");
+        t.describe("net_messages_in_flight", "messages queued but not yet delivered");
+        t.describe("net_delivery_latency_ms", "virtual send-to-deliver latency");
+        SimNetMetrics {
+            sent: t.counter("net_messages_sent_total"),
+            delivered: t.counter("net_messages_delivered_total"),
+            dropped: t.counter("net_messages_dropped_total"),
+            in_flight: t.gauge("net_messages_in_flight"),
+            latency_ms: t.histogram("net_delivery_latency_ms"),
+        }
+    }
 }
 
 /// A virtual-time network connecting `n` nodes with a pluggable latency
@@ -64,6 +106,7 @@ pub struct SimNetwork<T> {
     rng: Xoshiro256,
     meters: Vec<BandwidthMeter>,
     stats: NetStats,
+    metrics: SimNetMetrics,
 }
 
 impl<T> SimNetwork<T> {
@@ -85,6 +128,7 @@ impl<T> SimNetwork<T> {
             rng: Xoshiro256::seed_from(seed, 0x10c0),
             meters: vec![BandwidthMeter::new(); n],
             stats: NetStats::default(),
+            metrics: SimNetMetrics::new(),
         }
     }
 
@@ -100,10 +144,10 @@ impl<T> SimNetwork<T> {
         self.now_ms
     }
 
-    /// Aggregate counters.
+    /// Aggregate counters, including the current in-flight queue depth.
     #[must_use]
     pub fn stats(&self) -> NetStats {
-        self.stats
+        NetStats { in_flight: self.queue.len() as u64, ..self.stats }
     }
 
     /// One node's bandwidth meter.
@@ -133,9 +177,11 @@ impl<T> SimNetwork<T> {
         assert!(from < self.n && to < self.n, "node out of range");
         assert_ne!(from, to, "no self-sends; local delivery is free");
         self.stats.sent += 1;
+        self.metrics.sent.inc();
         self.meters[from].record_up(bytes);
         if self.rng.next_bool(self.loss_rate) {
             self.stats.dropped += 1;
+            self.metrics.dropped.inc();
             return;
         }
         let delay = self.latency.sample_ms(from, to);
@@ -144,6 +190,7 @@ impl<T> SimNetwork<T> {
             deliver_ms,
             Delivery { from, to, sent_ms: self.now_ms, deliver_ms, payload, bytes },
         );
+        self.metrics.in_flight.set(self.queue.len() as i64);
     }
 
     /// Advances virtual time to `t_ms`, returning every message delivered
@@ -160,8 +207,11 @@ impl<T> SimNetwork<T> {
         for (_, d) in delivered {
             self.meters[d.to].record_down(d.bytes);
             self.stats.delivered += 1;
+            self.metrics.delivered.inc();
+            self.metrics.latency_ms.record(d.deliver_ms - d.sent_ms);
             out.push(d);
         }
+        self.metrics.in_flight.set(self.queue.len() as i64);
         out
     }
 
@@ -258,6 +308,56 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn conservation_invariant_holds_throughout_a_run() {
+        // sent == delivered + dropped + in_flight at every observation
+        // point, under loss and with messages still queued.
+        let mut net: SimNetwork<u32> = SimNetwork::new(6, latency::king_like(6, 11), 0.05, 11);
+        let mut rng = Xoshiro256::new(99);
+        for step in 0..200u32 {
+            let from = rng.next_range(6) as usize;
+            let mut to = rng.next_range(6) as usize;
+            if to == from {
+                to = (to + 1) % 6;
+            }
+            net.send(from, to, step, 80);
+            if step % 7 == 0 {
+                net.advance_to(f64::from(step));
+            }
+            let s = net.stats();
+            assert!(s.invariant_holds(), "step {step}: {s:?}");
+        }
+        // Drain completely: in_flight reaches zero and the identity still
+        // balances on final totals.
+        net.advance_to(10_000.0);
+        let s = net.stats();
+        assert_eq!(s.in_flight, 0);
+        assert!(s.invariant_holds(), "final: {s:?}");
+        assert_eq!(s.sent, 200);
+    }
+
+    #[test]
+    fn telemetry_mirrors_sim_counters() {
+        let before = watchmen_telemetry::global().snapshot();
+        let base = |name: &str| match before.get(name) {
+            Some(watchmen_telemetry::MetricValue::Counter(v)) => *v,
+            _ => 0,
+        };
+        let (sent0, dropped0) =
+            (base("net_messages_sent_total"), base("net_messages_dropped_total"));
+        let mut net: SimNetwork<u8> = SimNetwork::new(2, latency::constant(1.0), 1.0, 13);
+        for _ in 0..25 {
+            net.send(0, 1, 0, 10);
+        }
+        let after = watchmen_telemetry::global().snapshot();
+        let read = |name: &str| match after.get(name) {
+            Some(watchmen_telemetry::MetricValue::Counter(v)) => *v,
+            _ => 0,
+        };
+        assert!(read("net_messages_sent_total") >= sent0 + 25);
+        assert!(read("net_messages_dropped_total") >= dropped0 + 25);
     }
 
     #[test]

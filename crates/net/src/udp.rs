@@ -12,7 +12,7 @@ use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::time::Duration;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::wire::{GetBytes, PutBytes};
 
 /// Maximum payload accepted per frame (fits comfortably in one datagram).
 pub const MAX_PAYLOAD: usize = 1400;
@@ -82,12 +82,15 @@ impl UdpEndpoint {
                 format!("payload {} exceeds {MAX_PAYLOAD}", payload.len()),
             ));
         }
-        let mut frame = BytesMut::with_capacity(8 + payload.len());
+        let mut frame = Vec::with_capacity(8 + payload.len());
         frame.put_u16(MAGIC);
         frame.put_u32(self.node_id);
         frame.put_u16(payload.len() as u16);
         frame.put_slice(payload);
         self.socket.send_to(&frame, dest)?;
+        let telemetry = watchmen_telemetry::global();
+        telemetry.counter("udp_frames_sent_total").inc();
+        telemetry.counter("udp_bytes_sent_total").add(frame.len() as u64);
         Ok(())
     }
 
@@ -98,10 +101,12 @@ impl UdpEndpoint {
     /// # Errors
     ///
     /// Propagates socket errors other than `WouldBlock`.
-    pub fn try_recv(&self) -> io::Result<Option<(u32, SocketAddr, Bytes)>> {
+    pub fn try_recv(&self) -> io::Result<Option<(u32, SocketAddr, Vec<u8>)>> {
         let mut buf = [0u8; 2048];
         match self.socket.recv_from(&mut buf) {
-            Ok((len, from)) => Ok(parse_frame(&buf[..len]).map(|(id, payload)| (id, from, payload))),
+            Ok((len, from)) => {
+                Ok(parse_frame(&buf[..len]).map(|(id, payload)| (id, from, payload)))
+            }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
             Err(e) => Err(e),
         }
@@ -116,7 +121,7 @@ impl UdpEndpoint {
     pub fn recv_timeout(
         &self,
         timeout: Duration,
-    ) -> io::Result<Option<(u32, SocketAddr, Bytes)>> {
+    ) -> io::Result<Option<(u32, SocketAddr, Vec<u8>)>> {
         self.socket.set_nonblocking(false)?;
         self.socket.set_read_timeout(Some(timeout))?;
         let mut buf = [0u8; 2048];
@@ -125,8 +130,7 @@ impl UdpEndpoint {
                 Ok(parse_frame(&buf[..len]).map(|(id, payload)| (id, from, payload)))
             }
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 Ok(None)
             }
@@ -139,16 +143,20 @@ impl UdpEndpoint {
 
 /// Parses a frame, returning the sender id and payload, or `None` if
 /// malformed.
-fn parse_frame(mut data: &[u8]) -> Option<(u32, Bytes)> {
+fn parse_frame(mut data: &[u8]) -> Option<(u32, Vec<u8>)> {
+    let telemetry = watchmen_telemetry::global();
     if data.len() < 8 || data.get_u16() != MAGIC {
+        telemetry.counter("udp_frames_malformed_total").inc();
         return None;
     }
     let id = data.get_u32();
     let len = data.get_u16() as usize;
     if data.len() != len {
+        telemetry.counter("udp_frames_malformed_total").inc();
         return None;
     }
-    Some((id, Bytes::copy_from_slice(data)))
+    telemetry.counter("udp_frames_received_total").inc();
+    Some((id, data.to_vec()))
 }
 
 #[cfg(test)]
@@ -186,7 +194,7 @@ mod tests {
         assert!(parse_frame(b"junk").is_none());
         assert!(parse_frame(&[0u8; 8]).is_none());
         // Correct magic but wrong length field.
-        let mut f = BytesMut::new();
+        let mut f = Vec::new();
         f.put_u16(MAGIC);
         f.put_u32(1);
         f.put_u16(10); // claims 10 bytes, provides 2

@@ -63,9 +63,7 @@ impl AgeSeries {
     /// `(age_in_frames, probability)` pairs — the PDF the paper plots.
     #[must_use]
     pub fn pdf(&self) -> Vec<(u64, f64)> {
-        (0..self.report.ages.buckets())
-            .map(|i| (i as u64, self.report.ages.fraction(i)))
-            .collect()
+        (0..self.report.ages.buckets()).map(|i| (i as u64, self.report.ages.fraction(i))).collect()
     }
 
     /// The fraction counted as loss (age ≥ 3 frames, plus network drops).
@@ -123,13 +121,7 @@ mod tests {
 
     fn series() -> Vec<AgeSeries> {
         let w = standard_workload(12, 5, 300);
-        run_age(
-            &w,
-            &WatchmenConfig::default(),
-            &[LatencySet::King, LatencySet::PeerWise],
-            0.01,
-            13,
-        )
+        run_age(&w, &WatchmenConfig::default(), &[LatencySet::King, LatencySet::PeerWise], 0.01, 13)
     }
 
     #[test]
@@ -164,13 +156,8 @@ mod tests {
     #[test]
     fn lan_is_faster_than_wan() {
         let w = standard_workload(8, 5, 200);
-        let series = run_age(
-            &w,
-            &WatchmenConfig::default(),
-            &[LatencySet::Lan, LatencySet::King],
-            0.0,
-            17,
-        );
+        let series =
+            run_age(&w, &WatchmenConfig::default(), &[LatencySet::Lan, LatencySet::King], 0.0, 17);
         let lan_young = series[0].report.fraction_younger_than(1);
         let king_young = series[1].report.fraction_younger_than(1);
         assert!(lan_young > king_young, "lan {lan_young} vs king {king_young}");

@@ -6,7 +6,9 @@
 //! per-player cost bounded and fair. This sweep replays growing player
 //! counts under each architecture and reports per-node upload/download.
 
-use watchmen_core::overlay::{run_client_server, run_donnybrook, run_hybrid, run_watchmen, OverlayReport};
+use watchmen_core::overlay::{
+    run_client_server, run_donnybrook, run_hybrid, run_watchmen, OverlayReport,
+};
 use watchmen_core::WatchmenConfig;
 use watchmen_net::latency;
 
@@ -59,8 +61,7 @@ pub fn run_bandwidth_sweep(
         let w = standard_workload(n, seed ^ n as u64, frames);
         let wm = run_watchmen(&w.trace, &w.map, config, latency::constant(30.0), 0.0, seed);
         let db = run_donnybrook(&w.trace, &w.map, config, latency::constant(30.0), 0.0, seed);
-        let cs =
-            run_client_server(&w.trace, &w.map, config, latency::constant(30.0), 0.0, seed);
+        let cs = run_client_server(&w.trace, &w.map, config, latency::constant(30.0), 0.0, seed);
         let hy = run_hybrid(&w.trace, &w.map, config, latency::constant(30.0), 0.0, seed);
         rows.push(row_from(&wm, n));
         rows.push(row_from(&db, n));
@@ -118,8 +119,7 @@ mod tests {
     fn hybrid_offloads_players_onto_the_server() {
         let rows = sweep();
         let hy = rows.iter().find(|r| r.architecture == "hybrid" && r.players == 16).unwrap();
-        let wm =
-            rows.iter().find(|r| r.architecture == "watchmen" && r.players == 16).unwrap();
+        let wm = rows.iter().find(|r| r.architecture == "watchmen" && r.players == 16).unwrap();
         assert!(hy.mean_up_kbps < wm.mean_up_kbps);
         assert!(hy.server_up_kbps > 0.0);
     }
@@ -127,15 +127,12 @@ mod tests {
     #[test]
     fn client_server_concentrates_load_on_server() {
         let rows = sweep();
-        let cs16 = rows
-            .iter()
-            .find(|r| r.architecture == "client-server" && r.players == 16)
-            .unwrap();
+        let cs16 =
+            rows.iter().find(|r| r.architecture == "client-server" && r.players == 16).unwrap();
         // The server uploads far more than any client.
         assert!(cs16.server_up_kbps > cs16.mean_up_kbps * 4.0);
         // P2P architectures have no server.
-        let wm16 =
-            rows.iter().find(|r| r.architecture == "watchmen" && r.players == 16).unwrap();
+        let wm16 = rows.iter().find(|r| r.architecture == "watchmen" && r.players == 16).unwrap();
         assert_eq!(wm16.server_up_kbps, 0.0);
     }
 
@@ -146,8 +143,7 @@ mod tests {
         // 20 Hz (107 bytes per update).
         let rows = sweep();
         for n in [8usize, 16] {
-            let wm =
-                rows.iter().find(|r| r.architecture == "watchmen" && r.players == n).unwrap();
+            let wm = rows.iter().find(|r| r.architecture == "watchmen" && r.players == n).unwrap();
             let mesh_kbps = 107.0 * 8.0 * (n as f64 - 1.0) * 20.0 / 1000.0;
             assert!(
                 wm.mean_up_kbps < mesh_kbps * 0.8,

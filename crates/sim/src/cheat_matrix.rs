@@ -253,8 +253,7 @@ pub fn run_cheat_matrix(workload: &Workload, config: &WatchmenConfig, seed: u64)
             weapon: WeaponKind::MachineGun,
             ammo: 10,
         };
-        let states =
-            vec![mk(Vec3::new(150.0, 200.0, 0.0)), mk(Vec3::new(250.0, 200.0, 0.0))];
+        let states = vec![mk(Vec3::new(150.0, 200.0, 0.0)), mk(Vec3::new(250.0, 200.0, 0.0))];
         let sets = compute_sets(PlayerId(0), &states, &map2, config, &NoRecency);
         push(
             CheatKind::Maphack,

@@ -83,12 +83,7 @@ pub struct DetectionRow {
 
 /// Picks the smallest threshold whose honest false-positive rate is at
 /// most `fp_budget`, then evaluates detection at it.
-fn evaluate(
-    check: CheckKind,
-    honest: &[u8],
-    cheats: &[u8],
-    fp_budget: f64,
-) -> DetectionRow {
+fn evaluate(check: CheckKind, honest: &[u8], cheats: &[u8], fp_budget: f64) -> DetectionRow {
     let mut threshold = 10u8;
     let mut fp = 1.0;
     for t in 2..=10u8 {
@@ -105,11 +100,7 @@ fn evaluate(
         check,
         threshold,
         false_positive_rate: fp,
-        detection_rate: if cheats.is_empty() {
-            0.0
-        } else {
-            detected as f64 / cheats.len() as f64
-        },
+        detection_rate: if cheats.is_empty() { 0.0 } else { detected as f64 / cheats.len() as f64 },
         honest_samples: honest.len(),
         cheat_samples: cheats.len(),
     }
@@ -263,7 +254,8 @@ pub fn run_detection(
             for p in 0..n {
                 let state = &trace.frames[f].states[p];
                 if !state.is_alive()
-                    || (f..f + horizon).any(|g| teleported(p, g) || !trace.frames[g].states[p].is_alive())
+                    || (f..f + horizon)
+                        .any(|g| teleported(p, g) || !trace.frames[g].states[p].is_alive())
                 {
                     continue;
                 }
@@ -309,7 +301,8 @@ pub fn run_detection(
                 }
                 let sets = compute_sets(pid, states, map, config, &NoRecency);
                 for t in &sets.interest {
-                    honest_is.push(verifier.check_is_subscription(pid, *t, states, map, &NoRecency));
+                    honest_is
+                        .push(verifier.check_is_subscription(pid, *t, states, map, &NoRecency));
                     honest_vs.push(verifier.check_vs_subscription(
                         &states[p],
                         states[t.index()].position,
@@ -338,7 +331,8 @@ pub fn run_detection(
                             da.partial_cmp(&db).expect("finite")
                         })
                         .expect("non-empty");
-                    cheat_is.push(verifier.check_is_subscription(pid, target, states, map, &NoRecency));
+                    cheat_is
+                        .push(verifier.check_is_subscription(pid, target, states, map, &NoRecency));
                     cheat_vs.push(verifier.check_vs_subscription(
                         &states[p],
                         states[target.index()].position,
@@ -359,8 +353,7 @@ pub fn run_detection(
 /// Renders the Figure 6 series.
 #[must_use]
 pub fn format_detection(rows: &[DetectionRow]) -> String {
-    let header =
-        ["verification", "success", "false positives", "threshold", "honest n", "cheat n"];
+    let header = ["verification", "success", "false positives", "threshold", "honest n", "cheat n"];
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

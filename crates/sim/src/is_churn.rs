@@ -39,11 +39,7 @@ pub struct ChurnReport {
 /// spell over the trace.
 #[must_use]
 #[allow(clippy::needless_range_loop)] // per-player membership tables are index-parallel
-pub fn run_is_churn(
-    workload: &Workload,
-    config: &WatchmenConfig,
-    horizons: &[u64],
-) -> ChurnReport {
+pub fn run_is_churn(workload: &Workload, config: &WatchmenConfig, horizons: &[u64]) -> ChurnReport {
     let trace = &workload.trace;
     let n = trace.players;
 
@@ -186,11 +182,7 @@ mod tests {
         let r = report();
         // The paper observes ~88%; the synthetic workload should be in the
         // same high-retention regime.
-        assert!(
-            r.frame_to_frame_retention > 0.7,
-            "retention {}",
-            r.frame_to_frame_retention
-        );
+        assert!(r.frame_to_frame_retention > 0.7, "retention {}", r.frame_to_frame_retention);
     }
 
     #[test]

@@ -72,13 +72,7 @@ pub fn run_witness(
                 // Honest observers' sets (honest players are c..n).
                 let honest_sets: Vec<_> = (c..n)
                     .map(|i| {
-                        compute_sets(
-                            PlayerId(i as u32),
-                            states,
-                            &workload.map,
-                            config,
-                            &NoRecency,
-                        )
+                        compute_sets(PlayerId(i as u32), states, &workload.map, config, &NoRecency)
                     })
                     .collect();
                 for cheater in 0..c {
@@ -170,10 +164,7 @@ mod tests {
     fn there_are_witnesses_at_all() {
         let rows = rows();
         let r = &rows[0];
-        assert!(
-            r.avg_is_witnesses + r.avg_vs_witnesses > 0.5,
-            "expected some witnesses: {r:?}"
-        );
+        assert!(r.avg_is_witnesses + r.avg_vs_witnesses > 0.5, "expected some witnesses: {r:?}");
     }
 
     #[test]

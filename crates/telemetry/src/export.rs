@@ -1,0 +1,271 @@
+//! Snapshot exporters: Prometheus text exposition format and JSON.
+
+use std::fmt::Write as _;
+
+use crate::registry::{MetricValue, Snapshot};
+
+/// Renders a snapshot in the Prometheus text exposition format.
+///
+/// Counters and gauges render one sample line each; histograms render
+/// cumulative `_bucket{le="…"}` lines over their non-empty buckets plus
+/// `_sum` and `_count`. `# HELP`/`# TYPE` headers are emitted once per
+/// metric name.
+///
+/// # Examples
+///
+/// ```
+/// use watchmen_telemetry::Registry;
+///
+/// let r = Registry::new();
+/// r.counter_with("updates_total", &[("class", "state")]).add(7);
+/// let text = watchmen_telemetry::export::prometheus_text(&r.snapshot());
+/// assert!(text.contains("updates_total{class=\"state\"} 7"));
+/// ```
+#[must_use]
+pub fn prometheus_text(snapshot: &Snapshot) -> String {
+    prometheus_text_with_help(snapshot, &|_| None)
+}
+
+/// Like [`prometheus_text`], with a help-text lookup (normally
+/// `|name| registry.help_for(name)`).
+#[must_use]
+pub fn prometheus_text_with_help(
+    snapshot: &Snapshot,
+    help: &dyn Fn(&str) -> Option<&'static str>,
+) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for entry in &snapshot.entries {
+        if last_name != Some(entry.name) {
+            if let Some(h) = help(entry.name) {
+                let _ = writeln!(out, "# HELP {} {}", entry.name, h);
+            }
+            let kind = match entry.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram { .. } => "histogram",
+            };
+            let _ = writeln!(out, "# TYPE {} {}", entry.name, kind);
+            last_name = Some(entry.name);
+        }
+        match &entry.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "{}{} {}", entry.name, labels(&entry.labels, &[]), v);
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "{}{} {}", entry.name, labels(&entry.labels, &[]), v);
+            }
+            MetricValue::Histogram { count, sum, buckets, .. } => {
+                let mut cumulative = 0u64;
+                for (bound, n) in buckets {
+                    cumulative += n;
+                    let le = fmt_f64(*bound);
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        entry.name,
+                        labels(&entry.labels, &[("le", &le)]),
+                        cumulative
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    entry.name,
+                    labels(&entry.labels, &[("le", "+Inf")]),
+                    count
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    entry.name,
+                    labels(&entry.labels, &[]),
+                    fmt_f64(*sum)
+                );
+                let _ =
+                    writeln!(out, "{}_count{} {}", entry.name, labels(&entry.labels, &[]), count);
+            }
+        }
+    }
+    out
+}
+
+/// Renders a snapshot as a JSON document: an object mapping each metric
+/// (name plus `{labels}` suffix when labelled) to its value — scalars
+/// for counters/gauges, `{count, sum, min, max, p50, p90, p99}` objects
+/// for histograms.
+///
+/// # Examples
+///
+/// ```
+/// use watchmen_telemetry::Registry;
+///
+/// let r = Registry::new();
+/// r.gauge("depth").set(3);
+/// let json = watchmen_telemetry::export::json(&r.snapshot());
+/// assert_eq!(json, "{\n  \"depth\": 3\n}");
+/// ```
+#[must_use]
+pub fn json(snapshot: &Snapshot) -> String {
+    let mut out = String::from("{");
+    for (i, entry) in snapshot.entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mut key = entry.name.to_owned();
+        if !entry.labels.is_empty() {
+            key.push('{');
+            for (j, (k, v)) in entry.labels.iter().enumerate() {
+                if j > 0 {
+                    key.push(',');
+                }
+                let _ = write!(key, "{k}={v}");
+            }
+            key.push('}');
+        }
+        let _ = write!(out, "\n  {}: ", json_string(&key));
+        match &entry.value {
+            MetricValue::Counter(v) => {
+                let _ = write!(out, "{v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = write!(out, "{v}");
+            }
+            MetricValue::Histogram { count, sum, min, max, p50, p90, p99, .. } => {
+                let _ = write!(
+                    out,
+                    "{{\"count\": {count}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                     \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                    fmt_f64(*sum),
+                    fmt_f64(*min),
+                    fmt_f64(*max),
+                    fmt_f64(*p50),
+                    fmt_f64(*p90),
+                    fmt_f64(*p99),
+                );
+            }
+        }
+    }
+    out.push_str("\n}");
+    out
+}
+
+/// Renders a `{k="v",…}` label block, merging metric labels with extras
+/// (e.g. `le`); empty when there are no labels at all.
+fn labels(base: &[(&'static str, String)], extra: &[(&str, &str)]) -> String {
+    if base.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in base.iter().map(|(k, v)| (*k, v.as_str())).chain(extra.iter().copied()) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Formats a float compactly: integers without a trailing `.0`, others
+/// with enough digits to round-trip the histogram's resolution.
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        let s = format!("{v:.6}");
+        let s = s.trim_end_matches('0').trim_end_matches('.');
+        s.to_owned()
+    }
+}
+
+/// JSON-escapes a string and wraps it in quotes.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn prometheus_counter_and_gauge_lines() {
+        let r = Registry::new();
+        r.describe("a_total", "things that happened");
+        r.counter("a_total").add(5);
+        r.gauge("depth").set(-2);
+        let text = prometheus_text_with_help(&r.snapshot(), &|n| r.help_for(n));
+        assert!(text.contains("# HELP a_total things that happened"));
+        assert!(text.contains("# TYPE a_total counter"));
+        assert!(text.contains("a_total 5"));
+        assert!(text.contains("# TYPE depth gauge"));
+        assert!(text.contains("depth -2"));
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative() {
+        let r = Registry::new();
+        let h = r.histogram("lat_ms");
+        h.record(1.0);
+        h.record(1.0);
+        h.record(100.0);
+        let text = prometheus_text(&r.snapshot());
+        assert!(text.contains("lat_ms_count 3"), "{text}");
+        assert!(text.contains("lat_ms_sum 102"), "{text}");
+        assert!(text.contains("le=\"+Inf\"} 3"), "{text}");
+        // The 1.0 bucket line must carry 2 observations before the 100.0
+        // line reaches the cumulative 3.
+        let one_line = text.lines().find(|l| l.starts_with("lat_ms_bucket")).unwrap();
+        assert!(one_line.ends_with(" 2"), "{one_line}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_with("x_total", &[("who", "a\"b\\c")]).inc();
+        let text = prometheus_text(&r.snapshot());
+        assert!(text.contains("who=\"a\\\"b\\\\c\""), "{text}");
+    }
+
+    #[test]
+    fn json_shapes() {
+        let r = Registry::new();
+        r.counter_with("m_total", &[("k", "v")]).add(2);
+        r.histogram("h_ms").record(10.0);
+        let out = json(&r.snapshot());
+        assert!(out.contains("\"h_ms\": {\"count\": 1"), "{out}");
+        assert!(out.contains("\"m_total{k=v}\": 2"), "{out}");
+        assert!(out.starts_with('{') && out.ends_with('}'));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_documents() {
+        let r = Registry::new();
+        assert_eq!(prometheus_text(&r.snapshot()), "");
+        assert_eq!(json(&r.snapshot()), "{\n}");
+    }
+}

@@ -1,0 +1,306 @@
+//! A concurrent log-linear-bucket histogram with quantile queries.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: 2^5 = 32 linear buckets per power-of-two
+/// octave, bounding the relative error of any reported quantile by
+/// 1/32 ≈ 3.1%.
+const SUB_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BITS;
+
+/// Total buckets needed to cover the full scaled `u64` range: `SUB`
+/// linear buckets below `SUB`, then 32 buckets for each of the remaining
+/// 59 octaves.
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
+
+/// Values are recorded in thousandths (e.g. microseconds when the unit
+/// is milliseconds), so sub-unit values keep full log-linear resolution.
+const SCALE: f64 = 1000.0;
+
+/// A fixed-footprint histogram of non-negative values with log-linear
+/// buckets (in the spirit of HdrHistogram): constant-time concurrent
+/// recording, ~3% relative resolution across the whole range, and
+/// quantile queries without storing samples.
+///
+/// Values are `f64` in the metric's natural unit (milliseconds, bytes,
+/// kbps); negative and non-finite values are clamped to zero.
+///
+/// # Examples
+///
+/// ```
+/// use watchmen_telemetry::Histogram;
+///
+/// let h = Histogram::new();
+/// for v in 1..=100 {
+///     h.record(f64::from(v));
+/// }
+/// assert_eq!(h.count(), 100);
+/// let p50 = h.quantile(0.5);
+/// assert!((p50 - 50.0).abs() / 50.0 < 0.05, "p50 ≈ {p50}");
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    /// Sum of scaled values (thousandths of the unit).
+    sum: AtomicU64,
+    /// Minimum scaled value; `u64::MAX` while empty.
+    min: AtomicU64,
+    /// Maximum scaled value.
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKETS]> =
+            buckets.into_boxed_slice().try_into().expect("length matches");
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Negative, NaN and infinite values clamp
+    /// to zero; values beyond the scaled `u64` range saturate into the
+    /// top bucket.
+    pub fn record(&self, value: f64) {
+        let scaled = if value.is_nan() || value <= 0.0 {
+            0
+        } else {
+            let s = value * SCALE;
+            if s >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                s as u64
+            }
+        };
+        self.buckets[bucket_index(scaled)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(scaled, Ordering::Relaxed);
+        self.min.fetch_min(scaled, Ordering::Relaxed);
+        self.max.fetch_max(scaled, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values in the metric's unit.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum.load(Ordering::Relaxed) as f64 / SCALE
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Smallest recorded value, or 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0.0
+        } else {
+            m as f64 / SCALE
+        }
+    }
+
+    /// Largest recorded value, or 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max.load(Ordering::Relaxed) as f64 / SCALE
+    }
+
+    /// The value at quantile `q ∈ [0, 1]` (bucket midpoint, ≤ 3.1%
+    /// relative error), or 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0, 1]");
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        // Rank of the target observation, 1-based, ceil like nearest-rank.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_mid(i) as f64 / SCALE;
+            }
+        }
+        self.max()
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs in the metric's
+    /// unit, for exporters.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_high(i) as f64 / SCALE, n))
+            })
+            .collect()
+    }
+
+    /// Clears all recorded data.
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Maps a scaled value to its bucket: identity below `SUB`, then 32
+/// linear sub-buckets per octave.
+fn bucket_index(u: u64) -> usize {
+    if u < SUB as u64 {
+        return u as usize;
+    }
+    let msb = 63 - u.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let octave = (msb - SUB_BITS + 1) as usize;
+    (octave << SUB_BITS) + ((u >> shift) as usize & (SUB - 1))
+}
+
+/// Inclusive lower bound of bucket `i` in scaled units.
+fn bucket_low(i: usize) -> u64 {
+    if i < SUB {
+        return i as u64;
+    }
+    let octave = i / SUB - 1;
+    let pos = i % SUB;
+    ((SUB + pos) as u64) << octave
+}
+
+/// Exclusive upper bound of bucket `i` in scaled units.
+fn bucket_high(i: usize) -> u64 {
+    if i < SUB {
+        return i as u64 + 1;
+    }
+    let octave = i / SUB - 1;
+    bucket_low(i).saturating_add(1u64 << octave)
+}
+
+/// Midpoint of bucket `i`, used as its representative value.
+fn bucket_mid(i: usize) -> u64 {
+    let low = bucket_low(i);
+    low + (bucket_high(i).saturating_sub(low)) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_monotone_and_self_inverse() {
+        let mut prev = 0usize;
+        for u in [0u64, 1, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, u64::MAX / 2, u64::MAX] {
+            let i = bucket_index(u);
+            assert!(i >= prev, "index not monotone at {u}");
+            assert!(bucket_low(i) <= u, "low {} > {u}", bucket_low(i));
+            assert!(
+                u < bucket_high(i) || bucket_high(i) == u64::MAX,
+                "high {} <= {u}",
+                bucket_high(i)
+            );
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn every_bucket_contains_its_bounds() {
+        for i in 0..BUCKETS {
+            let low = bucket_low(i);
+            assert_eq!(bucket_index(low), i, "low bound of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn quantiles_on_uniform_are_accurate() {
+        let h = Histogram::new();
+        for v in 1..=10_000 {
+            h.record(f64::from(v));
+        }
+        for (q, expect) in [(0.5, 5000.0), (0.9, 9000.0), (0.99, 9900.0)] {
+            let got = h.quantile(q);
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.04, "q{q}: got {got}, want ~{expect} ({rel})");
+        }
+    }
+
+    #[test]
+    fn sub_unit_values_resolve() {
+        let h = Histogram::new();
+        h.record(0.004);
+        h.record(0.5);
+        assert_eq!(h.count(), 2);
+        assert!(h.min() > 0.003 && h.min() < 0.005);
+        assert!((h.quantile(1.0) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn degenerate_inputs_clamp() {
+        let h = Histogram::new();
+        h.record(-3.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        // -3 and NaN clamp to zero; +inf saturates to the top bucket.
+        assert_eq!(h.min(), 0.0);
+        assert!(h.max() > 1e12);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let h = Histogram::new();
+        h.record(5.0);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Span-style scope timers for hot paths.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::Histogram;
+
+/// Records wall-clock elapsed milliseconds into a [`Histogram`] when the
+/// scope ends — the tracing primitive for tick phases and other hot
+/// paths.
+///
+/// The guard holds a clone of the histogram handle, so it stays valid
+/// even if the registry is dropped first. Use [`FrameTimer::discard`] to
+/// abandon a span (e.g. on an early-exit error path that should not
+/// pollute the distribution).
+///
+/// # Examples
+///
+/// ```
+/// use watchmen_telemetry::{FrameTimer, Registry};
+///
+/// let registry = Registry::new();
+/// let hist = registry.histogram("phase_duration_ms");
+/// {
+///     let _span = FrameTimer::start(&hist);
+///     // ... timed work ...
+/// }
+/// assert_eq!(hist.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct FrameTimer {
+    hist: Arc<Histogram>,
+    started: Instant,
+    armed: bool,
+}
+
+impl FrameTimer {
+    /// Starts timing into `hist`.
+    #[must_use]
+    pub fn start(hist: &Arc<Histogram>) -> Self {
+        FrameTimer { hist: Arc::clone(hist), started: Instant::now(), armed: true }
+    }
+
+    /// Milliseconds elapsed so far, without ending the span.
+    #[must_use]
+    pub fn elapsed_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1000.0
+    }
+
+    /// Ends the span now and records it, consuming the timer.
+    pub fn stop(mut self) {
+        self.armed = false;
+        self.hist.record(self.started.elapsed().as_secs_f64() * 1000.0);
+    }
+
+    /// Abandons the span without recording.
+    pub fn discard(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for FrameTimer {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record(self.started.elapsed().as_secs_f64() * 1000.0);
+        }
+    }
+}
+
+/// Times `body` into `hist` and returns its result — the closure form of
+/// [`FrameTimer`].
+///
+/// # Examples
+///
+/// ```
+/// use watchmen_telemetry::Registry;
+///
+/// let registry = Registry::new();
+/// let hist = registry.histogram("work_ms");
+/// let answer = watchmen_telemetry::time(&hist, || 6 * 7);
+/// assert_eq!(answer, 42);
+/// assert_eq!(hist.count(), 1);
+/// ```
+pub fn time<R>(hist: &Arc<Histogram>, body: impl FnOnce() -> R) -> R {
+    let _span = FrameTimer::start(hist);
+    body()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn span_records_on_drop() {
+        let r = Registry::new();
+        let h = r.histogram("t_ms");
+        {
+            let _span = FrameTimer::start(&h);
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn stop_records_once() {
+        let r = Registry::new();
+        let h = r.histogram("t_ms");
+        let span = FrameTimer::start(&h);
+        span.stop();
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn discard_records_nothing() {
+        let r = Registry::new();
+        let h = r.histogram("t_ms");
+        FrameTimer::start(&h).discard();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn closure_form_passes_through() {
+        let r = Registry::new();
+        let h = r.histogram("t_ms");
+        assert_eq!(crate::time(&h, || "ok"), "ok");
+        assert_eq!(h.count(), 1);
+    }
+}

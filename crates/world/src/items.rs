@@ -11,7 +11,6 @@ use std::fmt;
 use watchmen_math::Vec3;
 
 /// The kinds of items that can appear in the world.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ItemKind {
     /// Restores 25 health (capped at the max).

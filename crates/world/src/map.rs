@@ -89,7 +89,11 @@ impl GameMap {
     pub fn bounds(&self) -> Aabb {
         Aabb::new(
             Vec3::ZERO,
-            Vec3::new(self.width as f64 * self.cell_size, self.height as f64 * self.cell_size, 200.0),
+            Vec3::new(
+                self.width as f64 * self.cell_size,
+                self.height as f64 * self.cell_size,
+                200.0,
+            ),
         )
     }
 
@@ -200,23 +204,21 @@ impl GameMap {
         let mut rows: Vec<Vec<char>> = (0..self.height)
             .map(|y| {
                 (0..self.width)
-                    .map(|x| self.tile(x as i32, y as i32).to_string().chars().next().unwrap_or('?'))
+                    .map(|x| {
+                        self.tile(x as i32, y as i32).to_string().chars().next().unwrap_or('?')
+                    })
                     .collect()
             })
             .collect();
         for p in &self.spawn_points {
             let c = grid::cell_of(*p, self.cell_size);
-            if let Some(ch) =
-                rows.get_mut(c.y as usize).and_then(|row| row.get_mut(c.x as usize))
-            {
+            if let Some(ch) = rows.get_mut(c.y as usize).and_then(|row| row.get_mut(c.x as usize)) {
                 *ch = 's';
             }
         }
         for s in &self.item_spawners {
             let c = grid::cell_of(s.position, self.cell_size);
-            if let Some(ch) =
-                rows.get_mut(c.y as usize).and_then(|row| row.get_mut(c.x as usize))
-            {
+            if let Some(ch) = rows.get_mut(c.y as usize).and_then(|row| row.get_mut(c.x as usize)) {
                 *ch = 'i';
             }
         }

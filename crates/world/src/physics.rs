@@ -119,7 +119,13 @@ pub fn step_movement(
 
     let tile = map.tile_at(pos);
     if tile.is_lethal() {
-        return MoveOutcome { position: pos, velocity: Vec3::ZERO, on_ground: false, fell_in_pit: true, launched: false };
+        return MoveOutcome {
+            position: pos,
+            velocity: Vec3::ZERO,
+            on_ground: false,
+            fell_in_pit: true,
+            launched: false,
+        };
     }
 
     // Vertical motion: gravity, floor clamping, jump pads.
@@ -154,7 +160,8 @@ mod tests {
     #[test]
     fn straight_move_advances() {
         let (map, cfg) = setup();
-        let out = step_movement(&map, &cfg, Vec3::new(50.0, 50.0, 0.0), Vec3::new(20.0, 0.0, 0.0), 0.05);
+        let out =
+            step_movement(&map, &cfg, Vec3::new(50.0, 50.0, 0.0), Vec3::new(20.0, 0.0, 0.0), 0.05);
         assert!((out.position.x - 51.0).abs() < 1e-9);
         assert!(out.on_ground);
         assert!(!out.fell_in_pit);
@@ -163,7 +170,13 @@ mod tests {
     #[test]
     fn speed_is_clamped() {
         let (map, cfg) = setup();
-        let out = step_movement(&map, &cfg, Vec3::new(80.0, 80.0, 0.0), Vec3::new(1000.0, 0.0, 0.0), 0.05);
+        let out = step_movement(
+            &map,
+            &cfg,
+            Vec3::new(80.0, 80.0, 0.0),
+            Vec3::new(1000.0, 0.0, 0.0),
+            0.05,
+        );
         let moved = out.position.x - 80.0;
         assert!(moved <= cfg.max_speed * 0.05 + 1e-9, "moved {moved}");
     }
@@ -213,7 +226,8 @@ mod tests {
     fn pit_is_lethal() {
         let (mut map, cfg) = setup();
         map.set_tile(5, 5, Tile::Pit);
-        let out = step_movement(&map, &cfg, Vec3::new(54.0, 55.0, 0.0), Vec3::new(40.0, 0.0, 0.0), 0.1);
+        let out =
+            step_movement(&map, &cfg, Vec3::new(54.0, 55.0, 0.0), Vec3::new(40.0, 0.0, 0.0), 0.1);
         assert!(out.fell_in_pit);
     }
 

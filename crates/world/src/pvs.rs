@@ -44,9 +44,7 @@ pub fn potentially_visible_set(
     positions
         .iter()
         .enumerate()
-        .filter(|&(j, p)| {
-            j != i && me.distance(*p) <= view_distance && map.line_of_sight(me, *p)
-        })
+        .filter(|&(j, p)| j != i && me.distance(*p) <= view_distance && map.line_of_sight(me, *p))
         .map(|(j, _)| j)
         .collect()
 }

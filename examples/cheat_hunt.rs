@@ -35,7 +35,10 @@ fn main() {
     let mut reputation = ThresholdReputation::new(16, 0.95, 60);
     let mut injector = CheatInjector::new(99, CHEAT_RATE);
 
-    println!("16-player game, players p0 and p1 speed-hack on {:.0}% of frames\n", CHEAT_RATE * 100.0);
+    println!(
+        "16-player game, players p0 and p1 speed-hack on {:.0}% of frames\n",
+        CHEAT_RATE * 100.0
+    );
 
     let mut banned_at: Vec<Option<u64>> = vec![None; 16];
     for f in 1..workload.trace.len() {
@@ -60,8 +63,7 @@ fn main() {
             let proxy = schedule.proxy_of(pid, f as u64);
             let score = verifier.check_position(prev, next, 1, &workload.map);
             let flagged = score >= 3;
-            let rating =
-                CheatRating::new(if flagged { 10 } else { 1 }, Confidence::Proxy, 0);
+            let rating = CheatRating::new(if flagged { 10 } else { 1 }, Confidence::Proxy, 0);
             reputation.report(proxy, pid, &rating);
 
             if reputation.is_banned(pid) && banned_at[p as usize].is_none() {
@@ -90,9 +92,8 @@ fn main() {
     }
 
     let cheaters_banned = CHEATERS.iter().all(|&c| banned_at[c as usize].is_some());
-    let honest_banned = (0..16u32)
-        .filter(|p| !CHEATERS.contains(p))
-        .any(|p| banned_at[p as usize].is_some());
+    let honest_banned =
+        (0..16u32).filter(|p| !CHEATERS.contains(p)).any(|p| banned_at[p as usize].is_some());
     println!(
         "\nverdict: all cheaters banned: {cheaters_banned}; any honest player banned: {honest_banned}"
     );

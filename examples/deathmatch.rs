@@ -1,15 +1,22 @@
 //! A full 48-player deathmatch on the q3dm17-like arena: the paper's
-//! headline workload, with a live scoreboard and the Figure 1 presence
-//! heatmap at the end.
+//! headline workload, with a live scoreboard, the Figure 1 presence
+//! heatmap, a network replay over the simnet, a secured-node segment, and
+//! a final telemetry snapshot in Prometheus text format.
 //!
 //! ```sh
 //! cargo run --release --example deathmatch [players] [frames]
 //! ```
 
+use watchmen::core::node::WatchmenNode;
+use watchmen::core::overlay::run_watchmen;
+use watchmen::core::WatchmenConfig;
+use watchmen::crypto::schnorr::{Keypair, PublicKey};
 use watchmen::game::heatmap::Heatmap;
 use watchmen::game::trace::GameTrace;
-use watchmen::game::{GameConfig, GameEvent};
-use watchmen::world::maps;
+use watchmen::game::{GameConfig, GameEvent, PlayerId};
+use watchmen::net::latency;
+use watchmen::telemetry::{export, global, MetricValue};
+use watchmen::world::{maps, GameMap, PhysicsConfig};
 
 fn main() {
     let mut args = std::env::args().skip(1).inspect(|a| {
@@ -24,7 +31,10 @@ fn main() {
     println!("map: {map}");
     println!("{}\n", map.to_ascii());
 
-    println!("running a {players}-player deathmatch for {frames} frames ({}s of play)…", frames / 20);
+    println!(
+        "running a {players}-player deathmatch for {frames} frames ({}s of play)…",
+        frames / 20
+    );
     let config = GameConfig { map: map.clone(), ..GameConfig::default() };
     let trace = GameTrace::record(config, players, 2013, frames);
 
@@ -52,9 +62,7 @@ fn main() {
             }
         }
     }
-    println!(
-        "events: {shots} shots, {hits} hits, {kills} kills, {falls} falls, {pickups} pickups"
-    );
+    println!("events: {shots} shots, {hits} hits, {kills} kills, {falls} falls, {pickups} pickups");
 
     // Top 5 scoreboard.
     let mut board: Vec<(usize, i64)> = scores.iter().copied().enumerate().collect();
@@ -73,4 +81,103 @@ fn main() {
         heat.top_share(0.1) * 100.0,
         heat.gini()
     );
+
+    // --- Network replay: the same match over the simulated internet.
+    let net_frames = frames.min(600);
+    let mut net_trace = trace.clone();
+    net_trace.frames.truncate(net_frames as usize);
+    let watchmen_config = WatchmenConfig::default();
+    println!("\nreplaying {net_frames} frames over the simnet (king-like latency, 1% loss)…");
+    let report = run_watchmen(
+        &net_trace,
+        &map,
+        &watchmen_config,
+        latency::king_like(players, 2013),
+        0.01,
+        2013,
+    );
+    println!(
+        "overlay: {} updates delivered, {} dropped, {:.1}% late-or-lost, \
+         mean up {:.1} kbps (max {:.1}), mean down {:.1} kbps",
+        report.updates_delivered,
+        report.network_dropped,
+        report.late_or_lost * 100.0,
+        report.mean_up_kbps,
+        report.max_up_kbps,
+        report.mean_down_kbps,
+    );
+
+    // --- Secured segment: a small cluster of full WatchmenNodes (signed
+    // envelopes, proxy supervision, handoffs) over an instant bus, enough
+    // frames to cross several proxy epochs.
+    let cluster_size = players.clamp(2, 12);
+    let cluster_frames = (net_frames as usize).min(130);
+    println!(
+        "\nrunning {cluster_size} secured nodes for {cluster_frames} frames \
+         (signatures, proxies, handoffs)…"
+    );
+    run_secured_segment(&trace, &map, cluster_size, cluster_frames);
+
+    // --- Telemetry: what the instrumented layers recorded.
+    let snap = global().snapshot();
+    println!("\ntelemetry highlights:");
+    println!("  proxy handoffs sent:       {}", snap.counter_sum("proxy_handoffs_total"));
+    println!("  network messages dropped:  {}", snap.counter_sum("net_messages_dropped_total"));
+    println!("  updates delivered:         {}", snap.counter_sum("sim_updates_delivered_total"));
+    if let Some(MetricValue::Histogram { count, p50, p90, p99, max, .. }) =
+        snap.get_with("sim_player_up_kbps", &[("arch", "watchmen")])
+    {
+        println!(
+            "  per-player upload kbps:    p50 {p50:.1}  p90 {p90:.1}  p99 {p99:.1}  \
+             max {max:.1}  ({count} players)"
+        );
+    }
+    if let Some(MetricValue::Histogram { count, p50, p99, .. }) = snap.get("node_tick_duration_ms")
+    {
+        println!("  node tick ms:              p50 {p50:.3}  p99 {p99:.3}  ({count} ticks)");
+    }
+
+    println!("\nfull snapshot (Prometheus text format):");
+    print!("{}", export::prometheus_text_with_help(&snap, &|n| global().help_for(n)));
+}
+
+/// Drives a small cluster of [`WatchmenNode`]s over an in-memory instant
+/// bus, feeding them the first `cluster_size` players' recorded states.
+fn run_secured_segment(trace: &GameTrace, map: &GameMap, cluster_size: usize, frames: usize) {
+    let seed = 2013u64;
+    let keys: Vec<Keypair> =
+        (0..cluster_size).map(|i| Keypair::generate(seed ^ i as u64)).collect();
+    let directory: Vec<PublicKey> = keys.iter().map(Keypair::public).collect();
+    let mut nodes: Vec<WatchmenNode> = keys
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| {
+            WatchmenNode::new(
+                PlayerId(i as u32),
+                k,
+                directory.clone(),
+                seed,
+                WatchmenConfig::default(),
+                map.clone(),
+                PhysicsConfig::default(),
+            )
+        })
+        .collect();
+    let mut bus: std::collections::VecDeque<(PlayerId, PlayerId, Vec<u8>)> =
+        std::collections::VecDeque::new();
+    for frame in 0..frames as u64 {
+        let states = &trace.frames[frame as usize].states;
+        for i in 0..cluster_size {
+            let output = nodes[i].begin_frame(frame, &states[i]);
+            for o in output.outgoing {
+                bus.push_back((PlayerId(i as u32), o.to, o.bytes));
+            }
+        }
+        while let Some((sender, to, bytes)) = bus.pop_front() {
+            let (out, _events) = nodes[to.index()].handle_message(frame, sender, &bytes);
+            for o in out {
+                bus.push_back((to, o.to, o.bytes));
+            }
+        }
+    }
 }

@@ -91,9 +91,7 @@ fn main() {
                     // Proxy reports flow to the lobby.
                     lobby.report(to, subject, &rating);
                     if rating.score >= 8 {
-                        println!(
-                            "frame {frame:3}: {to} flags {subject} ({check}, {rating})"
-                        );
+                        println!("frame {frame:3}: {to} flags {subject} ({check}, {rating})");
                     }
                 }
             }
@@ -101,7 +99,10 @@ fn main() {
         for event in lobby.tick(frame) {
             match event {
                 LobbyEvent::Banned(p) => {
-                    println!("frame {frame:3}: lobby BANS {p} (suspicion {:.2})", lobby.suspicion(p));
+                    println!(
+                        "frame {frame:3}: lobby BANS {p} (suspicion {:.2})",
+                        lobby.suspicion(p)
+                    );
                     banned_frame.get_or_insert(frame);
                 }
                 LobbyEvent::Disconnected(p) => {

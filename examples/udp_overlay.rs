@@ -52,10 +52,8 @@ fn main() {
     let endpoints: Vec<UdpEndpoint> = (0..players)
         .map(|i| UdpEndpoint::bind(i as u32, "127.0.0.1:0").expect("bind loopback"))
         .collect();
-    let addresses: HashMap<u32, SocketAddr> = endpoints
-        .iter()
-        .map(|e| (e.node_id(), e.local_addr().expect("bound")))
-        .collect();
+    let addresses: HashMap<u32, SocketAddr> =
+        endpoints.iter().map(|e| (e.node_id(), e.local_addr().expect("bound"))).collect();
     let addresses = Arc::new(addresses);
 
     println!("spawning {players} player threads exchanging {frames} frames over UDP loopback…");

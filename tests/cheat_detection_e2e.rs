@@ -16,11 +16,7 @@ use watchmen::world::PhysicsConfig;
 
 /// Runs the proxy-side position-verification pipeline over a trace with
 /// `cheaters` speed-hacking at `rate`, returning the banned set.
-fn run_pipeline(
-    cheaters: &[u32],
-    rate: f64,
-    reputation: &mut dyn Reputation,
-) -> Vec<PlayerId> {
+fn run_pipeline(cheaters: &[u32], rate: f64, reputation: &mut dyn Reputation) -> Vec<PlayerId> {
     let config = WatchmenConfig::default();
     let physics = PhysicsConfig::default();
     let w = standard_workload(12, 7, 900);
@@ -166,8 +162,7 @@ fn spoofed_origin_rejected_by_every_receiver() {
 #[test]
 fn cheat_matrix_demonstrates_all_table_one_rows() {
     let w = standard_workload(12, 4, 120);
-    let rows =
-        watchmen::sim::cheat_matrix::run_cheat_matrix(&w, &WatchmenConfig::default(), 17);
+    let rows = watchmen::sim::cheat_matrix::run_cheat_matrix(&w, &WatchmenConfig::default(), 17);
     assert_eq!(rows.len(), 14);
     for row in &rows {
         assert!(row.demonstrated, "{} demo failed: {}", row.kind, row.note);

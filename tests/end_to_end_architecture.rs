@@ -14,14 +14,7 @@ fn watchmen_meets_fps_latency_requirements_on_wan() {
     // few percent deliver good gameplay.
     let w = standard_workload(16, 1, 400);
     let config = WatchmenConfig::default();
-    let report = run_watchmen(
-        &w.trace,
-        &w.map,
-        &config,
-        latency::king_like(16, 5),
-        0.01,
-        5,
-    );
+    let report = run_watchmen(&w.trace, &w.map, &config, latency::king_like(16, 5), 0.01, 5);
     assert!(
         report.fraction_younger_than(3) > 0.85,
         "only {} of updates arrive within 150 ms",

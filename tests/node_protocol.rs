@@ -23,8 +23,7 @@ struct Cluster {
 
 impl Cluster {
     fn new(players: usize, seed: u64) -> Self {
-        let keys: Vec<Keypair> =
-            (0..players).map(|i| Keypair::generate(seed ^ i as u64)).collect();
+        let keys: Vec<Keypair> = (0..players).map(|i| Keypair::generate(seed ^ i as u64)).collect();
         let directory: Vec<PublicKey> = keys.iter().map(Keypair::public).collect();
         let map = maps::q3dm17_like();
         let nodes = keys

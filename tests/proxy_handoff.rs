@@ -50,10 +50,8 @@ fn proxy_rotation_limits_exposure_window() {
 
     // Load balance across proxy duty.
     for frame in (0..40 * 50).step_by(40) {
-        let max_clients = (0..48)
-            .map(|p| schedule.clients_of(PlayerId(p), frame as u64).len())
-            .max()
-            .unwrap();
+        let max_clients =
+            (0..48).map(|p| schedule.clients_of(PlayerId(p), frame as u64).len()).max().unwrap();
         assert!(max_clients <= 8, "proxy overloaded with {max_clients} clients");
     }
 }
@@ -87,10 +85,10 @@ fn handoff_chain_survives_colluding_middleman() {
     // clean but must embed the predecessor summary. Epoch 2's proxy still
     // sees the dirt through the chain.
     let honest = summary_for_epoch(0, 9, Vec3::new(10.0, 10.0, 0.0));
-    let colluding =
-        summary_for_epoch(1, 1, Vec3::new(12.0, 10.0, 0.0)).with_predecessor(honest, config.handoff_depth);
-    let next =
-        summary_for_epoch(2, 1, Vec3::new(14.0, 10.0, 0.0)).with_predecessor(colluding, config.handoff_depth);
+    let colluding = summary_for_epoch(1, 1, Vec3::new(12.0, 10.0, 0.0))
+        .with_predecessor(honest, config.handoff_depth);
+    let next = summary_for_epoch(2, 1, Vec3::new(14.0, 10.0, 0.0))
+        .with_predecessor(colluding, config.handoff_depth);
     assert_eq!(next.chain_len(), config.handoff_depth);
     // Depth 2 keeps epochs 2 and 1 — epoch 0 aged out, but epoch 2's proxy
     // received the chain at epoch-1 handoff time, when it still contained

@@ -80,10 +80,7 @@ fn trace_respects_game_physics_invariants() {
                 continue;
             }
             let moved = next.position.horizontal_distance(prev.position);
-            assert!(
-                moved <= max_step + 1e-6,
-                "p{p} moved {moved} in one frame at frame {f}"
-            );
+            assert!(moved <= max_step + 1e-6, "p{p} moved {moved} in one frame at frame {f}");
             assert!(
                 !map.tile_at(next.position).blocks_movement(),
                 "p{p} inside a wall at frame {f}"
