@@ -19,4 +19,20 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> chrome trace smoke (deathmatch, 8 players, 200 frames)"
+TRACE_OUT=/tmp/watchmen-trace.json
+rm -f "$TRACE_OUT"
+WATCHMEN_TRACE="chrome:$TRACE_OUT" \
+    cargo run --release --example deathmatch 8 200 > /dev/null
+python3 - "$TRACE_OUT" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+spans = [e for e in events if e.get("ph") == "X" and "dur" in e]
+assert events, "chrome trace has no events"
+assert spans, "chrome trace has no complete (ph=X) spans"
+print(f"trace OK: {len(events)} events, {len(spans)} complete spans")
+EOF
+
 echo "CI OK"

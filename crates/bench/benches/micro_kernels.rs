@@ -17,7 +17,8 @@ use watchmen_core::WatchmenConfig;
 use watchmen_crypto::schnorr::Keypair;
 use watchmen_game::PlayerId;
 use watchmen_sim::workload::standard_workload;
-use watchmen_telemetry::Registry;
+use watchmen_telemetry::trace::{EventKind, Phase, TraceEvent, TraceId};
+use watchmen_telemetry::{FlightRecorder, Registry};
 use watchmen_world::PhysicsConfig;
 
 /// Iterations per kernel (quick mode: fewer).
@@ -96,6 +97,50 @@ fn main() {
             let next = wv.trace.frames[31].states[3].position;
             lines.push(bench_kernel(&registry, "check_position", || {
                 black_box(verifier.check_position(black_box(prev), black_box(next), 1, &wv.map));
+            }));
+
+            // Flight-recorder hot path: one record() call is the entire
+            // per-message tracing overhead a node pays.
+            let recorder = FlightRecorder::new(4096);
+            let mut seq = 0u64;
+            lines.push(bench_kernel(&registry, "recorder_record", || {
+                seq += 1;
+                recorder.record(black_box(TraceEvent::point(
+                    TraceId::from_origin_seq(3, seq),
+                    0,
+                    3,
+                    seq,
+                    Phase::Publish,
+                    EventKind::Send,
+                    "state",
+                    88,
+                )));
+            }));
+
+            // The realistic per-message hot path — signature verify plus
+            // the physics check — with and without tracing. The delta
+            // between the two is the recorder's overhead on message
+            // handling (the budget is < 5%).
+            lines.push(bench_kernel(&registry, "handle_state", || {
+                black_box(keys.public().verify(black_box(&msg), black_box(&sig)));
+                black_box(verifier.check_position(black_box(prev), black_box(next), 1, &wv.map));
+            }));
+            let mut tseq = 0u64;
+            lines.push(bench_kernel(&registry, "handle_state_traced", || {
+                black_box(keys.public().verify(black_box(&msg), black_box(&sig)));
+                let score = verifier.check_position(black_box(prev), black_box(next), 1, &wv.map);
+                tseq += 1;
+                recorder.record(TraceEvent::point(
+                    TraceId::from_origin_seq(3, tseq),
+                    0,
+                    3,
+                    tseq,
+                    Phase::Verify,
+                    EventKind::Verdict,
+                    "position",
+                    i64::from(score),
+                ));
+                black_box(score);
             }));
 
             lines.join("\n")

@@ -11,12 +11,19 @@
 //! payload) signed into a [`SignedEnvelope`]. The sequence number makes
 //! byte-identical replays detectable; the origin binding makes spoofing
 //! detectable; the signature makes proxy tampering detectable.
+//!
+//! The `(origin, seq)` pair also gives every message a *causal trace id*
+//! ([`Envelope::trace_id`]): a 64-bit identity recomputable at each hop
+//! with zero extra wire bytes, so the flight recorders at the origin, the
+//! relaying proxy and every subscriber tag their events with the same id
+//! and one identifier stitches the whole multi-hop journey together.
 
 use watchmen_crypto::schnorr::{Keypair, PublicKey, Signature, SIGNATURE_LEN};
 use watchmen_game::trace::PlayerFrame;
 use watchmen_game::{PlayerId, WeaponKind};
 use watchmen_math::{Aim, Vec3};
 use watchmen_net::wire::{GetBytes, PutBytes};
+use watchmen_telemetry::TraceId;
 
 use crate::dead_reckoning::Guidance;
 use crate::subscription::SetKind;
@@ -194,6 +201,14 @@ impl Envelope {
     pub fn wire_size(&self) -> usize {
         self.encode().len()
     }
+
+    /// The message's causal trace id, derived from `(origin, seq)` — the
+    /// fields the envelope already carries and the signature already
+    /// covers, so relays cannot change it without breaking verification.
+    #[must_use]
+    pub fn trace_id(&self) -> TraceId {
+        TraceId::from_origin_seq(self.from.0, self.seq)
+    }
 }
 
 /// A signed wire message.
@@ -210,6 +225,12 @@ impl SignedEnvelope {
     #[must_use]
     pub fn verify(&self, origin_key: &PublicKey) -> bool {
         origin_key.verify(&self.envelope.encode(), &self.signature)
+    }
+
+    /// The signed message's causal trace id (see [`Envelope::trace_id`]).
+    #[must_use]
+    pub fn trace_id(&self) -> TraceId {
+        self.envelope.trace_id()
     }
 
     /// Full wire size: envelope plus the ~100-bit signature.

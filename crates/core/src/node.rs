@@ -19,13 +19,16 @@
 //! node runs over [`watchmen_net::SimNetwork`], real UDP, or an in-memory
 //! bus (see the crate tests).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use watchmen_crypto::schnorr::{Keypair, PublicKey};
 use watchmen_game::trace::PlayerFrame;
 use watchmen_game::PlayerId;
-use watchmen_telemetry::{Counter, FrameTimer, Histogram};
+use watchmen_telemetry::trace::{EventKind, Phase, TraceEvent, TraceId};
+use watchmen_telemetry::{
+    Counter, FlightDump, FlightRecorder, FrameTimer, Histogram, DEFAULT_CAPACITY,
+};
 use watchmen_world::{GameMap, PhysicsConfig};
 
 use crate::dead_reckoning::Guidance;
@@ -33,8 +36,11 @@ use crate::msg::{Envelope, HandoffNotice, Payload, PositionUpdate, SignedEnvelop
 use crate::proxy::ProxySchedule;
 use crate::rating::{CheatRating, Confidence};
 use crate::subscription::{compute_sets, NoRecency, SetKind};
-use crate::verify::Verifier;
+use crate::verify::{checks, Verifier};
 use crate::WatchmenConfig;
+
+/// Violation dumps retained per node before the oldest is discarded.
+const MAX_FLIGHT_DUMPS: usize = 8;
 
 /// The output of one [`WatchmenNode::begin_frame`] call.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -235,6 +241,11 @@ pub struct WatchmenNode {
     known: BTreeMap<PlayerId, (u64, StateUpdate)>,
     /// Cached telemetry handles.
     metrics: NodeMetrics,
+    /// Per-node flight recorder of trace events (sends, relays,
+    /// deliveries, rejections, verdicts).
+    recorder: Arc<FlightRecorder>,
+    /// Violation dumps captured by [`Self::trace_events`], oldest first.
+    flight_dumps: VecDeque<FlightDump>,
 }
 
 impl WatchmenNode {
@@ -275,6 +286,8 @@ impl WatchmenNode {
             my_subs: BTreeMap::new(),
             known: BTreeMap::new(),
             metrics: NodeMetrics::new(),
+            recorder: Arc::new(FlightRecorder::new(DEFAULT_CAPACITY)),
+            flight_dumps: VecDeque::new(),
         }
     }
 
@@ -302,6 +315,21 @@ impl WatchmenNode {
         self.known.get(&player).map(|(_, s)| s)
     }
 
+    /// A handle on this node's flight recorder, for cross-node causal
+    /// chains ([`watchmen_telemetry::causal_chain`]) and Chrome-trace
+    /// export.
+    #[must_use]
+    pub fn recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.recorder)
+    }
+
+    /// Drains the violation dumps captured so far, oldest first. A dump is
+    /// captured whenever a suspicious verdict, signature failure or replay
+    /// fires; at most [`MAX_FLIGHT_DUMPS`] are retained between drains.
+    pub fn take_flight_dumps(&mut self) -> Vec<FlightDump> {
+        self.flight_dumps.drain(..).collect()
+    }
+
     fn sign_and_queue(
         &mut self,
         out: &mut Vec<Outgoing>,
@@ -311,7 +339,23 @@ impl WatchmenNode {
     ) {
         self.seq += 1;
         let env = Envelope { from: self.id, seq: self.seq, frame, payload };
-        out.push(Outgoing { to, bytes: env.sign(&self.keys).encode() });
+        let bytes = env.sign(&self.keys).encode();
+        let phase = match payload {
+            Payload::Subscribe { .. } | Payload::Unsubscribe { .. } => Phase::Subscription,
+            Payload::Handoff(_) => Phase::Handoff,
+            _ => Phase::Publish,
+        };
+        self.recorder.record(TraceEvent::point(
+            env.trace_id(),
+            self.id.0,
+            self.id.0,
+            frame,
+            phase,
+            EventKind::Send,
+            payload.label(),
+            bytes.len() as i64,
+        ));
+        out.push(Outgoing { to, bytes });
     }
 
     /// Runs the per-frame sender side: publishes updates, refreshes
@@ -323,6 +367,10 @@ impl WatchmenNode {
     /// failed"). `my_state` is the local avatar's authoritative state.
     pub fn begin_frame(&mut self, frame: u64, my_state: &PlayerFrame) -> FrameOutput {
         let _tick = FrameTimer::start(&self.metrics.tick_ms);
+        // A clone of the recorder handle keeps the span guards' borrows
+        // off `self` while the phases below mutate it.
+        let rec = Arc::clone(&self.recorder);
+        let _tick_trace = rec.span(self.id.0, frame, Phase::Tick, "tick");
         let mut output = FrameOutput::default();
         let mut out = Vec::new();
         let my_proxy = self.proxy(frame);
@@ -333,6 +381,7 @@ impl WatchmenNode {
 
         // --- Subscriptions from *learned* knowledge.
         let sub_span = FrameTimer::start(&self.metrics.subscription_phase_ms);
+        let sub_trace = rec.span(self.id.0, frame, Phase::Subscription, "subscriptions");
         let sets = self.compute_local_sets(frame, my_state);
         for (target, kind) in sets {
             let due = self
@@ -347,9 +396,11 @@ impl WatchmenNode {
         }
         self.my_subs.retain(|_, &mut last| frame < last + 4 * self.config.subscription_retention);
         sub_span.stop();
+        drop(sub_trace);
 
         // --- Publications.
         let publish_span = FrameTimer::start(&self.metrics.publish_phase_ms);
+        let publish_trace = rec.span(self.id.0, frame, Phase::Publish, "publish");
         self.sign_and_queue(&mut out, my_proxy, frame, Payload::State(StateUpdate::from(my_state)));
         if self.config.is_guidance_frame(frame, self.id.index()) {
             let g = Guidance::from_state(
@@ -369,10 +420,12 @@ impl WatchmenNode {
             );
         }
         publish_span.stop();
+        drop(publish_trace);
 
         // --- Handoff: shortly before the boundary, ship summaries for all
         // duties whose successor is someone else.
         let handoff_span = FrameTimer::start(&self.metrics.handoff_phase_ms);
+        let handoff_trace = rec.span(self.id.0, frame, Phase::Handoff, "handoff");
         let handoff_lead = (self.config.proxy_period / 4).max(1);
         if frame + handoff_lead == self.schedule.next_renewal(frame) {
             let epoch = self.schedule.epoch_of(frame);
@@ -397,6 +450,7 @@ impl WatchmenNode {
             }
         }
         handoff_span.stop();
+        drop(handoff_trace);
 
         // --- Epoch turnover: summarize the finished epoch for each duty
         // (clean epochs produce score-1 ratings, giving the reputation
@@ -419,7 +473,7 @@ impl WatchmenNode {
                 output.events.push(NodeEvent::Suspicion {
                     subject: player,
                     rating: CheatRating::new(score, Confidence::Proxy, 0),
-                    check: "epoch-summary",
+                    check: checks::EPOCH_SUMMARY,
                 });
                 duty.worst_rating = 1;
                 duty.updates_seen = 0;
@@ -427,6 +481,7 @@ impl WatchmenNode {
             self.duties.retain(|&player, _| self.schedule.proxy_of(player, frame) == self.id);
         }
 
+        self.trace_events(frame, TraceId::NONE, &output.events);
         self.metrics.observe_events(&output.events);
         output.outgoing = out;
         output
@@ -493,12 +548,17 @@ impl WatchmenNode {
 
         let Ok(msg) = SignedEnvelope::decode(bytes) else {
             events.push(NodeEvent::BadSignature { claimed_from: wire_sender });
+            self.trace_events(frame, TraceId::NONE, &events);
             self.metrics.observe_events(&events);
             return (out, events);
         };
+        // The causal trace id is recomputed from the signed (origin, seq)
+        // pair at every hop — no extra wire bytes, tamper-evident.
+        let trace = msg.trace_id();
         let origin = msg.envelope.from;
         if origin.index() >= self.directory.len() || !msg.verify(&self.directory[origin.index()]) {
             events.push(NodeEvent::BadSignature { claimed_from: origin });
+            self.trace_events(frame, trace, &events);
             self.metrics.observe_events(&events);
             return (out, events);
         }
@@ -508,6 +568,7 @@ impl WatchmenNode {
         // and stale sequences are rejected.
         if !self.replay[origin.index()].check_and_set(msg.envelope.seq) {
             events.push(NodeEvent::Replay { from: origin });
+            self.trace_events(frame, trace, &events);
             self.metrics.observe_events(&events);
             return (out, events);
         }
@@ -645,7 +706,7 @@ impl WatchmenNode {
                         events.push(NodeEvent::Suspicion {
                             subject: origin,
                             rating: CheatRating::new(score, confidence, staleness),
-                            check: "kill",
+                            check: checks::KILL,
                         });
                     }
                 }
@@ -665,9 +726,118 @@ impl WatchmenNode {
             }
         }
 
+        if !out.is_empty() {
+            // One relay event per forward batch; `value` is the fan-out.
+            self.recorder.record(TraceEvent::point(
+                trace,
+                self.id.0,
+                origin.0,
+                msg.envelope.frame,
+                Phase::ProxyRelay,
+                EventKind::Relay,
+                msg.envelope.payload.label(),
+                out.len() as i64,
+            ));
+        }
+        self.trace_events(frame, trace, &events);
         self.metrics.messages_forwarded.add(out.len() as u64);
         self.metrics.observe_events(&events);
         (out, events)
+    }
+
+    /// Mirrors `events` into the flight recorder and captures a violation
+    /// dump for each suspicious verdict, signature failure or replay, so
+    /// the trace around every detection decision survives the ring.
+    fn trace_events(&mut self, frame: u64, trace: TraceId, events: &[NodeEvent]) {
+        let node = self.id.0;
+        for e in events {
+            match e {
+                NodeEvent::Delivery { about, class, gen_frame } => {
+                    self.recorder.record(TraceEvent::point(
+                        trace,
+                        node,
+                        about.0,
+                        *gen_frame,
+                        Phase::Verify,
+                        EventKind::Deliver,
+                        class,
+                        0,
+                    ));
+                }
+                NodeEvent::BadSignature { claimed_from } => {
+                    self.recorder.record(TraceEvent::point(
+                        trace,
+                        node,
+                        claimed_from.0,
+                        frame,
+                        Phase::Verify,
+                        EventKind::Reject,
+                        "bad-signature",
+                        0,
+                    ));
+                    self.capture_dump("bad-signature", trace, claimed_from.0);
+                }
+                NodeEvent::Replay { from } => {
+                    self.recorder.record(TraceEvent::point(
+                        trace,
+                        node,
+                        from.0,
+                        frame,
+                        Phase::Verify,
+                        EventKind::Reject,
+                        "replay",
+                        0,
+                    ));
+                    self.capture_dump("replay", trace, from.0);
+                }
+                NodeEvent::Suspicion { subject, rating, check } => {
+                    self.recorder.record(TraceEvent::point(
+                        trace,
+                        node,
+                        subject.0,
+                        frame,
+                        Phase::Verify,
+                        EventKind::Verdict,
+                        check,
+                        i64::from(rating.score),
+                    ));
+                    if rating.is_suspicious() {
+                        self.recorder.record(TraceEvent::point(
+                            trace,
+                            node,
+                            subject.0,
+                            frame,
+                            Phase::Verify,
+                            EventKind::Violation,
+                            check,
+                            i64::from(rating.score),
+                        ));
+                        self.capture_dump(check, trace, subject.0);
+                    }
+                }
+                NodeEvent::HandoffReceived { player, worst_rating } => {
+                    self.recorder.record(TraceEvent::point(
+                        trace,
+                        node,
+                        player.0,
+                        frame,
+                        Phase::Handoff,
+                        EventKind::Mark,
+                        "handoff-received",
+                        i64::from(*worst_rating),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Snapshots the recorder around a violation into the bounded dump
+    /// store (oldest dump evicted once [`MAX_FLIGHT_DUMPS`] are held).
+    fn capture_dump(&mut self, reason: &str, trace: TraceId, subject: u32) {
+        if self.flight_dumps.len() >= MAX_FLIGHT_DUMPS {
+            self.flight_dumps.pop_front();
+        }
+        self.flight_dumps.push_back(self.recorder.dump(reason, trace, subject));
     }
 
     /// Proxy-side verification of a supervised player's state update.
@@ -694,7 +864,7 @@ impl WatchmenNode {
                 events.push(NodeEvent::Suspicion {
                     subject: origin,
                     rating: CheatRating::new(score, Confidence::Proxy, 0),
-                    check: "position",
+                    check: checks::POSITION,
                 });
             }
             let aim_score = self.verifier.check_aim(prev_state.aim, update.aim, elapsed);
@@ -702,7 +872,7 @@ impl WatchmenNode {
                 events.push(NodeEvent::Suspicion {
                     subject: origin,
                     rating: CheatRating::new(aim_score, Confidence::Proxy, 0),
-                    check: "aim",
+                    check: checks::AIM,
                 });
             }
             let duty = self.duties.entry(origin).or_default();
@@ -746,7 +916,7 @@ impl WatchmenNode {
             events.push(NodeEvent::Suspicion {
                 subject: subscriber,
                 rating: CheatRating::new(score, Confidence::Proxy, 0),
-                check: "subscription",
+                check: checks::SUBSCRIPTION,
             });
         }
     }

@@ -25,6 +25,32 @@ use crate::rating::rate_deviation;
 use crate::subscription::{vision_cone, RecencySource};
 use crate::WatchmenConfig;
 
+/// Canonical names for the verification checks.
+///
+/// Suspicion events, flight-recorder entries and detection reports all
+/// tag verdicts with one of these strings, so a trace or dump can be
+/// filtered by check without guessing at ad-hoc labels.
+pub mod checks {
+    /// [`super::Verifier::check_position`] — speed/physics/map sanity.
+    pub const POSITION: &str = "position";
+    /// [`super::Verifier::check_aim`] — angular-rate sanity.
+    pub const AIM: &str = "aim";
+    /// [`super::Verifier::check_guidance`] — dead-reckoning envelope.
+    pub const GUIDANCE: &str = "guidance";
+    /// [`super::Verifier::check_kill`] — kill-claim plausibility.
+    pub const KILL: &str = "kill";
+    /// [`super::Verifier::check_vs_subscription`] /
+    /// [`super::Verifier::check_is_subscription`] — subscription validity.
+    pub const SUBSCRIPTION: &str = "subscription";
+    /// [`super::Verifier::check_rate`] — dissemination frequency.
+    pub const RATE: &str = "rate";
+    /// The per-epoch aggregate the proxy publishes at schedule renewal.
+    pub const EPOCH_SUMMARY: &str = "epoch-summary";
+
+    /// Every check name, for exhaustive reports.
+    pub const ALL: [&str; 7] = [POSITION, AIM, GUIDANCE, KILL, SUBSCRIPTION, RATE, EPOCH_SUMMARY];
+}
+
 /// Slack multiplier on hard physics limits before an action is rated
 /// suspicious (absorbs jitter, interpolation and message timing noise).
 const PHYSICS_SLACK: f64 = 1.15;

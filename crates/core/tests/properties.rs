@@ -12,6 +12,7 @@ use watchmen_crypto::rng::Xoshiro256;
 use watchmen_crypto::schnorr::Keypair;
 use watchmen_game::{PlayerId, WeaponKind};
 use watchmen_math::{Aim, Vec3};
+use watchmen_telemetry::TraceId;
 
 const CASES: usize = 128;
 
@@ -202,6 +203,58 @@ fn rate_deviation_monotone_in_deviation() {
         let b = f64_in(&mut rng, 0.0, 1e5);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         assert!(rate_deviation(lo, tolerance) <= rate_deviation(hi, tolerance));
+    }
+}
+
+#[test]
+fn trace_id_survives_encode_sign_decode_relay() {
+    // The causal trace id is derived from the signed (origin, seq) pair,
+    // so every hop — encode, sign, decode, and a byte-identical relay —
+    // must recompute the same id the origin had.
+    let mut rng = Xoshiro256::new(50);
+    for _ in 0..32 {
+        let keys = Keypair::generate(rng.next_u64());
+        let env = Envelope {
+            from: PlayerId(rng.next_range(64) as u32),
+            seq: 1 + rng.next_u64() % (1 << 40),
+            frame: rng.next_range(100_000),
+            payload: arb_payload(&mut rng),
+        };
+        let origin_id = env.trace_id();
+        assert!(origin_id.is_some(), "live messages always carry an id");
+
+        let signed = env.sign(&keys);
+        assert_eq!(signed.trace_id(), origin_id, "signing changes nothing");
+
+        // First hop: the proxy decodes the wire bytes.
+        let wire = signed.encode();
+        let at_proxy = SignedEnvelope::decode(&wire).unwrap();
+        assert_eq!(at_proxy.trace_id(), origin_id, "decode changes nothing");
+
+        // Second hop: the proxy relays the *original* signed bytes, and
+        // the subscriber decodes those.
+        let relayed = at_proxy.encode();
+        assert_eq!(relayed, wire, "relay forwards byte-identical frames");
+        let at_subscriber = SignedEnvelope::decode(&relayed).unwrap();
+        assert_eq!(at_subscriber.trace_id(), origin_id);
+        assert!(at_subscriber.verify(&keys.public()), "signature survives too");
+    }
+}
+
+#[test]
+fn trace_id_no_collisions_in_ten_thousand_messages() {
+    // 10k distinct (origin, seq) pairs across 64 players must map to 10k
+    // distinct trace ids (the mix is bijective for origin < 2^24,
+    // seq < 2^40).
+    let mut rng = Xoshiro256::new(51);
+    let mut seen = std::collections::HashSet::with_capacity(10_000);
+    let mut seqs = vec![0u64; 64];
+    for _ in 0..10_000 {
+        let origin = rng.next_range(64) as u32;
+        seqs[origin as usize] += 1;
+        let id = TraceId::from_origin_seq(origin, seqs[origin as usize]);
+        assert!(id.is_some());
+        assert!(seen.insert(id), "collision at origin {origin} seq {}", seqs[origin as usize]);
     }
 }
 

@@ -3,7 +3,8 @@
 use std::sync::Arc;
 
 use watchmen_crypto::rng::Xoshiro256;
-use watchmen_telemetry::{Counter, Gauge, Histogram};
+use watchmen_telemetry::trace::{EventKind, Phase, TraceEvent, TraceId};
+use watchmen_telemetry::{Counter, FlightRecorder, Gauge, Histogram};
 
 use crate::latency::LatencyModel;
 use crate::{BandwidthMeter, EventQueue};
@@ -26,6 +27,9 @@ pub struct Delivery<T> {
     pub payload: T,
     /// Wire size used for bandwidth accounting.
     pub bytes: usize,
+    /// Causal trace id supplied via [`SimNetwork::send_traced`]
+    /// ([`TraceId::NONE`] for untraced sends).
+    pub trace: TraceId,
 }
 
 /// Aggregate traffic counters.
@@ -47,6 +51,41 @@ impl NetStats {
     #[must_use]
     pub fn invariant_holds(&self) -> bool {
         self.sent == self.delivered + self.dropped + self.in_flight
+    }
+
+    /// Like [`NetStats::invariant_holds`], but a failure carries the
+    /// offending counts so the report is actionable.
+    ///
+    /// # Errors
+    ///
+    /// Returns the full accounting (`sent` vs `delivered + dropped +
+    /// in_flight`, with each term) when conservation is violated.
+    pub fn check_invariant(&self) -> Result<(), String> {
+        if self.invariant_holds() {
+            return Ok(());
+        }
+        Err(format!(
+            "message conservation violated: sent={} != delivered={} + dropped={} + \
+             in_flight={} (= {}, off by {})",
+            self.sent,
+            self.delivered,
+            self.dropped,
+            self.in_flight,
+            self.delivered + self.dropped + self.in_flight,
+            self.sent as i128 - (self.delivered + self.dropped + self.in_flight) as i128,
+        ))
+    }
+
+    /// Asserts conservation, panicking with the offending counts and the
+    /// caller's context instead of a bare boolean failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the full accounting when the invariant is violated.
+    pub fn assert_invariant(&self, context: &str) {
+        if let Err(report) = self.check_invariant() {
+            panic!("{context}: {report}");
+        }
     }
 }
 
@@ -107,6 +146,8 @@ pub struct SimNetwork<T> {
     meters: Vec<BandwidthMeter>,
     stats: NetStats,
     metrics: SimNetMetrics,
+    /// Optional flight recorder for per-message delivery events.
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl<T> SimNetwork<T> {
@@ -129,6 +170,29 @@ impl<T> SimNetwork<T> {
             meters: vec![BandwidthMeter::new(); n],
             stats: NetStats::default(),
             metrics: SimNetMetrics::new(),
+            recorder: None,
+        }
+    }
+
+    /// Attaches a flight recorder: every submit, drop and delivery is
+    /// recorded as a [`Phase::NetFlush`] event (the event's `frame` field
+    /// carries the virtual millisecond, rounded down).
+    pub fn attach_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    fn record_net_event(&self, kind: EventKind, trace: TraceId, node: u32, peer: u32, bytes: i64) {
+        if let Some(rec) = &self.recorder {
+            rec.record(TraceEvent::point(
+                trace,
+                node,
+                peer,
+                self.now_ms as u64,
+                Phase::NetFlush,
+                kind,
+                "simnet",
+                bytes,
+            ));
         }
     }
 
@@ -174,21 +238,41 @@ impl<T> SimNetwork<T> {
     ///
     /// Panics if either node is out of range or `from == to`.
     pub fn send(&mut self, from: NodeId, to: NodeId, payload: T, bytes: usize) {
+        self.send_traced(from, to, payload, bytes, TraceId::NONE);
+    }
+
+    /// Like [`SimNetwork::send`], carrying a causal trace id that travels
+    /// with the delivery and tags the attached flight recorder's submit /
+    /// drop / deliver events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range or `from == to`.
+    pub fn send_traced(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: T,
+        bytes: usize,
+        trace: TraceId,
+    ) {
         assert!(from < self.n && to < self.n, "node out of range");
         assert_ne!(from, to, "no self-sends; local delivery is free");
         self.stats.sent += 1;
         self.metrics.sent.inc();
         self.meters[from].record_up(bytes);
+        self.record_net_event(EventKind::Send, trace, from as u32, to as u32, bytes as i64);
         if self.rng.next_bool(self.loss_rate) {
             self.stats.dropped += 1;
             self.metrics.dropped.inc();
+            self.record_net_event(EventKind::Drop, trace, from as u32, to as u32, bytes as i64);
             return;
         }
         let delay = self.latency.sample_ms(from, to);
         let deliver_ms = self.now_ms + delay;
         self.queue.push(
             deliver_ms,
-            Delivery { from, to, sent_ms: self.now_ms, deliver_ms, payload, bytes },
+            Delivery { from, to, sent_ms: self.now_ms, deliver_ms, payload, bytes, trace },
         );
         self.metrics.in_flight.set(self.queue.len() as i64);
     }
@@ -209,9 +293,20 @@ impl<T> SimNetwork<T> {
             self.stats.delivered += 1;
             self.metrics.delivered.inc();
             self.metrics.latency_ms.record(d.deliver_ms - d.sent_ms);
+            self.record_net_event(
+                EventKind::Deliver,
+                d.trace,
+                d.to as u32,
+                d.from as u32,
+                d.bytes as i64,
+            );
             out.push(d);
         }
         self.metrics.in_flight.set(self.queue.len() as i64);
+        // Conservation must hold at every quiescent point; a violation
+        // here panics with the offending counts rather than corrupting
+        // downstream bandwidth figures silently.
+        self.stats().assert_invariant("simnet advance_to");
         out
     }
 
@@ -326,16 +421,77 @@ mod tests {
             if step % 7 == 0 {
                 net.advance_to(f64::from(step));
             }
-            let s = net.stats();
-            assert!(s.invariant_holds(), "step {step}: {s:?}");
+            net.stats().assert_invariant("mid-run");
         }
         // Drain completely: in_flight reaches zero and the identity still
         // balances on final totals.
         net.advance_to(10_000.0);
         let s = net.stats();
         assert_eq!(s.in_flight, 0);
-        assert!(s.invariant_holds(), "final: {s:?}");
+        s.assert_invariant("final");
         assert_eq!(s.sent, 200);
+    }
+
+    #[test]
+    fn conservation_holds_on_a_deliberately_lossy_network() {
+        // 40% Bernoulli loss: a large dropped count must still balance
+        // against sent at every checkpoint and after the final drain.
+        let mut net: SimNetwork<u32> = SimNetwork::new(4, latency::king_like(4, 21), 0.4, 21);
+        for step in 0..500u32 {
+            net.send((step % 4) as usize, ((step + 1) % 4) as usize, step, 90);
+            if step % 13 == 0 {
+                net.advance_to(f64::from(step) * 0.5);
+                net.stats().assert_invariant("lossy checkpoint");
+            }
+        }
+        net.advance_to(50_000.0);
+        let s = net.stats();
+        s.assert_invariant("lossy final");
+        assert_eq!(s.in_flight, 0);
+        assert!(s.dropped > 100, "expected heavy loss, got {}", s.dropped);
+        assert_eq!(s.sent, 500);
+        assert_eq!(s.delivered + s.dropped, 500);
+    }
+
+    #[test]
+    fn invariant_failure_reports_the_offending_counts() {
+        let bad = NetStats { sent: 100, delivered: 60, dropped: 10, in_flight: 20 };
+        let report = bad.check_invariant().unwrap_err();
+        assert!(report.contains("sent=100"), "{report}");
+        assert!(report.contains("delivered=60"), "{report}");
+        assert!(report.contains("dropped=10"), "{report}");
+        assert!(report.contains("in_flight=20"), "{report}");
+        assert!(report.contains("off by 10"), "{report}");
+        assert!(NetStats { sent: 1, delivered: 1, ..NetStats::default() }
+            .check_invariant()
+            .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "sent=5 != delivered=1 + dropped=1 + in_flight=1")]
+    fn assert_invariant_panics_with_counts() {
+        NetStats { sent: 5, delivered: 1, dropped: 1, in_flight: 1 }.assert_invariant("unit test");
+    }
+
+    #[test]
+    fn attached_recorder_sees_send_drop_and_deliver() {
+        use watchmen_telemetry::trace::{EventKind, TraceId};
+        use watchmen_telemetry::FlightRecorder;
+        let rec = Arc::new(FlightRecorder::new(256));
+        let mut net: SimNetwork<u8> = SimNetwork::new(2, latency::constant(1.0), 0.5, 77);
+        net.attach_recorder(Arc::clone(&rec));
+        let id = TraceId::from_origin_seq(0, 1);
+        for _ in 0..40 {
+            net.send_traced(0, 1, 7, 90, id);
+        }
+        net.advance_to(100.0);
+        let events = rec.snapshot();
+        let count = |k: EventKind| events.iter().filter(|e| e.kind == k).count();
+        assert_eq!(count(EventKind::Send), 40);
+        assert!(count(EventKind::Drop) > 0, "50% loss produced no drops");
+        assert!(count(EventKind::Deliver) > 0, "nothing delivered");
+        assert_eq!(count(EventKind::Drop) + count(EventKind::Deliver), 40);
+        assert!(events.iter().all(|e| e.trace_id == id));
     }
 
     #[test]

@@ -10,7 +10,11 @@
 
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
+use std::sync::Arc;
 use std::time::Duration;
+
+use watchmen_telemetry::trace::{EventKind, Phase, TraceEvent, TraceId, NO_SUBJECT};
+use watchmen_telemetry::FlightRecorder;
 
 use crate::wire::{GetBytes, PutBytes};
 
@@ -39,6 +43,8 @@ const MAGIC: u16 = 0x574d; // "WM"
 pub struct UdpEndpoint {
     node_id: u32,
     socket: UdpSocket,
+    /// Optional flight recorder for per-frame send/receive events.
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl UdpEndpoint {
@@ -51,7 +57,29 @@ impl UdpEndpoint {
     pub fn bind(node_id: u32, addr: &str) -> io::Result<Self> {
         let socket = UdpSocket::bind(addr)?;
         socket.set_nonblocking(true)?;
-        Ok(UdpEndpoint { node_id, socket })
+        Ok(UdpEndpoint { node_id, socket, recorder: None })
+    }
+
+    /// Attaches a flight recorder: every frame sent or received is
+    /// recorded as a [`Phase::NetFlush`] event tagged `"udp"` (`value`
+    /// carries the payload size; `subject` the peer's logical id).
+    pub fn attach_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    fn record_frame_event(&self, kind: EventKind, peer: u32, bytes: i64) {
+        if let Some(rec) = &self.recorder {
+            rec.record(TraceEvent::point(
+                TraceId::NONE,
+                self.node_id,
+                peer,
+                0,
+                Phase::NetFlush,
+                kind,
+                "udp",
+                bytes,
+            ));
+        }
     }
 
     /// The bound local address.
@@ -91,6 +119,7 @@ impl UdpEndpoint {
         let telemetry = watchmen_telemetry::global();
         telemetry.counter("udp_frames_sent_total").inc();
         telemetry.counter("udp_bytes_sent_total").add(frame.len() as u64);
+        self.record_frame_event(EventKind::Send, NO_SUBJECT, payload.len() as i64);
         Ok(())
     }
 
@@ -104,9 +133,10 @@ impl UdpEndpoint {
     pub fn try_recv(&self) -> io::Result<Option<(u32, SocketAddr, Vec<u8>)>> {
         let mut buf = [0u8; 2048];
         match self.socket.recv_from(&mut buf) {
-            Ok((len, from)) => {
-                Ok(parse_frame(&buf[..len]).map(|(id, payload)| (id, from, payload)))
-            }
+            Ok((len, from)) => Ok(parse_frame(&buf[..len]).map(|(id, payload)| {
+                self.record_frame_event(EventKind::Deliver, id, payload.len() as i64);
+                (id, from, payload)
+            })),
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
             Err(e) => Err(e),
         }
@@ -126,9 +156,10 @@ impl UdpEndpoint {
         self.socket.set_read_timeout(Some(timeout))?;
         let mut buf = [0u8; 2048];
         let result = match self.socket.recv_from(&mut buf) {
-            Ok((len, from)) => {
-                Ok(parse_frame(&buf[..len]).map(|(id, payload)| (id, from, payload)))
-            }
+            Ok((len, from)) => Ok(parse_frame(&buf[..len]).map(|(id, payload)| {
+                self.record_frame_event(EventKind::Deliver, id, payload.len() as i64);
+                (id, from, payload)
+            })),
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
@@ -200,6 +231,26 @@ mod tests {
         f.put_u16(10); // claims 10 bytes, provides 2
         f.put_slice(b"xy");
         assert!(parse_frame(&f).is_none());
+    }
+
+    #[test]
+    fn recorder_sees_frames_both_ways() {
+        let rec_a = Arc::new(FlightRecorder::new(16));
+        let rec_b = Arc::new(FlightRecorder::new(16));
+        let mut a = UdpEndpoint::bind(7, "127.0.0.1:0").unwrap();
+        let mut b = UdpEndpoint::bind(9, "127.0.0.1:0").unwrap();
+        a.attach_recorder(Arc::clone(&rec_a));
+        b.attach_recorder(Arc::clone(&rec_b));
+        a.send_to(b.local_addr().unwrap(), b"ping").unwrap();
+        let _ = b.recv_timeout(Duration::from_secs(2)).unwrap().expect("frame");
+        let sends = rec_a.snapshot();
+        assert_eq!(sends.len(), 1);
+        assert_eq!(sends[0].kind, EventKind::Send);
+        assert_eq!(sends[0].value, 4);
+        let recvs = rec_b.snapshot();
+        assert_eq!(recvs.len(), 1);
+        assert_eq!(recvs[0].kind, EventKind::Deliver);
+        assert_eq!(recvs[0].subject, 7, "peer id recorded");
     }
 
     #[test]

@@ -11,16 +11,20 @@
 //! lowest 1–10 threshold keeping honest flags ≤ 5 %, then (3) measures the
 //! fraction of injected cheat messages at or above the threshold.
 
+use std::sync::Arc;
+
 use watchmen_core::cheat::CheatInjector;
 use watchmen_core::dead_reckoning::Guidance;
 use watchmen_core::msg::KillClaim;
 use watchmen_core::subscription::{compute_sets, NoRecency};
-use watchmen_core::verify::Verifier;
+use watchmen_core::verify::{checks, Verifier};
 use watchmen_core::WatchmenConfig;
 use watchmen_crypto::rng::Xoshiro256;
 use watchmen_game::{GameEvent, PlayerId};
 use watchmen_math::poly::Polyline;
 use watchmen_math::Vec3;
+use watchmen_telemetry::trace::{EventKind, Phase, TraceEvent, TraceId};
+use watchmen_telemetry::FlightRecorder;
 use watchmen_world::PhysicsConfig;
 
 use crate::report::{pct, render_table};
@@ -119,6 +123,36 @@ pub fn run_detection(
     fp_budget: f64,
     seed: u64,
 ) -> Vec<DetectionRow> {
+    let recorder = Arc::new(FlightRecorder::new(watchmen_telemetry::DEFAULT_CAPACITY));
+    run_detection_traced(workload, config, cheat_fraction, fp_budget, seed, &recorder)
+}
+
+/// As [`run_detection`], but audits the run through `recorder`: every
+/// injected perturbation leaves a ground-truth [`EventKind::Inject`]
+/// event and every cheat sample scored leaves an [`EventKind::Verdict`]
+/// event, so a detection figure can be traced back to the individual
+/// decisions behind it.
+#[must_use]
+pub fn run_detection_traced(
+    workload: &Workload,
+    config: &WatchmenConfig,
+    cheat_fraction: f64,
+    fp_budget: f64,
+    seed: u64,
+    recorder: &Arc<FlightRecorder>,
+) -> Vec<DetectionRow> {
+    let verdict = |subject: usize, check: &'static str, score: u8, frame: usize| {
+        recorder.record(TraceEvent::point(
+            TraceId::NONE,
+            0,
+            subject as u32,
+            frame as u64,
+            Phase::Verify,
+            EventKind::Verdict,
+            check,
+            i64::from(score),
+        ));
+    };
     let physics = PhysicsConfig::default();
     let trace = &workload.trace;
     let map = &workload.map;
@@ -126,6 +160,10 @@ pub fn run_detection(
     let dt = config.frame_seconds();
     let mut rng = Xoshiro256::seed_from(seed, 0xde7ec7);
     let mut injector = CheatInjector::new(seed, 1.0);
+    // Ground truth: each perturbation the injector produces is recorded,
+    // so missed detections can be audited against what was injected. The
+    // experiment rotates cheaters, so no single id is attributed.
+    injector.attach_recorder(Arc::clone(recorder), watchmen_telemetry::trace::NO_SUBJECT);
     let mut rows = Vec::new();
 
     // Frames where each player respawned/teleported (skip those pairs).
@@ -159,7 +197,9 @@ pub fn run_detection(
                 if rng.next_bool(cheat_fraction) {
                     let max_step = physics.max_step(dt);
                     let hacked = injector.speed_hack(prev.position, next.position, max_step);
-                    cheats.push(verifier.check_position(prev.position, hacked, 1, map));
+                    let score = verifier.check_position(prev.position, hacked, 1, map);
+                    verdict(p, checks::POSITION, score, f);
+                    cheats.push(score);
                 }
             }
         }
@@ -232,7 +272,9 @@ pub fn run_detection(
                         v.position
                     },
                 };
-                cheats.push(verifier.check_kill(&claim, v, map, 0));
+                let score = verifier.check_kill(&claim, v, map, 0);
+                verdict(attacker, checks::KILL, score, f);
+                cheats.push(score);
             }
         }
         rows.push(evaluate(CheckKind::Kill, &honest, &cheats, fp_budget));
@@ -278,7 +320,9 @@ pub fn run_detection(
                     );
                     bogus.predicted_position =
                         bogus.position + bogus.velocity * (horizon as f64 * dt);
-                    cheats.push(verifier.check_guidance(&bogus, &actual));
+                    let score = verifier.check_guidance(&bogus, &actual);
+                    verdict(p, checks::GUIDANCE, score, f);
+                    cheats.push(score);
                 }
             }
         }
@@ -331,13 +375,16 @@ pub fn run_detection(
                             da.partial_cmp(&db).expect("finite")
                         })
                         .expect("non-empty");
-                    cheat_is
-                        .push(verifier.check_is_subscription(pid, target, states, map, &NoRecency));
-                    cheat_vs.push(verifier.check_vs_subscription(
+                    let is_score =
+                        verifier.check_is_subscription(pid, target, states, map, &NoRecency);
+                    let vs_score = verifier.check_vs_subscription(
                         &states[p],
                         states[target.index()].position,
                         map,
-                    ));
+                    );
+                    verdict(p, checks::SUBSCRIPTION, is_score.max(vs_score), f);
+                    cheat_is.push(is_score);
+                    cheat_vs.push(vs_score);
                 }
             }
         }
@@ -368,6 +415,24 @@ pub fn format_detection(rows: &[DetectionRow]) -> String {
         })
         .collect();
     render_table(&header, &body)
+}
+
+/// Renders the Figure 6 series plus the audit trail a
+/// [`run_detection_traced`] run left behind: ground-truth injections,
+/// verdicts recorded, and how many verdicts were suspicious.
+#[must_use]
+pub fn format_detection_traced(rows: &[DetectionRow], recorder: &FlightRecorder) -> String {
+    let events = recorder.snapshot();
+    let injections = events.iter().filter(|e| e.kind == EventKind::Inject).count();
+    let verdicts = events.iter().filter(|e| e.kind == EventKind::Verdict).count();
+    let suspicious = events.iter().filter(|e| e.kind == EventKind::Verdict && e.value > 5).count();
+    format!(
+        "{}\naudit: {injections} injections ground-truthed, {verdicts} cheat verdicts \
+         recorded ({suspicious} suspicious), {} events total ({} overwritten)\n",
+        format_detection(rows),
+        recorder.total_recorded(),
+        recorder.total_recorded().saturating_sub(recorder.len() as u64),
+    )
 }
 
 #[cfg(test)]
@@ -428,5 +493,25 @@ mod tests {
         for kind in CheckKind::ALL {
             assert!(s.contains(kind.label()), "missing {}", kind.label());
         }
+    }
+
+    #[test]
+    fn traced_run_audits_injections_and_verdicts() {
+        let w = standard_workload(16, 11, 600);
+        let recorder = Arc::new(FlightRecorder::new(1 << 16));
+        let rows = run_detection_traced(&w, &WatchmenConfig::default(), 0.10, 0.05, 21, &recorder);
+        let events = recorder.snapshot();
+        let injections = events.iter().filter(|e| e.kind == EventKind::Inject).count();
+        let verdicts = events.iter().filter(|e| e.kind == EventKind::Verdict).count();
+        assert!(injections > 0, "no ground-truth injection events");
+        // Every position/guidance cheat sample came from one injector
+        // call, so verdicts can't outnumber injections plus fabricated
+        // kills and subscriptions (which don't use the injector).
+        let cheat_total: usize = rows.iter().map(|r| r.cheat_samples).sum();
+        // VS and IS cheats are scored pairwise from one opportunity.
+        assert!(verdicts <= cheat_total && verdicts > 0, "{verdicts} vs {cheat_total}");
+        let report = format_detection_traced(&rows, &recorder);
+        assert!(report.contains("audit:"), "{report}");
+        assert!(report.contains("injections ground-truthed"), "{report}");
     }
 }

@@ -136,6 +136,13 @@ impl Histogram {
     /// The value at quantile `q ∈ [0, 1]` (bucket midpoint, ≤ 3.1%
     /// relative error), or 0 when empty.
     ///
+    /// Bucket midpoints can fall outside the observed range at the
+    /// distribution's boundaries — a single sample's bucket midpoint need
+    /// not equal the sample, and the top bucket's midpoint can exceed the
+    /// largest observation — so the estimate is clamped to the recorded
+    /// `[min, max]`: `quantile(0.0)` ≥ [`Histogram::min`] and
+    /// `quantile(1.0)` = [`Histogram::max`] exactly.
+    ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
@@ -152,7 +159,11 @@ impl Histogram {
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= rank {
-                return bucket_mid(i) as f64 / SCALE;
+                let v = bucket_mid(i) as f64 / SCALE;
+                let (lo, hi) = (self.min(), self.max());
+                // A concurrent first record can transiently leave min > max
+                // under relaxed ordering; skip clamping in that window.
+                return if lo <= hi { v.clamp(lo, hi) } else { v };
             }
         }
         self.max()
@@ -259,6 +270,42 @@ mod tests {
             let got = h.quantile(q);
             let rel = (got - expect).abs() / expect;
             assert!(rel < 0.04, "q{q}: got {got}, want ~{expect} ({rel})");
+        }
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        // Regression: a lone sample's bucket midpoint need not equal the
+        // sample; clamping to [min, max] makes every quantile exact.
+        for v in [0.07, 1.0, 5.3, 999.0, 123_456.78] {
+            let h = Histogram::new();
+            h.record(v);
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                let got = h.quantile(q);
+                let want = h.min(); // the sample, up to recording scale
+                assert!((got - want).abs() < 1e-9, "value {v} q{q}: got {got}, want {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_bucket_distribution_p99_stays_in_the_low_bucket() {
+        // Regression: 99 low observations and 1 high one — p99's rank (99)
+        // lands on the last low observation, so the estimate must come
+        // from the low bucket, and p100 must equal the recorded max.
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(1.0);
+        }
+        h.record(1000.0);
+        let p99 = h.quantile(0.99);
+        assert!((p99 - 1.0).abs() < 0.05, "p99 {p99} escaped the low bucket");
+        assert_eq!(h.quantile(1.0), h.max());
+        assert!((h.quantile(1.0) - 1000.0).abs() < 1e-9);
+        // And the estimate never exceeds the observed range.
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!((h.min()..=h.max()).contains(&v), "q{q}: {v} outside range");
         }
     }
 

@@ -20,13 +20,29 @@
 //! * [`FrameTimer`] — a span-style scope guard that records elapsed
 //!   wall-clock milliseconds into a histogram on drop.
 //!
+//! # Tracing
+//!
+//! Metrics aggregate; the tracing layer keeps *individual* decisions
+//! auditable. [`trace::TraceId`] gives every wire message a causal
+//! identity derived from its `(origin, seq)` pair — recomputable at each
+//! hop with no extra wire bytes — and [`FlightRecorder`] is the per-node
+//! fixed-capacity ring of [`trace::TraceEvent`]s (overwrite-oldest, zero
+//! allocation after startup). When a verification check or invariant
+//! fires, [`FlightRecorder::dump`] snapshots the events touching the
+//! offending trace or player into a [`FlightDump`] report, and
+//! [`causal_chain`] stitches one message's origin → proxy → subscriber
+//! journey across several nodes' recorders. [`TraceMode::from_env`]
+//! parses the `WATCHMEN_TRACE` toggle (`dump` or `chrome:<path>`).
+//!
 //! # Exporters
 //!
 //! [`export::prometheus_text`] renders a [`Snapshot`] in the Prometheus
 //! text exposition format; [`export::json`] renders the same snapshot as
 //! a JSON document with precomputed quantiles — what the experiment
 //! drivers write next to their reports so figure reproductions can be
-//! compared across runs.
+//! compared across runs. [`export::chrome_trace`] renders flight-recorder
+//! events as a Chrome `trace_event` JSON document loadable in
+//! `chrome://tracing` or Perfetto.
 //!
 //! # Examples
 //!
@@ -65,13 +81,17 @@
 mod counter;
 pub mod export;
 mod histogram;
+mod recorder;
 mod registry;
 mod timer;
+pub mod trace;
 
 pub use counter::{Counter, Gauge};
 pub use histogram::Histogram;
+pub use recorder::{FlightDump, FlightRecorder, SpanGuard, DEFAULT_CAPACITY};
 pub use registry::{MetricValue, Registry, Snapshot, SnapshotEntry};
 pub use timer::{time, FrameTimer};
+pub use trace::{causal_chain, EventKind, Phase, TraceEvent, TraceId, TraceMode};
 
 use std::sync::OnceLock;
 

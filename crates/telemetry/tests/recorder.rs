@@ -1,0 +1,128 @@
+//! Flight-recorder overwrite semantics and trace-export integration: the
+//! guarantees violation dumps depend on when the ring has wrapped.
+
+use watchmen_telemetry::trace::{EventKind, Phase, TraceEvent, TraceId, NO_SUBJECT};
+use watchmen_telemetry::{causal_chain, export, FlightRecorder};
+
+/// A send-like event whose frame doubles as its identity.
+fn ev(node: u32, frame: u64) -> TraceEvent {
+    let mut e = TraceEvent::point(
+        TraceId::from_origin_seq(node, frame),
+        node,
+        node,
+        frame,
+        Phase::Publish,
+        EventKind::Send,
+        "state",
+        0,
+    );
+    e.at_us = frame; // deterministic, strictly increasing
+    e
+}
+
+#[test]
+fn after_capacity_plus_k_events_exactly_the_oldest_k_are_gone() {
+    const CAPACITY: usize = 64;
+    const K: usize = 17;
+    let rec = FlightRecorder::new(CAPACITY);
+    for f in 1..=(CAPACITY + K) as u64 {
+        rec.record(ev(0, f));
+    }
+    assert_eq!(rec.len(), CAPACITY);
+    assert_eq!(rec.total_recorded(), (CAPACITY + K) as u64);
+    let frames: Vec<u64> = rec.snapshot().iter().map(|e| e.frame).collect();
+    // The oldest K (frames 1..=K) are gone; everything newer survives in
+    // insertion order.
+    let expected: Vec<u64> = ((K + 1) as u64..=(CAPACITY + K) as u64).collect();
+    assert_eq!(frames, expected);
+}
+
+#[test]
+fn ordering_is_preserved_across_many_wraps() {
+    let rec = FlightRecorder::new(8);
+    for f in 1..=1000u64 {
+        rec.record(ev(0, f));
+    }
+    let frames: Vec<u64> = rec.snapshot().iter().map(|e| e.frame).collect();
+    assert_eq!(frames, vec![993, 994, 995, 996, 997, 998, 999, 1000]);
+    assert!(frames.windows(2).all(|w| w[0] < w[1]), "order broken: {frames:?}");
+}
+
+#[test]
+fn dump_triggered_mid_wrap_is_well_formed() {
+    const CAPACITY: usize = 32;
+    let rec = FlightRecorder::new(CAPACITY);
+    // Fill 1.5 rings so head sits mid-buffer, then dump everything.
+    for f in 1..=(CAPACITY + CAPACITY / 2) as u64 {
+        rec.record(ev(3, f));
+    }
+    let dump = rec.dump("mid-wrap", TraceId::NONE, NO_SUBJECT);
+    assert_eq!(dump.events.len(), CAPACITY);
+    assert_eq!(dump.overwritten, (CAPACITY / 2) as u64);
+    // Chronological, no duplicates, no gaps.
+    let frames: Vec<u64> = dump.events.iter().map(|e| e.frame).collect();
+    let expected: Vec<u64> =
+        ((CAPACITY / 2 + 1) as u64..=(CAPACITY + CAPACITY / 2) as u64).collect();
+    assert_eq!(frames, expected);
+    // The rendered report carries the trigger and every event line.
+    let text = dump.to_string();
+    assert!(text.contains("mid-wrap"), "{text}");
+    assert_eq!(text.lines().filter(|l| l.starts_with("  [")).count(), CAPACITY);
+}
+
+#[test]
+fn dump_filters_by_trace_and_by_subject() {
+    let rec = FlightRecorder::new(64);
+    for f in 1..=10 {
+        rec.record(ev(1, f)); // subject 1
+        rec.record(ev(2, f)); // subject 2
+    }
+    let id = TraceId::from_origin_seq(1, 4);
+    let by_trace = rec.dump("one message", id, NO_SUBJECT);
+    assert_eq!(by_trace.events.len(), 1);
+    assert_eq!(by_trace.events[0].frame, 4);
+
+    let by_subject = rec.dump("one player", TraceId::NONE, 2);
+    assert_eq!(by_subject.events.len(), 10);
+    assert!(by_subject.events.iter().all(|e| e.subject == 2));
+}
+
+#[test]
+fn causal_chain_merges_recorders_in_frame_order() {
+    // Simulate origin → proxy → subscriber: three nodes, one message id,
+    // each node's recorder holding its own hop.
+    let origin = FlightRecorder::new(16);
+    let proxy = FlightRecorder::new(16);
+    let subscriber = FlightRecorder::new(16);
+    let id = TraceId::from_origin_seq(9, 4217);
+
+    let hop = |node: u32, frame: u64, kind: EventKind, phase: Phase, at: u64| {
+        let mut e = TraceEvent::point(id, node, 9, frame, phase, kind, "state", 0);
+        e.at_us = at;
+        e
+    };
+    subscriber.record(hop(2, 4218, EventKind::Deliver, Phase::Verify, 30));
+    origin.record(hop(9, 4217, EventKind::Send, Phase::Publish, 10));
+    proxy.record(hop(1, 4217, EventKind::Relay, Phase::ProxyRelay, 20));
+    // Unrelated traffic must not leak into the chain.
+    proxy.record(ev(5, 4217));
+
+    let chain = causal_chain(&[&origin, &proxy, &subscriber], id);
+    let kinds: Vec<EventKind> = chain.iter().map(|e| e.kind).collect();
+    assert_eq!(kinds, vec![EventKind::Send, EventKind::Relay, EventKind::Deliver]);
+}
+
+#[test]
+fn chrome_export_of_a_wrapped_recorder_is_loadable_shape() {
+    let rec = FlightRecorder::new(8);
+    for f in 1..=20 {
+        rec.record(ev(0, f));
+    }
+    let _span = rec.span(0, 21, Phase::Tick, "tick");
+    drop(_span);
+    let json = export::chrome_trace(&rec.snapshot());
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"ph\": \"X\""), "span missing: {json}");
+    assert_eq!(json.matches("\"ph\": \"i\"").count(), 7, "7 instants + 1 span retained");
+}

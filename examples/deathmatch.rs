@@ -1,11 +1,19 @@
 //! A full 48-player deathmatch on the q3dm17-like arena: the paper's
 //! headline workload, with a live scoreboard, the Figure 1 presence
-//! heatmap, a network replay over the simnet, a secured-node segment, and
-//! a final telemetry snapshot in Prometheus text format.
+//! heatmap, a network replay over the simnet, a secured-node segment
+//! (including a scripted cheater whose violations trigger flight-recorder
+//! dumps), and a final telemetry snapshot in Prometheus text format.
 //!
 //! ```sh
 //! cargo run --release --example deathmatch [players] [frames]
 //! ```
+//!
+//! Set `WATCHMEN_TRACE=dump` to print the violation dumps in full, or
+//! `WATCHMEN_TRACE=chrome:<path>` to additionally write a merged Chrome
+//! `trace_event` JSON (load it at `ui.perfetto.dev` or
+//! `chrome://tracing`).
+
+use std::sync::Arc;
 
 use watchmen::core::node::WatchmenNode;
 use watchmen::core::overlay::run_watchmen;
@@ -15,7 +23,9 @@ use watchmen::game::heatmap::Heatmap;
 use watchmen::game::trace::GameTrace;
 use watchmen::game::{GameConfig, GameEvent, PlayerId};
 use watchmen::net::latency;
-use watchmen::telemetry::{export, global, MetricValue};
+use watchmen::telemetry::{
+    causal_chain, export, global, FlightDump, FlightRecorder, MetricValue, TraceMode,
+};
 use watchmen::world::{maps, GameMap, PhysicsConfig};
 
 fn main() {
@@ -110,13 +120,14 @@ fn main() {
     // --- Secured segment: a small cluster of full WatchmenNodes (signed
     // envelopes, proxy supervision, handoffs) over an instant bus, enough
     // frames to cross several proxy epochs.
-    let cluster_size = players.clamp(2, 12);
+    let cluster_size = players.clamp(3, 12);
     let cluster_frames = (net_frames as usize).min(130);
     println!(
         "\nrunning {cluster_size} secured nodes for {cluster_frames} frames \
-         (signatures, proxies, handoffs)…"
+         (signatures, proxies, handoffs; p2 speed-hacks, p1 replays)…"
     );
-    run_secured_segment(&trace, &map, cluster_size, cluster_frames);
+    let (recorders, dumps) = run_secured_segment(&trace, &map, cluster_size, cluster_frames);
+    report_violations(&recorders, &dumps);
 
     // --- Telemetry: what the instrumented layers recorded.
     let snap = global().snapshot();
@@ -142,8 +153,16 @@ fn main() {
 }
 
 /// Drives a small cluster of [`WatchmenNode`]s over an in-memory instant
-/// bus, feeding them the first `cluster_size` players' recorded states.
-fn run_secured_segment(trace: &GameTrace, map: &GameMap, cluster_size: usize, frames: usize) {
+/// bus, feeding them the first `cluster_size` players' recorded states —
+/// except player 2, who speed-hacks every fourth frame, and player 1,
+/// whose first state update is replayed verbatim once. Returns every
+/// node's flight recorder and the violation dumps they captured.
+fn run_secured_segment(
+    trace: &GameTrace,
+    map: &GameMap,
+    cluster_size: usize,
+    frames: usize,
+) -> (Vec<Arc<FlightRecorder>>, Vec<FlightDump>) {
     let seed = 2013u64;
     let keys: Vec<Keypair> =
         (0..cluster_size).map(|i| Keypair::generate(seed ^ i as u64)).collect();
@@ -165,18 +184,96 @@ fn run_secured_segment(trace: &GameTrace, map: &GameMap, cluster_size: usize, fr
         .collect();
     let mut bus: std::collections::VecDeque<(PlayerId, PlayerId, Vec<u8>)> =
         std::collections::VecDeque::new();
+    let mut replayed: Option<(PlayerId, PlayerId, Vec<u8>)> = None;
     for frame in 0..frames as u64 {
         let states = &trace.frames[frame as usize].states;
         for i in 0..cluster_size {
-            let output = nodes[i].begin_frame(frame, &states[i]);
+            let mut state = states[i];
+            // The scripted cheater: p2 reports a teleported position
+            // every fourth frame, which its proxy's physics check flags.
+            if i == 2 && frame > 0 && frame % 4 == 0 {
+                state.position.x += 30.0;
+            }
+            let output = nodes[i].begin_frame(frame, &state);
             for o in output.outgoing {
+                if i == 1 && replayed.is_none() && o.bytes.len() > 60 {
+                    // Keep p1's first state update for a later replay.
+                    replayed = Some((PlayerId(1), o.to, o.bytes.clone()));
+                }
                 bus.push_back((PlayerId(i as u32), o.to, o.bytes));
+            }
+        }
+        // Half-way through, re-deliver the captured bytes: a replay cheat
+        // the anti-replay window rejects and dumps.
+        if frame == frames as u64 / 2 {
+            if let Some(r) = replayed.take() {
+                bus.push_back(r);
             }
         }
         while let Some((sender, to, bytes)) = bus.pop_front() {
             let (out, _events) = nodes[to.index()].handle_message(frame, sender, &bytes);
             for o in out {
                 bus.push_back((to, o.to, o.bytes));
+            }
+        }
+    }
+    let recorders = nodes.iter().map(WatchmenNode::recorder).collect();
+    let dumps = nodes.iter_mut().flat_map(WatchmenNode::take_flight_dumps).collect();
+    (recorders, dumps)
+}
+
+/// Prints what the flight recorders captured around the scripted
+/// violations: a summary per dump, the cross-node causal chain of the
+/// first position violation, and — per `WATCHMEN_TRACE` — either the full
+/// dumps (`dump`) or a merged Chrome trace file (`chrome:<path>`).
+fn report_violations(recorders: &[Arc<FlightRecorder>], dumps: &[FlightDump]) {
+    println!("\nflight-recorder violations captured: {}", dumps.len());
+    for d in dumps.iter().take(6) {
+        println!(
+            "  {} on p{} ({} events retained, trace {})",
+            d.reason,
+            d.subject,
+            d.events.len(),
+            d.trace_id,
+        );
+    }
+
+    // Reconstruct the causal chain of one offending message across every
+    // node: origin send → proxy relay → verifier's verdict.
+    let refs: Vec<&FlightRecorder> = recorders.iter().map(Arc::as_ref).collect();
+    if let Some(dump) = dumps.iter().find(|d| d.trace_id.is_some()) {
+        let chain = causal_chain(&refs, dump.trace_id);
+        println!(
+            "\ncausal chain of the offending message (trace {}, \"{}\"):",
+            dump.trace_id, dump.reason
+        );
+        for e in &chain {
+            println!("  {e}");
+        }
+    }
+
+    match TraceMode::from_env() {
+        TraceMode::Off => {
+            println!("\n(set WATCHMEN_TRACE=dump or chrome:<path> for full trace output)");
+        }
+        TraceMode::Dump => {
+            for d in dumps {
+                println!("\n{d}");
+            }
+        }
+        TraceMode::Chrome(path) => {
+            let mut events = Vec::new();
+            for r in &refs {
+                events.extend(r.snapshot());
+            }
+            events.sort_by_key(|e| e.at_us);
+            let json = export::chrome_trace(&events);
+            match std::fs::write(&path, &json) {
+                Ok(()) => println!(
+                    "\nwrote {} trace events to {path} (load at ui.perfetto.dev)",
+                    events.len()
+                ),
+                Err(e) => eprintln!("\nfailed to write chrome trace to {path}: {e}"),
             }
         }
     }

@@ -259,6 +259,73 @@ fn speed_hacking_node_draws_proxy_suspicion() {
 }
 
 #[test]
+fn violations_capture_flight_dumps_with_the_causal_chain() {
+    use watchmen::telemetry::causal_chain;
+    use watchmen::telemetry::trace::EventKind;
+
+    let trace = standard_trace(5, 23, 120);
+    let mut cluster = Cluster::new(5, 23);
+    for f in 0..120 {
+        let states = &trace.frames[f as usize].states;
+        for i in 0..5usize {
+            let mut state = states[i];
+            // Same speed-hack scenario as above: player 2 teleports.
+            if i == 2 && f % 4 == 0 && f > 0 {
+                state.position.x += 30.0;
+            }
+            let output = cluster.nodes[i].begin_frame(f, &state);
+            cluster.enqueue(PlayerId(i as u32), output.outgoing);
+        }
+        let mut hops = 0;
+        while let Some((sender, to, bytes)) = cluster.bus.pop_front() {
+            hops += 1;
+            assert!(hops < 1_000_000);
+            let (out, _) = cluster.nodes[to.index()].handle_message(f, sender, &bytes);
+            cluster.enqueue(to, out);
+        }
+    }
+
+    // Some proxy of player 2 must have captured position-violation dumps.
+    let dumps: Vec<_> = cluster
+        .nodes
+        .iter_mut()
+        .flat_map(|n| n.take_flight_dumps())
+        .filter(|d| d.reason == "position" && d.subject == 2)
+        .collect();
+    assert!(!dumps.is_empty(), "no position-violation dump captured");
+
+    // Each dump names the offending message; assembling the causal chain
+    // across every node's recorder must show the origin's send and the
+    // verifying proxy's verdict, in causal order.
+    let recorders: Vec<_> = cluster.nodes.iter().map(|n| n.recorder()).collect();
+    let recorder_refs: Vec<&watchmen::telemetry::FlightRecorder> =
+        recorders.iter().map(std::sync::Arc::as_ref).collect();
+    let mut chains_with_full_story = 0;
+    for dump in &dumps {
+        assert!(dump.trace_id.is_some(), "dump lost its trace filter");
+        assert!(!dump.events.is_empty(), "dump carries no events");
+        let chain = causal_chain(&recorder_refs, dump.trace_id);
+        let send = chain.iter().position(|e| e.kind == EventKind::Send && e.node == 2);
+        let verdict = chain.iter().position(|e| e.kind == EventKind::Violation);
+        if let (Some(s), Some(v)) = (send, verdict) {
+            assert!(s < v, "send after its own verdict in {chain:?}");
+            chains_with_full_story += 1;
+        }
+    }
+    // The ring holds thousands of events, so recent violations still have
+    // their origin send retained.
+    assert!(chains_with_full_story > 0, "no chain shows send → verdict");
+
+    // Relays appear once subscribers exist (state updates fan out).
+    let relays = recorder_refs
+        .iter()
+        .flat_map(|r| r.snapshot())
+        .filter(|e| e.kind == EventKind::Relay)
+        .count();
+    assert!(relays > 0, "no proxy relay events recorded");
+}
+
+#[test]
 fn kill_claims_are_verified_by_proxies_and_witnesses() {
     use watchmen::core::msg::KillClaim;
     use watchmen::game::WeaponKind;
