@@ -35,4 +35,23 @@ assert spans, "chrome trace has no complete (ph=X) spans"
 print(f"trace OK: {len(events)} events, {len(spans)} complete spans")
 EOF
 
+echo "==> faulted soak (16 secured nodes, burst loss + duplication + proxy crash)"
+SOAK_OUT=/tmp/watchmen-soak.txt
+WATCHMEN_FAULTS="loss=0.05,dup=0.01,reorder=0.25,reorder_ms=40,seed=9" \
+    cargo run --release --example deathmatch 8 200 > "$SOAK_OUT"
+python3 - "$SOAK_OUT" <<'EOF'
+import re, sys
+text = open(sys.argv[1]).read()
+m = re.search(r"fault summary: (.*)", text)
+assert m, "no fault summary line in deathmatch output"
+kv = {k: int(v) for k, v in (p.split("=") for p in m.group(1).split())}
+assert kv["retransmits"] > 0, f"burst loss never forced a retransmission: {kv}"
+assert kv["abandoned"] == 0, f"control messages abandoned: {kv}"
+assert kv["pending_handoffs"] == 0, f"unrecovered handoff chains: {kv}"
+assert kv["fallbacks"] >= 1, f"crashed proxy never triggered a fallback: {kv}"
+assert kv["severe_false_verdicts"] == 0, f"false cheat verdicts under faults: {kv}"
+assert kv["dup"] > 0 and kv["dropped"] > 0, f"fault plan never engaged: {kv}"
+print(f"soak OK: {m.group(1)}")
+EOF
+
 echo "CI OK"

@@ -33,6 +33,27 @@ pub struct WatchmenConfig {
     /// How many predecessor summaries a handoff embeds ("follow up on two
     /// previous proxies").
     pub handoff_depth: usize,
+    /// Frames an unacked control message (subscription or handoff) waits
+    /// before its first retransmission; later attempts back off
+    /// exponentially from this base.
+    pub retransmit_timeout_frames: u64,
+    /// Cap on the exponential retransmit backoff, in frames.
+    pub retransmit_backoff_cap_frames: u64,
+    /// Retransmissions before a control message is abandoned and counted
+    /// as an unrecovered chain (this should never fire on a merely lossy
+    /// network — it indicates a dead or unreachable peer).
+    pub retransmit_max_attempts: u32,
+    /// Proxy-liveness window, in multiples of [`Self::others_period`]: a
+    /// node that has produced no evidence of life for `proxy_liveness_k`
+    /// consecutive expected relay periods is presumed crashed and skipped
+    /// by the deterministic fallback draw.
+    pub proxy_liveness_k: u64,
+    /// How many extra draws of the shared proxy-schedule PRNG a node will
+    /// walk past presumed-crashed picks. Bounds the divergence between
+    /// nodes with different liveness views: any fallback proxy is within
+    /// this many draws of the scheduled one, so receivers accept duty from
+    /// the whole plausible set.
+    pub proxy_fallback_depth: u32,
 }
 
 impl Default for WatchmenConfig {
@@ -48,6 +69,11 @@ impl Default for WatchmenConfig {
             subscription_retention: 40,
             loss_age_frames: 3,
             handoff_depth: 2,
+            retransmit_timeout_frames: 8,
+            retransmit_backoff_cap_frames: 64,
+            retransmit_max_attempts: 12,
+            proxy_liveness_k: 3,
+            proxy_fallback_depth: 2,
         }
     }
 }
@@ -99,6 +125,20 @@ impl WatchmenConfig {
         assert!(self.proxy_period > 0, "proxy_period must be positive");
         assert!(self.guidance_period > 0, "guidance_period must be positive");
         assert!(self.others_period > 0, "others_period must be positive");
+        assert!(self.retransmit_timeout_frames > 0, "retransmit_timeout_frames must be positive");
+        assert!(
+            self.retransmit_backoff_cap_frames >= self.retransmit_timeout_frames,
+            "retransmit_backoff_cap_frames must be at least the base timeout"
+        );
+        assert!(self.retransmit_max_attempts > 0, "retransmit_max_attempts must be positive");
+        assert!(self.proxy_liveness_k > 0, "proxy_liveness_k must be positive");
+    }
+
+    /// Frames of silence after which a peer is presumed crashed: `k`
+    /// missed relay periods (the slowest traffic every live node emits).
+    #[must_use]
+    pub fn liveness_timeout_frames(&self) -> u64 {
+        self.proxy_liveness_k * self.others_period
     }
 }
 
@@ -160,6 +200,25 @@ mod tests {
     #[should_panic(expected = "interest_size")]
     fn invalid_config_panics() {
         let c = WatchmenConfig { interest_size: 0, ..WatchmenConfig::default() };
+        c.validate();
+    }
+
+    #[test]
+    fn liveness_timeout_scales_with_relay_period() {
+        let c = WatchmenConfig::default();
+        assert_eq!(c.liveness_timeout_frames(), 60); // 3 × 20-frame relays
+        let fast = WatchmenConfig { proxy_liveness_k: 1, others_period: 10, ..c };
+        assert_eq!(fast.liveness_timeout_frames(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "retransmit_backoff_cap_frames")]
+    fn backoff_cap_below_timeout_panics() {
+        let c = WatchmenConfig {
+            retransmit_timeout_frames: 10,
+            retransmit_backoff_cap_frames: 5,
+            ..WatchmenConfig::default()
+        };
         c.validate();
     }
 }

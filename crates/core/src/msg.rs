@@ -97,6 +97,13 @@ pub struct HandoffNotice {
     pub player: PlayerId,
     /// The epoch the summary covers.
     pub epoch: u64,
+    /// Frame at which `last_state` was actually observed by the sending
+    /// proxy. Carried explicitly because the envelope frame only says when
+    /// the notice was *sent*: under loss the observation can be several
+    /// frames older, and stamping it with the send frame would make the
+    /// successor compute impossible speeds from the player's very next
+    /// update (a false teleport verdict).
+    pub observed_frame: u64,
     /// The player's last known state.
     pub last_state: StateUpdate,
     /// Worst cheat rating observed this epoch (1 = clean).
@@ -105,6 +112,21 @@ pub struct HandoffNotice {
     pub updates_seen: u32,
     /// SHA-256 digest of the predecessor summary chain.
     pub predecessor_digest: [u8; 32],
+}
+
+impl HandoffNotice {
+    /// SHA-256 of this notice's canonical wire encoding — what the
+    /// successor embeds as its own `predecessor_digest`, chaining
+    /// consecutive summaries. Because it covers the exact wire bytes, the
+    /// digest is identical at sender and receiver and stable across
+    /// retransmissions (which re-send the same bytes), so duplicates
+    /// deduplicate to the same chain link.
+    #[must_use]
+    pub fn digest(&self) -> [u8; 32] {
+        let mut b = Vec::new();
+        encode_payload(&mut b, &Payload::Handoff(*self));
+        watchmen_crypto::sha256(&b)
+    }
 }
 
 /// Message payloads.
@@ -134,6 +156,14 @@ pub enum Payload {
     Kill(KillClaim),
     /// A proxy handing its duty to its successor.
     Handoff(HandoffNotice),
+    /// Acknowledges processing of a control message the acker received
+    /// from the origin: `ack_seq` is that message's envelope sequence
+    /// number. Acks complete the reliable-delivery loop for subscriptions
+    /// and handoffs; they are not themselves acked.
+    Ack {
+        /// Envelope sequence number of the acknowledged control message.
+        ack_seq: u64,
+    },
 }
 
 impl Payload {
@@ -148,7 +178,24 @@ impl Payload {
             Payload::Unsubscribe { .. } => "unsubscribe",
             Payload::Kill(_) => "kill-claim",
             Payload::Handoff(_) => "handoff",
+            Payload::Ack { .. } => "ack",
         }
+    }
+
+    /// Control-plane payloads ride the reliable ack/retransmit layer and
+    /// are processed idempotently: a duplicate (whether a retransmission
+    /// or a network-level copy) is reprocessed and re-acked instead of
+    /// being flagged by the anti-replay window, which stays reserved for
+    /// *data* replay cheats.
+    #[must_use]
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Payload::Subscribe { .. }
+                | Payload::Unsubscribe { .. }
+                | Payload::Handoff(_)
+                | Payload::Ack { .. }
+        )
     }
 }
 
@@ -357,6 +404,7 @@ fn encode_payload(b: &mut Vec<u8>, p: &Payload) {
             b.put_u8(6);
             b.put_u32(h.player.0);
             b.put_u64(h.epoch);
+            b.put_u64(h.observed_frame);
             put_vec3(b, h.last_state.position);
             put_vec3(b, h.last_state.velocity);
             b.put_f64(h.last_state.aim.yaw());
@@ -368,6 +416,10 @@ fn encode_payload(b: &mut Vec<u8>, p: &Payload) {
             b.put_u8(h.worst_rating);
             b.put_u32(h.updates_seen);
             b.put_slice(&h.predecessor_digest);
+        }
+        Payload::Ack { ack_seq } => {
+            b.put_u8(7);
+            b.put_u64(*ack_seq);
         }
     }
 }
@@ -458,9 +510,10 @@ fn decode_envelope<'a>(buf: &mut &'a [u8]) -> Result<(Envelope, &'a [u8]), Decod
             })
         }
         6 => {
-            let mut t = take(buf, 12)?;
+            let mut t = take(buf, 20)?;
             let player = PlayerId(t.get_u32());
             let epoch = t.get_u64();
+            let observed_frame = t.get_u64();
             let position = get_vec3(buf)?;
             let velocity = get_vec3(buf)?;
             let mut a = take(buf, 16)?;
@@ -479,11 +532,16 @@ fn decode_envelope<'a>(buf: &mut &'a [u8]) -> Result<(Envelope, &'a [u8]), Decod
             Payload::Handoff(HandoffNotice {
                 player,
                 epoch,
+                observed_frame,
                 last_state: StateUpdate { position, velocity, aim, health, armor, weapon, ammo },
                 worst_rating,
                 updates_seen,
                 predecessor_digest,
             })
+        }
+        7 => {
+            let mut a = take(buf, 8)?;
+            Payload::Ack { ack_seq: a.get_u64() }
         }
         t => return Err(DecodeError::InvalidTag(t)),
     };
@@ -528,12 +586,41 @@ mod tests {
             Payload::Handoff(HandoffNotice {
                 player: PlayerId(6),
                 epoch: 3,
+                observed_frame: 117,
                 last_state: sample_state(),
                 worst_rating: 2,
                 updates_seen: 40,
                 predecessor_digest: [7u8; 32],
             }),
+            Payload::Ack { ack_seq: 77 },
         ]
+    }
+
+    #[test]
+    fn handoff_notice_digest_survives_the_wire() {
+        // The successor recomputes the digest from the decoded notice:
+        // it must equal the sender's, and a retransmission (the same
+        // signed bytes again) must decode to the same digest, so
+        // duplicates deduplicate to one chain link.
+        let Payload::Handoff(notice) = all_payloads()[6] else { panic!("payload order") };
+        let keys = Keypair::generate(42);
+        let env =
+            Envelope { from: PlayerId(6), seq: 9, frame: 117, payload: Payload::Handoff(notice) };
+        let bytes = env.sign(&keys).encode();
+        let decoded = SignedEnvelope::decode(&bytes).unwrap();
+        let Payload::Handoff(got) = decoded.envelope.payload else { panic!("payload changed") };
+        assert_eq!(got.digest(), notice.digest());
+        let again = SignedEnvelope::decode(&bytes).unwrap();
+        let Payload::Handoff(dup) = again.envelope.payload else { panic!("payload changed") };
+        assert_eq!(dup.digest(), notice.digest());
+    }
+
+    #[test]
+    fn control_payloads_are_classified() {
+        let expected = [false, false, false, true, true, false, true, true];
+        for (payload, want) in all_payloads().iter().zip(expected) {
+            assert_eq!(payload.is_control(), want, "{}", payload.label());
+        }
     }
 
     #[test]

@@ -106,18 +106,26 @@ pub enum NodeEvent {
 /// while rejecting duplicates and stale sequence numbers.
 #[derive(Debug, Clone, Copy, Default)]
 struct ReplayWindow {
-    /// Highest sequence accepted.
+    /// Highest sequence accepted (meaningful only once `seen` is set).
     high: u64,
     /// Bitmask of the 64 sequences at and below `high` (bit 0 = `high`).
     mask: u64,
+    /// Whether any sequence has been accepted yet. A fresh window's
+    /// `high == 0` must stay distinguishable from "accepted seq 0", or an
+    /// origin whose counter legitimately starts at 0 has its very first
+    /// message refused as a replay.
+    seen: bool,
 }
 
 impl ReplayWindow {
     /// Accepts `seq` if fresh, recording it; returns `false` for
     /// duplicates and sequences older than the window.
     fn check_and_set(&mut self, seq: u64) -> bool {
-        if seq == 0 {
-            return false;
+        if !self.seen {
+            self.seen = true;
+            self.high = seq;
+            self.mask = 1;
+            return true;
         }
         if seq > self.high {
             let shift = seq - self.high;
@@ -151,6 +159,80 @@ struct ProxyDuty {
     worst_rating: u8,
     /// Last state seen.
     last_state: Option<(u64, StateUpdate)>,
+    /// Digest of the predecessor's handoff notice (zeros when this duty
+    /// started without one) — embedded in this node's own handoff so
+    /// consecutive summaries chain verifiably.
+    predecessor_digest: [u8; 32],
+}
+
+impl ProxyDuty {
+    /// Drops expired subscribers and returns those of `kind` still being
+    /// served at `frame`. This is the *single* definition of the expiry
+    /// boundary: a subscription installed at frame `f` with retention `r`
+    /// carries expiry `f + r` and is served through frame `f + r - 1` — a
+    /// subscriber whose expiry equals the current frame is no longer
+    /// served (re-installing at the same frame re-arms it).
+    /// [`SetKind::Others`] has no explicit subscriber list.
+    fn live_subscribers(&mut self, kind: SetKind, frame: u64) -> Vec<PlayerId> {
+        self.is_subs.retain(|_, &mut e| e > frame);
+        self.vs_subs.retain(|_, &mut e| e > frame);
+        match kind {
+            SetKind::Interest => self.is_subs.keys().copied().collect(),
+            SetKind::Vision => self.vs_subs.keys().copied().collect(),
+            SetKind::Others => Vec::new(),
+        }
+    }
+}
+
+/// Which reliable-control class a pending message belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ControlKind {
+    Subscribe,
+    Unsubscribe,
+    Handoff,
+}
+
+/// An unacknowledged control message awaiting ack or retransmission.
+#[derive(Debug, Clone)]
+struct PendingControl {
+    kind: ControlKind,
+    /// Current destination (recomputed on retransmit — the responsible
+    /// proxy may have fallen back since the original send).
+    to: PlayerId,
+    /// The exact signed bytes: every retransmission is byte-identical,
+    /// so receivers can deduplicate and re-ack cheaply.
+    bytes: Vec<u8>,
+    /// Whose proxy the message must reach, and the frame whose epoch
+    /// determines that proxy — the inputs to destination recomputation.
+    route_player: PlayerId,
+    route_frame: u64,
+    /// Frame the envelope was generated in (for epoch supersession).
+    sent_frame: u64,
+    /// Retransmissions performed so far.
+    attempts: u32,
+    /// Frame at (or after) which the next retransmission fires.
+    next_retry: u64,
+    trace: TraceId,
+}
+
+/// Counters of the reliable control plane, per node. All monotonic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControlPlaneStats {
+    /// Control messages re-sent after an ack timeout.
+    pub retransmits: u64,
+    /// Acks this node emitted for processed control messages.
+    pub acks_sent: u64,
+    /// Acks received that retired a pending control message.
+    pub acks_received: u64,
+    /// Control messages abandoned after the retry budget — the
+    /// "unrecovered chain" counter; nonzero means a peer never answered.
+    pub abandoned: u64,
+    /// Pending subscriptions dropped at epoch turnover because the new
+    /// epoch's refresh supersedes them.
+    pub superseded: u64,
+    /// Times this node switched its own publishing to a fallback proxy
+    /// after presuming the scheduled one crashed.
+    pub proxy_fallbacks: u64,
 }
 
 /// Cached global-registry handles for the node's hot paths. Handles are
@@ -169,6 +251,11 @@ struct NodeMetrics {
     handoffs_received: Arc<Counter>,
     bad_signatures: Arc<Counter>,
     replays: Arc<Counter>,
+    control_retransmits: Arc<Counter>,
+    control_acks_sent: Arc<Counter>,
+    control_acks_received: Arc<Counter>,
+    control_abandoned: Arc<Counter>,
+    proxy_fallbacks: Arc<Counter>,
 }
 
 impl NodeMetrics {
@@ -184,6 +271,14 @@ impl NodeMetrics {
         t.describe("node_bad_signatures_total", "messages rejected for signature failure");
         t.describe("node_replays_total", "messages rejected as replayed or stale");
         t.describe("node_suspicions_total", "verification checks that flagged a player");
+        t.describe("node_control_retransmits_total", "control messages re-sent after ack timeout");
+        t.describe("node_control_acks_sent_total", "acks emitted for processed control messages");
+        t.describe(
+            "node_control_acks_received_total",
+            "acks that retired a pending control message",
+        );
+        t.describe("node_control_abandoned_total", "control messages given up on (unrecovered)");
+        t.describe("node_proxy_fallbacks_total", "switches to a fallback proxy draw");
         let phase = |p: &str| t.histogram_with("node_tick_phase_duration_ms", &[("phase", p)]);
         NodeMetrics {
             tick_ms: t.histogram("node_tick_duration_ms"),
@@ -197,6 +292,11 @@ impl NodeMetrics {
             handoffs_received: t.counter("proxy_handoffs_received_total"),
             bad_signatures: t.counter("node_bad_signatures_total"),
             replays: t.counter("node_replays_total"),
+            control_retransmits: t.counter("node_control_retransmits_total"),
+            control_acks_sent: t.counter("node_control_acks_sent_total"),
+            control_acks_received: t.counter("node_control_acks_received_total"),
+            control_abandoned: t.counter("node_control_abandoned_total"),
+            proxy_fallbacks: t.counter("node_proxy_fallbacks_total"),
         }
     }
 
@@ -239,6 +339,11 @@ pub struct WatchmenNode {
     my_subs: BTreeMap<(PlayerId, SetKind), u64>,
     /// Best known state of every player, learned from received messages.
     known: BTreeMap<PlayerId, (u64, StateUpdate)>,
+    /// Last frame each (subscriber, target) pair failed the subscription
+    /// check severely. A single failure can be knowledge skew (the
+    /// subscriber turned as its state update was lost), so severity
+    /// requires a repeat offense within a retention window.
+    sub_suspects: BTreeMap<(PlayerId, PlayerId), u64>,
     /// Cached telemetry handles.
     metrics: NodeMetrics,
     /// Per-node flight recorder of trace events (sends, relays,
@@ -246,6 +351,22 @@ pub struct WatchmenNode {
     recorder: Arc<FlightRecorder>,
     /// Violation dumps captured by [`Self::trace_events`], oldest first.
     flight_dumps: VecDeque<FlightDump>,
+    /// Unacked control messages keyed by envelope sequence number.
+    pending: BTreeMap<u64, PendingControl>,
+    /// Reliable-control-plane counters.
+    control_stats: ControlPlaneStats,
+    /// Per-peer liveness: the newest frame each peer produced evidence of
+    /// life for (wire receipt or a verified signed envelope).
+    last_heard: Vec<u64>,
+    /// The last frame [`Self::begin_frame`] ran for — gaps mean this node
+    /// itself was down and its liveness view is stale.
+    last_tick: Option<u64>,
+    /// Epoch this node resumed in after a gap, if any: its duty counters
+    /// missed that epoch's traffic, so the epoch summary is skipped once.
+    resumed_epoch: Option<u64>,
+    /// Whether the last frame published to a fallback proxy (edge-triggers
+    /// the fallback counter so one outage counts once, not per frame).
+    fallback_active: bool,
 }
 
 impl WatchmenNode {
@@ -285,9 +406,16 @@ impl WatchmenNode {
             duties: BTreeMap::new(),
             my_subs: BTreeMap::new(),
             known: BTreeMap::new(),
+            sub_suspects: BTreeMap::new(),
             metrics: NodeMetrics::new(),
             recorder: Arc::new(FlightRecorder::new(DEFAULT_CAPACITY)),
             flight_dumps: VecDeque::new(),
+            pending: BTreeMap::new(),
+            control_stats: ControlPlaneStats::default(),
+            last_heard: vec![0; players],
+            last_tick: None,
+            resumed_epoch: None,
+            fallback_active: false,
         }
     }
 
@@ -330,6 +458,87 @@ impl WatchmenNode {
         self.flight_dumps.drain(..).collect()
     }
 
+    /// Reliable-control-plane counters (retransmits, acks, fallbacks…).
+    #[must_use]
+    pub fn control_stats(&self) -> ControlPlaneStats {
+        self.control_stats
+    }
+
+    /// Control messages still awaiting acknowledgement.
+    #[must_use]
+    pub fn pending_control(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Handoff notices still awaiting acknowledgement — the "unrecovered
+    /// handoff chain" gauge: nonzero after a drain period means a summary
+    /// chain link never reached a live successor.
+    #[must_use]
+    pub fn pending_handoffs(&self) -> usize {
+        self.pending.values().filter(|p| p.kind == ControlKind::Handoff).count()
+    }
+
+    /// The proxy this node would actually address for `player` at `frame`,
+    /// after walking the fallback draws past presumed-crashed picks.
+    #[must_use]
+    pub fn effective_proxy_of(&self, player: PlayerId, frame: u64) -> PlayerId {
+        self.effective_proxy(player, frame, frame)
+    }
+
+    /// Whether `peer` has been silent past the liveness window, judged
+    /// against `now_frame`. A node never presumes itself crashed, and a
+    /// node that has itself just resumed from a gap trusts everyone until
+    /// fresh evidence accumulates (its own silence is not the peers').
+    fn presumed_crashed(&self, peer: PlayerId, now_frame: u64) -> bool {
+        if peer == self.id {
+            return false;
+        }
+        now_frame.saturating_sub(self.last_heard[peer.index()])
+            > self.config.liveness_timeout_frames()
+    }
+
+    /// The proxy of `player` for the epoch containing `sched_frame`, as
+    /// this node would address it at `now_frame`: the scheduled draw, or —
+    /// when that pick is presumed crashed — the next distinct draw of the
+    /// shared schedule PRNG, up to `proxy_fallback_depth` levels deep. The
+    /// walk is deterministic given a liveness view, and bounded, so every
+    /// honest node lands within the same small plausible set without any
+    /// election traffic.
+    fn effective_proxy(&self, player: PlayerId, sched_frame: u64, now_frame: u64) -> PlayerId {
+        let depth = self.config.proxy_fallback_depth;
+        for n in 0..=depth {
+            let pick = self.schedule.nth_proxy_of(player, sched_frame, n as usize);
+            if n == depth || !self.presumed_crashed(pick, now_frame) {
+                return pick;
+            }
+        }
+        unreachable!("loop returns at n == depth");
+    }
+
+    /// Whether this node is a *plausible* proxy of `player` for the epoch
+    /// containing `sched_frame`: the scheduled pick or any fallback draw
+    /// within `proxy_fallback_depth`. Receivers accept duty for the whole
+    /// plausible set — membership depends only on the shared schedule, so
+    /// a sender that fell back and the fallback proxy always agree even if
+    /// their liveness views differ.
+    fn plausibly_proxy_of(&self, player: PlayerId, sched_frame: u64) -> bool {
+        if player == self.id {
+            return false;
+        }
+        (0..=self.config.proxy_fallback_depth)
+            .any(|n| self.schedule.nth_proxy_of(player, sched_frame, n as usize) == self.id)
+    }
+
+    /// Queues an ack for a processed control envelope back to its origin.
+    fn queue_ack(&mut self, out: &mut Vec<Outgoing>, frame: u64, origin: PlayerId, ack_seq: u64) {
+        if origin == self.id {
+            return;
+        }
+        self.sign_and_queue(out, origin, frame, Payload::Ack { ack_seq });
+        self.control_stats.acks_sent += 1;
+        self.metrics.control_acks_sent.inc();
+    }
+
     fn sign_and_queue(
         &mut self,
         out: &mut Vec<Outgoing>,
@@ -340,8 +549,37 @@ impl WatchmenNode {
         self.seq += 1;
         let env = Envelope { from: self.id, seq: self.seq, frame, payload };
         let bytes = env.sign(&self.keys).encode();
+        // Control messages enter the reliable layer: remember the exact
+        // signed bytes so retransmissions are byte-identical, plus the
+        // routing inputs so a retransmit can re-target a fallback proxy.
+        let route = match payload {
+            Payload::Subscribe { .. } => Some((ControlKind::Subscribe, self.id, frame)),
+            Payload::Unsubscribe { .. } => Some((ControlKind::Unsubscribe, self.id, frame)),
+            Payload::Handoff(n) => {
+                Some((ControlKind::Handoff, n.player, (n.epoch + 1) * self.config.proxy_period))
+            }
+            _ => None,
+        };
+        if let Some((kind, route_player, route_frame)) = route {
+            self.pending.insert(
+                self.seq,
+                PendingControl {
+                    kind,
+                    to,
+                    bytes: bytes.clone(),
+                    route_player,
+                    route_frame,
+                    sent_frame: frame,
+                    attempts: 0,
+                    next_retry: frame + self.config.retransmit_timeout_frames,
+                    trace: env.trace_id(),
+                },
+            );
+        }
         let phase = match payload {
-            Payload::Subscribe { .. } | Payload::Unsubscribe { .. } => Phase::Subscription,
+            Payload::Subscribe { .. } | Payload::Unsubscribe { .. } | Payload::Ack { .. } => {
+                Phase::Subscription
+            }
             Payload::Handoff(_) => Phase::Handoff,
             _ => Phase::Publish,
         };
@@ -373,7 +611,44 @@ impl WatchmenNode {
         let _tick_trace = rec.span(self.id.0, frame, Phase::Tick, "tick");
         let mut output = FrameOutput::default();
         let mut out = Vec::new();
-        let my_proxy = self.proxy(frame);
+
+        // --- Liveness bookkeeping. A gap in this node's own tick sequence
+        // means *it* was down: its silence says nothing about the peers,
+        // so the liveness view resets to "everyone alive now" and the
+        // partially-observed epoch is flagged so its summary is skipped
+        // (rating players on a partial update count would produce false
+        // cheat verdicts).
+        if self.last_tick.is_some_and(|t| frame > t + 1) {
+            self.last_heard.fill(frame);
+            self.resumed_epoch = Some(self.schedule.epoch_of(frame));
+            self.fallback_active = false;
+        }
+        self.last_tick = Some(frame);
+
+        // Publish to the effective proxy: the scheduled draw, or the next
+        // deterministic fallback draw when that pick looks crashed. The
+        // fallback counter edge-triggers so one outage counts once.
+        let scheduled_proxy = self.proxy(frame);
+        let my_proxy = self.effective_proxy(self.id, frame, frame);
+        if my_proxy != scheduled_proxy {
+            if !self.fallback_active {
+                self.fallback_active = true;
+                self.control_stats.proxy_fallbacks += 1;
+                self.metrics.proxy_fallbacks.inc();
+                self.recorder.record(TraceEvent::point(
+                    TraceId::NONE,
+                    self.id.0,
+                    my_proxy.0,
+                    frame,
+                    Phase::Publish,
+                    EventKind::Mark,
+                    "proxy-fallback",
+                    i64::from(scheduled_proxy.0),
+                ));
+            }
+        } else {
+            self.fallback_active = false;
+        }
 
         // Track self in the knowledge base so set computation has an
         // observer entry.
@@ -402,6 +677,19 @@ impl WatchmenNode {
         let publish_span = FrameTimer::start(&self.metrics.publish_phase_ms);
         let publish_trace = rec.span(self.id.0, frame, Phase::Publish, "publish");
         self.sign_and_queue(&mut out, my_proxy, frame, Payload::State(StateUpdate::from(my_state)));
+        // Under fallback, keep feeding the scheduled proxy too: the crash
+        // presumption may be wrong (a lost broadcast cycle), and a live
+        // scheduled proxy starved of states would convict this node of
+        // rate-cheating at epoch end. If it is really dead the extra send
+        // is a no-op.
+        if my_proxy != scheduled_proxy {
+            self.sign_and_queue(
+                &mut out,
+                scheduled_proxy,
+                frame,
+                Payload::State(StateUpdate::from(my_state)),
+            );
+        }
         if self.config.is_guidance_frame(frame, self.id.index()) {
             let g = Guidance::from_state(
                 my_state,
@@ -427,23 +715,37 @@ impl WatchmenNode {
         let handoff_span = FrameTimer::start(&self.metrics.handoff_phase_ms);
         let handoff_trace = rec.span(self.id.0, frame, Phase::Handoff, "handoff");
         let handoff_lead = (self.config.proxy_period / 4).max(1);
-        if frame + handoff_lead == self.schedule.next_renewal(frame) {
+        let boundary = self.schedule.next_renewal(frame);
+        if frame + handoff_lead == boundary {
             let epoch = self.schedule.epoch_of(frame);
             let duties: Vec<PlayerId> = self.duties.keys().copied().collect();
             for player in duties {
-                let successor = self.schedule.next_proxy_of(player, frame);
+                // Address the successor as it will effectively serve: the
+                // scheduled draw, or its fallback when that pick looks
+                // crashed — the fallback accepts because it is in the
+                // plausible set for the coming epoch.
+                let successor = self.effective_proxy(player, boundary, frame);
                 if successor == self.id {
                     continue;
                 }
                 let duty = &self.duties[&player];
-                let Some((_, last_state)) = duty.last_state else { continue };
+                let Some((obs_frame, last_state)) = duty.last_state else { continue };
+                // Only hand off duties actually observed this epoch. A
+                // fallback draw that retained a duty but saw none of the
+                // player's traffic would ship a stale state under a fresh
+                // envelope frame, poisoning the successor's physics
+                // baseline into false teleport verdicts.
+                if self.schedule.epoch_of(obs_frame) != epoch {
+                    continue;
+                }
                 let notice = HandoffNotice {
                     player,
                     epoch,
+                    observed_frame: obs_frame,
                     last_state,
                     worst_rating: duty.worst_rating.max(1),
                     updates_seen: duty.updates_seen,
-                    predecessor_digest: [0; 32],
+                    predecessor_digest: duty.predecessor_digest,
                 };
                 self.sign_and_queue(&mut out, successor, frame, Payload::Handoff(notice));
                 self.metrics.handoffs_sent.inc();
@@ -457,28 +759,126 @@ impl WatchmenNode {
         // layer its denominator), run the dissemination-rate check, then
         // drop duties this node no longer holds.
         if frame > 0 && self.config.is_renewal_frame(frame) {
+            // A node that resumed from a downtime gap mid-epoch saw only
+            // part of that epoch's traffic: skip its summary once rather
+            // than rate supervised players on a partial count.
+            let slept = self.resumed_epoch.take().is_some();
             let duties: Vec<PlayerId> = self.duties.keys().copied().collect();
             for player in duties {
-                // Only summarize epochs this node actually served — a
-                // successor holding a freshly handed-off duty has not seen
-                // the finished epoch's updates.
-                if self.schedule.proxy_of(player, frame - 1) != self.id {
+                // Only summarize epochs this node was *scheduled* to serve
+                // — a successor holding a freshly handed-off duty has not
+                // seen the finished epoch's updates, and a fallback proxy
+                // may have served only the tail of it.
+                if slept || self.schedule.proxy_of(player, frame - 1) != self.id {
                     continue;
                 }
+                // A player silent for a whole relay period at summary time
+                // is crashing (or crashed), not rate-cheating: a cheater
+                // minimizing exposure still publishes *something* to stay
+                // in the game, while total silence is the liveness layer's
+                // problem. Withhold the rate verdict rather than convict
+                // an unreachable peer.
+                let silent = frame.saturating_sub(self.last_heard[player.index()])
+                    >= self.config.others_period;
                 let duty = self.duties.get_mut(&player).expect("listed");
-                let rate_score = self
-                    .verifier
-                    .check_rate(self.config.proxy_period, u64::from(duty.updates_seen));
+                let rate_score = if silent {
+                    1
+                } else {
+                    self.verifier.check_rate(self.config.proxy_period, u64::from(duty.updates_seen))
+                };
                 let score = duty.worst_rating.max(rate_score).max(1);
                 output.events.push(NodeEvent::Suspicion {
                     subject: player,
                     rating: CheatRating::new(score, Confidence::Proxy, 0),
                     check: checks::EPOCH_SUMMARY,
                 });
+            }
+            // Per-epoch accounting restarts for *every* retained duty, not
+            // just the summarized ones: a fallback holder that skipped its
+            // summary must not carry states counted last epoch into the
+            // next one (the scheduled summarizer would read the inflated
+            // count as update-flooding).
+            for duty in self.duties.values_mut() {
                 duty.worst_rating = 1;
                 duty.updates_seen = 0;
             }
-            self.duties.retain(|&player, _| self.schedule.proxy_of(player, frame) == self.id);
+            // Keep every duty this node plausibly serves in the new epoch:
+            // the scheduled pick *or* any fallback draw within depth, so a
+            // fallback proxy retains the duty it may be asked to serve.
+            let sched = &self.schedule;
+            let depth = self.config.proxy_fallback_depth;
+            let me = self.id;
+            self.duties.retain(|&player, _| {
+                (0..=depth).any(|n| sched.nth_proxy_of(player, frame, n as usize) == me)
+            });
+            // The new epoch's subscription refreshes supersede any pending
+            // subscription traffic from the finished epoch (its target
+            // proxy is obsolete); handoffs keep retrying until acked.
+            let current_epoch = sched.epoch_of(frame);
+            let before = self.pending.len();
+            self.pending.retain(|_, p| {
+                p.kind == ControlKind::Handoff || sched.epoch_of(p.sent_frame) == current_epoch
+            });
+            self.control_stats.superseded += (before - self.pending.len()) as u64;
+        }
+
+        // --- Reliable control: retransmit unacked control messages whose
+        // ack timeout expired, with capped exponential backoff, re-routing
+        // each retry through the *current* effective proxy so retries
+        // chase a fallback. Messages that exhaust the retry budget are
+        // abandoned and counted — on a merely lossy network this never
+        // fires; it indicates a dead or unreachable peer.
+        let mut abandon: Vec<u64> = Vec::new();
+        let mut resend: Vec<u64> = Vec::new();
+        for (&seq, p) in &self.pending {
+            if frame >= p.next_retry {
+                if p.attempts >= self.config.retransmit_max_attempts {
+                    abandon.push(seq);
+                } else {
+                    resend.push(seq);
+                }
+            }
+        }
+        for seq in abandon {
+            let p = self.pending.remove(&seq).expect("listed");
+            self.control_stats.abandoned += 1;
+            self.metrics.control_abandoned.inc();
+            self.recorder.record(TraceEvent::point(
+                p.trace,
+                self.id.0,
+                p.to.0,
+                frame,
+                if p.kind == ControlKind::Handoff { Phase::Handoff } else { Phase::Subscription },
+                EventKind::Mark,
+                "control-abandoned",
+                i64::from(p.attempts),
+            ));
+        }
+        for seq in resend {
+            let (route_player, route_frame, kind) = {
+                let p = &self.pending[&seq];
+                (p.route_player, p.route_frame, p.kind)
+            };
+            let to = self.effective_proxy(route_player, route_frame, frame);
+            let p = self.pending.get_mut(&seq).expect("listed");
+            p.attempts += 1;
+            p.to = to;
+            let backoff = (self.config.retransmit_timeout_frames << p.attempts.min(32))
+                .min(self.config.retransmit_backoff_cap_frames);
+            p.next_retry = frame + backoff;
+            out.push(Outgoing { to, bytes: p.bytes.clone() });
+            self.control_stats.retransmits += 1;
+            self.metrics.control_retransmits.inc();
+            self.recorder.record(TraceEvent::point(
+                p.trace,
+                self.id.0,
+                to.0,
+                frame,
+                if kind == ControlKind::Handoff { Phase::Handoff } else { Phase::Subscription },
+                EventKind::Send,
+                "retransmit",
+                p.bytes.len() as i64,
+            ));
         }
 
         self.trace_events(frame, TraceId::NONE, &output.events);
@@ -546,6 +946,13 @@ impl WatchmenNode {
         let mut out = Vec::new();
         let mut events = Vec::new();
 
+        // Any wire receipt is evidence the transport-level sender is alive
+        // right now (even garbage bytes were emitted by *something* there).
+        if wire_sender.index() < self.last_heard.len() {
+            let heard = &mut self.last_heard[wire_sender.index()];
+            *heard = (*heard).max(frame);
+        }
+
         let Ok(msg) = SignedEnvelope::decode(bytes) else {
             events.push(NodeEvent::BadSignature { claimed_from: wire_sender });
             self.trace_events(frame, TraceId::NONE, &events);
@@ -563,18 +970,32 @@ impl WatchmenNode {
             return (out, events);
         }
 
+        // A verified signature proves the *origin* was alive at the
+        // envelope's generation frame, however many hops relayed it since.
+        {
+            let heard = &mut self.last_heard[origin.index()];
+            *heard = (*heard).max(msg.envelope.frame);
+        }
+
         // Anti-replay, per origin: a sliding window tolerates the
         // reordering that multi-path forwarding causes, while duplicates
-        // and stale sequences are rejected.
-        if !self.replay[origin.index()].check_and_set(msg.envelope.seq) {
+        // and stale sequences are rejected. Control messages bypass the
+        // rejection: a duplicate there is a retransmission racing its own
+        // ack, and must be re-processed (idempotently) and re-acked — not
+        // flagged — or a single lost ack stalls the sender forever.
+        let fresh = self.replay[origin.index()].check_and_set(msg.envelope.seq);
+        if !fresh && !msg.envelope.payload.is_control() {
             events.push(NodeEvent::Replay { from: origin });
             self.trace_events(frame, trace, &events);
             self.metrics.observe_events(&events);
             return (out, events);
         }
 
-        let origin_proxy = self.schedule.proxy_of(origin, msg.envelope.frame);
-        let i_am_origins_proxy = origin_proxy == self.id && wire_sender == origin;
+        // "Origin's proxy" widens to the plausible set — any fallback draw
+        // within depth — so duty acceptance stays schedule-only and agrees
+        // between a fallen-back sender and the fallback proxy.
+        let i_am_origins_proxy =
+            wire_sender == origin && self.plausibly_proxy_of(origin, msg.envelope.frame);
 
         match msg.envelope.payload {
             Payload::State(update) => {
@@ -582,9 +1003,7 @@ impl WatchmenNode {
                     self.proxy_verify_and_account(origin, msg.envelope.frame, &update, &mut events);
                     // Forward the original signed bytes to IS subscribers.
                     let duty = self.duties.entry(origin).or_default();
-                    duty.expire(frame);
-                    let targets: Vec<PlayerId> = duty.is_subs.keys().copied().collect();
-                    for t in targets {
+                    for t in duty.live_subscribers(SetKind::Interest, frame) {
                         if t != origin && t != self.id {
                             out.push(Outgoing { to: t, bytes: bytes.to_vec() });
                         }
@@ -600,9 +1019,7 @@ impl WatchmenNode {
             Payload::Guidance(g) => {
                 if i_am_origins_proxy {
                     let duty = self.duties.entry(origin).or_default();
-                    duty.expire(frame);
-                    let targets: Vec<PlayerId> = duty.vs_subs.keys().copied().collect();
-                    for t in targets {
+                    for t in duty.live_subscribers(SetKind::Vision, frame) {
                         if t != origin && t != self.id {
                             out.push(Outgoing { to: t, bytes: bytes.to_vec() });
                         }
@@ -621,9 +1038,8 @@ impl WatchmenNode {
                     // Implicit broadcast to everyone without an explicit
                     // subscription.
                     let duty = self.duties.entry(origin).or_default();
-                    duty.expire(frame);
-                    let explicit: Vec<PlayerId> =
-                        duty.is_subs.keys().chain(duty.vs_subs.keys()).copied().collect();
+                    let mut explicit = duty.live_subscribers(SetKind::Interest, frame);
+                    explicit.extend(duty.live_subscribers(SetKind::Vision, frame));
                     for i in 0..self.directory.len() {
                         let t = PlayerId(i as u32);
                         if t != origin && t != self.id && !explicit.contains(&t) {
@@ -640,24 +1056,32 @@ impl WatchmenNode {
             }
             Payload::Subscribe { target, kind } => {
                 // Two-hop control path: subscriber → subscriber's proxy →
-                // target's proxy.
+                // target's proxy. The *installer* acks end-to-end, so the
+                // origin keeps retransmitting until the install actually
+                // happened, not merely until the first hop heard it.
                 if i_am_origins_proxy {
                     // Verify the subscription is justified before relaying
                     // ("the proxy of a player p can verify whether a
-                    // subscription of p to player q is justified").
-                    self.verify_subscription(origin, target, kind, &mut events);
-                    let target_proxy = self.schedule.proxy_of(target, msg.envelope.frame);
-                    if target_proxy == self.id {
+                    // subscription of p to player q is justified") — only
+                    // on first receipt, or every retransmission of one
+                    // dubious subscribe re-raises the same suspicion.
+                    if fresh {
+                        self.verify_subscription(frame, origin, target, kind, &mut events);
+                    }
+                    if self.plausibly_proxy_of(target, msg.envelope.frame) {
                         self.install_subscription(origin, target, kind, frame);
+                        self.queue_ack(&mut out, frame, origin, msg.envelope.seq);
                     } else {
+                        let target_proxy = self.effective_proxy(target, msg.envelope.frame, frame);
                         out.push(Outgoing { to: target_proxy, bytes: bytes.to_vec() });
                     }
-                } else if self.schedule.proxy_of(target, msg.envelope.frame) == self.id {
+                } else if self.plausibly_proxy_of(target, msg.envelope.frame) {
                     self.install_subscription(origin, target, kind, frame);
+                    self.queue_ack(&mut out, frame, origin, msg.envelope.seq);
                 }
             }
             Payload::Unsubscribe { target, kind } => {
-                if self.schedule.proxy_of(target, msg.envelope.frame) == self.id {
+                if self.plausibly_proxy_of(target, msg.envelope.frame) {
                     if let Some(duty) = self.duties.get_mut(&target) {
                         match kind {
                             SetKind::Interest => {
@@ -669,8 +1093,9 @@ impl WatchmenNode {
                             SetKind::Others => {}
                         }
                     }
+                    self.queue_ack(&mut out, frame, origin, msg.envelope.seq);
                 } else if i_am_origins_proxy {
-                    let target_proxy = self.schedule.proxy_of(target, msg.envelope.frame);
+                    let target_proxy = self.effective_proxy(target, msg.envelope.frame, frame);
                     out.push(Outgoing { to: target_proxy, bytes: bytes.to_vec() });
                 }
             }
@@ -679,9 +1104,7 @@ impl WatchmenNode {
                     // Forward to the claimant's IS subscribers — the
                     // witnesses best placed to verify.
                     let duty = self.duties.entry(origin).or_default();
-                    duty.expire(frame);
-                    let targets: Vec<PlayerId> = duty.is_subs.keys().copied().collect();
-                    for t in targets {
+                    for t in duty.live_subscribers(SetKind::Interest, frame) {
                         if t != origin && t != self.id {
                             out.push(Outgoing { to: t, bytes: bytes.to_vec() });
                         }
@@ -712,16 +1135,48 @@ impl WatchmenNode {
                 }
             }
             Payload::Handoff(notice) => {
-                // Only accept handoffs for players this node will serve.
+                // Accept handoffs for players this node *plausibly* serves
+                // next epoch — the scheduled successor or any fallback
+                // draw within depth, so a predecessor addressing a
+                // fallback still lands the chain. Duplicates (a
+                // retransmission racing its own ack) re-apply
+                // idempotently and re-ack.
                 let next_epoch_start = (notice.epoch + 1) * self.config.proxy_period;
-                if self.schedule.proxy_of(notice.player, next_epoch_start) == self.id {
+                if self.plausibly_proxy_of(notice.player, next_epoch_start) {
+                    let digest = notice.digest();
                     let duty = self.duties.entry(notice.player).or_default();
-                    duty.last_state = Some((msg.envelope.frame, notice.last_state));
-                    duty.worst_rating = duty.worst_rating.max(notice.worst_rating);
-                    events.push(NodeEvent::HandoffReceived {
-                        player: notice.player,
-                        worst_rating: notice.worst_rating,
-                    });
+                    // Record the state under the frame it was *observed*,
+                    // never the (later) send frame, and never regress
+                    // behind newer first-hand state — a retransmission
+                    // arriving after live updates must not reinstate a
+                    // stale baseline.
+                    let obs = notice.observed_frame.min(msg.envelope.frame);
+                    if duty.last_state.is_none_or(|(f, _)| f < obs) {
+                        duty.last_state = Some((obs, notice.last_state));
+                    }
+                    // The predecessor's verdict travels in the
+                    // HandoffReceived event (and the summary chain), not
+                    // into this epoch's own accounting: folding it into
+                    // `worst_rating` would re-report the same offense as a
+                    // fresh verdict every epoch the chain survives.
+                    duty.predecessor_digest = digest;
+                    if fresh {
+                        events.push(NodeEvent::HandoffReceived {
+                            player: notice.player,
+                            worst_rating: notice.worst_rating,
+                        });
+                    }
+                    self.queue_ack(&mut out, frame, origin, msg.envelope.seq);
+                }
+            }
+            Payload::Ack { ack_seq } => {
+                // Retires the matching pending control message. Any
+                // verified origin's ack is honored: a forged ack requires
+                // a directory private key, and its only effect is to stop
+                // retransmission (see DESIGN.md §9 for the caveat).
+                if self.pending.remove(&ack_seq).is_some() {
+                    self.control_stats.acks_received += 1;
+                    self.metrics.control_acks_received.inc();
                 }
             }
         }
@@ -886,17 +1341,28 @@ impl WatchmenNode {
     /// Proxy-side verification of an outgoing subscription.
     fn verify_subscription(
         &mut self,
+        frame: u64,
         subscriber: PlayerId,
         target: PlayerId,
         kind: SetKind,
         events: &mut Vec<NodeEvent>,
     ) {
-        let (Some((_, sub_state)), Some((_, target_state))) = (
+        let (Some((sub_frame_no, sub_state)), Some((tgt_frame_no, target_state))) = (
             self.duties.get(&subscriber).and_then(|d| d.last_state),
             self.known.get(&target).copied(),
         ) else {
             return; // not enough information yet
         };
+        // The geometric tolerance in the cone check covers one guidance
+        // period of target movement. Under loss our knowledge of either
+        // party can be older than that — then the check has no honest
+        // baseline and a verdict would be guesswork, so skip it.
+        let staleness_budget = self.config.guidance_period;
+        if frame.saturating_sub(sub_frame_no) > staleness_budget
+            || frame.saturating_sub(tgt_frame_no) > staleness_budget
+        {
+            return;
+        }
         let sub_frame = PlayerFrame {
             position: sub_state.position,
             velocity: sub_state.velocity,
@@ -906,11 +1372,32 @@ impl WatchmenNode {
             weapon: sub_state.weapon,
             ammo: sub_state.ammo,
         };
-        let score = match kind {
+        let raw = match kind {
             SetKind::Interest | SetKind::Vision => {
                 self.verifier.check_vs_subscription(&sub_frame, target_state.position, &self.map)
             }
             SetKind::Others => 1,
+        };
+        // The cone check compares the subscriber's *current* aim against
+        // the proxy's last-received copy; a lost state update on the frame
+        // the subscriber turned makes an honest subscription look wildly
+        // out-of-cone once. Cap a first offense below the severe
+        // threshold; only a repeat within a retention window — the
+        // signature of a map hack persistently probing unseen players —
+        // earns the full score.
+        let score = if raw >= 6 {
+            let window = 2 * self.config.subscription_retention;
+            let repeat = self
+                .sub_suspects
+                .insert((subscriber, target), frame)
+                .is_some_and(|last| frame.saturating_sub(last) <= window);
+            if repeat {
+                raw
+            } else {
+                5
+            }
+        } else {
+            raw
         };
         if score > 1 {
             events.push(NodeEvent::Suspicion {
@@ -972,9 +1459,58 @@ impl WatchmenNode {
     }
 }
 
-impl ProxyDuty {
-    fn expire(&mut self, frame: u64) {
-        self.is_subs.retain(|_, &mut e| e > frame);
-        self.vs_subs.retain(|_, &mut e| e > frame);
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_window_accepts_seq_zero_first() {
+        // Regression: a fresh window used to reject sequence 0 outright,
+        // because its zero-initialized `high` was indistinguishable from
+        // "already accepted seq 0" — an origin whose counter starts at 0
+        // had its very first message refused as a replay.
+        let mut w = ReplayWindow::default();
+        assert!(w.check_and_set(0), "first seq 0 must be accepted");
+        assert!(!w.check_and_set(0), "second seq 0 is a real replay");
+        assert!(w.check_and_set(1));
+    }
+
+    #[test]
+    fn replay_window_accepts_seq_one_start() {
+        // An origin starting at 1 (the common case): 1 is fresh, then 0
+        // arriving late is an in-window reorder — accepted exactly once.
+        let mut w = ReplayWindow::default();
+        assert!(w.check_and_set(1));
+        assert!(w.check_and_set(0), "late seq 0 is reordering, not replay");
+        assert!(!w.check_and_set(0));
+        assert!(!w.check_and_set(1));
+    }
+
+    #[test]
+    fn replay_window_slides_and_rejects_stale() {
+        let mut w = ReplayWindow::default();
+        assert!(w.check_and_set(10));
+        assert!(w.check_and_set(100));
+        // 10 is now 90 behind: too old to distinguish from a replay.
+        assert!(!w.check_and_set(10));
+        assert!(!w.check_and_set(36), "64-entry window: 100-36 is outside");
+        assert!(w.check_and_set(37), "exactly at the window edge");
+        assert!(w.check_and_set(99));
+        assert!(!w.check_and_set(99));
+    }
+
+    #[test]
+    fn subscription_expiry_boundary_is_exclusive() {
+        // A subscriber with expiry f is served through f-1 and dropped at
+        // exactly f — the boundary live_subscribers defines for all call
+        // sites.
+        let mut duty = ProxyDuty::default();
+        duty.is_subs.insert(PlayerId(3), 50);
+        assert_eq!(duty.live_subscribers(SetKind::Interest, 49), vec![PlayerId(3)]);
+        assert!(duty.live_subscribers(SetKind::Interest, 50).is_empty());
+        assert!(duty.is_subs.is_empty(), "expired entry is removed, not just hidden");
+        // Others has no subscriber list regardless of contents.
+        duty.vs_subs.insert(PlayerId(4), 100);
+        assert!(duty.live_subscribers(SetKind::Others, 0).is_empty());
     }
 }

@@ -160,6 +160,26 @@ impl ProxySchedule {
     /// Panics if the id is out of range.
     #[must_use]
     pub fn proxy_of(&self, player: PlayerId, frame: u64) -> PlayerId {
+        self.nth_proxy_of(player, frame, 0)
+    }
+
+    /// The `n`-th *distinct* proxy drawn for `player` in the epoch
+    /// containing `frame`: `n == 0` is the assigned proxy
+    /// ([`ProxySchedule::proxy_of`]); higher `n` are the deterministic
+    /// crash fallbacks. When a proxy is presumed dead, every honest node
+    /// simply continues the same per-epoch PRNG sequence past the dead
+    /// pick — all nodes land on the same successor without a single
+    /// election message, preserving the "random, but verifiable"
+    /// property.
+    ///
+    /// `n` is clamped to the eligible-candidate count minus one (with two
+    /// players there is nobody to fall back to).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn nth_proxy_of(&self, player: PlayerId, frame: u64, n: usize) -> PlayerId {
         assert!(player.index() < self.players, "player {player} out of range");
         let epoch = self.epoch_of(frame);
         // Per-player stream keyed by (seed, player id), advanced to the
@@ -169,8 +189,25 @@ impl ProxySchedule {
         // random access O(1).
         let mut rng =
             Xoshiro256::seed_from(self.seed ^ 0x7077_0000, (u64::from(player.0) << 32) ^ epoch);
-        // Weighted draw over the eligible pool (uniform weights reduce to
-        // a uniform draw). Rejection keeps the self-exclusion unbiased.
+        let candidates =
+            (0..self.players).filter(|&i| i != player.index() && !self.excluded[i]).count();
+        let n = n.min(candidates.saturating_sub(1));
+        let mut seen: Vec<PlayerId> = Vec::with_capacity(n);
+        loop {
+            let pick = self.draw_one(&mut rng, player);
+            if seen.contains(&pick) {
+                continue;
+            }
+            if seen.len() == n {
+                return pick;
+            }
+            seen.push(pick);
+        }
+    }
+
+    /// One weighted draw over the eligible pool (uniform weights reduce
+    /// to a uniform draw). Rejection keeps the self-exclusion unbiased.
+    fn draw_one(&self, rng: &mut Xoshiro256, player: PlayerId) -> PlayerId {
         let total: f64 = (0..self.players)
             .filter(|&i| i != player.index() && !self.excluded[i])
             .map(|i| self.weights[i])
@@ -325,6 +362,56 @@ mod tests {
         let s = ProxySchedule::new(23, 16, 40);
         let id = PlayerId(4);
         assert_eq!(s.next_proxy_of(id, 35), s.proxy_of(id, 40));
+    }
+
+    #[test]
+    fn fallback_draws_are_distinct_and_deterministic() {
+        let a = ProxySchedule::new(31, 16, 40);
+        let b = ProxySchedule::new(31, 16, 40);
+        for frame in [0u64, 40, 4000] {
+            for p in 0..16 {
+                let id = PlayerId(p);
+                let draws: Vec<PlayerId> = (0..4).map(|n| a.nth_proxy_of(id, frame, n)).collect();
+                // Independent nodes agree on every fallback level.
+                for (n, &d) in draws.iter().enumerate() {
+                    assert_eq!(d, b.nth_proxy_of(id, frame, n));
+                    assert_ne!(d, id, "fallback drafted the player itself");
+                }
+                // All levels are distinct players.
+                for i in 0..draws.len() {
+                    for j in i + 1..draws.len() {
+                        assert_ne!(draws[i], draws[j], "levels {i} and {j} collide");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_level_zero_is_the_assigned_proxy() {
+        let s = ProxySchedule::new(47, 24, 40);
+        for frame in (0..2000).step_by(40) {
+            for p in 0..24 {
+                let id = PlayerId(p);
+                assert_eq!(s.nth_proxy_of(id, frame, 0), s.proxy_of(id, frame));
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_clamps_to_the_candidate_pool() {
+        // Two players: the only candidate is the other player, at every
+        // fallback level.
+        let s = ProxySchedule::new(3, 2, 40);
+        for n in 0..5 {
+            assert_eq!(s.nth_proxy_of(PlayerId(0), 0, n), PlayerId(1));
+        }
+        // Excluded players shrink the pool the clamp sees.
+        let mut s = ProxySchedule::new(3, 4, 40);
+        s.exclude(PlayerId(2));
+        let deepest = s.nth_proxy_of(PlayerId(0), 0, 99);
+        assert_ne!(deepest, PlayerId(0));
+        assert_ne!(deepest, PlayerId(2));
     }
 
     #[test]

@@ -67,6 +67,7 @@ fn arb_payload(rng: &mut Xoshiro256) -> Payload {
             Payload::Handoff(HandoffNotice {
                 player: PlayerId(rng.next_range(64) as u32),
                 epoch: rng.next_range(100),
+                observed_frame: rng.next_range(10_000),
                 last_state: arb_state(rng),
                 worst_rating: 1 + rng.next_range(10) as u8,
                 updates_seen: rng.next_range(100) as u32,

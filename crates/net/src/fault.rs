@@ -1,0 +1,467 @@
+//! Pluggable network fault injection for the simulator.
+//!
+//! The paper's replay experiments simulate Bernoulli loss ("Message loss
+//! is simulated with a rate of 1%"), but real WANs lose packets in
+//! *bursts*, duplicate them, reorder them, and drop whole peers. A
+//! [`FaultPlan`] bundles those behaviours so a [`crate::SimNetwork`] run
+//! can exercise the control plane's recovery paths:
+//!
+//! * **Burst loss** via a two-state [`GilbertElliott`] channel.
+//! * **Duplication** — an extra copy of a message is injected with its own
+//!   independently-sampled latency (counted in
+//!   [`crate::NetStats::duplicated`] so conservation still balances).
+//! * **Reordering** — a fraction of messages receive extra delay, which
+//!   swaps them past later sends.
+//! * **Crash windows** — a node is silent for `[from_ms, to_ms)`: its
+//!   sends are dropped at submit time and messages addressed to it are
+//!   dropped at delivery time.
+//! * **Partition windows** — messages crossing between an island of nodes
+//!   and the rest are dropped while the window is open.
+//!
+//! All state is deterministic for a fixed seed, like the rest of the
+//! simulator.
+
+use watchmen_crypto::rng::Xoshiro256;
+
+use crate::NodeId;
+
+/// A two-state Gilbert–Elliott burst-loss channel.
+///
+/// The channel is either in the *good* state (loss `loss_good`, usually 0)
+/// or the *bad* state (loss `loss_bad`); per message it transitions
+/// good→bad with probability `p_enter_bad` and bad→good with `p_exit_bad`,
+/// producing the correlated loss runs that plain Bernoulli loss cannot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GilbertElliott {
+    /// P(good → bad) evaluated once per message sent.
+    pub p_enter_bad: f64,
+    /// P(bad → good) evaluated once per message sent.
+    pub p_exit_bad: f64,
+    /// Loss probability while in the good state.
+    pub loss_good: f64,
+    /// Loss probability while in the bad state.
+    pub loss_bad: f64,
+    in_bad: bool,
+}
+
+impl GilbertElliott {
+    /// Creates a channel from explicit transition and loss probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(p_enter_bad: f64, p_exit_bad: f64, loss_good: f64, loss_bad: f64) -> Self {
+        for (name, p) in [
+            ("p_enter_bad", p_enter_bad),
+            ("p_exit_bad", p_exit_bad),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} {p} out of range");
+        }
+        GilbertElliott { p_enter_bad, p_exit_bad, loss_good, loss_bad, in_bad: false }
+    }
+
+    /// A bursty channel with the given long-run mean loss rate: the bad
+    /// state drops 50% of messages and lasts ~4 messages on average, and
+    /// the entry probability is solved so the stationary loss equals
+    /// `mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < mean < 0.5`.
+    #[must_use]
+    pub fn with_mean_loss(mean: f64) -> Self {
+        assert!(mean > 0.0 && mean < 0.5, "mean burst loss {mean} out of (0, 0.5)");
+        let (loss_bad, p_exit_bad) = (0.5, 0.25);
+        // Stationary P(bad) = p_enter / (p_enter + p_exit); mean loss =
+        // P(bad) * loss_bad.
+        let pi_bad = mean / loss_bad;
+        let p_enter_bad = pi_bad * p_exit_bad / (1.0 - pi_bad);
+        GilbertElliott::new(p_enter_bad, p_exit_bad, 0.0, loss_bad)
+    }
+
+    /// The stationary (long-run) loss rate of the channel.
+    #[must_use]
+    pub fn mean_loss(&self) -> f64 {
+        let denom = self.p_enter_bad + self.p_exit_bad;
+        if denom == 0.0 {
+            // The chain never transitions: loss is whatever the start
+            // state (good) yields.
+            return self.loss_good;
+        }
+        let pi_bad = self.p_enter_bad / denom;
+        pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
+    }
+
+    /// Advances the chain one message and returns whether it is dropped.
+    fn step(&mut self, rng: &mut Xoshiro256) -> bool {
+        if self.in_bad {
+            if rng.next_bool(self.p_exit_bad) {
+                self.in_bad = false;
+            }
+        } else if rng.next_bool(self.p_enter_bad) {
+            self.in_bad = true;
+        }
+        rng.next_bool(if self.in_bad { self.loss_bad } else { self.loss_good })
+    }
+}
+
+/// A node-silence window: the node neither sends nor receives during
+/// `[from_ms, to_ms)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashWindow {
+    /// The crashed node.
+    pub node: NodeId,
+    /// First virtual millisecond of silence (inclusive).
+    pub from_ms: f64,
+    /// End of the window (exclusive).
+    pub to_ms: f64,
+}
+
+/// A network split: while open, messages between `island` members and
+/// everyone else are dropped (traffic within either side still flows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionWindow {
+    /// First virtual millisecond of the split (inclusive).
+    pub from_ms: f64,
+    /// End of the split (exclusive).
+    pub to_ms: f64,
+    /// One side of the split; all other nodes form the other side.
+    pub island: Vec<NodeId>,
+}
+
+impl PartitionWindow {
+    fn severs(&self, a: NodeId, b: NodeId, now_ms: f64) -> bool {
+        if now_ms < self.from_ms || now_ms >= self.to_ms {
+            return false;
+        }
+        self.island.contains(&a) != self.island.contains(&b)
+    }
+}
+
+/// A deterministic bundle of network faults, attached to a
+/// [`crate::SimNetwork`] via [`crate::SimNetwork::set_fault_plan`].
+///
+/// # Examples
+///
+/// ```
+/// use watchmen_net::fault::{FaultPlan, GilbertElliott};
+/// use watchmen_net::{latency, SimNetwork};
+///
+/// let plan = FaultPlan::new(7)
+///     .with_burst_loss(GilbertElliott::with_mean_loss(0.05))
+///     .with_duplication(0.01)
+///     .with_reordering(0.25, 20.0)
+///     .with_crash(3, 1_000.0, 2_000.0);
+/// let mut net: SimNetwork<u32> = SimNetwork::new(8, latency::constant(5.0), 0.0, 1);
+/// net.set_fault_plan(plan);
+/// net.send(0, 1, 42, 90);
+/// net.advance_to(100.0);
+/// net.stats().assert_invariant("faulted send");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    burst: Option<GilbertElliott>,
+    duplicate_rate: f64,
+    reorder_rate: f64,
+    reorder_extra_ms: f64,
+    crashes: Vec<CrashWindow>,
+    partitions: Vec<PartitionWindow>,
+    rng: Xoshiro256,
+}
+
+impl FaultPlan {
+    /// An empty (no-fault) plan with its own deterministic RNG stream.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            burst: None,
+            duplicate_rate: 0.0,
+            reorder_rate: 0.0,
+            reorder_extra_ms: 0.0,
+            crashes: Vec::new(),
+            partitions: Vec::new(),
+            rng: Xoshiro256::seed_from(seed, 0xfau64 << 32),
+        }
+    }
+
+    /// Adds a Gilbert–Elliott burst-loss channel.
+    #[must_use]
+    pub fn with_burst_loss(mut self, channel: GilbertElliott) -> Self {
+        self.burst = Some(channel);
+        self
+    }
+
+    /// Duplicates each message with probability `rate` (the copy gets an
+    /// independently-sampled latency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_duplication(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "duplication rate {rate} out of range");
+        self.duplicate_rate = rate;
+        self
+    }
+
+    /// Delays each message by up to `extra_ms` additional milliseconds
+    /// with probability `rate`, reordering it past later sends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]` or `extra_ms` is negative.
+    #[must_use]
+    pub fn with_reordering(mut self, rate: f64, extra_ms: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "reorder rate {rate} out of range");
+        assert!(extra_ms >= 0.0, "reorder delay must be non-negative");
+        self.reorder_rate = rate;
+        self.reorder_extra_ms = extra_ms;
+        self
+    }
+
+    /// Silences `node` for `[from_ms, to_ms)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is inverted.
+    #[must_use]
+    pub fn with_crash(mut self, node: NodeId, from_ms: f64, to_ms: f64) -> Self {
+        assert!(from_ms <= to_ms, "crash window inverted");
+        self.crashes.push(CrashWindow { node, from_ms, to_ms });
+        self
+    }
+
+    /// Splits `island` from the rest of the network for `[from_ms, to_ms)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is inverted.
+    #[must_use]
+    pub fn with_partition(mut self, from_ms: f64, to_ms: f64, island: Vec<NodeId>) -> Self {
+        assert!(from_ms <= to_ms, "partition window inverted");
+        self.partitions.push(PartitionWindow { from_ms, to_ms, island });
+        self
+    }
+
+    /// The scripted crash windows.
+    #[must_use]
+    pub fn crashes(&self) -> &[CrashWindow] {
+        &self.crashes
+    }
+
+    /// Returns `true` if `node` is inside one of its crash windows.
+    #[must_use]
+    pub fn is_crashed(&self, node: NodeId, now_ms: f64) -> bool {
+        self.crashes.iter().any(|c| c.node == node && now_ms >= c.from_ms && now_ms < c.to_ms)
+    }
+
+    /// Returns `true` if an open partition separates `a` from `b`.
+    #[must_use]
+    pub fn severs(&self, a: NodeId, b: NodeId, now_ms: f64) -> bool {
+        self.partitions.iter().any(|p| p.severs(a, b, now_ms))
+    }
+
+    /// Advances the burst channel one message; `true` means drop.
+    pub(crate) fn burst_drop(&mut self) -> bool {
+        match self.burst.as_mut() {
+            Some(ge) => ge.step(&mut self.rng),
+            None => false,
+        }
+    }
+
+    /// Samples whether this message gets an extra duplicate copy.
+    pub(crate) fn duplicate(&mut self) -> bool {
+        self.duplicate_rate > 0.0 && self.rng.next_bool(self.duplicate_rate)
+    }
+
+    /// Extra delay for this delivery (0 when the reorder fault does not
+    /// fire).
+    pub(crate) fn reorder_extra(&mut self) -> f64 {
+        if self.reorder_rate > 0.0 && self.rng.next_bool(self.reorder_rate) {
+            self.rng.next_f64() * self.reorder_extra_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Builds a plan from the `WATCHMEN_FAULTS` environment variable, or
+    /// `None` when it is unset or empty. See [`FaultPlan::from_spec`] for
+    /// the format; a malformed spec panics with the parse error (a typo'd
+    /// fault experiment should fail loudly, not run clean).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is set but does not parse.
+    #[must_use]
+    pub fn from_env() -> Option<Self> {
+        let spec = std::env::var("WATCHMEN_FAULTS").ok()?;
+        if spec.trim().is_empty() {
+            return None;
+        }
+        match Self::from_spec(&spec, 0xfa017) {
+            Ok(plan) => Some(plan),
+            Err(e) => panic!("WATCHMEN_FAULTS: {e}"),
+        }
+    }
+
+    /// Parses a comma-separated fault spec:
+    ///
+    /// * `loss=0.05` — Gilbert–Elliott burst loss with 5% mean.
+    /// * `dup=0.01` — 1% duplication.
+    /// * `reorder=0.25` — 25% of messages get extra delay (default 20 ms;
+    ///   override with `reorder_ms=40`).
+    /// * `crash=3@1000..2000` — node 3 silent from t=1000 ms to 2000 ms
+    ///   (repeatable).
+    /// * `partition=0+1+2@500..900` — nodes {0,1,2} split from the rest.
+    /// * `seed=7` — reseed the fault RNG.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed entry.
+    pub fn from_spec(spec: &str, seed: u64) -> Result<Self, String> {
+        let mut plan = FaultPlan::new(seed);
+        let mut reorder_rate = 0.0;
+        let mut reorder_ms = 20.0;
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) =
+                part.split_once('=').ok_or_else(|| format!("expected key=value, got {part:?}"))?;
+            let parse_f64 =
+                |v: &str| v.parse::<f64>().map_err(|_| format!("bad number {v:?} for {key}"));
+            match key {
+                "loss" => {
+                    plan.burst = Some(GilbertElliott::with_mean_loss(parse_f64(value)?));
+                }
+                "dup" => plan.duplicate_rate = parse_f64(value)?,
+                "reorder" => reorder_rate = parse_f64(value)?,
+                "reorder_ms" => reorder_ms = parse_f64(value)?,
+                "seed" => {
+                    let s = value.parse::<u64>().map_err(|_| format!("bad seed {value:?}"))?;
+                    plan.rng = Xoshiro256::seed_from(s, 0xfau64 << 32);
+                }
+                "crash" => {
+                    let (node, window) = parse_at(value)?;
+                    let (from, to) = parse_range(window)?;
+                    plan.crashes.push(CrashWindow {
+                        node: node.parse().map_err(|_| format!("bad crash node {node:?}"))?,
+                        from_ms: from,
+                        to_ms: to,
+                    });
+                }
+                "partition" => {
+                    let (nodes, window) = parse_at(value)?;
+                    let (from, to) = parse_range(window)?;
+                    let island = nodes
+                        .split('+')
+                        .map(|n| n.parse().map_err(|_| format!("bad partition node {n:?}")))
+                        .collect::<Result<Vec<NodeId>, String>>()?;
+                    plan.partitions.push(PartitionWindow { from_ms: from, to_ms: to, island });
+                }
+                other => return Err(format!("unknown fault key {other:?}")),
+            }
+        }
+        if reorder_rate > 0.0 {
+            plan = plan.with_reordering(reorder_rate, reorder_ms);
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_at(value: &str) -> Result<(&str, &str), String> {
+    value.split_once('@').ok_or_else(|| format!("expected who@from..to, got {value:?}"))
+}
+
+fn parse_range(window: &str) -> Result<(f64, f64), String> {
+    let (from, to) =
+        window.split_once("..").ok_or_else(|| format!("expected from..to, got {window:?}"))?;
+    let from = from.parse::<f64>().map_err(|_| format!("bad window start {from:?}"))?;
+    let to = to.parse::<f64>().map_err(|_| format!("bad window end {to:?}"))?;
+    if from > to {
+        return Err(format!("inverted window {window:?}"));
+    }
+    Ok((from, to))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gilbert_elliott_mean_loss_matches_empirical_rate() {
+        let mut ge = GilbertElliott::with_mean_loss(0.05);
+        let expected = ge.mean_loss();
+        assert!((expected - 0.05).abs() < 1e-12, "analytic mean {expected}");
+        let mut rng = Xoshiro256::seed_from(1, 2);
+        let trials = 200_000;
+        let dropped = (0..trials).filter(|_| ge.step(&mut rng)).count();
+        let rate = dropped as f64 / f64::from(trials);
+        assert!((0.04..0.06).contains(&rate), "empirical loss {rate}");
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        // Consecutive drops should be far more common than under an
+        // independent Bernoulli process with the same mean.
+        let mut ge = GilbertElliott::with_mean_loss(0.05);
+        let mut rng = Xoshiro256::seed_from(3, 4);
+        let mut drops = Vec::with_capacity(100_000);
+        for _ in 0..100_000 {
+            drops.push(ge.step(&mut rng));
+        }
+        let pairs = drops.windows(2).filter(|w| w[0] && w[1]).count() as f64;
+        let singles = drops.iter().filter(|&&d| d).count() as f64;
+        // P(drop | previous dropped) under Bernoulli(0.05) would be 0.05;
+        // the bad state's 0.5 loss with mean dwell 4 pushes it far higher.
+        let conditional = pairs / singles;
+        assert!(conditional > 0.2, "loss not bursty: P(drop|drop) = {conditional:.3}");
+    }
+
+    #[test]
+    fn crash_and_partition_windows_are_half_open() {
+        let plan =
+            FaultPlan::new(1).with_crash(2, 100.0, 200.0).with_partition(50.0, 60.0, vec![0, 1]);
+        assert!(!plan.is_crashed(2, 99.9));
+        assert!(plan.is_crashed(2, 100.0));
+        assert!(plan.is_crashed(2, 199.9));
+        assert!(!plan.is_crashed(2, 200.0));
+        assert!(!plan.is_crashed(3, 150.0));
+        assert!(plan.severs(0, 2, 55.0));
+        assert!(plan.severs(2, 1, 55.0));
+        assert!(!plan.severs(0, 1, 55.0), "island-internal traffic flows");
+        assert!(!plan.severs(2, 3, 55.0), "mainland-internal traffic flows");
+        assert!(!plan.severs(0, 2, 60.0), "window closed");
+    }
+
+    #[test]
+    fn spec_parses_every_knob() {
+        let plan = FaultPlan::from_spec(
+            "loss=0.05, dup=0.01, reorder=0.25, reorder_ms=40, crash=3@1000..2000, \
+             partition=0+1@500..900, seed=9",
+            1,
+        )
+        .unwrap();
+        assert!((plan.burst.as_ref().unwrap().mean_loss() - 0.05).abs() < 1e-12);
+        assert_eq!(plan.duplicate_rate, 0.01);
+        assert_eq!(plan.reorder_rate, 0.25);
+        assert_eq!(plan.reorder_extra_ms, 40.0);
+        assert_eq!(plan.crashes, vec![CrashWindow { node: 3, from_ms: 1000.0, to_ms: 2000.0 }]);
+        assert!(plan.severs(0, 2, 600.0));
+    }
+
+    #[test]
+    fn spec_rejects_malformed_entries() {
+        for bad in ["nonsense", "loss=abc", "crash=3", "crash=x@1..2", "crash=1@5..2", "zap=1"] {
+            assert!(FaultPlan::from_spec(bad, 1).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn empty_spec_is_a_clean_plan() {
+        let mut plan = FaultPlan::from_spec("", 1).unwrap();
+        assert!(!plan.burst_drop());
+        assert!(!plan.duplicate());
+        assert_eq!(plan.reorder_extra(), 0.0);
+    }
+}

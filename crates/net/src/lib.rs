@@ -11,7 +11,9 @@
 //! * [`SimNetwork`] — an in-process, virtual-time network with pluggable
 //!   [`latency`] models (including King-like and PeerWise-like synthetic
 //!   matrices), Bernoulli loss, per-node [`BandwidthMeter`]s and
-//!   deterministic delivery ordering.
+//!   deterministic delivery ordering. A [`fault::FaultPlan`] can be
+//!   layered on top for burst loss, duplication, reordering, and crash /
+//!   partition windows.
 //! * [`udp`] — a small framed transport over real `UdpSocket`s for live
 //!   overlay demos.
 //!
@@ -37,6 +39,7 @@
 
 mod bandwidth;
 mod event_queue;
+pub mod fault;
 pub mod latency;
 mod simnet;
 pub mod udp;

@@ -6,6 +6,7 @@ use watchmen_crypto::rng::Xoshiro256;
 use watchmen_telemetry::trace::{EventKind, Phase, TraceEvent, TraceId};
 use watchmen_telemetry::{Counter, FlightRecorder, Gauge, Histogram};
 
+use crate::fault::FaultPlan;
 use crate::latency::LatencyModel;
 use crate::{BandwidthMeter, EventQueue};
 
@@ -39,18 +40,24 @@ pub struct NetStats {
     pub sent: u64,
     /// Messages delivered.
     pub delivered: u64,
-    /// Messages dropped by the loss model.
+    /// Messages dropped by the loss model, a fault plan, or delivery to a
+    /// crashed node.
     pub dropped: u64,
+    /// Extra copies injected by the duplication fault. Each copy also ends
+    /// up delivered, dropped, or in flight, so it appears on the
+    /// right-hand side of the conservation identity too.
+    pub duplicated: u64,
     /// Messages accepted but not yet delivered.
     pub in_flight: u64,
 }
 
 impl NetStats {
-    /// Conservation invariant: every submitted message is delivered,
-    /// dropped, or still queued — nothing is lost or double-counted.
+    /// Conservation invariant: every submitted message — plus every extra
+    /// copy the duplication fault injected — is delivered, dropped, or
+    /// still queued; nothing is lost or double-counted.
     #[must_use]
     pub fn invariant_holds(&self) -> bool {
-        self.sent == self.delivered + self.dropped + self.in_flight
+        self.sent + self.duplicated == self.delivered + self.dropped + self.in_flight
     }
 
     /// Like [`NetStats::invariant_holds`], but a failure carries the
@@ -65,14 +72,16 @@ impl NetStats {
             return Ok(());
         }
         Err(format!(
-            "message conservation violated: sent={} != delivered={} + dropped={} + \
-             in_flight={} (= {}, off by {})",
+            "message conservation violated: sent={} + duplicated={} != delivered={} + \
+             dropped={} + in_flight={} (= {}, off by {})",
             self.sent,
+            self.duplicated,
             self.delivered,
             self.dropped,
             self.in_flight,
             self.delivered + self.dropped + self.in_flight,
-            self.sent as i128 - (self.delivered + self.dropped + self.in_flight) as i128,
+            (self.sent + self.duplicated) as i128
+                - (self.delivered + self.dropped + self.in_flight) as i128,
         ))
     }
 
@@ -95,6 +104,8 @@ struct SimNetMetrics {
     sent: Arc<Counter>,
     delivered: Arc<Counter>,
     dropped: Arc<Counter>,
+    duplicated: Arc<Counter>,
+    fault_dropped: Arc<Counter>,
     in_flight: Arc<Gauge>,
     latency_ms: Arc<Histogram>,
 }
@@ -104,13 +115,26 @@ impl SimNetMetrics {
         let t = watchmen_telemetry::global();
         t.describe("net_messages_sent_total", "messages submitted to the simulated network");
         t.describe("net_messages_delivered_total", "messages delivered by the simulated network");
-        t.describe("net_messages_dropped_total", "messages dropped by the Bernoulli loss model");
+        t.describe(
+            "net_messages_dropped_total",
+            "messages dropped by the loss model, a fault plan, or a crashed receiver",
+        );
+        t.describe(
+            "net_messages_duplicated_total",
+            "extra message copies injected by the duplication fault",
+        );
+        t.describe(
+            "net_fault_drops_total",
+            "messages dropped specifically by the fault plan (burst loss, crash, partition)",
+        );
         t.describe("net_messages_in_flight", "messages queued but not yet delivered");
         t.describe("net_delivery_latency_ms", "virtual send-to-deliver latency");
         SimNetMetrics {
             sent: t.counter("net_messages_sent_total"),
             delivered: t.counter("net_messages_delivered_total"),
             dropped: t.counter("net_messages_dropped_total"),
+            duplicated: t.counter("net_messages_duplicated_total"),
+            fault_dropped: t.counter("net_fault_drops_total"),
             in_flight: t.gauge("net_messages_in_flight"),
             latency_ms: t.histogram("net_delivery_latency_ms"),
         }
@@ -148,6 +172,8 @@ pub struct SimNetwork<T> {
     metrics: SimNetMetrics,
     /// Optional flight recorder for per-message delivery events.
     recorder: Option<Arc<FlightRecorder>>,
+    /// Optional fault plan layered on top of the Bernoulli loss model.
+    faults: Option<FaultPlan>,
 }
 
 impl<T> SimNetwork<T> {
@@ -171,7 +197,30 @@ impl<T> SimNetwork<T> {
             stats: NetStats::default(),
             metrics: SimNetMetrics::new(),
             recorder: None,
+            faults: None,
         }
+    }
+
+    /// Attaches a [`FaultPlan`] layered on top of the base Bernoulli loss:
+    /// burst loss, duplication, reordering, crash and partition windows
+    /// all draw from the plan's own deterministic RNG stream.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// The attached fault plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Returns `true` if the fault plan declares `node` crashed at the
+    /// current virtual time — drivers use this to skip executing a
+    /// crashed node's frame, mirroring how the network already silences
+    /// its traffic.
+    #[must_use]
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.is_crashed(node, self.now_ms))
     }
 
     /// Attaches a flight recorder: every submit, drop and delivery is
@@ -181,7 +230,15 @@ impl<T> SimNetwork<T> {
         self.recorder = Some(recorder);
     }
 
-    fn record_net_event(&self, kind: EventKind, trace: TraceId, node: u32, peer: u32, bytes: i64) {
+    fn record_net_event(
+        &self,
+        kind: EventKind,
+        label: &'static str,
+        trace: TraceId,
+        node: u32,
+        peer: u32,
+        bytes: i64,
+    ) {
         if let Some(rec) = &self.recorder {
             rec.record(TraceEvent::point(
                 trace,
@@ -190,7 +247,7 @@ impl<T> SimNetwork<T> {
                 self.now_ms as u64,
                 Phase::NetFlush,
                 kind,
-                "simnet",
+                label,
                 bytes,
             ));
         }
@@ -237,13 +294,22 @@ impl<T> SimNetwork<T> {
     /// # Panics
     ///
     /// Panics if either node is out of range or `from == to`.
-    pub fn send(&mut self, from: NodeId, to: NodeId, payload: T, bytes: usize) {
+    pub fn send(&mut self, from: NodeId, to: NodeId, payload: T, bytes: usize)
+    where
+        T: Clone,
+    {
         self.send_traced(from, to, payload, bytes, TraceId::NONE);
     }
 
     /// Like [`SimNetwork::send`], carrying a causal trace id that travels
     /// with the delivery and tags the attached flight recorder's submit /
     /// drop / deliver events.
+    ///
+    /// The attached [`FaultPlan`], if any, runs after the base Bernoulli
+    /// loss check: a crashed endpoint or open partition silences the
+    /// message, the burst channel may drop it, the reorder fault may add
+    /// extra delay, and the duplication fault may enqueue a second copy
+    /// with its own latency sample (hence the `T: Clone` bound).
     ///
     /// # Panics
     ///
@@ -255,25 +321,96 @@ impl<T> SimNetwork<T> {
         payload: T,
         bytes: usize,
         trace: TraceId,
-    ) {
+    ) where
+        T: Clone,
+    {
         assert!(from < self.n && to < self.n, "node out of range");
         assert_ne!(from, to, "no self-sends; local delivery is free");
         self.stats.sent += 1;
         self.metrics.sent.inc();
         self.meters[from].record_up(bytes);
-        self.record_net_event(EventKind::Send, trace, from as u32, to as u32, bytes as i64);
+        self.record_net_event(
+            EventKind::Send,
+            "simnet",
+            trace,
+            from as u32,
+            to as u32,
+            bytes as i64,
+        );
+        let now = self.now_ms;
+        let fault_drop = match self.faults.as_mut() {
+            Some(plan) => {
+                plan.is_crashed(from, now)
+                    || plan.is_crashed(to, now)
+                    || plan.severs(from, to, now)
+                    || plan.burst_drop()
+            }
+            None => false,
+        };
+        if fault_drop {
+            self.stats.dropped += 1;
+            self.metrics.dropped.inc();
+            self.metrics.fault_dropped.inc();
+            self.record_net_event(
+                EventKind::Drop,
+                "simnet-fault",
+                trace,
+                from as u32,
+                to as u32,
+                bytes as i64,
+            );
+            return;
+        }
         if self.rng.next_bool(self.loss_rate) {
             self.stats.dropped += 1;
             self.metrics.dropped.inc();
-            self.record_net_event(EventKind::Drop, trace, from as u32, to as u32, bytes as i64);
+            self.record_net_event(
+                EventKind::Drop,
+                "simnet",
+                trace,
+                from as u32,
+                to as u32,
+                bytes as i64,
+            );
             return;
         }
-        let delay = self.latency.sample_ms(from, to);
-        let deliver_ms = self.now_ms + delay;
-        self.queue.push(
-            deliver_ms,
-            Delivery { from, to, sent_ms: self.now_ms, deliver_ms, payload, bytes, trace },
-        );
+        let mut copies = 1u32;
+        if let Some(plan) = self.faults.as_mut() {
+            if plan.duplicate() {
+                copies = 2;
+                self.stats.duplicated += 1;
+                self.metrics.duplicated.inc();
+            }
+        }
+        for copy in 0..copies {
+            let mut delay = self.latency.sample_ms(from, to);
+            if let Some(plan) = self.faults.as_mut() {
+                delay += plan.reorder_extra();
+            }
+            let deliver_ms = now + delay;
+            self.queue.push(
+                deliver_ms,
+                Delivery {
+                    from,
+                    to,
+                    sent_ms: now,
+                    deliver_ms,
+                    payload: payload.clone(),
+                    bytes,
+                    trace,
+                },
+            );
+            if copy > 0 {
+                self.record_net_event(
+                    EventKind::Send,
+                    "simnet-dup",
+                    trace,
+                    from as u32,
+                    to as u32,
+                    bytes as i64,
+                );
+            }
+        }
         self.metrics.in_flight.set(self.queue.len() as i64);
     }
 
@@ -289,12 +426,30 @@ impl<T> SimNetwork<T> {
         let delivered = self.queue.drain_until(t_ms);
         let mut out = Vec::with_capacity(delivered.len());
         for (_, d) in delivered {
+            // A receiver that crashed after the message was accepted eats
+            // it at delivery time: in-flight moves to dropped, never to
+            // delivered, and no download bandwidth is charged.
+            if self.faults.as_ref().is_some_and(|f| f.is_crashed(d.to, d.deliver_ms)) {
+                self.stats.dropped += 1;
+                self.metrics.dropped.inc();
+                self.metrics.fault_dropped.inc();
+                self.record_net_event(
+                    EventKind::Drop,
+                    "simnet-crashed-receiver",
+                    d.trace,
+                    d.to as u32,
+                    d.from as u32,
+                    d.bytes as i64,
+                );
+                continue;
+            }
             self.meters[d.to].record_down(d.bytes);
             self.stats.delivered += 1;
             self.metrics.delivered.inc();
             self.metrics.latency_ms.record(d.deliver_ms - d.sent_ms);
             self.record_net_event(
                 EventKind::Deliver,
+                "simnet",
                 d.trace,
                 d.to as u32,
                 d.from as u32,
@@ -455,9 +610,10 @@ mod tests {
 
     #[test]
     fn invariant_failure_reports_the_offending_counts() {
-        let bad = NetStats { sent: 100, delivered: 60, dropped: 10, in_flight: 20 };
+        let bad = NetStats { sent: 100, delivered: 60, dropped: 10, in_flight: 20, duplicated: 0 };
         let report = bad.check_invariant().unwrap_err();
         assert!(report.contains("sent=100"), "{report}");
+        assert!(report.contains("duplicated=0"), "{report}");
         assert!(report.contains("delivered=60"), "{report}");
         assert!(report.contains("dropped=10"), "{report}");
         assert!(report.contains("in_flight=20"), "{report}");
@@ -468,9 +624,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sent=5 != delivered=1 + dropped=1 + in_flight=1")]
+    fn invariant_balances_duplicates_explicitly() {
+        // A duplicated message yields two deliveries from one send: the
+        // identity only balances because `duplicated` appears on the left.
+        let two_for_one =
+            NetStats { sent: 10, delivered: 12, dropped: 0, in_flight: 0, duplicated: 2 };
+        assert!(two_for_one.invariant_holds());
+        // Forgetting the term (the old invariant) must fail loudly.
+        let forgotten =
+            NetStats { sent: 10, delivered: 12, dropped: 0, in_flight: 0, duplicated: 0 };
+        assert!(!forgotten.invariant_holds());
+        assert!(forgotten.check_invariant().unwrap_err().contains("off by -2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "sent=5 + duplicated=0 != delivered=1 + dropped=1 + in_flight=1")]
     fn assert_invariant_panics_with_counts() {
-        NetStats { sent: 5, delivered: 1, dropped: 1, in_flight: 1 }.assert_invariant("unit test");
+        NetStats { sent: 5, delivered: 1, dropped: 1, in_flight: 1, duplicated: 0 }
+            .assert_invariant("unit test");
     }
 
     #[test]
@@ -514,6 +685,119 @@ mod tests {
         };
         assert!(read("net_messages_sent_total") >= sent0 + 25);
         assert!(read("net_messages_dropped_total") >= dropped0 + 25);
+    }
+
+    #[test]
+    fn duplication_fault_delivers_extra_copies_and_balances() {
+        use crate::fault::FaultPlan;
+        let mut net: SimNetwork<u32> = SimNetwork::new(2, latency::constant(5.0), 0.0, 31);
+        net.set_fault_plan(FaultPlan::new(31).with_duplication(1.0));
+        for i in 0..20u32 {
+            net.send(0, 1, i, 50);
+        }
+        let got = net.advance_to(100.0);
+        let s = net.stats();
+        assert_eq!(s.sent, 20);
+        assert_eq!(s.duplicated, 20, "rate-1.0 duplication must copy every message");
+        assert_eq!(s.delivered, 40);
+        assert_eq!(got.len(), 40);
+        s.assert_invariant("full duplication");
+    }
+
+    #[test]
+    fn crash_window_silences_sends_and_eats_deliveries() {
+        use crate::fault::FaultPlan;
+        let mut net: SimNetwork<u8> = SimNetwork::new(3, latency::constant(10.0), 0.0, 32);
+        net.set_fault_plan(FaultPlan::new(32).with_crash(1, 20.0, 50.0));
+        // In flight before the crash, delivered into the window: dropped
+        // at delivery time.
+        net.advance_to(15.0);
+        net.send(0, 1, 1, 40);
+        assert!(net.advance_to(30.0).is_empty(), "delivery into crash window must be eaten");
+        assert!(net.is_crashed(1));
+        // Sends from and to the crashed node during the window: dropped at
+        // submit time.
+        net.send(1, 2, 2, 40);
+        net.send(2, 1, 3, 40);
+        assert!(net.advance_to(55.0).is_empty());
+        // After the window the node is reachable again.
+        net.send(0, 1, 4, 40);
+        let got = net.advance_to(70.0);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, 4);
+        let s = net.stats();
+        assert_eq!((s.dropped, s.delivered, s.in_flight), (3, 1, 0));
+        s.assert_invariant("crash window");
+    }
+
+    #[test]
+    fn partition_drops_only_cross_island_traffic() {
+        use crate::fault::FaultPlan;
+        let mut net: SimNetwork<u8> = SimNetwork::new(4, latency::constant(1.0), 0.0, 33);
+        net.set_fault_plan(FaultPlan::new(33).with_partition(0.0, 100.0, vec![0, 1]));
+        net.send(0, 1, 1, 10); // island-internal: flows
+        net.send(2, 3, 2, 10); // mainland-internal: flows
+        net.send(0, 2, 3, 10); // cross: dropped
+        net.send(3, 1, 4, 10); // cross: dropped
+        let got = net.advance_to(50.0);
+        assert_eq!(got.iter().map(|d| d.payload).collect::<Vec<_>>(), vec![1, 2]);
+        // After the window heals, cross traffic flows again.
+        net.advance_to(100.0);
+        net.send(0, 2, 5, 10);
+        assert_eq!(net.advance_to(150.0).len(), 1);
+        net.stats().assert_invariant("partition");
+    }
+
+    #[test]
+    fn reordering_fault_inverts_delivery_order() {
+        use crate::fault::FaultPlan;
+        let mut net: SimNetwork<u32> = SimNetwork::new(2, latency::constant(5.0), 0.0, 34);
+        net.set_fault_plan(FaultPlan::new(34).with_reordering(0.5, 80.0));
+        let mut got: Vec<u32> = Vec::new();
+        for i in 0..200u32 {
+            net.send(0, 1, i, 30);
+            got.extend(net.advance_to(f64::from(i + 1)).iter().map(|d| d.payload));
+        }
+        got.extend(net.advance_to(2_000.0).iter().map(|d| d.payload));
+        assert_eq!(got.len(), 200, "reordering must not lose messages");
+        let inversions = got.windows(2).filter(|w| w[0] > w[1]).count();
+        assert!(inversions > 10, "expected reordering, saw {inversions} inversions");
+    }
+
+    #[test]
+    fn conservation_soaks_under_loss_duplication_and_reordering() {
+        use crate::fault::{FaultPlan, GilbertElliott};
+        let mut net: SimNetwork<u32> = SimNetwork::new(8, latency::king_like(8, 41), 0.01, 41);
+        net.set_fault_plan(
+            FaultPlan::new(41)
+                .with_burst_loss(GilbertElliott::with_mean_loss(0.05))
+                .with_duplication(0.05)
+                .with_reordering(0.3, 60.0)
+                .with_crash(5, 200.0, 600.0),
+        );
+        let mut rng = Xoshiro256::new(7);
+        for step in 0..2_000u32 {
+            let from = rng.next_range(8) as usize;
+            let mut to = rng.next_range(8) as usize;
+            if to == from {
+                to = (to + 1) % 8;
+            }
+            net.send(from, to, step, 80);
+            if step % 11 == 0 {
+                // advance_to re-asserts the invariant internally at every
+                // quiescent point.
+                net.advance_to(f64::from(step));
+            }
+            net.stats().assert_invariant("soak checkpoint");
+        }
+        net.advance_to(50_000.0);
+        let s = net.stats();
+        s.assert_invariant("soak final");
+        assert_eq!(s.in_flight, 0);
+        assert_eq!(s.sent, 2_000);
+        assert!(s.duplicated > 20, "duplication never fired: {}", s.duplicated);
+        assert!(s.dropped > 100, "burst loss + crash never fired: {}", s.dropped);
+        assert_eq!(s.delivered + s.dropped, s.sent + s.duplicated);
     }
 
     #[test]

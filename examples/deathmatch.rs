@@ -15,14 +15,16 @@
 
 use std::sync::Arc;
 
-use watchmen::core::node::WatchmenNode;
+use watchmen::core::node::{NodeEvent, WatchmenNode};
 use watchmen::core::overlay::run_watchmen;
+use watchmen::core::proxy::ProxySchedule;
 use watchmen::core::WatchmenConfig;
 use watchmen::crypto::schnorr::{Keypair, PublicKey};
 use watchmen::game::heatmap::Heatmap;
 use watchmen::game::trace::GameTrace;
 use watchmen::game::{GameConfig, GameEvent, PlayerId};
-use watchmen::net::latency;
+use watchmen::net::fault::FaultPlan;
+use watchmen::net::{latency, SimNetwork};
 use watchmen::telemetry::{
     causal_chain, export, global, FlightDump, FlightRecorder, MetricValue, TraceMode,
 };
@@ -129,6 +131,16 @@ fn main() {
     let (recorders, dumps) = run_secured_segment(&trace, &map, cluster_size, cluster_frames);
     report_violations(&recorders, &dumps);
 
+    // --- Faulted segment: with `WATCHMEN_FAULTS` set (e.g.
+    // `loss=0.05,dup=0.01,reorder=0.25,reorder_ms=40`), run a 16-node
+    // secured cluster over the simnet under the requested fault plan plus
+    // one scripted proxy crash, and report how the reliable control plane
+    // coped. The `fault summary:` line is machine-parseable; ci.sh gates
+    // on it.
+    if let Some(plan) = FaultPlan::from_env() {
+        run_faulted_segment(plan);
+    }
+
     // --- Telemetry: what the instrumented layers recorded.
     let snap = global().snapshot();
     println!("\ntelemetry highlights:");
@@ -220,6 +232,118 @@ fn run_secured_segment(
     let recorders = nodes.iter().map(WatchmenNode::recorder).collect();
     let dumps = nodes.iter_mut().flat_map(WatchmenNode::take_flight_dumps).collect();
     (recorders, dumps)
+}
+
+/// Runs a 16-node secured cluster over the simnet under the given fault
+/// plan, plus a scripted crash of player 0's epoch-2 proxy so the
+/// liveness fallback is always exercised. All players are honest: every
+/// severe verdict is by construction a false one, and the printed
+/// `fault summary:` line reports it alongside the reliable-layer
+/// counters (ci.sh parses that line and fails the build on any
+/// unrecovered handoff chain or false verdict).
+#[allow(clippy::needless_range_loop)] // nodes and the net are index-parallel
+fn run_faulted_segment(plan: FaultPlan) {
+    const PLAYERS: usize = 16;
+    const SEED: u64 = 2013;
+    const FRAME_MS: f64 = 50.0;
+    const FRAMES: u64 = 320;
+    const DRAIN: u64 = 60;
+
+    let config = WatchmenConfig { proxy_liveness_k: 2, ..WatchmenConfig::default() };
+    let schedule = ProxySchedule::new(SEED, PLAYERS, config.proxy_period);
+    let crashed = schedule.proxy_of(PlayerId(0), 2 * config.proxy_period);
+    let plan = plan.with_crash(crashed.index(), 55.0 * FRAME_MS, 125.0 * FRAME_MS);
+    println!(
+        "\nWATCHMEN_FAULTS set: {PLAYERS} secured nodes for {} frames under faults \
+         (scripted crash of p{} in frames 55..125)…",
+        FRAMES + DRAIN,
+        crashed.0
+    );
+
+    let mut net: SimNetwork<Vec<u8>> = SimNetwork::new(PLAYERS, latency::constant(8.0), 0.0, 77);
+    net.set_fault_plan(plan);
+
+    let keys: Vec<Keypair> = (0..PLAYERS).map(|i| Keypair::generate(SEED ^ i as u64)).collect();
+    let directory: Vec<PublicKey> = keys.iter().map(Keypair::public).collect();
+    // An open arena: the faulted segment gates on *transport*-level
+    // recovery, and the position checker's wall-geometry corner cases
+    // fire even on honest q3dm17 traces.
+    let map = maps::arena(32, 10.0);
+    let mut nodes: Vec<WatchmenNode> = keys
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| {
+            WatchmenNode::new(
+                PlayerId(i as u32),
+                k,
+                directory.clone(),
+                SEED,
+                config,
+                map.clone(),
+                PhysicsConfig::default(),
+            )
+        })
+        .collect();
+
+    let fault_trace = GameTrace::record(
+        GameConfig { map, ..GameConfig::default() },
+        PLAYERS,
+        SEED,
+        FRAMES + DRAIN,
+    );
+    let mut severe = 0u64;
+    let mut tally = |events: &[NodeEvent]| {
+        for e in events {
+            if let NodeEvent::Suspicion { rating, .. } = e {
+                if rating.score >= 6 {
+                    severe += 1;
+                }
+            }
+        }
+    };
+    for f in 0..FRAMES + DRAIN {
+        for d in net.advance_to(f as f64 * FRAME_MS) {
+            if net.is_crashed(d.to) {
+                continue;
+            }
+            let (out, events) = nodes[d.to].handle_message(f, PlayerId(d.from as u32), &d.payload);
+            tally(&events);
+            for o in out {
+                let size = o.bytes.len();
+                net.send(d.to, o.to.index(), o.bytes, size);
+            }
+        }
+        for i in 0..PLAYERS {
+            if net.is_crashed(i) {
+                continue;
+            }
+            let output = nodes[i].begin_frame(f, &fault_trace.frames[f as usize].states[i]);
+            tally(&output.events);
+            for o in output.outgoing {
+                let size = o.bytes.len();
+                net.send(i, o.to.index(), o.bytes, size);
+            }
+        }
+    }
+
+    let stats = net.stats();
+    stats.assert_invariant("deathmatch faulted segment");
+    let (mut retransmits, mut acks, mut fallbacks, mut abandoned, mut pending) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    for n in &nodes {
+        let cs = n.control_stats();
+        retransmits += cs.retransmits;
+        acks += cs.acks_received;
+        fallbacks += cs.proxy_fallbacks;
+        abandoned += cs.abandoned;
+        pending += n.pending_handoffs() as u64;
+    }
+    println!(
+        "fault summary: retransmits={retransmits} acks={acks} fallbacks={fallbacks} \
+         abandoned={abandoned} pending_handoffs={pending} severe_false_verdicts={severe} \
+         dup={} dropped={}",
+        stats.duplicated, stats.dropped
+    );
 }
 
 /// Prints what the flight recorders captured around the scripted
