@@ -54,4 +54,24 @@ assert kv["dup"] > 0 and kv["dropped"] > 0, f"fault plan never engaged: {kv}"
 print(f"soak OK: {m.group(1)}")
 EOF
 
+echo "==> churn soak (16 veterans + 4 mid-game joins, leaves, evictions under 5% burst loss)"
+CHURN_OUT=/tmp/watchmen-churn.txt
+WATCHMEN_CHURN=soak \
+    cargo run --release --example deathmatch 8 200 > "$CHURN_OUT"
+python3 - "$CHURN_OUT" <<'EOF'
+import re, sys
+text = open(sys.argv[1]).read()
+m = re.search(r"churn summary: (.*)", text)
+assert m, "no churn summary line in deathmatch output"
+kv = {k: int(v) for k, v in (p.split("=") for p in m.group(1).split())}
+assert kv["joins"] >= 4, f"mid-game joins never applied: {kv}"
+assert kv["leaves"] >= 2, f"graceful leaves never applied: {kv}"
+assert kv["evictions"] >= 2, f"crash evictions never applied: {kv}"
+assert kv["joiners_converged"] == kv["joins"], f"a joiner missed its bootstrap window: {kv}"
+assert kv["roster_agreement"] == 1, f"rosters diverged at a renewal boundary: {kv}"
+assert kv["false_verdicts"] == 0, f"churn produced false cheat verdicts: {kv}"
+assert kv["bad_signatures"] == 0, f"churn traffic scored as signature failures: {kv}"
+print(f"churn OK: {m.group(1)}")
+EOF
+
 echo "CI OK"

@@ -54,6 +54,19 @@ pub struct WatchmenConfig {
     /// this many draws of the scheduled one, so receivers accept duty from
     /// the whole plausible set.
     pub proxy_fallback_depth: u32,
+    /// Frames of total silence after which a player is *evicted* from the
+    /// roster at the next proxy-renewal boundary. Strictly longer than
+    /// the proxy-liveness window ([`Self::liveness_timeout_frames`]):
+    /// liveness fallback masks a crash within seconds, while eviction is
+    /// the heavyweight, hard-to-reverse step (the id is retired for the
+    /// rest of the game), so it waits for stronger evidence.
+    pub membership_timeout_frames: u64,
+    /// Maximum roster size, counting departed members (ids are dense and
+    /// never recycled). Join tickets beyond this are refused.
+    pub max_roster: usize,
+    /// Maximum states the joiner-bootstrap snapshot carries (capped by
+    /// the wire format at [`crate::msg::MAX_BOOTSTRAP_ENTRIES`]).
+    pub join_bootstrap_depth: usize,
 }
 
 impl Default for WatchmenConfig {
@@ -74,6 +87,9 @@ impl Default for WatchmenConfig {
             retransmit_max_attempts: 12,
             proxy_liveness_k: 3,
             proxy_fallback_depth: 2,
+            membership_timeout_frames: 120,
+            max_roster: 256,
+            join_bootstrap_depth: 8,
         }
     }
 }
@@ -132,6 +148,16 @@ impl WatchmenConfig {
         );
         assert!(self.retransmit_max_attempts > 0, "retransmit_max_attempts must be positive");
         assert!(self.proxy_liveness_k > 0, "proxy_liveness_k must be positive");
+        assert!(
+            self.membership_timeout_frames > self.liveness_timeout_frames(),
+            "membership_timeout_frames must exceed the proxy-liveness window: eviction is \
+             permanent, so it must wait for strictly stronger evidence than a fallback"
+        );
+        assert!(self.max_roster >= 2, "max_roster must cover at least two players");
+        assert!(
+            (1..=crate::msg::MAX_BOOTSTRAP_ENTRIES).contains(&self.join_bootstrap_depth),
+            "join_bootstrap_depth must be between 1 and the wire-format cap"
+        );
     }
 
     /// Frames of silence after which a peer is presumed crashed: `k`
@@ -209,6 +235,32 @@ mod tests {
         assert_eq!(c.liveness_timeout_frames(), 60); // 3 × 20-frame relays
         let fast = WatchmenConfig { proxy_liveness_k: 1, others_period: 10, ..c };
         assert_eq!(fast.liveness_timeout_frames(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "membership_timeout_frames")]
+    fn eviction_faster_than_fallback_panics() {
+        // Eviction firing before (or with) the liveness fallback would
+        // retire ids on evidence the fallback layer still treats as a
+        // transient outage.
+        let c = WatchmenConfig { membership_timeout_frames: 60, ..WatchmenConfig::default() };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "join_bootstrap_depth")]
+    fn oversized_bootstrap_depth_panics() {
+        let c = WatchmenConfig { join_bootstrap_depth: 9, ..WatchmenConfig::default() };
+        c.validate();
+    }
+
+    #[test]
+    fn churn_knob_defaults_are_consistent() {
+        let c = WatchmenConfig::default();
+        assert_eq!(c.membership_timeout_frames, 120); // 6 s — 2× the liveness window
+        assert!(c.membership_timeout_frames > c.liveness_timeout_frames());
+        assert_eq!(c.max_roster, 256);
+        assert_eq!(c.join_bootstrap_depth, crate::msg::MAX_BOOTSTRAP_ENTRIES);
     }
 
     #[test]

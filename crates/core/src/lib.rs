@@ -59,6 +59,7 @@ pub mod overlay;
 pub mod proxy;
 pub mod rating;
 pub mod reputation;
+pub mod roster;
 pub mod subscription;
 pub mod verify;
 

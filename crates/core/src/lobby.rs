@@ -13,13 +13,15 @@
 //! a pluggable reputation system, tracks liveness, and turns bans and
 //! disconnections into deterministic proxy-pool exclusions.
 
-use watchmen_crypto::schnorr::PublicKey;
+use watchmen_crypto::schnorr::{Keypair, PublicKey};
 use watchmen_game::PlayerId;
 
 use crate::membership::MembershipTracker;
+use crate::msg::JoinTicket;
 use crate::proxy::ProxySchedule;
 use crate::rating::CheatRating;
 use crate::reputation::{Reputation, ThresholdReputation};
+use crate::roster::{MemberStatus, Roster};
 use crate::WatchmenConfig;
 
 /// A player's standing in the lobby.
@@ -27,6 +29,8 @@ use crate::WatchmenConfig;
 pub enum PlayerStatus {
     /// Playing normally.
     Active,
+    /// Gracefully departed mid-match; removed from the proxy pool.
+    Left,
     /// Silent beyond the heartbeat timeout; removed from the proxy pool.
     Disconnected,
     /// Banned by the reputation system; removed from the proxy pool.
@@ -72,6 +76,14 @@ pub struct GameLobby {
     membership: Option<MembershipTracker>,
     reputation: ThresholdReputation,
     heartbeat_timeout: u64,
+    /// The lobby's signing keypair — required for mid-game admission
+    /// tickets, absent in pre-PR-5 frozen-roster deployments.
+    keys: Option<Keypair>,
+    /// Mirror of the nodes' applied-delta count: bumped once per
+    /// membership change the lobby knows about (issued join, leave,
+    /// disconnect, ban), so a joiner's snapshot epoch lines up with the
+    /// veterans' roster epoch at its admission boundary.
+    roster_epoch: u64,
 }
 
 impl GameLobby {
@@ -97,7 +109,30 @@ impl GameLobby {
             // detector. Calibrate per detector via `with_reputation`.
             reputation: ThresholdReputation::new(0, 0.85, 30),
             heartbeat_timeout,
+            keys: None,
+            roster_epoch: 0,
         }
+    }
+
+    /// Gives the lobby a signing keypair, enabling mid-game admission —
+    /// every [`JoinTicket`] is signed under it and nodes verify joins
+    /// against [`GameLobby::lobby_key`].
+    #[must_use]
+    pub fn with_keys(mut self, keys: Keypair) -> Self {
+        self.keys = Some(keys);
+        self
+    }
+
+    /// The public half of the lobby's signing key, if one was configured.
+    #[must_use]
+    pub fn lobby_key(&self) -> Option<PublicKey> {
+        self.keys.as_ref().map(Keypair::public)
+    }
+
+    /// The lobby's view of the roster epoch (applied membership changes).
+    #[must_use]
+    pub fn roster_epoch(&self) -> u64 {
+        self.roster_epoch
     }
 
     /// Registers a player's public key, returning their id for this match.
@@ -225,6 +260,9 @@ impl GameLobby {
                 events.push(LobbyEvent::Disconnected(player));
             }
         }
+        // Each event is one membership change the in-game nodes will
+        // mirror as a roster delta.
+        self.roster_epoch += events.len() as u64;
         events
     }
 
@@ -235,6 +273,88 @@ impl GameLobby {
             .map(|i| PlayerId(i as u32))
             .filter(|&p| self.status[p.index()] == PlayerStatus::Active)
             .collect()
+    }
+
+    /// Records a graceful mid-match departure announced at `frame`: the
+    /// player's standing flips to [`PlayerStatus::Left`] and the proxy
+    /// pool drops it from the first boundary a full period out — the same
+    /// effective frame the in-game `Leave` announcement carries, so the
+    /// lobby's schedule stays in lockstep with the nodes'. Idempotent for
+    /// players no longer active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the match has not started or the id is out of range.
+    pub fn leave(&mut self, player: PlayerId, frame: u64) {
+        assert!(self.started, "lobby not started");
+        if self.status[player.index()] != PlayerStatus::Active {
+            return;
+        }
+        self.status[player.index()] = PlayerStatus::Left;
+        let period = self.config.proxy_period;
+        let effective = (frame.div_ceil(period) + 1) * period;
+        // An exclusion that would empty the pool is refused; the player
+        // has still left the match.
+        let _ =
+            self.schedule.as_mut().expect("started").try_exclude_from(player, effective / period);
+        self.membership.as_mut().expect("started").remove_at(player, effective);
+        self.roster_epoch += 1;
+    }
+
+    /// Admits a player mid-match: assigns the next dense id, issues a
+    /// lobby-signed [`JoinTicket`] effective at the first renewal
+    /// boundary a full period after `frame` (leaving the `Join`
+    /// announcement one whole epoch to reach every veteran), and returns
+    /// the roster snapshot the joiner boots from — every current member
+    /// with its standing, plus the joiner itself as a provisional entry.
+    ///
+    /// The snapshot's epoch is the lobby's count of membership changes
+    /// *before* this join; the joiner's own `Join` delta bumps it at the
+    /// admission boundary in lockstep with the veterans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the match has not started, the lobby has no signing
+    /// keys ([`GameLobby::with_keys`]), or the roster is at
+    /// [`WatchmenConfig::max_roster`].
+    pub fn admit_midgame(&mut self, key: PublicKey, frame: u64) -> (PlayerId, JoinTicket, Roster) {
+        assert!(self.started, "lobby not started");
+        let keys = self.keys.as_ref().expect("lobby has no signing keys");
+        assert!(self.directory.len() < self.config.max_roster, "roster full");
+        let period = self.config.proxy_period;
+        let admit_frame = (frame.div_ceil(period) + 1) * period;
+
+        let mut roster = self.snapshot_roster();
+        let id = roster.admit_provisional(key);
+        assert_eq!(id.index(), self.directory.len(), "dense id");
+        let ticket = JoinTicket::issue(keys, id, key, admit_frame);
+
+        // Mirror the admission in the lobby's own trackers so later
+        // snapshots (and tick()) see the new member.
+        self.directory.push(key);
+        self.status.push(PlayerStatus::Active);
+        let sched_id = self.schedule.as_mut().expect("started").admit_at(admit_frame / period);
+        let member_id = self.membership.as_mut().expect("started").admit(admit_frame);
+        debug_assert_eq!(sched_id, id);
+        debug_assert_eq!(member_id, id);
+        self.reputation.admit_player();
+        self.roster_epoch += 1;
+        (id, ticket, roster)
+    }
+
+    /// The lobby's current roster snapshot (without any provisional
+    /// joiner entry).
+    fn snapshot_roster(&self) -> Roster {
+        let status = self
+            .status
+            .iter()
+            .map(|s| match s {
+                PlayerStatus::Active => MemberStatus::Active,
+                PlayerStatus::Left => MemberStatus::Left,
+                PlayerStatus::Disconnected | PlayerStatus::Banned => MemberStatus::Evicted,
+            })
+            .collect();
+        Roster::from_parts(self.directory.clone(), status, self.roster_epoch)
     }
 }
 
@@ -345,5 +465,194 @@ mod tests {
         let mut lobby = GameLobby::new(1, WatchmenConfig::default(), 60);
         lobby.register(Keypair::generate(1).public());
         lobby.start();
+    }
+
+    #[test]
+    fn golden_register_start_heartbeat_tick() {
+        // Fixed scenario, exact expected outcome: four players; player 2
+        // falls silent after frame 40, player 3 draws a pile of proxy
+        // reports at frame 60. The full event log must be exactly one ban
+        // followed by one disconnect, at deterministic frames.
+        let mut lobby = GameLobby::new(7, WatchmenConfig::default(), 60);
+        let ids: Vec<PlayerId> =
+            (0..4).map(|i| lobby.register(Keypair::generate(i).public())).collect();
+        assert_eq!(ids, (0..4).map(PlayerId).collect::<Vec<_>>());
+        lobby.start();
+
+        let mut log = Vec::new();
+        for frame in (0..=200u64).step_by(20) {
+            for p in [0u32, 1, 3] {
+                lobby.heartbeat(PlayerId(p), frame);
+            }
+            if frame <= 40 {
+                lobby.heartbeat(PlayerId(2), frame);
+            }
+            if frame == 60 {
+                for _ in 0..35 {
+                    lobby.report(
+                        PlayerId(0),
+                        PlayerId(3),
+                        &CheatRating::new(10, Confidence::Proxy, 0),
+                    );
+                }
+            }
+            for ev in lobby.tick(frame) {
+                log.push((frame, ev));
+            }
+        }
+
+        // Ban lands the same tick the reports arrive; the disconnect
+        // fires once player 2 has been silent a full timeout (last seen
+        // 40, timeout 60 → suspect at exactly frame 100).
+        assert_eq!(
+            log,
+            vec![
+                (60, LobbyEvent::Banned(PlayerId(3))),
+                (100, LobbyEvent::Disconnected(PlayerId(2))),
+            ]
+        );
+        assert_eq!(lobby.status(PlayerId(2)), PlayerStatus::Disconnected);
+        assert_eq!(lobby.status(PlayerId(3)), PlayerStatus::Banned);
+        assert_eq!(lobby.active_players(), vec![PlayerId(0), PlayerId(1)]);
+        assert!(lobby.schedule().is_excluded(PlayerId(2)));
+        assert!(lobby.schedule().is_excluded(PlayerId(3)));
+        assert_eq!(lobby.roster_epoch(), 2);
+    }
+
+    #[test]
+    fn active_players_consistent_with_events() {
+        // Property: across randomized churn scripts, the active set always
+        // equals the registered roster minus exactly the players named in
+        // emitted events and explicit leave() calls — no duplicate events,
+        // no phantom departures, no resurrections.
+        for seed in 0..40u64 {
+            let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            let mut next = move || {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                rng
+            };
+            let n = 4 + (next() % 5) as usize;
+            let mut lobby = GameLobby::new(seed, WatchmenConfig::default(), 60)
+                .with_keys(Keypair::generate(1000 + seed));
+            for i in 0..n {
+                lobby.register(Keypair::generate(seed * 100 + i as u64).public());
+            }
+            lobby.start();
+
+            let mut departed = std::collections::BTreeSet::new();
+            for frame in (0..400u64).step_by(20) {
+                for p in (0..lobby.players()).map(|i| PlayerId(i as u32)) {
+                    if departed.contains(&p) {
+                        continue;
+                    }
+                    match next() % 10 {
+                        0 => {
+                            lobby.leave(p, frame);
+                            departed.insert(p);
+                        }
+                        1 => {
+                            for _ in 0..35 {
+                                lobby.report(
+                                    PlayerId(0),
+                                    p,
+                                    &CheatRating::new(10, Confidence::Proxy, 0),
+                                );
+                            }
+                        }
+                        2 => {} // silent this round
+                        _ => lobby.heartbeat(p, frame),
+                    }
+                }
+                for ev in lobby.tick(frame) {
+                    let (LobbyEvent::Banned(p) | LobbyEvent::Disconnected(p)) = ev;
+                    assert!(departed.insert(p), "seed {seed}: duplicate event for {p}");
+                }
+                let expected: Vec<PlayerId> = (0..lobby.players())
+                    .map(|i| PlayerId(i as u32))
+                    .filter(|p| !departed.contains(p))
+                    .collect();
+                assert_eq!(lobby.active_players(), expected, "seed {seed} frame {frame}");
+            }
+        }
+    }
+
+    fn lobby_with_keys(n: usize) -> GameLobby {
+        let mut lobby =
+            GameLobby::new(7, WatchmenConfig::default(), 60).with_keys(Keypair::generate(777));
+        for i in 0..n {
+            lobby.register(Keypair::generate(i as u64).public());
+        }
+        lobby.start();
+        lobby
+    }
+
+    #[test]
+    fn graceful_leave_flips_status_and_pool() {
+        let mut lobby = lobby_with_keys(4);
+        let period = WatchmenConfig::default().proxy_period;
+        lobby.leave(PlayerId(1), 50);
+        assert_eq!(lobby.status(PlayerId(1)), PlayerStatus::Left);
+        assert_eq!(lobby.active_players(), vec![PlayerId(0), PlayerId(2), PlayerId(3)]);
+        assert_eq!(lobby.roster_epoch(), 1);
+        // Effective one full period past the announcement boundary: the
+        // old epoch keeps its draws, the next one drops the leaver.
+        let effective = (50u64.div_ceil(period) + 1) * period;
+        for p in [0u32, 2, 3] {
+            assert_ne!(lobby.schedule().proxy_of(PlayerId(p), effective), PlayerId(1));
+        }
+        // Idempotent, and no Disconnected event ever fires for a leaver.
+        lobby.leave(PlayerId(1), 60);
+        assert_eq!(lobby.roster_epoch(), 1);
+        for frame in (60..400).step_by(20) {
+            for p in [0u32, 2, 3] {
+                lobby.heartbeat(PlayerId(p), frame);
+            }
+            assert!(lobby.tick(frame).is_empty());
+        }
+    }
+
+    #[test]
+    fn midgame_admission_issues_ticket_and_snapshot() {
+        let mut lobby = lobby_with_keys(4);
+        lobby.leave(PlayerId(1), 50);
+        let key = Keypair::generate(99).public();
+        let (id, ticket, roster) = lobby.admit_midgame(key, 70);
+
+        assert_eq!(id, PlayerId(4));
+        assert_eq!(ticket.player, id);
+        assert_eq!(ticket.key, key);
+        let period = WatchmenConfig::default().proxy_period;
+        assert_eq!(ticket.admit_frame, (70u64.div_ceil(period) + 1) * period);
+        assert!(ticket.verify(&lobby.lobby_key().expect("keys")));
+
+        // The snapshot carries every member's standing, the joiner as
+        // provisional, and the pre-join epoch (just the leave).
+        assert_eq!(roster.len(), 5);
+        assert_eq!(roster.status(id), Some(MemberStatus::Joining));
+        assert_eq!(roster.status(PlayerId(1)), Some(MemberStatus::Left));
+        assert!(roster.is_active(PlayerId(0)));
+        assert_eq!(roster.epoch(), 1);
+
+        // The lobby mirrors the admission in its own trackers.
+        assert_eq!(lobby.players(), 5);
+        assert_eq!(lobby.status(id), PlayerStatus::Active);
+        assert_eq!(lobby.roster_epoch(), 2);
+        for p in [PlayerId(0), PlayerId(2), PlayerId(3), id] {
+            lobby.heartbeat(p, ticket.admit_frame);
+        }
+        assert!(lobby.tick(ticket.admit_frame).is_empty());
+        // The joiner is drawable in the pool from its admission epoch on,
+        // and gets proxied like anyone else.
+        assert!(!lobby.schedule().is_excluded(id));
+        assert_ne!(lobby.schedule().proxy_of(id, ticket.admit_frame), id);
+    }
+
+    #[test]
+    #[should_panic(expected = "no signing keys")]
+    fn midgame_admission_requires_lobby_keys() {
+        let mut lobby = lobby_with(4);
+        lobby.admit_midgame(Keypair::generate(99).public(), 70);
     }
 }

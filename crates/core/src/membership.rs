@@ -70,6 +70,12 @@ impl MembershipTracker {
     /// Returns `true` if the player has been heard from within the
     /// timeout as of `frame` (and has not been removed).
     ///
+    /// The boundary is *exclusive*, mirroring the subscription-expiry
+    /// convention: a player last seen at frame `s` with timeout `t` is
+    /// live through frame `s + t - 1` and suspect at exactly `s + t`.
+    /// Likewise a removal scheduled for frame `r` leaves the player live
+    /// through `r - 1` and gone at exactly `r`.
+    ///
     /// # Panics
     ///
     /// Panics if the id is out of range.
@@ -103,30 +109,56 @@ impl MembershipTracker {
     /// at the same boundary, keeping their schedules identical.
     pub fn agree_and_remove(&mut self, frame: u64, schedule: &mut ProxySchedule) -> Vec<PlayerId> {
         let boundary = schedule.next_renewal(frame);
+        let epoch = boundary / schedule.period();
         let mut removed = Vec::new();
         for p in self.suspects(frame) {
-            // Never collapse the pool below two eligible proxies — the
-            // game cannot continue without them, so the last survivors
-            // stay in the pool even if silent (the session is over anyway).
-            if schedule.eligible_count() <= 2 || schedule.is_excluded(p) {
+            if schedule.is_excluded(p) {
+                continue;
+            }
+            // The exclusion is epoch-versioned: past epochs keep their
+            // draws, and an exclusion that would empty the pool is
+            // refused — the last survivor keeps serving in degraded
+            // single-proxy mode instead of the process aborting.
+            if schedule.try_exclude_from(p, epoch).is_err() {
                 continue;
             }
             self.removed_at[p.index()] = Some(boundary);
-            schedule.exclude(p);
             removed.push(p);
         }
         removed
     }
 
-    /// Re-admits a player after a rejoin (late joins are handled by the
-    /// lobby handing out a fresh membership view).
+    /// Admits a new player, alive as of `frame`, and returns its id —
+    /// always a *fresh* dense index. Ids of removed players are never
+    /// reused: a player that left and rejoins comes back under a new id
+    /// (handed out by the lobby with a fresh membership view), so stale
+    /// traffic signed under the old id can never alias the rejoined
+    /// player.
+    pub fn admit(&mut self, frame: u64) -> PlayerId {
+        let id = PlayerId(self.last_seen.len() as u32);
+        self.last_seen.push(Some(frame));
+        self.removed_at.push(None);
+        id
+    }
+
+    /// Records a deliberate departure (graceful leave or agreed eviction)
+    /// effective at `frame`: the player counts live through `frame - 1`
+    /// and gone at exactly `frame`. Removal is permanent — see
+    /// [`MembershipTracker::admit`] for rejoins.
     ///
     /// # Panics
     ///
     /// Panics if the id is out of range.
-    pub fn readmit(&mut self, player: PlayerId, frame: u64) {
-        self.removed_at[player.index()] = None;
-        self.last_seen[player.index()] = Some(frame);
+    pub fn remove_at(&mut self, player: PlayerId, frame: u64) {
+        let slot = &mut self.removed_at[player.index()];
+        *slot = Some(slot.map_or(frame, |prev| prev.min(frame)));
+    }
+
+    /// Number of players tracked (including removed ones — ids are dense
+    /// and never recycled).
+    #[must_use]
+    pub fn players(&self) -> usize {
+        self.last_seen.len()
     }
 
     /// Number of players never removed and heard from recently.
@@ -202,11 +234,67 @@ mod tests {
     }
 
     #[test]
-    fn readmit_restores_liveness() {
+    fn liveness_boundary_is_exclusive() {
+        // Mirrors the subscription-expiry convention: last seen at s with
+        // timeout t means live through s + t - 1 and suspect at exactly
+        // s + t.
         let mut t = MembershipTracker::new(2, 40);
-        assert!(!t.is_live(PlayerId(1), 100));
-        t.readmit(PlayerId(1), 100);
-        assert!(t.is_live(PlayerId(1), 110));
+        t.observe(PlayerId(0), 100);
+        t.observe(PlayerId(1), 110);
+        assert!(t.is_live(PlayerId(0), 139));
+        assert!(t.suspects(139).is_empty());
+        assert!(!t.is_live(PlayerId(0), 140), "suspect at exactly last_seen + timeout");
+        assert_eq!(t.suspects(140), vec![PlayerId(0)]);
+    }
+
+    #[test]
+    fn removal_boundary_is_exclusive() {
+        let mut t = MembershipTracker::new(2, 40);
+        t.observe(PlayerId(0), 100);
+        t.remove_at(PlayerId(0), 120);
+        assert!(t.is_live(PlayerId(0), 119), "live through the frame before removal");
+        assert!(!t.is_live(PlayerId(0), 120), "gone at exactly the removal frame");
+        // An earlier removal wins; a later one cannot resurrect.
+        t.remove_at(PlayerId(0), 110);
+        assert!(!t.is_live(PlayerId(0), 115));
+        t.remove_at(PlayerId(0), 500);
+        assert!(!t.is_live(PlayerId(0), 130));
+    }
+
+    #[test]
+    fn removed_ids_never_alias_rejoiners() {
+        let mut t = MembershipTracker::new(2, 40);
+        t.observe(PlayerId(1), 50);
+        t.remove_at(PlayerId(1), 60);
+        assert!(!t.is_live(PlayerId(1), 70));
+        // Heartbeats under the dead id (stale or spoofed traffic) cannot
+        // bring it back.
+        t.observe(PlayerId(1), 80);
+        assert!(!t.is_live(PlayerId(1), 81));
+        // The player rejoins under a fresh id, never the old one.
+        let fresh = t.admit(90);
+        assert_eq!(fresh, PlayerId(2));
+        assert_eq!(t.players(), 3);
+        assert!(t.is_live(fresh, 100));
+        assert!(!t.is_live(PlayerId(1), 100), "old id stays dead");
+    }
+
+    #[test]
+    fn eviction_degrades_to_single_proxy_instead_of_aborting() {
+        // A churn burst silences everyone but player 0: the pool degrades
+        // to one eligible proxy and the process survives.
+        let mut schedule = ProxySchedule::new(7, 4, 40);
+        let mut t = MembershipTracker::new(4, 40);
+        t.observe(PlayerId(0), 100);
+        let removed = t.agree_and_remove(100, &mut schedule);
+        assert_eq!(removed, vec![PlayerId(1), PlayerId(2), PlayerId(3)]);
+        assert_eq!(schedule.eligible_count(), 1);
+        assert!(schedule.is_degraded());
+        // The last survivor is never evicted even if it, too, goes
+        // silent: the exclusion that would empty the pool is refused.
+        let removed = t.agree_and_remove(500, &mut schedule);
+        assert!(removed.is_empty());
+        assert_eq!(schedule.eligible_count(), 1);
     }
 
     #[test]

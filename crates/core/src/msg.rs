@@ -129,7 +129,159 @@ impl HandoffNotice {
     }
 }
 
+/// A lobby-signed admission ticket for a mid-game joiner.
+///
+/// The ticket solves the bootstrap chicken-and-egg of an unknown origin:
+/// veterans have no directory entry for the joiner, so they cannot verify
+/// its envelope signature — but the ticket carries the joiner's public
+/// key under the *lobby's* signature, which every player can check. A
+/// `Join` envelope is therefore verified in two steps: the ticket against
+/// the lobby key, then the envelope against the ticket's key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinTicket {
+    /// The id the lobby assigned the joiner — always the next dense
+    /// index, so every node admitting the same joins derives the same
+    /// directory.
+    pub player: PlayerId,
+    /// The joiner's public key, vouched for by the lobby.
+    pub key: PublicKey,
+    /// Earliest frame the join may take effect; the actual admission
+    /// happens at the first proxy-renewal boundary at or after it, so all
+    /// nodes grow their rosters at the same epoch.
+    pub admit_frame: u64,
+    /// The lobby's signature over (player, key, admit_frame).
+    pub lobby_sig: Signature,
+}
+
+impl JoinTicket {
+    /// The bytes the lobby signs.
+    #[must_use]
+    pub fn signing_bytes(player: PlayerId, key: PublicKey, admit_frame: u64) -> Vec<u8> {
+        let mut b = Vec::with_capacity(20);
+        b.put_u32(player.0);
+        b.put_u64(key.to_u64());
+        b.put_u64(admit_frame);
+        b
+    }
+
+    /// Issues a ticket signed by the lobby's keypair.
+    #[must_use]
+    pub fn issue(lobby: &Keypair, player: PlayerId, key: PublicKey, admit_frame: u64) -> Self {
+        let lobby_sig = lobby.sign(&Self::signing_bytes(player, key, admit_frame));
+        JoinTicket { player, key, admit_frame, lobby_sig }
+    }
+
+    /// Verifies the lobby's signature.
+    #[must_use]
+    pub fn verify(&self, lobby_key: &PublicKey) -> bool {
+        lobby_key
+            .verify(&Self::signing_bytes(self.player, self.key, self.admit_frame), &self.lobby_sig)
+    }
+}
+
+/// Maximum states a [`BootstrapSnapshot`] carries. The payload stays
+/// `Copy` (like every other payload), so the snapshot is a fixed-capacity
+/// array; a joiner learns the rest of the world from live traffic within
+/// its first epoch.
+pub const MAX_BOOTSTRAP_ENTRIES: usize = 8;
+
+/// One player's last known state inside a bootstrap snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapEntry {
+    /// Who the state describes.
+    pub player: PlayerId,
+    /// Frame the state was observed in.
+    pub frame: u64,
+    /// The state itself.
+    pub state: StateUpdate,
+}
+
+impl Default for BootstrapEntry {
+    fn default() -> Self {
+        BootstrapEntry {
+            player: PlayerId(0),
+            frame: 0,
+            state: StateUpdate {
+                position: Vec3::ZERO,
+                velocity: Vec3::ZERO,
+                aim: Aim::default(),
+                health: 0,
+                armor: 0,
+                weapon: WeaponKind::MachineGun,
+                ammo: 0,
+            },
+        }
+    }
+}
+
+/// The state snapshot a joiner's first proxy assembles from its retained
+/// summaries and IS knowledge, so the newcomer converges within one epoch
+/// instead of starting blind.
+#[derive(Debug, Clone, Copy)]
+pub struct BootstrapSnapshot {
+    /// The sender's roster epoch when the snapshot was taken.
+    pub roster_epoch: u64,
+    len: u8,
+    entries: [BootstrapEntry; MAX_BOOTSTRAP_ENTRIES],
+}
+
+impl BootstrapSnapshot {
+    /// An empty snapshot stamped with the sender's roster epoch.
+    #[must_use]
+    pub fn new(roster_epoch: u64) -> Self {
+        BootstrapSnapshot {
+            roster_epoch,
+            len: 0,
+            entries: [BootstrapEntry::default(); MAX_BOOTSTRAP_ENTRIES],
+        }
+    }
+
+    /// Appends an entry; returns `false` (dropping it) once full.
+    pub fn push(&mut self, entry: BootstrapEntry) -> bool {
+        if (self.len as usize) < MAX_BOOTSTRAP_ENTRIES {
+            self.entries[self.len as usize] = entry;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The populated entries.
+    #[must_use]
+    pub fn entries(&self) -> &[BootstrapEntry] {
+        &self.entries[..self.len as usize]
+    }
+
+    /// Number of populated entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the snapshot carries no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl PartialEq for BootstrapSnapshot {
+    /// Compares only the populated prefix, so a decoded snapshot (whose
+    /// spare slots are defaults) equals the original regardless of what
+    /// the sender's spare slots held.
+    fn eq(&self, other: &Self) -> bool {
+        self.roster_epoch == other.roster_epoch && self.entries() == other.entries()
+    }
+}
+
 /// Message payloads.
+///
+/// Every variant is a fixed-size `Copy` value so frames encode without
+/// allocation; the rare `Bootstrap` variant dominates the enum's size,
+/// which is fine — payloads live on the stack only briefly while being
+/// (de)serialised, never in long-lived collections.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Payload {
     /// Frequent full state (to IS subscribers, every frame).
@@ -164,6 +316,37 @@ pub enum Payload {
         /// Envelope sequence number of the acknowledged control message.
         ack_seq: u64,
     },
+    /// A graceful departure announcement: the sender plays on through
+    /// `effective_frame - 1` and is removed from the roster at the first
+    /// renewal boundary at or after `effective_frame` (exclusive
+    /// boundary, like every other expiry in the protocol).
+    Leave {
+        /// First frame the sender no longer plays.
+        effective_frame: u64,
+    },
+    /// A mid-game join announcement carrying the lobby-signed admission
+    /// ticket. Sent by the joiner itself; veterans verify the envelope
+    /// under the ticket's key after verifying the ticket under the lobby
+    /// key.
+    Join(JoinTicket),
+    /// The joiner-bootstrap snapshot from the joiner's first proxy.
+    Bootstrap(BootstrapSnapshot),
+    /// A signed eviction notice for a silent player, announced by one of
+    /// its plausible proxies. Carrying the effective boundary in signed
+    /// traffic is what makes timeout evictions *deterministic*: every
+    /// honest node applies the removal at the same renewal boundary even
+    /// though their raw silence evidence differs by a relay period or two
+    /// under loss. Receivers corroborate against their own `last_heard`
+    /// before queueing, so a lone malicious announcer cannot evict a
+    /// player the rest of the roster can hear.
+    Evict {
+        /// The silent player to remove.
+        player: PlayerId,
+        /// First frame the player is no longer a member (a renewal
+        /// boundary at least one full epoch ahead of the announcement, so
+        /// retransmissions can deliver the notice to everyone in time).
+        effective_frame: u64,
+    },
 }
 
 impl Payload {
@@ -179,6 +362,10 @@ impl Payload {
             Payload::Kill(_) => "kill-claim",
             Payload::Handoff(_) => "handoff",
             Payload::Ack { .. } => "ack",
+            Payload::Leave { .. } => "leave",
+            Payload::Join(_) => "join",
+            Payload::Bootstrap(_) => "bootstrap",
+            Payload::Evict { .. } => "evict",
         }
     }
 
@@ -195,6 +382,10 @@ impl Payload {
                 | Payload::Unsubscribe { .. }
                 | Payload::Handoff(_)
                 | Payload::Ack { .. }
+                | Payload::Leave { .. }
+                | Payload::Join(_)
+                | Payload::Bootstrap(_)
+                | Payload::Evict { .. }
         )
     }
 }
@@ -421,7 +612,44 @@ fn encode_payload(b: &mut Vec<u8>, p: &Payload) {
             b.put_u8(7);
             b.put_u64(*ack_seq);
         }
+        Payload::Leave { effective_frame } => {
+            b.put_u8(8);
+            b.put_u64(*effective_frame);
+        }
+        Payload::Join(t) => {
+            b.put_u8(9);
+            b.put_u32(t.player.0);
+            b.put_u64(t.key.to_u64());
+            b.put_u64(t.admit_frame);
+            b.put_slice(&t.lobby_sig.to_bytes());
+        }
+        Payload::Bootstrap(s) => {
+            b.put_u8(10);
+            b.put_u64(s.roster_epoch);
+            b.put_u8(s.len);
+            for e in s.entries() {
+                b.put_u32(e.player.0);
+                b.put_u64(e.frame);
+                put_state(b, &e.state);
+            }
+        }
+        Payload::Evict { player, effective_frame } => {
+            b.put_u8(11);
+            b.put_u32(player.0);
+            b.put_u64(*effective_frame);
+        }
     }
+}
+
+fn put_state(b: &mut Vec<u8>, s: &StateUpdate) {
+    put_vec3(b, s.position);
+    put_vec3(b, s.velocity);
+    b.put_f64(s.aim.yaw());
+    b.put_f64(s.aim.pitch());
+    b.put_i32(s.health);
+    b.put_i32(s.armor);
+    put_weapon(b, s.weapon);
+    b.put_u32(s.ammo);
 }
 
 fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], DecodeError> {
@@ -436,6 +664,20 @@ fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], DecodeError> {
 fn get_vec3(buf: &mut &[u8]) -> Result<Vec3, DecodeError> {
     let mut b = take(buf, 24)?;
     Ok(Vec3::new(b.get_f64(), b.get_f64(), b.get_f64()))
+}
+
+fn get_state(buf: &mut &[u8]) -> Result<StateUpdate, DecodeError> {
+    let position = get_vec3(buf)?;
+    let velocity = get_vec3(buf)?;
+    let mut a = take(buf, 16)?;
+    let aim = Aim::new(a.get_f64(), a.get_f64());
+    let mut hb = take(buf, 8)?;
+    let health = hb.get_i32();
+    let armor = hb.get_i32();
+    let weapon = get_weapon(buf)?;
+    let mut am = take(buf, 4)?;
+    let ammo = am.get_u32();
+    Ok(StateUpdate { position, velocity, aim, health, armor, weapon, ammo })
 }
 
 fn get_weapon(buf: &mut &[u8]) -> Result<WeaponKind, DecodeError> {
@@ -543,6 +785,43 @@ fn decode_envelope<'a>(buf: &mut &'a [u8]) -> Result<(Envelope, &'a [u8]), Decod
             let mut a = take(buf, 8)?;
             Payload::Ack { ack_seq: a.get_u64() }
         }
+        8 => {
+            let mut a = take(buf, 8)?;
+            Payload::Leave { effective_frame: a.get_u64() }
+        }
+        9 => {
+            let mut h = take(buf, 20)?;
+            let player = PlayerId(h.get_u32());
+            let key = PublicKey::from_u64(h.get_u64()).ok_or(DecodeError::BadSignature)?;
+            let admit_frame = h.get_u64();
+            let sig_bytes = take(buf, SIGNATURE_LEN)?;
+            let sig_array: [u8; SIGNATURE_LEN] =
+                sig_bytes.try_into().expect("take guarantees length");
+            let lobby_sig = Signature::from_bytes(&sig_array).ok_or(DecodeError::BadSignature)?;
+            Payload::Join(JoinTicket { player, key, admit_frame, lobby_sig })
+        }
+        10 => {
+            let mut h = take(buf, 9)?;
+            let roster_epoch = h.get_u64();
+            let count = h.get_u8();
+            if count as usize > MAX_BOOTSTRAP_ENTRIES {
+                return Err(DecodeError::InvalidTag(count));
+            }
+            let mut snapshot = BootstrapSnapshot::new(roster_epoch);
+            for _ in 0..count {
+                let mut e = take(buf, 12)?;
+                let player = PlayerId(e.get_u32());
+                let entry_frame = e.get_u64();
+                let state = get_state(buf)?;
+                snapshot.push(BootstrapEntry { player, frame: entry_frame, state });
+            }
+            Payload::Bootstrap(snapshot)
+        }
+        11 => {
+            let mut h = take(buf, 12)?;
+            let player = PlayerId(h.get_u32());
+            Payload::Evict { player, effective_frame: h.get_u64() }
+        }
         t => return Err(DecodeError::InvalidTag(t)),
     };
     Ok((Envelope { from, seq, frame, payload }, buf))
@@ -593,7 +872,24 @@ mod tests {
                 predecessor_digest: [7u8; 32],
             }),
             Payload::Ack { ack_seq: 77 },
+            Payload::Leave { effective_frame: 160 },
+            Payload::Join(sample_ticket()),
+            Payload::Bootstrap(sample_snapshot()),
+            Payload::Evict { player: PlayerId(11), effective_frame: 240 },
         ]
+    }
+
+    fn sample_ticket() -> JoinTicket {
+        let lobby = Keypair::generate(1000);
+        let joiner = Keypair::generate(1001);
+        JoinTicket::issue(&lobby, PlayerId(16), joiner.public(), 200)
+    }
+
+    fn sample_snapshot() -> BootstrapSnapshot {
+        let mut s = BootstrapSnapshot::new(3);
+        s.push(BootstrapEntry { player: PlayerId(2), frame: 140, state: sample_state() });
+        s.push(BootstrapEntry { player: PlayerId(5), frame: 155, state: sample_state() });
+        s
     }
 
     #[test]
@@ -617,10 +913,53 @@ mod tests {
 
     #[test]
     fn control_payloads_are_classified() {
-        let expected = [false, false, false, true, true, false, true, true];
+        let expected = [false, false, false, true, true, false, true, true, true, true, true, true];
+        assert_eq!(all_payloads().len(), expected.len());
         for (payload, want) in all_payloads().iter().zip(expected) {
             assert_eq!(payload.is_control(), want, "{}", payload.label());
         }
+    }
+
+    #[test]
+    fn join_ticket_verifies_under_the_lobby_key_only() {
+        let lobby = Keypair::generate(1000);
+        let joiner = Keypair::generate(1001);
+        let ticket = JoinTicket::issue(&lobby, PlayerId(16), joiner.public(), 200);
+        assert!(ticket.verify(&lobby.public()));
+        // A non-lobby key does not vouch for the ticket.
+        assert!(!ticket.verify(&joiner.public()));
+        // Tampering with any field breaks the lobby signature.
+        let mut forged = ticket;
+        forged.player = PlayerId(17);
+        assert!(!forged.verify(&lobby.public()));
+        let mut forged = ticket;
+        forged.admit_frame = 0;
+        assert!(!forged.verify(&lobby.public()));
+        let mut forged = ticket;
+        forged.key = lobby.public();
+        assert!(!forged.verify(&lobby.public()));
+    }
+
+    #[test]
+    fn bootstrap_snapshot_capacity_and_equality() {
+        let mut s = BootstrapSnapshot::new(7);
+        assert!(s.is_empty());
+        for i in 0..MAX_BOOTSTRAP_ENTRIES {
+            assert!(s.push(BootstrapEntry {
+                player: PlayerId(i as u32),
+                frame: i as u64,
+                state: sample_state(),
+            }));
+        }
+        // Overflow is dropped, not a panic.
+        assert!(!s.push(BootstrapEntry::default()));
+        assert_eq!(s.len(), MAX_BOOTSTRAP_ENTRIES);
+        // Equality covers only the populated prefix.
+        let a = sample_snapshot();
+        let mut b = sample_snapshot();
+        assert_eq!(a, b);
+        b.push(BootstrapEntry::default());
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! node runs over [`watchmen_net::SimNetwork`], real UDP, or an in-memory
 //! bus (see the crate tests).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use watchmen_crypto::schnorr::{Keypair, PublicKey};
@@ -27,14 +27,19 @@ use watchmen_game::trace::PlayerFrame;
 use watchmen_game::PlayerId;
 use watchmen_telemetry::trace::{EventKind, Phase, TraceEvent, TraceId};
 use watchmen_telemetry::{
-    Counter, FlightDump, FlightRecorder, FrameTimer, Histogram, DEFAULT_CAPACITY,
+    Counter, FlightDump, FlightRecorder, FrameTimer, Gauge, Histogram, DEFAULT_CAPACITY,
 };
 use watchmen_world::{GameMap, PhysicsConfig};
 
 use crate::dead_reckoning::Guidance;
-use crate::msg::{Envelope, HandoffNotice, Payload, PositionUpdate, SignedEnvelope, StateUpdate};
+use crate::membership::MembershipTracker;
+use crate::msg::{
+    BootstrapEntry, BootstrapSnapshot, Envelope, HandoffNotice, JoinTicket, Payload,
+    PositionUpdate, SignedEnvelope, StateUpdate,
+};
 use crate::proxy::ProxySchedule;
 use crate::rating::{CheatRating, Confidence};
+use crate::roster::{MemberStatus, Roster, RosterDelta};
 use crate::subscription::{compute_sets, NoRecency, SetKind};
 use crate::verify::{checks, Verifier};
 use crate::WatchmenConfig;
@@ -98,6 +103,20 @@ pub enum NodeEvent {
         player: PlayerId,
         /// The predecessor's worst rating for longer-term follow-up.
         worst_rating: u8,
+    },
+    /// Membership deltas were applied at a renewal boundary.
+    RosterChanged {
+        /// The roster epoch after the change.
+        epoch: u64,
+        /// Active members after the change.
+        active: usize,
+    },
+    /// A joiner-bootstrap snapshot arrived from this node's first proxy.
+    BootstrapReceived {
+        /// The proxy that assembled the snapshot.
+        from: PlayerId,
+        /// Player states the snapshot carried.
+        entries: u8,
     },
 }
 
@@ -190,6 +209,11 @@ enum ControlKind {
     Subscribe,
     Unsubscribe,
     Handoff,
+    /// Churn lifecycle traffic (leave/join/evict/bootstrap): addressed to
+    /// a specific peer, never re-routed through a proxy recomputation,
+    /// and never superseded by an epoch turnover — membership changes
+    /// stay pending until acked or abandoned.
+    Direct,
 }
 
 /// An unacknowledged control message awaiting ack or retransmission.
@@ -235,6 +259,28 @@ pub struct ControlPlaneStats {
     pub proxy_fallbacks: u64,
 }
 
+/// Counters of the churn machinery, per node. All monotonic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChurnStats {
+    /// Mid-game joins applied to this node's roster.
+    pub joins_applied: u64,
+    /// Graceful leaves applied to this node's roster.
+    pub leaves_applied: u64,
+    /// Timeout evictions applied to this node's roster.
+    pub evictions_applied: u64,
+    /// Eviction notices this node announced as a plausible proxy.
+    pub evictions_announced: u64,
+    /// Bootstrap snapshots this node assembled for joiners.
+    pub bootstraps_sent: u64,
+    /// Bootstrap snapshots this node received as a joiner.
+    pub bootstraps_received: u64,
+    /// Messages dropped as superseded churn traffic: unknown or departed
+    /// origins. These are *never* scored as cheating — a player removed
+    /// from the roster at a boundary keeps emitting for a round-trip, and
+    /// a joiner's traffic can outrun its admission by one boundary.
+    pub stale_drops: u64,
+}
+
 /// Cached global-registry handles for the node's hot paths. Handles are
 /// fetched once per node so per-frame recording is a couple of atomic
 /// adds, never a registry lookup.
@@ -256,6 +302,13 @@ struct NodeMetrics {
     control_acks_received: Arc<Counter>,
     control_abandoned: Arc<Counter>,
     proxy_fallbacks: Arc<Counter>,
+    roster_active: Arc<Gauge>,
+    joins_applied: Arc<Counter>,
+    leaves_applied: Arc<Counter>,
+    evictions_applied: Arc<Counter>,
+    bootstraps_sent: Arc<Counter>,
+    bootstraps_received: Arc<Counter>,
+    stale_drops: Arc<Counter>,
 }
 
 impl NodeMetrics {
@@ -279,6 +332,13 @@ impl NodeMetrics {
         );
         t.describe("node_control_abandoned_total", "control messages given up on (unrecovered)");
         t.describe("node_proxy_fallbacks_total", "switches to a fallback proxy draw");
+        t.describe("node_roster_active", "active roster members after the last boundary");
+        t.describe("node_roster_joins_total", "mid-game joins applied at boundaries");
+        t.describe("node_roster_leaves_total", "graceful leaves applied at boundaries");
+        t.describe("node_roster_evictions_total", "timeout evictions applied at boundaries");
+        t.describe("node_bootstraps_sent_total", "joiner-bootstrap snapshots assembled");
+        t.describe("node_bootstraps_received_total", "joiner-bootstrap snapshots received");
+        t.describe("node_stale_drops_total", "messages dropped as superseded churn traffic");
         let phase = |p: &str| t.histogram_with("node_tick_phase_duration_ms", &[("phase", p)]);
         NodeMetrics {
             tick_ms: t.histogram("node_tick_duration_ms"),
@@ -297,6 +357,13 @@ impl NodeMetrics {
             control_acks_received: t.counter("node_control_acks_received_total"),
             control_abandoned: t.counter("node_control_abandoned_total"),
             proxy_fallbacks: t.counter("node_proxy_fallbacks_total"),
+            roster_active: t.gauge("node_roster_active"),
+            joins_applied: t.counter("node_roster_joins_total"),
+            leaves_applied: t.counter("node_roster_leaves_total"),
+            evictions_applied: t.counter("node_roster_evictions_total"),
+            bootstraps_sent: t.counter("node_bootstraps_sent_total"),
+            bootstraps_received: t.counter("node_bootstraps_received_total"),
+            stale_drops: t.counter("node_stale_drops_total"),
         }
     }
 
@@ -314,7 +381,9 @@ impl NodeMetrics {
                         .counter_with("node_suspicions_total", &[("check", check)])
                         .inc();
                 }
-                NodeEvent::Delivery { .. } => {}
+                NodeEvent::Delivery { .. }
+                | NodeEvent::RosterChanged { .. }
+                | NodeEvent::BootstrapReceived { .. } => {}
             }
         }
     }
@@ -325,7 +394,9 @@ impl NodeMetrics {
 pub struct WatchmenNode {
     id: PlayerId,
     keys: Keypair,
-    directory: Vec<PublicKey>,
+    /// The epoch-versioned membership view (was a flat key directory):
+    /// maps every id ever admitted to its key and lifecycle status.
+    roster: Roster,
     schedule: ProxySchedule,
     config: WatchmenConfig,
     map: GameMap,
@@ -367,6 +438,29 @@ pub struct WatchmenNode {
     /// Whether the last frame published to a fallback proxy (edge-triggers
     /// the fallback counter so one outage counts once, not per frame).
     fallback_active: bool,
+    /// Suspicion tracker feeding timeout evictions from `last_heard`
+    /// evidence, on the (longer) membership timeout.
+    membership: MembershipTracker,
+    /// The lobby's public key, needed to verify mid-game join tickets.
+    /// Without it every join is refused.
+    lobby_key: Option<PublicKey>,
+    /// This node's own admission ticket (joining nodes only).
+    my_ticket: Option<JoinTicket>,
+    /// Whether this (joining) node has announced its ticket yet.
+    join_announced: bool,
+    /// Verified join tickets awaiting their admission boundary, keyed by
+    /// the lobby-assigned id so they apply in dense order.
+    pending_joins: BTreeMap<u32, JoinTicket>,
+    /// Announced graceful departures awaiting their effective boundary.
+    pending_leaves: BTreeMap<PlayerId, u64>,
+    /// Corroborated eviction notices awaiting their effective boundary
+    /// (the earliest announced boundary wins, matching the schedule's
+    /// earliest-exclusion rule, so replicas converge).
+    pending_evicts: BTreeMap<PlayerId, u64>,
+    /// Players this node has already announced an eviction for.
+    announced_evictions: BTreeSet<PlayerId>,
+    /// Churn counters.
+    churn_stats: ChurnStats,
 }
 
 impl WatchmenNode {
@@ -393,11 +487,85 @@ impl WatchmenNode {
         assert!(directory.len() >= 2, "need at least two players");
         assert!(id.index() < directory.len(), "id outside directory");
         let players = directory.len();
+        let schedule = ProxySchedule::new(seed, players, config.proxy_period);
+        Self::from_parts(id, keys, Roster::new(directory), schedule, config, map, physics, 0)
+    }
+
+    /// Creates a node joining mid-game from a lobby snapshot.
+    ///
+    /// `roster` is the lobby's membership snapshot with this node already
+    /// appended provisionally (see [`Roster::admit_provisional`]); the
+    /// lobby-signed `ticket` names this node's id, key and admission
+    /// frame. The node announces the ticket to every active member, plays
+    /// no part in the protocol until the first renewal boundary at or
+    /// after `ticket.admit_frame`, then flips active in lockstep with the
+    /// veterans applying the same `Join` delta.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the roster does not carry this node as its provisional
+    /// last member, or the ticket does not match `id`/`keys`.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_joining(
+        id: PlayerId,
+        keys: Keypair,
+        roster: Roster,
+        ticket: JoinTicket,
+        lobby_key: PublicKey,
+        seed: u64,
+        config: WatchmenConfig,
+        map: GameMap,
+        physics: PhysicsConfig,
+    ) -> Self {
+        assert_eq!(ticket.player, id, "ticket names a different player");
+        assert_eq!(ticket.key, keys.public(), "ticket carries a different key");
+        assert_eq!(
+            id.index() + 1,
+            roster.len(),
+            "the joiner must be the roster's provisional last member"
+        );
+        assert_eq!(roster.status(id), Some(MemberStatus::Joining), "joiner must be provisional");
+        // Rebuild the veterans' schedule from the shared seed: departed
+        // members excluded (their exact exclusion epochs are unknowable
+        // from a status snapshot, but any epoch at or before the
+        // admission boundary yields identical draws for every epoch this
+        // node will ever act in), and this node admitted at the ticket's
+        // boundary — the same `admit_at` every veteran performs.
+        let mut schedule = ProxySchedule::new(seed, roster.len() - 1, config.proxy_period);
+        for i in 0..roster.len() - 1 {
+            if roster.is_departed(PlayerId(i as u32)) {
+                let _ = schedule.try_exclude_from(PlayerId(i as u32), 0);
+            }
+        }
+        let admit_epoch = ticket.admit_frame.div_ceil(config.proxy_period);
+        let assigned = schedule.admit_at(admit_epoch);
+        assert_eq!(assigned, id, "lobby id must be the next dense index");
+        let mut node =
+            Self::from_parts(id, keys, roster, schedule, config, map, physics, ticket.admit_frame);
+        node.lobby_key = Some(lobby_key);
+        node.my_ticket = Some(ticket);
+        node.pending_joins.insert(id.0, ticket);
+        node
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn from_parts(
+        id: PlayerId,
+        keys: Keypair,
+        roster: Roster,
+        schedule: ProxySchedule,
+        config: WatchmenConfig,
+        map: GameMap,
+        physics: PhysicsConfig,
+        heard_floor: u64,
+    ) -> Self {
+        let players = roster.len();
         WatchmenNode {
             id,
             keys,
-            directory,
-            schedule: ProxySchedule::new(seed, players, config.proxy_period),
+            roster,
+            schedule,
             config,
             map,
             verifier: Verifier::new(config, physics),
@@ -412,11 +580,27 @@ impl WatchmenNode {
             flight_dumps: VecDeque::new(),
             pending: BTreeMap::new(),
             control_stats: ControlPlaneStats::default(),
-            last_heard: vec![0; players],
+            last_heard: vec![heard_floor; players],
             last_tick: None,
             resumed_epoch: None,
             fallback_active: false,
+            membership: MembershipTracker::new(players, config.membership_timeout_frames),
+            lobby_key: None,
+            my_ticket: None,
+            join_announced: false,
+            pending_joins: BTreeMap::new(),
+            pending_leaves: BTreeMap::new(),
+            pending_evicts: BTreeMap::new(),
+            announced_evictions: BTreeSet::new(),
+            churn_stats: ChurnStats::default(),
         }
+    }
+
+    /// Installs the lobby's public key, enabling mid-game join admission.
+    #[must_use]
+    pub fn with_lobby_key(mut self, key: PublicKey) -> Self {
+        self.lobby_key = Some(key);
+        self
     }
 
     /// This node's player id.
@@ -464,6 +648,38 @@ impl WatchmenNode {
         self.control_stats
     }
 
+    /// Churn counters (joins, leaves, evictions, bootstraps, stale drops).
+    #[must_use]
+    pub fn churn_stats(&self) -> ChurnStats {
+        self.churn_stats
+    }
+
+    /// The node's current membership view.
+    #[must_use]
+    pub fn roster(&self) -> &Roster {
+        &self.roster
+    }
+
+    /// The roster epoch (advances once per applied membership delta).
+    #[must_use]
+    pub fn roster_epoch(&self) -> u64 {
+        self.roster.epoch()
+    }
+
+    /// Digest of the full membership view, for cross-node agreement
+    /// checks at renewal boundaries.
+    #[must_use]
+    pub fn roster_digest(&self) -> [u8; 32] {
+        self.roster.digest()
+    }
+
+    /// Whether this node is an active roster member (false while joining
+    /// and after leaving/eviction).
+    #[must_use]
+    pub fn is_active_member(&self) -> bool {
+        self.roster.is_active(self.id)
+    }
+
     /// Control messages still awaiting acknowledgement.
     #[must_use]
     pub fn pending_control(&self) -> usize {
@@ -492,6 +708,11 @@ impl WatchmenNode {
     fn presumed_crashed(&self, peer: PlayerId, now_frame: u64) -> bool {
         if peer == self.id {
             return false;
+        }
+        // A departed (or not-yet-admitted) member never serves: skip it
+        // in fallback walks even when old-epoch draws still name it.
+        if !self.roster.is_active(peer) {
+            return true;
         }
         now_frame.saturating_sub(self.last_heard[peer.index()])
             > self.config.liveness_timeout_frames()
@@ -558,6 +779,10 @@ impl WatchmenNode {
             Payload::Handoff(n) => {
                 Some((ControlKind::Handoff, n.player, (n.epoch + 1) * self.config.proxy_period))
             }
+            Payload::Leave { .. }
+            | Payload::Join(_)
+            | Payload::Evict { .. }
+            | Payload::Bootstrap(_) => Some((ControlKind::Direct, to, frame)),
             _ => None,
         };
         if let Some((kind, route_player, route_frame)) = route {
@@ -577,9 +802,13 @@ impl WatchmenNode {
             );
         }
         let phase = match payload {
-            Payload::Subscribe { .. } | Payload::Unsubscribe { .. } | Payload::Ack { .. } => {
-                Phase::Subscription
-            }
+            Payload::Subscribe { .. }
+            | Payload::Unsubscribe { .. }
+            | Payload::Ack { .. }
+            | Payload::Leave { .. }
+            | Payload::Join(_)
+            | Payload::Evict { .. }
+            | Payload::Bootstrap(_) => Phase::Subscription,
             Payload::Handoff(_) => Phase::Handoff,
             _ => Phase::Publish,
         };
@@ -624,6 +853,40 @@ impl WatchmenNode {
             self.fallback_active = false;
         }
         self.last_tick = Some(frame);
+
+        // --- Churn lifecycle. A joining node announces its ticket and
+        // waits: it neither publishes nor serves until the boundary that
+        // admits it (where the same `Join` delta the veterans apply flips
+        // it active). A departed node emits nothing at all.
+        match self.roster.status(self.id) {
+            Some(MemberStatus::Joining) => {
+                self.announce_join(&mut out, frame);
+                if frame > 0 && self.config.is_renewal_frame(frame) {
+                    self.apply_roster_boundary(frame, &mut out, &mut output.events);
+                }
+                self.drive_retransmits(frame, &mut out);
+                self.trace_events(frame, TraceId::NONE, &output.events);
+                self.metrics.observe_events(&output.events);
+                output.outgoing = out;
+                return output;
+            }
+            Some(MemberStatus::Active) => {}
+            _ => return output,
+        }
+
+        // Membership deltas apply first thing at a boundary, so the rest
+        // of this frame — publishing, subscriptions, duty retention —
+        // already runs against the new epoch's pool. Epoch summaries
+        // below still resolve the *finished* epoch's draws, because the
+        // schedule is epoch-versioned and never rewrites history.
+        if frame > 0 && self.config.is_renewal_frame(frame) {
+            self.apply_roster_boundary(frame, &mut out, &mut output.events);
+            if !self.roster.is_active(self.id) {
+                // This boundary applied our own departure.
+                output.outgoing = out;
+                return output;
+            }
+        }
 
         // Publish to the effective proxy: the scheduled draw, or the next
         // deterministic fallback draw when that pick looks crashed. The
@@ -813,21 +1076,285 @@ impl WatchmenNode {
             });
             // The new epoch's subscription refreshes supersede any pending
             // subscription traffic from the finished epoch (its target
-            // proxy is obsolete); handoffs keep retrying until acked.
+            // proxy is obsolete); handoffs keep retrying until acked, and
+            // churn lifecycle traffic outlives boundaries by design.
             let current_epoch = sched.epoch_of(frame);
             let before = self.pending.len();
             self.pending.retain(|_, p| {
-                p.kind == ControlKind::Handoff || sched.epoch_of(p.sent_frame) == current_epoch
+                matches!(p.kind, ControlKind::Handoff | ControlKind::Direct)
+                    || sched.epoch_of(p.sent_frame) == current_epoch
             });
             self.control_stats.superseded += (before - self.pending.len()) as u64;
         }
 
-        // --- Reliable control: retransmit unacked control messages whose
-        // ack timeout expired, with capped exponential backoff, re-routing
-        // each retry through the *current* effective proxy so retries
-        // chase a fallback. Messages that exhaust the retry budget are
-        // abandoned and counted — on a merely lossy network this never
-        // fires; it indicates a dead or unreachable peer.
+        self.drive_retransmits(frame, &mut out);
+
+        self.trace_events(frame, TraceId::NONE, &output.events);
+        self.metrics.observe_events(&output.events);
+        output.outgoing = out;
+        output
+    }
+
+    /// Broadcasts a signed kill claim through the proxy path so proxies
+    /// and witnesses can verify it ("interactions such as hit and
+    /// kill-claims are verified by proxies and by players acting as
+    /// witnesses"). The claim goes to this node's proxy, which forwards it
+    /// with the rest of the stream.
+    pub fn claim_kill(&mut self, frame: u64, claim: crate::msg::KillClaim) -> Vec<Outgoing> {
+        let mut out = Vec::new();
+        let my_proxy = self.proxy(frame);
+        self.sign_and_queue(&mut out, my_proxy, frame, Payload::Kill(claim));
+        out
+    }
+
+    /// Announces this node's graceful departure to every active member.
+    ///
+    /// The departure takes effect at the first renewal boundary at least
+    /// one full epoch ahead, so the reliable control plane has a whole
+    /// epoch of retransmissions to deliver the notice — every honest node
+    /// then removes this player at the *same* boundary. The node keeps
+    /// playing (and serving its duties) until that boundary, then falls
+    /// silent. Returns the announcement traffic; the effective frame is
+    /// available from the returned envelopes or [`Self::leaving_at`].
+    pub fn announce_leave(&mut self, frame: u64) -> Vec<Outgoing> {
+        let mut out = Vec::new();
+        if !self.roster.is_active(self.id) {
+            return out;
+        }
+        let period = self.config.proxy_period;
+        let effective = (frame.div_ceil(period) + 1) * period;
+        self.pending_leaves.entry(self.id).or_insert(effective);
+        let peers: Vec<PlayerId> =
+            self.roster.active_players().into_iter().filter(|&p| p != self.id).collect();
+        for p in peers {
+            self.sign_and_queue(&mut out, p, frame, Payload::Leave { effective_frame: effective });
+        }
+        out
+    }
+
+    /// The boundary this node announced it will leave at, if any.
+    #[must_use]
+    pub fn leaving_at(&self) -> Option<u64> {
+        self.pending_leaves.get(&self.id).copied()
+    }
+
+    /// One-shot announcement of this (joining) node's lobby ticket to
+    /// every active member, via the reliable control plane.
+    fn announce_join(&mut self, out: &mut Vec<Outgoing>, frame: u64) {
+        if self.join_announced {
+            return;
+        }
+        self.join_announced = true;
+        let ticket = self.my_ticket.expect("a joining node holds its ticket");
+        let peers: Vec<PlayerId> =
+            self.roster.active_players().into_iter().filter(|&p| p != self.id).collect();
+        for p in peers {
+            self.sign_and_queue(out, p, frame, Payload::Join(ticket));
+        }
+    }
+
+    /// The boundary step of the churn machinery, run first thing on every
+    /// renewal frame:
+    ///
+    /// 1. feed `last_heard` evidence into the membership tracker and
+    ///    *announce* evictions for players this node plausibly proxies
+    ///    whose silence exceeded the membership timeout — the signed
+    ///    notice carries the effective boundary, which is what makes
+    ///    timeout evictions deterministic across nodes with (slightly)
+    ///    different evidence;
+    /// 2. apply every queued delta whose effective boundary has arrived:
+    ///    departures exclude the player from the schedule *from the
+    ///    announced epoch on* (history preserved for in-flight handoffs
+    ///    and finished-epoch summaries), joins admit the next dense id at
+    ///    the ticket's boundary;
+    /// 3. drain state attached to departed members (duties, knowledge,
+    ///    subscriptions, pending control), and send the bootstrap
+    ///    snapshot to any joiner this node is first proxy of.
+    fn apply_roster_boundary(
+        &mut self,
+        frame: u64,
+        out: &mut Vec<Outgoing>,
+        events: &mut Vec<NodeEvent>,
+    ) {
+        let period = self.config.proxy_period;
+
+        // (1) Suspicion → announcement, only from plausible proxies of the
+        // silent player (bounded announcer set, no election traffic).
+        if self.roster.is_active(self.id) {
+            for i in 0..self.roster.len() {
+                let p = PlayerId(i as u32);
+                if p != self.id && self.roster.is_active(p) {
+                    self.membership.observe(p, self.last_heard[i]);
+                }
+            }
+            let suspects: Vec<PlayerId> = self
+                .membership
+                .suspects(frame)
+                .into_iter()
+                .filter(|&p| {
+                    p != self.id
+                        && self.roster.is_active(p)
+                        && !self.announced_evictions.contains(&p)
+                        && self.plausibly_proxy_of(p, frame)
+                })
+                .collect();
+            for p in suspects {
+                let effective = frame + period;
+                self.announced_evictions.insert(p);
+                self.pending_evicts
+                    .entry(p)
+                    .and_modify(|e| *e = (*e).min(effective))
+                    .or_insert(effective);
+                self.churn_stats.evictions_announced += 1;
+                let peers: Vec<PlayerId> = self
+                    .roster
+                    .active_players()
+                    .into_iter()
+                    .filter(|&q| q != self.id && q != p)
+                    .collect();
+                for q in peers {
+                    self.sign_and_queue(
+                        out,
+                        q,
+                        frame,
+                        Payload::Evict { player: p, effective_frame: effective },
+                    );
+                }
+            }
+        }
+
+        // (2) Collect the deltas due at this boundary. Departures first.
+        let mut deltas: Vec<RosterDelta> = Vec::new();
+        let mut departed: Vec<PlayerId> = Vec::new();
+        let mut joined: Vec<PlayerId> = Vec::new();
+        for (&p, &eff) in &self.pending_evicts {
+            if eff <= frame && self.roster.is_active(p) {
+                deltas.push(RosterDelta::Evict { player: p });
+                departed.push(p);
+                self.churn_stats.evictions_applied += 1;
+                self.metrics.evictions_applied.inc();
+            }
+        }
+        for (&p, &eff) in &self.pending_leaves {
+            if eff <= frame && self.roster.is_active(p) && !departed.contains(&p) {
+                deltas.push(RosterDelta::Leave { player: p });
+                departed.push(p);
+                self.churn_stats.leaves_applied += 1;
+                self.metrics.leaves_applied.inc();
+            }
+        }
+        // Exclude departures from the *announced* epoch (`try_exclude_from`
+        // keeps the earliest across duplicate notices, so replicas
+        // converge even when racing announcers named different
+        // boundaries). A rejection means the pool would empty — the
+        // member leaves the roster but stays drawable: degraded mode.
+        for &p in &departed {
+            let eff = self
+                .pending_evicts
+                .get(&p)
+                .or_else(|| self.pending_leaves.get(&p))
+                .copied()
+                .unwrap_or(frame);
+            let _ = self.schedule.try_exclude_from(p, eff.div_ceil(period));
+            self.membership.remove_at(p, frame);
+        }
+        // Joins, in dense id order, stopping at the first gap (the roster
+        // would refuse it; the ticket waits for the gap to fill).
+        let mut next_id = self.roster.len() as u32;
+        for (&pid, ticket) in &self.pending_joins.clone() {
+            if ticket.admit_frame > frame {
+                continue;
+            }
+            if pid < self.roster.len() as u32 {
+                // Our own provisional entry (joining node): flip active.
+                deltas.push(RosterDelta::Join { player: ticket.player, key: ticket.key });
+                joined.push(ticket.player);
+                continue;
+            }
+            if pid != next_id {
+                break;
+            }
+            let admit_epoch = ticket.admit_frame.div_ceil(period);
+            let assigned = self.schedule.admit_at(admit_epoch);
+            debug_assert_eq!(assigned, ticket.player, "schedule and roster must agree on ids");
+            self.replay.push(ReplayWindow::default());
+            self.last_heard.push(frame);
+            let _ = self.membership.admit(frame);
+            deltas.push(RosterDelta::Join { player: ticket.player, key: ticket.key });
+            joined.push(ticket.player);
+            next_id += 1;
+        }
+        if deltas.is_empty() {
+            return;
+        }
+        let applied = self.roster.apply(&deltas);
+        debug_assert_eq!(applied, deltas.len(), "pre-filtered deltas must all apply");
+        for &j in &joined {
+            if j != self.id {
+                self.churn_stats.joins_applied += 1;
+                self.metrics.joins_applied.inc();
+            }
+        }
+
+        // (3) Drain departed members' state and retire their queues.
+        for &d in &departed {
+            self.pending_evicts.remove(&d);
+            self.pending_leaves.remove(&d);
+            self.duties.remove(&d);
+            self.known.remove(&d);
+            self.my_subs.retain(|&(target, _), _| target != d);
+            self.sub_suspects.retain(|&(a, b), _| a != d && b != d);
+            for duty in self.duties.values_mut() {
+                duty.is_subs.remove(&d);
+                duty.vs_subs.remove(&d);
+            }
+            // Pending control addressed to (or routed for) the departed
+            // member is superseded by its removal, not abandoned.
+            let before = self.pending.len();
+            self.pending.retain(|_, p| p.to != d && p.route_player != d);
+            self.control_stats.superseded += (before - self.pending.len()) as u64;
+        }
+        for &j in &joined {
+            self.pending_joins.remove(&j.0);
+            // First proxy of the joiner assembles the bootstrap snapshot.
+            if j != self.id && self.effective_proxy(j, frame, frame) == self.id {
+                self.send_bootstrap(out, frame, j);
+            }
+        }
+        let active = self.roster.active_count();
+        self.metrics.roster_active.set(active as i64);
+        events.push(NodeEvent::RosterChanged { epoch: self.roster.epoch(), active });
+    }
+
+    /// Assembles and reliably sends the joiner-bootstrap snapshot: the
+    /// freshest known states of up to `join_bootstrap_depth` active
+    /// players, so the newcomer's interest/vision pipelines converge
+    /// within its first epoch instead of waiting out the 1 Hz trickle.
+    fn send_bootstrap(&mut self, out: &mut Vec<Outgoing>, frame: u64, joiner: PlayerId) {
+        let mut entries: Vec<(u64, PlayerId, StateUpdate)> = self
+            .known
+            .iter()
+            .filter(|&(&p, _)| p != joiner && self.roster.is_active(p))
+            .map(|(&p, &(f, s))| (f, p, s))
+            .collect();
+        entries.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut snapshot = BootstrapSnapshot::new(self.roster.epoch());
+        for (f, p, s) in entries.into_iter().take(self.config.join_bootstrap_depth) {
+            snapshot.push(BootstrapEntry { player: p, frame: f, state: s });
+        }
+        self.sign_and_queue(out, joiner, frame, Payload::Bootstrap(snapshot));
+        self.churn_stats.bootstraps_sent += 1;
+        self.metrics.bootstraps_sent.inc();
+    }
+
+    /// Reliable control: retransmit unacked control messages whose ack
+    /// timeout expired, with capped exponential backoff, re-routing each
+    /// retry through the *current* effective proxy so retries chase a
+    /// fallback (churn traffic keeps its fixed destination). Messages
+    /// that exhaust the retry budget are abandoned and counted — on a
+    /// merely lossy network this never fires; it indicates a dead or
+    /// unreachable peer.
+    fn drive_retransmits(&mut self, frame: u64, out: &mut Vec<Outgoing>) {
         let mut abandon: Vec<u64> = Vec::new();
         let mut resend: Vec<u64> = Vec::new();
         for (&seq, p) in &self.pending {
@@ -859,7 +1386,11 @@ impl WatchmenNode {
                 let p = &self.pending[&seq];
                 (p.route_player, p.route_frame, p.kind)
             };
-            let to = self.effective_proxy(route_player, route_frame, frame);
+            let to = if kind == ControlKind::Direct {
+                self.pending[&seq].to
+            } else {
+                self.effective_proxy(route_player, route_frame, frame)
+            };
             let p = self.pending.get_mut(&seq).expect("listed");
             p.attempts += 1;
             p.to = to;
@@ -880,23 +1411,6 @@ impl WatchmenNode {
                 p.bytes.len() as i64,
             ));
         }
-
-        self.trace_events(frame, TraceId::NONE, &output.events);
-        self.metrics.observe_events(&output.events);
-        output.outgoing = out;
-        output
-    }
-
-    /// Broadcasts a signed kill claim through the proxy path so proxies
-    /// and witnesses can verify it ("interactions such as hit and
-    /// kill-claims are verified by proxies and by players acting as
-    /// witnesses"). The claim goes to this node's proxy, which forwards it
-    /// with the rest of the stream.
-    pub fn claim_kill(&mut self, frame: u64, claim: crate::msg::KillClaim) -> Vec<Outgoing> {
-        let mut out = Vec::new();
-        let my_proxy = self.proxy(frame);
-        self.sign_and_queue(&mut out, my_proxy, frame, Payload::Kill(claim));
-        out
     }
 
     /// The (target, kind) subscription list derived from learned state.
@@ -904,11 +1418,16 @@ impl WatchmenNode {
         // Build a dense state table from knowledge; unknown players stay
         // at an unreachable position so they classify as others.
         let far = watchmen_math::Vec3::new(-1e6, -1e6, 0.0);
-        let states: Vec<PlayerFrame> = (0..self.directory.len())
+        let states: Vec<PlayerFrame> = (0..self.roster.len())
             .map(|i| {
                 let id = PlayerId(i as u32);
                 if id == self.id {
                     return *my_state;
+                }
+                // Departed (and not-yet-admitted) members classify as
+                // others-at-infinity: no subscriptions to ghosts.
+                if !self.roster.is_active(id) {
+                    return PlayerFrame { position: far, ..*my_state };
                 }
                 match self.known.get(&id) {
                     Some((_, s)) => PlayerFrame {
@@ -963,8 +1482,34 @@ impl WatchmenNode {
         // pair at every hop — no extra wire bytes, tamper-evident.
         let trace = msg.trace_id();
         let origin = msg.envelope.from;
-        if origin.index() >= self.directory.len() || !msg.verify(&self.directory[origin.index()]) {
+        let Some(origin_key) = self.roster.key(origin) else {
+            // Unknown origin: the only admissible message is a Join
+            // carrying a lobby-signed ticket — the ticket vouches for the
+            // key, the key vouches for the envelope. Anything else is
+            // churn-superseded traffic (e.g. a joiner's stream outrunning
+            // its admission boundary here), dropped without scoring.
+            if let Payload::Join(ticket) = msg.envelope.payload {
+                self.consider_join(frame, origin, ticket, &msg, &mut out, &mut events);
+            } else {
+                self.churn_stats.stale_drops += 1;
+                self.metrics.stale_drops.inc();
+            }
+            self.trace_events(frame, trace, &events);
+            self.metrics.observe_events(&events);
+            return (out, events);
+        };
+        if !msg.verify(&origin_key) {
             events.push(NodeEvent::BadSignature { claimed_from: origin });
+            self.trace_events(frame, trace, &events);
+            self.metrics.observe_events(&events);
+            return (out, events);
+        }
+        if self.roster.is_departed(origin) {
+            // A member removed at a boundary keeps emitting for up to a
+            // round-trip (its own removal reaches it last). Superseded,
+            // never scored: churn must produce zero false verdicts.
+            self.churn_stats.stale_drops += 1;
+            self.metrics.stale_drops.inc();
             self.trace_events(frame, trace, &events);
             self.metrics.observe_events(&events);
             return (out, events);
@@ -1040,8 +1585,7 @@ impl WatchmenNode {
                     let duty = self.duties.entry(origin).or_default();
                     let mut explicit = duty.live_subscribers(SetKind::Interest, frame);
                     explicit.extend(duty.live_subscribers(SetKind::Vision, frame));
-                    for i in 0..self.directory.len() {
-                        let t = PlayerId(i as u32);
+                    for t in self.roster.active_players() {
                         if t != origin && t != self.id && !explicit.contains(&t) {
                             out.push(Outgoing { to: t, bytes: bytes.to_vec() });
                         }
@@ -1059,7 +1603,11 @@ impl WatchmenNode {
                 // target's proxy. The *installer* acks end-to-end, so the
                 // origin keeps retransmitting until the install actually
                 // happened, not merely until the first hop heard it.
-                if i_am_origins_proxy {
+                if !self.roster.is_active(target) {
+                    // The target departed (or is not admitted yet): ack to
+                    // stop the retransmissions, install nothing.
+                    self.queue_ack(&mut out, frame, origin, msg.envelope.seq);
+                } else if i_am_origins_proxy {
                     // Verify the subscription is justified before relaying
                     // ("the proxy of a player p can verify whether a
                     // subscription of p to player q is justified") — only
@@ -1142,7 +1690,12 @@ impl WatchmenNode {
                 // retransmission racing its own ack) re-apply
                 // idempotently and re-ack.
                 let next_epoch_start = (notice.epoch + 1) * self.config.proxy_period;
-                if self.plausibly_proxy_of(notice.player, next_epoch_start) {
+                if !self.roster.is_active(notice.player) {
+                    // The supervised player departed at a boundary while
+                    // this handoff was in flight: its duty is drained, so
+                    // ack the chain link and drop it.
+                    self.queue_ack(&mut out, frame, origin, msg.envelope.seq);
+                } else if self.plausibly_proxy_of(notice.player, next_epoch_start) {
                     let digest = notice.digest();
                     let duty = self.duties.entry(notice.player).or_default();
                     // Record the state under the frame it was *observed*,
@@ -1179,6 +1732,64 @@ impl WatchmenNode {
                     self.metrics.control_acks_received.inc();
                 }
             }
+            Payload::Leave { effective_frame } => {
+                // Queue the graceful departure for its announced boundary
+                // (earliest announcement wins, matching the schedule's
+                // earliest-exclusion rule). Idempotent; always re-acked.
+                if self.roster.is_active(origin) {
+                    self.pending_leaves
+                        .entry(origin)
+                        .and_modify(|e| *e = (*e).min(effective_frame))
+                        .or_insert(effective_frame);
+                }
+                self.queue_ack(&mut out, frame, origin, msg.envelope.seq);
+            }
+            Payload::Join(_) => {
+                // A Join from a *known* origin is a retransmission racing
+                // the boundary that admitted it (or racing our ack):
+                // nothing left to queue, just re-ack.
+                self.queue_ack(&mut out, frame, origin, msg.envelope.seq);
+            }
+            Payload::Evict { player, effective_frame } => {
+                // Corroborate the notice against local evidence before
+                // queueing: a lone (possibly malicious) announcer cannot
+                // evict a player this node can still hear. In honest runs
+                // the target is genuinely silent everywhere, so every
+                // node queues the same (player, boundary) pair.
+                let silent = player.index() < self.last_heard.len()
+                    && frame.saturating_sub(self.last_heard[player.index()])
+                        >= self.config.others_period;
+                if player != self.id && self.roster.is_active(player) && silent {
+                    self.pending_evicts
+                        .entry(player)
+                        .and_modify(|e| *e = (*e).min(effective_frame))
+                        .or_insert(effective_frame);
+                }
+                self.queue_ack(&mut out, frame, origin, msg.envelope.seq);
+            }
+            Payload::Bootstrap(snapshot) => {
+                // The joiner's first proxy seeded us with its freshest
+                // knowledge: learn every entry so interest/vision sets
+                // converge within the first epoch.
+                for e in snapshot.entries() {
+                    if self.roster.is_active(e.player) {
+                        self.learn(e.player, e.frame, e.state);
+                    }
+                }
+                // The sender's delta history may predate the lobby
+                // snapshot this roster was built from; adopt its epoch so
+                // digests converge (content already agrees at boundaries).
+                self.roster.sync_epoch(snapshot.roster_epoch);
+                if fresh {
+                    self.churn_stats.bootstraps_received += 1;
+                    self.metrics.bootstraps_received.inc();
+                    events.push(NodeEvent::BootstrapReceived {
+                        from: origin,
+                        entries: snapshot.entries().len() as u8,
+                    });
+                }
+                self.queue_ack(&mut out, frame, origin, msg.envelope.seq);
+            }
         }
 
         if !out.is_empty() {
@@ -1198,6 +1809,40 @@ impl WatchmenNode {
         self.metrics.messages_forwarded.add(out.len() as u64);
         self.metrics.observe_events(&events);
         (out, events)
+    }
+
+    /// Admission check for a Join announcement from an unknown origin:
+    /// the ticket must verify under the lobby key, name the claimed
+    /// origin, and the envelope must verify under the ticket's key. A
+    /// valid ticket is queued for its admission boundary and acked; an
+    /// invalid one is a spoof attempt and scored as a bad signature.
+    fn consider_join(
+        &mut self,
+        frame: u64,
+        origin: PlayerId,
+        ticket: JoinTicket,
+        msg: &SignedEnvelope,
+        out: &mut Vec<Outgoing>,
+        events: &mut Vec<NodeEvent>,
+    ) {
+        let Some(lobby) = self.lobby_key else {
+            // No lobby key, no admission authority: superseded, not scored
+            // (this node simply cannot judge the ticket).
+            self.churn_stats.stale_drops += 1;
+            self.metrics.stale_drops.inc();
+            return;
+        };
+        let admissible = ticket.player == origin
+            && origin.index() >= self.roster.len()
+            && origin.index() < self.config.max_roster
+            && ticket.verify(&lobby)
+            && msg.verify(&ticket.key);
+        if !admissible {
+            events.push(NodeEvent::BadSignature { claimed_from: origin });
+            return;
+        }
+        self.pending_joins.insert(origin.0, ticket);
+        self.queue_ack(out, frame, origin, msg.envelope.seq);
     }
 
     /// Mirrors `events` into the flight recorder and captures a violation
@@ -1280,6 +1925,30 @@ impl WatchmenNode {
                         EventKind::Mark,
                         "handoff-received",
                         i64::from(*worst_rating),
+                    ));
+                }
+                NodeEvent::RosterChanged { epoch, active } => {
+                    self.recorder.record(TraceEvent::point(
+                        trace,
+                        node,
+                        node,
+                        frame,
+                        Phase::Tick,
+                        EventKind::Mark,
+                        "roster-changed",
+                        (*epoch as i64) << 16 | *active as i64,
+                    ));
+                }
+                NodeEvent::BootstrapReceived { from, entries } => {
+                    self.recorder.record(TraceEvent::point(
+                        trace,
+                        node,
+                        from.0,
+                        frame,
+                        Phase::Subscription,
+                        EventKind::Mark,
+                        "bootstrap-received",
+                        i64::from(*entries),
                     ));
                 }
             }

@@ -42,14 +42,40 @@ pub struct ProxySchedule {
     seed: u64,
     players: usize,
     period: u64,
-    /// Players excluded from proxy duty (still assigned proxies
-    /// themselves if present in the game).
-    excluded: Vec<bool>,
+    /// First epoch each player is part of the pool (0 for founding
+    /// members, later for mid-game joiners admitted at a boundary).
+    joined_epoch: Vec<u64>,
+    /// First epoch each player is *no longer* eligible for proxy duty
+    /// (`None` = never excluded). A player excluded from epoch `e` still
+    /// serves epochs `< e`, so draws for past epochs are unchanged by
+    /// churn — the schedule is epoch-versioned, not rewritten in place.
+    /// Excluded players are still assigned proxies themselves if present
+    /// in the game.
+    excluded_from: Vec<Option<u64>>,
     /// Relative proxy-duty capacity per player (§VI: "more powerful
     /// [nodes] can become proxies for more than one player"). Uniform by
     /// default.
     weights: Vec<f64>,
 }
+
+/// A pool mutation that cannot be applied without emptying the proxy
+/// pool. Callers keep the current pool and retry after other membership
+/// changes (e.g. a join) restore capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// The exclusion would leave no eligible proxy at the given epoch.
+    Exhausted,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::Exhausted => f.write_str("exclusion would empty the proxy pool"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
 
 impl ProxySchedule {
     /// Creates a schedule for `players` players with renewal every
@@ -66,7 +92,8 @@ impl ProxySchedule {
             seed,
             players,
             period,
-            excluded: vec![false; players],
+            joined_epoch: vec![0; players],
+            excluded_from: vec![None; players],
             weights: vec![1.0; players],
         }
     }
@@ -93,8 +120,15 @@ impl ProxySchedule {
         );
         let positive = weights.iter().filter(|&&w| w > 0.0).count();
         assert!(positive >= 2, "need at least 2 positive-capacity proxies");
-        let excluded = weights.iter().map(|&w| w <= 0.0).collect();
-        ProxySchedule { seed, players: weights.len(), period, excluded, weights }
+        let excluded_from = weights.iter().map(|&w| (w <= 0.0).then_some(0)).collect();
+        ProxySchedule {
+            seed,
+            players: weights.len(),
+            period,
+            joined_epoch: vec![0; weights.len()],
+            excluded_from,
+            weights,
+        }
     }
 
     /// Number of players covered.
@@ -121,35 +155,103 @@ impl ProxySchedule {
         (self.epoch_of(frame) + 1) * self.period
     }
 
-    /// Removes a player from the proxy pool ("these nodes are removed in
-    /// the next round … from the proxy pool"). Takes effect for all
-    /// epochs — callers handling churn mid-game should construct the
-    /// schedule per-membership-change, as the agreement protocol would.
+    /// Removes a player from the proxy pool for every epoch ("these nodes
+    /// are removed in the next round … from the proxy pool"). This is the
+    /// pre-game form (lobby bans, zero-capacity nodes); mid-game churn
+    /// uses [`ProxySchedule::try_exclude_from`] so past epochs keep their
+    /// draws.
+    ///
+    /// Shrinking the pool to a single eligible proxy is allowed (degraded
+    /// single-proxy mode — the game limps rather than aborts under a
+    /// churn burst); an exclusion that would *empty* the pool is refused
+    /// and the player stays eligible.
     ///
     /// # Panics
     ///
-    /// Panics if the exclusion would leave fewer than two eligible
-    /// proxies, or the id is out of range.
+    /// Panics if the id is out of range.
     pub fn exclude(&mut self, player: PlayerId) {
-        self.excluded[player.index()] = true;
-        let eligible = self.excluded.iter().filter(|&&e| !e).count();
-        assert!(eligible >= 2, "cannot exclude below 2 eligible proxies");
+        let _ = self.try_exclude_from(player, 0);
     }
 
-    /// Number of players still eligible for proxy duty.
+    /// Removes `player` from the proxy pool from `epoch` on, leaving
+    /// draws for earlier epochs untouched (an exclusion at epoch `e`
+    /// serves through `e - 1`, mirroring the exclusive expiry boundary
+    /// convention used everywhere else).
+    ///
+    /// Refuses (without mutating) an exclusion that would leave *zero*
+    /// eligible proxies at `epoch`; a single survivor is accepted as the
+    /// degraded single-proxy mode. Excluding an already-excluded player
+    /// keeps the earliest exclusion epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::Exhausted`] if no eligible proxy would remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn try_exclude_from(&mut self, player: PlayerId, epoch: u64) -> Result<(), PoolError> {
+        assert!(player.index() < self.players, "player {player} out of range");
+        let remaining = (0..self.players)
+            .filter(|&i| i != player.index() && self.eligible_at(i, epoch))
+            .count();
+        if remaining == 0 {
+            return Err(PoolError::Exhausted);
+        }
+        let slot = &mut self.excluded_from[player.index()];
+        *slot = Some(slot.map_or(epoch, |prev| prev.min(epoch)));
+        Ok(())
+    }
+
+    /// Admits a new player to the schedule, eligible for proxy duty (and
+    /// assigned proxies) from `epoch` on. Returns the new player's id —
+    /// always the next dense index, so all nodes applying the same joins
+    /// in the same order assign the same ids.
+    pub fn admit_at(&mut self, epoch: u64) -> PlayerId {
+        let id = PlayerId(self.players as u32);
+        self.players += 1;
+        self.joined_epoch.push(epoch);
+        self.excluded_from.push(None);
+        self.weights.push(1.0);
+        id
+    }
+
+    /// Whether member `i` is eligible for proxy duty at `epoch`.
+    fn eligible_at(&self, i: usize, epoch: u64) -> bool {
+        self.joined_epoch[i] <= epoch && self.excluded_from[i].is_none_or(|from| epoch < from)
+    }
+
+    /// Number of players eligible for proxy duty in the epoch containing
+    /// `frame`.
+    #[must_use]
+    pub fn eligible_count_at(&self, frame: u64) -> usize {
+        let epoch = self.epoch_of(frame);
+        (0..self.players).filter(|&i| self.eligible_at(i, epoch)).count()
+    }
+
+    /// Number of players never excluded from proxy duty (the eventual
+    /// pool, once every scheduled exclusion has taken effect).
     #[must_use]
     pub fn eligible_count(&self) -> usize {
-        self.excluded.iter().filter(|&&e| !e).count()
+        self.excluded_from.iter().filter(|e| e.is_none()).count()
     }
 
-    /// Returns `true` if `player` is excluded from proxy duty.
+    /// Returns `true` if the pool is down to at most one eventual
+    /// eligible proxy — the degraded single-proxy mode.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.eligible_count() <= 1
+    }
+
+    /// Returns `true` if `player` is excluded from proxy duty (from any
+    /// epoch on).
     ///
     /// # Panics
     ///
     /// Panics if the id is out of range.
     #[must_use]
     pub fn is_excluded(&self, player: PlayerId) -> bool {
-        self.excluded[player.index()]
+        self.excluded_from[player.index()].is_some()
     }
 
     /// The proxy assigned to `player` during the epoch containing
@@ -173,7 +275,11 @@ impl ProxySchedule {
     /// property.
     ///
     /// `n` is clamped to the eligible-candidate count minus one (with two
-    /// players there is nobody to fall back to).
+    /// players there is nobody to fall back to). In the fully degraded
+    /// case — no eligible candidate at all in the epoch — the player is
+    /// returned as its own proxy: a documented degenerate self-proxy that
+    /// callers treat as "no proxy hop", rather than a panic that would
+    /// abort the process mid-churn-burst.
     ///
     /// # Panics
     ///
@@ -189,12 +295,16 @@ impl ProxySchedule {
         // random access O(1).
         let mut rng =
             Xoshiro256::seed_from(self.seed ^ 0x7077_0000, (u64::from(player.0) << 32) ^ epoch);
-        let candidates =
-            (0..self.players).filter(|&i| i != player.index() && !self.excluded[i]).count();
-        let n = n.min(candidates.saturating_sub(1));
+        let candidates = (0..self.players)
+            .filter(|&i| i != player.index() && self.eligible_at(i, epoch))
+            .count();
+        if candidates == 0 {
+            return player;
+        }
+        let n = n.min(candidates - 1);
         let mut seen: Vec<PlayerId> = Vec::with_capacity(n);
         loop {
-            let pick = self.draw_one(&mut rng, player);
+            let pick = self.draw_one(&mut rng, player, epoch);
             if seen.contains(&pick) {
                 continue;
             }
@@ -205,18 +315,19 @@ impl ProxySchedule {
         }
     }
 
-    /// One weighted draw over the eligible pool (uniform weights reduce
-    /// to a uniform draw). Rejection keeps the self-exclusion unbiased.
-    fn draw_one(&self, rng: &mut Xoshiro256, player: PlayerId) -> PlayerId {
+    /// One weighted draw over the pool eligible at `epoch` (uniform
+    /// weights reduce to a uniform draw). Rejection keeps the
+    /// self-exclusion unbiased.
+    fn draw_one(&self, rng: &mut Xoshiro256, player: PlayerId, epoch: u64) -> PlayerId {
         let total: f64 = (0..self.players)
-            .filter(|&i| i != player.index() && !self.excluded[i])
+            .filter(|&i| i != player.index() && self.eligible_at(i, epoch))
             .map(|i| self.weights[i])
             .sum();
         debug_assert!(total > 0.0, "empty proxy pool");
         loop {
             let mut pick = rng.next_f64() * total;
             for i in 0..self.players {
-                if i == player.index() || self.excluded[i] {
+                if i == player.index() || !self.eligible_at(i, epoch) {
                     continue;
                 }
                 pick -= self.weights[i];
@@ -230,9 +341,14 @@ impl ProxySchedule {
 
     /// All players whose proxy is `proxy` during the epoch containing
     /// `frame` — what a node computes to learn its own proxy duties.
+    /// Members who had not yet joined by that epoch are skipped (they had
+    /// no proxy then); excluded members are included, since exclusion
+    /// removes duty eligibility, not the need for a proxy.
     #[must_use]
     pub fn clients_of(&self, proxy: PlayerId, frame: u64) -> Vec<PlayerId> {
+        let epoch = self.epoch_of(frame);
         (0..self.players)
+            .filter(|&i| self.joined_epoch[i] <= epoch)
             .map(|i| PlayerId(i as u32))
             .filter(|&p| p != proxy && self.proxy_of(p, frame) == proxy)
             .collect()
@@ -456,10 +572,86 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "below 2 eligible")]
-    fn over_exclusion_panics() {
+    fn over_exclusion_degrades_instead_of_panicking() {
+        // Excluding down to one eligible proxy is the degraded
+        // single-proxy mode; the exclusion that would empty the pool is
+        // refused, not a process abort.
         let mut s = ProxySchedule::new(1, 3, 40);
         s.exclude(PlayerId(0));
         s.exclude(PlayerId(1));
+        assert_eq!(s.eligible_count(), 1);
+        assert!(s.is_degraded());
+        // Everyone's proxy is the sole survivor…
+        assert_eq!(s.proxy_of(PlayerId(0), 0), PlayerId(2));
+        assert_eq!(s.proxy_of(PlayerId(1), 0), PlayerId(2));
+        // …whose own draw has no candidate: the documented degenerate
+        // self-proxy, not an infinite rejection loop.
+        assert_eq!(s.proxy_of(PlayerId(2), 0), PlayerId(2));
+        // Emptying the pool outright is refused and mutates nothing.
+        assert_eq!(s.try_exclude_from(PlayerId(2), 0), Err(PoolError::Exhausted));
+        assert!(!s.is_excluded(PlayerId(2)));
+        assert_eq!(s.eligible_count(), 1);
+    }
+
+    #[test]
+    fn exclusion_from_an_epoch_preserves_history() {
+        let pristine = ProxySchedule::new(21, 8, 40);
+        let mut s = ProxySchedule::new(21, 8, 40);
+        // Player 5 leaves at the epoch-3 boundary (frame 120).
+        s.try_exclude_from(PlayerId(5), 3).unwrap();
+        for p in 0..8 {
+            let id = PlayerId(p);
+            // Epochs 0..3 keep their original draws — in-flight handoffs
+            // and epoch summaries for past epochs still verify.
+            for frame in [0u64, 41, 80, 119] {
+                assert_eq!(s.proxy_of(id, frame), pristine.proxy_of(id, frame));
+            }
+            // From epoch 3 on, player 5 never serves.
+            for frame in [120u64, 160, 4000] {
+                if p != 5 {
+                    assert_ne!(s.proxy_of(id, frame), PlayerId(5));
+                }
+            }
+        }
+        assert_eq!(s.eligible_count_at(119), 8);
+        assert_eq!(s.eligible_count_at(120), 7, "boundary is exclusive: gone at exactly epoch 3");
+        // Repeat exclusion keeps the earliest epoch.
+        s.try_exclude_from(PlayerId(5), 9).unwrap();
+        assert_eq!(s.eligible_count_at(120), 7);
+    }
+
+    #[test]
+    fn admission_at_an_epoch_is_deterministic_and_history_safe() {
+        let pristine = ProxySchedule::new(33, 4, 40);
+        let mut a = ProxySchedule::new(33, 4, 40);
+        let mut b = ProxySchedule::new(33, 4, 40);
+        let ida = a.admit_at(2);
+        let idb = b.admit_at(2);
+        assert_eq!(ida, PlayerId(4), "dense next id");
+        assert_eq!(ida, idb);
+        assert_eq!(a.players(), 5);
+        for p in 0..4 {
+            let id = PlayerId(p);
+            // Pre-join epochs are untouched by the admission…
+            for frame in [0u64, 40, 79] {
+                assert_eq!(a.proxy_of(id, frame), pristine.proxy_of(id, frame));
+                assert_ne!(a.proxy_of(id, frame), ida, "joiner drafted before joining");
+            }
+            // …and from epoch 2 on both nodes agree on the grown pool.
+            for frame in [80u64, 120, 4000] {
+                assert_eq!(a.proxy_of(id, frame), b.proxy_of(id, frame));
+            }
+        }
+        // The joiner is drawn as a proxy in some post-join epoch.
+        let drafted = (2..60).any(|e| (0..4).any(|p| a.proxy_of(PlayerId(p), e * 40) == ida));
+        assert!(drafted, "joiner never drafted after admission");
+        // The joiner's own proxy is drawn from the veterans.
+        assert_ne!(a.proxy_of(ida, 80), ida);
+        // The joiner appears in exactly one client list after joining.
+        let served: usize = (0..5).map(|p| a.clients_of(PlayerId(p), 80).len()).sum();
+        assert_eq!(served, 5);
+        // …but in none before.
+        let before: usize = (0..5).map(|p| a.clients_of(PlayerId(p), 40).len()).sum();
+        assert_eq!(before, 4);
     }
 }

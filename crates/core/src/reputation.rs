@@ -75,6 +75,12 @@ impl ThresholdReputation {
         let (ok, fail) = self.counts[subject.index()];
         ok + fail
     }
+
+    /// Starts tracking one more player (mid-game admission) — the next
+    /// dense id, with a clean slate.
+    pub fn admit_player(&mut self) {
+        self.counts.push((0, 0));
+    }
 }
 
 impl Reputation for ThresholdReputation {

@@ -17,6 +17,10 @@
 //!   dropped at delivery time.
 //! * **Partition windows** — messages crossing between an island of nodes
 //!   and the rest are dropped while the window is open.
+//! * **Churn events** — a mid-match joiner's slot is offline before its
+//!   join instant and a leaver's from its unplug instant; the protocol
+//!   side (lobby tickets, `Join`/`Leave` announcements) is driven by the
+//!   harness reading [`FaultPlan::churn`].
 //!
 //! All state is deterministic for a fixed seed, like the rest of the
 //! simulator.
@@ -108,6 +112,33 @@ impl GilbertElliott {
     }
 }
 
+/// The direction of a scripted churn event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// The node joins mid-match: offline before `at_ms`, online after.
+    Join,
+    /// The node departs: online before `at_ms`, offline from `at_ms` on.
+    Leave,
+}
+
+/// A scripted mid-match membership change. The network layer only *gates
+/// delivery* — a joiner's slot drops all traffic before its join instant,
+/// a leaver's from its unplug instant — while the driver (deathmatch,
+/// e2e harness) reads [`FaultPlan::churn`] to run the protocol side:
+/// lobby admission + `Join` announcement at a join, and a `Leave`
+/// announcement far enough *before* a leave's `at_ms` that the departure
+/// is roster-applied by the time the node unplugs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnEvent {
+    /// The joining or leaving node.
+    pub node: NodeId,
+    /// Join or leave.
+    pub kind: ChurnKind,
+    /// The virtual millisecond the node appears (join) or unplugs
+    /// (leave).
+    pub at_ms: f64,
+}
+
 /// A node-silence window: the node neither sends nor receives during
 /// `[from_ms, to_ms)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -169,6 +200,7 @@ pub struct FaultPlan {
     reorder_extra_ms: f64,
     crashes: Vec<CrashWindow>,
     partitions: Vec<PartitionWindow>,
+    churn: Vec<ChurnEvent>,
     rng: Xoshiro256,
 }
 
@@ -183,6 +215,7 @@ impl FaultPlan {
             reorder_extra_ms: 0.0,
             crashes: Vec::new(),
             partitions: Vec::new(),
+            churn: Vec::new(),
             rng: Xoshiro256::seed_from(seed, 0xfau64 << 32),
         }
     }
@@ -244,6 +277,44 @@ impl FaultPlan {
         assert!(from_ms <= to_ms, "partition window inverted");
         self.partitions.push(PartitionWindow { from_ms, to_ms, island });
         self
+    }
+
+    /// Scripts a mid-match join: `node`'s slot is offline (all traffic
+    /// gated) before `at_ms` and live from `at_ms` on.
+    #[must_use]
+    pub fn with_join(mut self, node: NodeId, at_ms: f64) -> Self {
+        self.churn.push(ChurnEvent { node, kind: ChurnKind::Join, at_ms });
+        self
+    }
+
+    /// Scripts a departure: `node` unplugs at `at_ms` and its traffic is
+    /// gated from then on. Drivers announce the protocol-level `Leave`
+    /// early enough that the departure is roster-applied by `at_ms`.
+    #[must_use]
+    pub fn with_leave(mut self, node: NodeId, at_ms: f64) -> Self {
+        self.churn.push(ChurnEvent { node, kind: ChurnKind::Leave, at_ms });
+        self
+    }
+
+    /// The scripted churn events, in insertion order.
+    #[must_use]
+    pub fn churn(&self) -> &[ChurnEvent] {
+        &self.churn
+    }
+
+    /// Returns `true` if a churn event gates `node` at `now_ms`: before
+    /// its join instant, or at/after its unplug instant. Both boundaries
+    /// are half-open on the offline side — a joiner is live at exactly
+    /// `at_ms`, a leaver gone at exactly `at_ms`.
+    #[must_use]
+    pub fn is_offline(&self, node: NodeId, now_ms: f64) -> bool {
+        self.churn.iter().any(|c| {
+            c.node == node
+                && match c.kind {
+                    ChurnKind::Join => now_ms < c.at_ms,
+                    ChurnKind::Leave => now_ms >= c.at_ms,
+                }
+        })
     }
 
     /// The scripted crash windows.
@@ -316,6 +387,10 @@ impl FaultPlan {
     /// * `crash=3@1000..2000` — node 3 silent from t=1000 ms to 2000 ms
     ///   (repeatable).
     /// * `partition=0+1+2@500..900` — nodes {0,1,2} split from the rest.
+    /// * `join=5@2000` — node 5 joins mid-match at t=2000 ms: its slot is
+    ///   offline before that instant (repeatable).
+    /// * `leave=3@4000` — node 3 unplugs at t=4000 ms; its traffic is
+    ///   gated from then on (repeatable).
     /// * `seed=7` — reseed the fault RNG.
     ///
     /// # Errors
@@ -349,6 +424,13 @@ impl FaultPlan {
                         from_ms: from,
                         to_ms: to,
                     });
+                }
+                "join" | "leave" => {
+                    let (node, at) = parse_at(value)?;
+                    let node = node.parse().map_err(|_| format!("bad {key} node {node:?}"))?;
+                    let at_ms = at.parse::<f64>().map_err(|_| format!("bad {key} time {at:?}"))?;
+                    let kind = if key == "join" { ChurnKind::Join } else { ChurnKind::Leave };
+                    plan.churn.push(ChurnEvent { node, kind, at_ms });
                 }
                 "partition" => {
                     let (nodes, window) = parse_at(value)?;
@@ -438,7 +520,7 @@ mod tests {
     fn spec_parses_every_knob() {
         let plan = FaultPlan::from_spec(
             "loss=0.05, dup=0.01, reorder=0.25, reorder_ms=40, crash=3@1000..2000, \
-             partition=0+1@500..900, seed=9",
+             partition=0+1@500..900, join=5@2000, leave=4@4000, seed=9",
             1,
         )
         .unwrap();
@@ -448,13 +530,40 @@ mod tests {
         assert_eq!(plan.reorder_extra_ms, 40.0);
         assert_eq!(plan.crashes, vec![CrashWindow { node: 3, from_ms: 1000.0, to_ms: 2000.0 }]);
         assert!(plan.severs(0, 2, 600.0));
+        assert_eq!(
+            plan.churn(),
+            &[
+                ChurnEvent { node: 5, kind: ChurnKind::Join, at_ms: 2000.0 },
+                ChurnEvent { node: 4, kind: ChurnKind::Leave, at_ms: 4000.0 },
+            ]
+        );
     }
 
     #[test]
     fn spec_rejects_malformed_entries() {
-        for bad in ["nonsense", "loss=abc", "crash=3", "crash=x@1..2", "crash=1@5..2", "zap=1"] {
+        for bad in [
+            "nonsense",
+            "loss=abc",
+            "crash=3",
+            "crash=x@1..2",
+            "crash=1@5..2",
+            "zap=1",
+            "join=5",
+            "join=x@10",
+            "leave=3@soon",
+        ] {
             assert!(FaultPlan::from_spec(bad, 1).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn churn_gating_is_half_open() {
+        let plan = FaultPlan::new(1).with_join(5, 2000.0).with_leave(3, 4000.0);
+        assert!(plan.is_offline(5, 1999.9), "joiner offline before its instant");
+        assert!(!plan.is_offline(5, 2000.0), "joiner live at exactly its instant");
+        assert!(!plan.is_offline(3, 3999.9), "leaver live until it unplugs");
+        assert!(plan.is_offline(3, 4000.0), "leaver gone at exactly its instant");
+        assert!(!plan.is_offline(0, 0.0), "unscripted nodes never gated");
     }
 
     #[test]

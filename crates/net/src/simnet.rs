@@ -223,6 +223,15 @@ impl<T> SimNetwork<T> {
         self.faults.as_ref().is_some_and(|f| f.is_crashed(node, self.now_ms))
     }
 
+    /// Returns `true` if a scripted churn event gates `node` right now —
+    /// a joiner before its join instant, a leaver after it unplugs.
+    /// Drivers use this to skip executing the node's frame; the network
+    /// independently drops its traffic.
+    #[must_use]
+    pub fn is_offline(&self, node: NodeId) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.is_offline(node, self.now_ms))
+    }
+
     /// Attaches a flight recorder: every submit, drop and delivery is
     /// recorded as a [`Phase::NetFlush`] event (the event's `frame` field
     /// carries the virtual millisecond, rounded down).
@@ -342,6 +351,8 @@ impl<T> SimNetwork<T> {
             Some(plan) => {
                 plan.is_crashed(from, now)
                     || plan.is_crashed(to, now)
+                    || plan.is_offline(from, now)
+                    || plan.is_offline(to, now)
                     || plan.severs(from, to, now)
                     || plan.burst_drop()
             }
@@ -426,10 +437,13 @@ impl<T> SimNetwork<T> {
         let delivered = self.queue.drain_until(t_ms);
         let mut out = Vec::with_capacity(delivered.len());
         for (_, d) in delivered {
-            // A receiver that crashed after the message was accepted eats
-            // it at delivery time: in-flight moves to dropped, never to
-            // delivered, and no download bandwidth is charged.
-            if self.faults.as_ref().is_some_and(|f| f.is_crashed(d.to, d.deliver_ms)) {
+            // A receiver that crashed (or unplugged via a scripted churn
+            // event) after the message was accepted eats it at delivery
+            // time: in-flight moves to dropped, never to delivered, and
+            // no download bandwidth is charged.
+            if self.faults.as_ref().is_some_and(|f| {
+                f.is_crashed(d.to, d.deliver_ms) || f.is_offline(d.to, d.deliver_ms)
+            }) {
                 self.stats.dropped += 1;
                 self.metrics.dropped.inc();
                 self.metrics.fault_dropped.inc();

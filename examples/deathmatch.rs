@@ -141,6 +141,16 @@ fn main() {
         run_faulted_segment(plan);
     }
 
+    // --- Churn segment: with `WATCHMEN_CHURN` set (any non-empty value),
+    // run a 16-veteran secured cluster under 5% burst loss through four
+    // mid-game joins, two graceful leaves and two crash-evictions — a
+    // membership event roughly every other second, the densest the
+    // one-epoch join window admits — and report the outcome on the
+    // machine-parseable `churn summary:` line that ci.sh gates on.
+    if std::env::var("WATCHMEN_CHURN").is_ok_and(|v| !v.trim().is_empty()) {
+        run_churn_segment();
+    }
+
     // --- Telemetry: what the instrumented layers recorded.
     let snap = global().snapshot();
     println!("\ntelemetry highlights:");
@@ -343,6 +353,208 @@ fn run_faulted_segment(plan: FaultPlan) {
          abandoned={abandoned} pending_handoffs={pending} severe_false_verdicts={severe} \
          dup={} dropped={}",
         stats.duplicated, stats.dropped
+    );
+}
+
+/// The churn soak: 16 veterans plus a lobby with signing keys absorb
+/// four mid-game joins, two graceful leaves and two crash-evictions
+/// under 5% burst loss. Roster agreement is checked at every renewal
+/// boundary across all online active members; the `churn summary:` line
+/// reports the counters ci.sh gates on (joins/leaves/evictions applied,
+/// joiner convergence, roster agreement, false verdicts).
+#[allow(clippy::needless_range_loop, clippy::too_many_lines)] // index-parallel driver loop
+fn run_churn_segment() {
+    use watchmen::core::lobby::GameLobby;
+    use watchmen::net::fault::GilbertElliott;
+
+    const VETERANS: usize = 16;
+    const JOINERS: usize = 4;
+    const TOTAL: usize = VETERANS + JOINERS;
+    const SEED: u64 = 4177;
+    const FRAME_MS: f64 = 50.0;
+    const FRAMES: u64 = 840;
+    const DRAIN: u64 = 40;
+    const JOIN_FRAMES: [u64; JOINERS] = [50, 130, 210, 290];
+    const LEAVES: [(usize, u64); 2] = [(3, 370), (5, 450)];
+    const CRASHED: [usize; 2] = [7, 9];
+    const CRASH_FRAME: u64 = 530;
+
+    let config = WatchmenConfig { proxy_liveness_k: 2, ..WatchmenConfig::default() };
+    let period = config.proxy_period;
+    println!(
+        "\nWATCHMEN_CHURN set: {VETERANS} veterans for {} frames under 5% burst loss — \
+         {JOINERS} mid-game joins, {} graceful leaves, {} crash-evictions…",
+        FRAMES + DRAIN,
+        LEAVES.len(),
+        CRASHED.len()
+    );
+
+    let mut lobby = GameLobby::new(SEED, config, config.membership_timeout_frames)
+        .with_keys(Keypair::generate(SEED ^ 0x10bb));
+    let keys: Vec<Keypair> = (0..TOTAL).map(|i| Keypair::generate(SEED ^ i as u64)).collect();
+    for k in keys.iter().take(VETERANS) {
+        lobby.register(k.public());
+    }
+    lobby.start();
+    let lobby_key = lobby.lobby_key().expect("lobby has keys");
+
+    let mut plan = FaultPlan::new(0xc4u64)
+        .with_burst_loss(GilbertElliott::with_mean_loss(0.05))
+        .with_duplication(0.01);
+    for (j, &f) in JOIN_FRAMES.iter().enumerate() {
+        plan = plan.with_join(VETERANS + j, f as f64 * FRAME_MS);
+    }
+    for &(leaver, announce) in &LEAVES {
+        let unplug = ((announce.div_ceil(period) + 1) * period + 10) as f64 * FRAME_MS;
+        plan = plan.with_leave(leaver, unplug);
+    }
+    for &c in &CRASHED {
+        plan = plan.with_crash(c, CRASH_FRAME as f64 * FRAME_MS, f64::INFINITY);
+    }
+    let mut net: SimNetwork<Vec<u8>> = SimNetwork::new(TOTAL, latency::constant(8.0), 0.0, 77);
+    net.set_fault_plan(plan);
+
+    let map = maps::arena(32, 10.0);
+    let mut nodes: Vec<Option<WatchmenNode>> = keys
+        .iter()
+        .take(VETERANS)
+        .enumerate()
+        .map(|(i, k)| {
+            Some(
+                WatchmenNode::new(
+                    PlayerId(i as u32),
+                    k.clone(),
+                    lobby.directory().to_vec(),
+                    SEED,
+                    config,
+                    map.clone(),
+                    PhysicsConfig::default(),
+                )
+                .with_lobby_key(lobby_key),
+            )
+        })
+        .collect();
+    nodes.resize_with(TOTAL, || None);
+
+    let churn_trace =
+        GameTrace::record(GameConfig { map, ..GameConfig::default() }, TOTAL, SEED, FRAMES + DRAIN);
+
+    let (mut severe, mut bad_sigs) = (0u64, 0u64);
+    let mut bootstrap_frame: std::collections::BTreeMap<usize, u64> = Default::default();
+    let mut admit_frames: std::collections::BTreeMap<usize, u64> = Default::default();
+    let mut agreement_ok = true;
+    let mut boundaries = 0u64;
+    let mut join_cursor = 0usize;
+
+    for f in 0..FRAMES + DRAIN {
+        if join_cursor < JOINERS && f == JOIN_FRAMES[join_cursor] {
+            let idx = VETERANS + join_cursor;
+            let (id, ticket, roster) = lobby.admit_midgame(keys[idx].public(), f);
+            admit_frames.insert(idx, ticket.admit_frame);
+            nodes[idx] = Some(WatchmenNode::new_joining(
+                id,
+                keys[idx].clone(),
+                roster,
+                ticket,
+                lobby_key,
+                SEED,
+                config,
+                maps::arena(32, 10.0),
+                PhysicsConfig::default(),
+            ));
+            join_cursor += 1;
+        }
+        for &(leaver, announce) in &LEAVES {
+            if f == announce {
+                lobby.leave(PlayerId(leaver as u32), f);
+                let outs = nodes[leaver].as_mut().expect("leaver exists").announce_leave(f);
+                for o in outs {
+                    let size = o.bytes.len();
+                    net.send(leaver, o.to.index(), o.bytes, size);
+                }
+            }
+        }
+
+        for d in net.advance_to(f as f64 * FRAME_MS) {
+            if net.is_crashed(d.to) || net.is_offline(d.to) {
+                continue;
+            }
+            let Some(node) = nodes[d.to].as_mut() else { continue };
+            let (out, events) = node.handle_message(f, PlayerId(d.from as u32), &d.payload);
+            for e in &events {
+                match e {
+                    NodeEvent::Suspicion { rating, .. } if rating.score >= 6 => severe += 1,
+                    NodeEvent::BadSignature { .. } => bad_sigs += 1,
+                    NodeEvent::BootstrapReceived { .. } => {
+                        bootstrap_frame.entry(d.to).or_insert(f);
+                    }
+                    _ => {}
+                }
+            }
+            for o in out {
+                let size = o.bytes.len();
+                net.send(d.to, o.to.index(), o.bytes, size);
+            }
+        }
+        for i in 0..TOTAL {
+            if net.is_crashed(i) || net.is_offline(i) {
+                continue;
+            }
+            let Some(node) = nodes[i].as_mut() else { continue };
+            let output = node.begin_frame(f, &churn_trace.frames[f as usize].states[i]);
+            for e in &output.events {
+                if let NodeEvent::Suspicion { rating, .. } = e {
+                    if rating.score >= 6 {
+                        severe += 1;
+                    }
+                }
+            }
+            for o in output.outgoing {
+                let size = o.bytes.len();
+                net.send(i, o.to.index(), o.bytes, size);
+            }
+        }
+
+        if f > 0 && f % period == 0 {
+            let views: Vec<(u64, [u8; 32])> = (0..TOTAL)
+                .filter(|&i| !net.is_crashed(i) && !net.is_offline(i))
+                .filter_map(|i| {
+                    nodes[i]
+                        .as_ref()
+                        .filter(|n| n.is_active_member())
+                        .map(|n| (n.roster_epoch(), n.roster_digest()))
+                })
+                .collect();
+            if views.windows(2).any(|w| w[0] != w[1]) {
+                agreement_ok = false;
+            }
+            boundaries += 1;
+        }
+    }
+
+    net.stats().assert_invariant("deathmatch churn segment");
+    let witness = nodes[0].as_ref().expect("node 0 lives");
+    let cs = witness.churn_stats();
+    let joiners_converged = admit_frames
+        .iter()
+        .filter(|(j, &admit)| {
+            bootstrap_frame.get(j).is_some_and(|&got| got <= admit + period)
+                && nodes[**j].as_ref().is_some_and(WatchmenNode::is_active_member)
+        })
+        .count();
+    let (mut bootstraps_sent, mut stale_drops) = (0u64, 0u64);
+    for n in nodes.iter().flatten() {
+        bootstraps_sent += n.churn_stats().bootstraps_sent;
+        stale_drops += n.churn_stats().stale_drops;
+    }
+    println!(
+        "churn summary: joins={} leaves={} evictions={} bootstraps_sent={bootstraps_sent} \
+         joiners_converged={joiners_converged} boundaries={boundaries} roster_agreement={} \
+         stale_drops={stale_drops} false_verdicts={severe} bad_signatures={bad_sigs}",
+        cs.joins_applied,
+        cs.leaves_applied,
+        cs.evictions_applied,
+        u64::from(agreement_ok),
     );
 }
 
