@@ -74,4 +74,33 @@ assert kv["bad_signatures"] == 0, f"churn traffic scored as signature failures: 
 print(f"churn OK: {m.group(1)}")
 EOF
 
+echo "==> fleet soak (256 matches x 16 bots across 4 workers, cheater in every 8th match)"
+FLEET_OUT=/tmp/watchmen-fleet.txt
+FLEET_BENCH_DIR=/tmp/watchmen-fleet-bench
+rm -rf "$FLEET_BENCH_DIR" && mkdir -p "$FLEET_BENCH_DIR"
+WATCHMEN_FLEET="${WATCHMEN_FLEET:-matches=256,players=16,frames=160,workers=4,cheat_every=8}" \
+WATCHMEN_BENCH_OUT="$FLEET_BENCH_DIR" \
+    cargo run --release --example fleet_soak > "$FLEET_OUT"
+python3 - "$FLEET_OUT" "$FLEET_BENCH_DIR/BENCH_fleet.json" <<'EOF'
+import json, re, sys
+text = open(sys.argv[1]).read()
+m = re.search(r"fleet summary: (.*)", text)
+assert m, "no fleet summary line in fleet_soak output"
+kv = {k: int(v) for k, v in (p.split("=") for p in m.group(1).split())}
+assert kv["completed"] == kv["matches"], f"matches lost: {kv}"
+assert kv["panicked"] == 0, f"matches panicked: {kv}"
+assert kv["false_verdicts"] == 0, f"fleet produced false cheat verdicts: {kv}"
+assert kv["cheater_matches"] > 0, f"cheat injection never engaged: {kv}"
+assert kv["detected_matches"] == kv["cheater_matches"], f"a cheater went undetected: {kv}"
+assert kv["workers"] >= 4, f"fleet ran under-parallel: {kv}"
+bench = json.load(open(sys.argv[2]))
+assert bench["matches_per_sec"] > 0, f"bench record has no throughput: {bench}"
+assert bench["ticks_per_sec"] > 0, f"bench record has no tick rate: {bench}"
+assert bench["worst_shard_tick_p99_ms"] > 0, f"bench record has no shard p99: {bench}"
+assert len(bench["shard_tick_p99_ms"]) == bench["workers"], f"missing shard p99s: {bench}"
+print(f"fleet OK: {m.group(1)}")
+print(f"bench OK: {bench['matches_per_sec']:.1f} matches/sec, "
+      f"worst shard tick p99 {bench['worst_shard_tick_p99_ms']:.3f} ms")
+EOF
+
 echo "CI OK"

@@ -1,0 +1,226 @@
+//! Machine-readable bench records.
+//!
+//! ROADMAP item 3 wants every optimisation claim backed by a recorded
+//! trajectory: numbers in a repo-committed artifact, not in a commit
+//! message. A [`BenchRecord`] is that artifact — a flat, ordered set of
+//! named fields serialised as JSON (hand-rolled; the workspace is
+//! std-only) and written as `BENCH_<name>.json`.
+//!
+//! Benches and soak gates call [`BenchRecord::save`], which honours the
+//! `WATCHMEN_BENCH_OUT` environment variable: unset means don't write
+//! (normal test runs stay side-effect free); a directory path means
+//! write `BENCH_<name>.json` there. Successive commits of the same file
+//! give a reviewable perf trajectory under plain `git log -p`.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// One recorded field value.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    U64(u64),
+    F64(f64),
+    Str(String),
+    F64List(Vec<f64>),
+}
+
+/// A named, ordered set of benchmark results, serialisable as JSON.
+///
+/// # Examples
+///
+/// ```
+/// let rec = watchmen_bench::record::BenchRecord::new("fleet")
+///     .with_u64("workers", 8)
+///     .with_f64("matches_per_sec", 41.5);
+/// let json = rec.to_json();
+/// assert!(json.contains("\"matches_per_sec\": 41.5"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    name: String,
+    fields: Vec<(String, Value)>,
+}
+
+impl BenchRecord {
+    /// Starts a record for the bench called `name` (used in the file
+    /// name: `BENCH_<name>.json`).
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        BenchRecord { name: name.to_owned(), fields: Vec::new() }
+    }
+
+    /// The bench name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds an integer field.
+    #[must_use]
+    pub fn with_u64(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.to_owned(), Value::U64(value)));
+        self
+    }
+
+    /// Adds a float field. Non-finite values serialise as `null` (JSON
+    /// has no NaN/Infinity).
+    #[must_use]
+    pub fn with_f64(mut self, key: &str, value: f64) -> Self {
+        self.fields.push((key.to_owned(), Value::F64(value)));
+        self
+    }
+
+    /// Adds a string field.
+    #[must_use]
+    pub fn with_str(mut self, key: &str, value: &str) -> Self {
+        self.fields.push((key.to_owned(), Value::Str(value.to_owned())));
+        self
+    }
+
+    /// Adds a list-of-floats field (e.g. one entry per shard).
+    #[must_use]
+    pub fn with_f64_list(mut self, key: &str, values: &[f64]) -> Self {
+        self.fields.push((key.to_owned(), Value::F64List(values.to_vec())));
+        self
+    }
+
+    /// Serialises the record as a pretty-printed JSON object with the
+    /// fields in insertion order, `name` first.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"name\": {},\n", json_string(&self.name)));
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            out.push_str(&format!("  {}: {}", json_string(key), json_value(value)));
+            out.push_str(if i + 1 < self.fields.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// The file name this record saves under.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.name)
+    }
+
+    /// Writes the record into `dir` as [`BenchRecord::file_name`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to_dir(&self, dir: &std::path::Path) -> std::io::Result<PathBuf> {
+        let path = dir.join(self.file_name());
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.to_json().as_bytes())?;
+        Ok(path)
+    }
+
+    /// Saves the record into the directory named by `WATCHMEN_BENCH_OUT`,
+    /// or does nothing when the variable is unset or empty. Returns the
+    /// written path, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (a set-but-unwritable destination
+    /// should fail the gate, not vanish).
+    pub fn save(&self) -> std::io::Result<Option<PathBuf>> {
+        match std::env::var("WATCHMEN_BENCH_OUT") {
+            Ok(dir) if !dir.trim().is_empty() => {
+                self.write_to_dir(std::path::Path::new(dir.trim())).map(Some)
+            }
+            _ => Ok(None),
+        }
+    }
+}
+
+/// JSON-escapes a string (quotes, backslashes, control characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a float as a JSON token (`null` for non-finite values).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{}` on f64 is the shortest round-trip form — always a valid
+        // JSON number for finite values.
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn json_value(value: &Value) -> String {
+    match value {
+        Value::U64(v) => format!("{v}"),
+        Value::F64(v) => json_f64(*v),
+        Value::Str(s) => json_string(s),
+        Value::F64List(vs) => {
+            let items: Vec<String> = vs.iter().map(|&v| json_f64(v)).collect();
+            format!("[{}]", items.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable_and_ordered() {
+        let rec = BenchRecord::new("fleet")
+            .with_u64("matches", 512)
+            .with_f64("matches_per_sec", 41.25)
+            .with_f64_list("shard_tick_p99_ms", &[0.5, 0.75])
+            .with_str("note", "a \"quoted\" note");
+        let json = rec.to_json();
+        assert_eq!(
+            json,
+            "{\n  \"name\": \"fleet\",\n  \"matches\": 512,\n  \"matches_per_sec\": 41.25,\n  \
+             \"shard_tick_p99_ms\": [0.5, 0.75],\n  \"note\": \"a \\\"quoted\\\" note\"\n}\n"
+        );
+    }
+
+    #[test]
+    fn floats_always_read_back_as_numbers() {
+        assert_eq!(json_f64(2.0), "2.0", "integral floats keep a decimal point");
+        assert_eq!(json_f64(0.125), "0.125");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn file_name_embeds_the_bench_name() {
+        assert_eq!(BenchRecord::new("fleet").file_name(), "BENCH_fleet.json");
+    }
+
+    #[test]
+    fn write_to_dir_round_trips() {
+        let dir = std::env::temp_dir().join("watchmen_bench_record_test");
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let rec = BenchRecord::new("roundtrip").with_u64("x", 7);
+        let path = rec.write_to_dir(&dir).expect("write record");
+        let read = std::fs::read_to_string(&path).expect("read record back");
+        assert_eq!(read, rec.to_json());
+        std::fs::remove_file(&path).ok();
+    }
+}

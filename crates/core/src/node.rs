@@ -166,6 +166,17 @@ impl ReplayWindow {
     }
 }
 
+/// A parked subscription offense awaiting skew-free evidence.
+#[derive(Debug, Clone, Copy)]
+struct PendingSubCheck {
+    /// The frame the subscriber computed the subscription on (its
+    /// Subscribe envelope frame).
+    sub_gen: u64,
+    /// The subscriber's state from exactly `sub_gen`, once received —
+    /// the cone the subscription was actually computed from.
+    sub_state: Option<StateUpdate>,
+}
+
 /// Per-supervised-player proxy state.
 #[derive(Debug, Clone, Default)]
 struct ProxyDuty {
@@ -410,11 +421,21 @@ pub struct WatchmenNode {
     my_subs: BTreeMap<(PlayerId, SetKind), u64>,
     /// Best known state of every player, learned from received messages.
     known: BTreeMap<PlayerId, (u64, StateUpdate)>,
-    /// Last frame each (subscriber, target) pair failed the subscription
-    /// check severely. A single failure can be knowledge skew (the
-    /// subscriber turned as its state update was lost), so severity
-    /// requires a repeat offense within a retention window.
-    sub_suspects: BTreeMap<(PlayerId, PlayerId), u64>,
+    /// Generation frame of the last *information discontinuity* seen in
+    /// each player's knowledge stream: a death, a respawn, or a
+    /// faster-than-physics jump (a respawn whose dead interval fell
+    /// between two sightings). Near a discontinuity different observers
+    /// legitimately hold wildly divergent copies of the player, so
+    /// staleness-tolerance-based checks have no honest baseline.
+    known_breaks: BTreeMap<PlayerId, u64>,
+    /// Subscription offenses awaiting confirmation, keyed by
+    /// (subscriber, target). A severe cone miss at arrival is usually
+    /// knowledge skew — the Subscribe races the subscriber's same-frame
+    /// state update (a respawn teleport makes the race spectacular), or
+    /// the proxy's copy of the target predates a respawn. The severe
+    /// verdict is deferred until evidence from both sides of the
+    /// subscription frame is in hand (see [`Self::confirm_sub_offenses`]).
+    sub_pending: BTreeMap<(PlayerId, PlayerId), PendingSubCheck>,
     /// Cached telemetry handles.
     metrics: NodeMetrics,
     /// Per-node flight recorder of trace events (sends, relays,
@@ -574,7 +595,8 @@ impl WatchmenNode {
             duties: BTreeMap::new(),
             my_subs: BTreeMap::new(),
             known: BTreeMap::new(),
-            sub_suspects: BTreeMap::new(),
+            known_breaks: BTreeMap::new(),
+            sub_pending: BTreeMap::new(),
             metrics: NodeMetrics::new(),
             recorder: Arc::new(FlightRecorder::new(DEFAULT_CAPACITY)),
             flight_dumps: VecDeque::new(),
@@ -600,6 +622,24 @@ impl WatchmenNode {
     #[must_use]
     pub fn with_lobby_key(mut self, key: PublicKey) -> Self {
         self.lobby_key = Some(key);
+        self
+    }
+
+    /// Replaces the flight recorder with a fresh ring of `capacity`
+    /// events. The default [`DEFAULT_CAPACITY`]-event ring costs a few
+    /// hundred kilobytes per node — the right trade for a handful of
+    /// nodes under a debugging microscope, but prohibitive when a fleet
+    /// orchestrator keeps thousands of nodes alive at once. Call this
+    /// immediately after construction, before any frame runs: handles
+    /// already cloned out via [`WatchmenNode::recorder`] keep pointing at
+    /// the old ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_recorder_capacity(mut self, capacity: usize) -> Self {
+        self.recorder = Arc::new(FlightRecorder::new(capacity));
         self
     }
 
@@ -914,8 +954,10 @@ impl WatchmenNode {
         }
 
         // Track self in the knowledge base so set computation has an
-        // observer entry.
-        self.known.insert(self.id, (frame, StateUpdate::from(my_state)));
+        // observer entry. Routed through `learn` so the node's own deaths
+        // and respawns register as knowledge breaks too — this node may be
+        // proxying a subscription that targets itself.
+        self.learn(self.id, frame, StateUpdate::from(my_state));
 
         // --- Subscriptions from *learned* knowledge.
         let sub_span = FrameTimer::start(&self.metrics.subscription_phase_ms);
@@ -1302,8 +1344,9 @@ impl WatchmenNode {
             self.pending_leaves.remove(&d);
             self.duties.remove(&d);
             self.known.remove(&d);
+            self.known_breaks.remove(&d);
             self.my_subs.retain(|&(target, _), _| target != d);
-            self.sub_suspects.retain(|&(a, b), _| a != d && b != d);
+            self.sub_pending.retain(|&(a, b), _| a != d && b != d);
             for duty in self.duties.values_mut() {
                 duty.is_subs.remove(&d);
                 duty.vs_subs.remove(&d);
@@ -1614,7 +1657,14 @@ impl WatchmenNode {
                     // on first receipt, or every retransmission of one
                     // dubious subscribe re-raises the same suspicion.
                     if fresh {
-                        self.verify_subscription(frame, origin, target, kind, &mut events);
+                        self.verify_subscription(
+                            frame,
+                            msg.envelope.frame,
+                            origin,
+                            target,
+                            kind,
+                            &mut events,
+                        );
                     }
                     if self.plausibly_proxy_of(target, msg.envelope.frame) {
                         self.install_subscription(origin, target, kind, frame);
@@ -2005,12 +2055,98 @@ impl WatchmenNode {
         let duty = self.duties.entry(origin).or_default();
         duty.updates_seen += 1;
         duty.last_state = Some((gen_frame, *update));
+        self.confirm_sub_offenses(origin, gen_frame, update, events);
     }
 
-    /// Proxy-side verification of an outgoing subscription.
+    /// Re-judge parked subscription offenses once skew-free evidence is in
+    /// hand. A parked offense resolves only when the proxy holds BOTH
+    /// sides of the subscription frame: the subscriber's own state from
+    /// exactly that frame (the cone the subscription was computed from —
+    /// a Subscribe races its same-frame state update, and a respawn
+    /// teleport makes the stale cone point across the map), and target
+    /// knowledge generated at-or-after it (the pre-respawn copy of a
+    /// target is equally misleading, and position-only corpse broadcasts
+    /// hide the death). A miss that survives both is deliberate — the
+    /// signature of a map hack probing unseen players — and earns the
+    /// full score; a cone hit or an information discontinuity in the
+    /// target's stream acquits silently (the capped rating from
+    /// [`Self::verify_subscription`] already fed the reputation system).
+    fn confirm_sub_offenses(
+        &mut self,
+        origin: PlayerId,
+        gen_frame: u64,
+        update: &StateUpdate,
+        events: &mut Vec<NodeEvent>,
+    ) {
+        let pending: Vec<(PlayerId, PendingSubCheck)> = self
+            .sub_pending
+            .iter()
+            .filter(|((subscriber, _), _)| *subscriber == origin)
+            .map(|(&(_, target), &check)| (target, check))
+            .collect();
+        for (target, mut check) in pending {
+            // Step 1: capture the subscriber's exact-frame state.
+            if check.sub_state.is_none() {
+                if gen_frame == check.sub_gen {
+                    check.sub_state = Some(*update);
+                    self.sub_pending.insert((origin, target), check);
+                } else if gen_frame > check.sub_gen {
+                    // The exact-frame state was lost in transit: without
+                    // it the re-check would judge a cone the subscriber
+                    // never claimed. Drop the parked offense.
+                    self.sub_pending.remove(&(origin, target));
+                    continue;
+                } else {
+                    continue; // pre-offense update; keep waiting
+                }
+            }
+            let Some(sub_state) = check.sub_state else { continue };
+            // Step 2: wait for target knowledge from at-or-after the
+            // subscription frame, with a deadline so entries can't linger.
+            if gen_frame.saturating_sub(check.sub_gen) > 4 * self.config.guidance_period {
+                self.sub_pending.remove(&(origin, target));
+                continue;
+            }
+            let Some(&(tgt_gen, target_state)) = self.known.get(&target) else {
+                self.sub_pending.remove(&(origin, target));
+                continue; // target departed since the offense
+            };
+            if tgt_gen < check.sub_gen {
+                continue; // pre-offense target copy; keep waiting
+            }
+            // Step 3: both sides in hand — resolve.
+            self.sub_pending.remove(&(origin, target));
+            if target_state.health == 0 || self.recent_knowledge_break(target, gen_frame) {
+                continue; // death/respawn straddles the window: no baseline
+            }
+            let sub_frame = PlayerFrame {
+                position: sub_state.position,
+                velocity: sub_state.velocity,
+                aim: sub_state.aim,
+                health: sub_state.health,
+                armor: sub_state.armor,
+                weapon: sub_state.weapon,
+                ammo: sub_state.ammo,
+            };
+            let raw =
+                self.verifier.check_vs_subscription(&sub_frame, target_state.position, &self.map);
+            if raw >= 6 {
+                events.push(NodeEvent::Suspicion {
+                    subject: origin,
+                    rating: CheatRating::new(raw, Confidence::Proxy, 0),
+                    check: checks::SUBSCRIPTION,
+                });
+            }
+        }
+    }
+
+    /// Proxy-side verification of an outgoing subscription. `frame` is the
+    /// local frame the Subscribe arrived on; `sub_gen` is the frame the
+    /// subscriber computed it on (its envelope frame).
     fn verify_subscription(
         &mut self,
         frame: u64,
+        sub_gen: u64,
         subscriber: PlayerId,
         target: PlayerId,
         kind: SetKind,
@@ -2032,6 +2168,15 @@ impl WatchmenNode {
         {
             return;
         }
+        // A respawn teleports the target across the map, so observers
+        // whose sightings straddle it disagree about its position by far
+        // more than any speed-based tolerance. Until everyone has plausibly
+        // seen the post-respawn state, the cone check has no honest
+        // baseline: skip while our copy is dead (the respawn is still to
+        // come) and for a window after a discontinuity in our stream.
+        if target_state.health == 0 || self.recent_knowledge_break(target, frame) {
+            return;
+        }
         let sub_frame = PlayerFrame {
             position: sub_state.position,
             velocity: sub_state.velocity,
@@ -2047,24 +2192,22 @@ impl WatchmenNode {
             }
             SetKind::Others => 1,
         };
-        // The cone check compares the subscriber's *current* aim against
-        // the proxy's last-received copy; a lost state update on the frame
-        // the subscriber turned makes an honest subscription look wildly
-        // out-of-cone once. Cap a first offense below the severe
-        // threshold; only a repeat within a retention window — the
-        // signature of a map hack persistently probing unseen players —
-        // earns the full score.
+        // A subscription is computed from the subscriber's state on its
+        // envelope frame, but that state update usually rides the same
+        // delivery batch and hasn't been processed yet — the check above
+        // then compares the claimed cone against a one-frame-stale copy,
+        // and an honest turn (or a respawn teleport) looks wildly
+        // out-of-cone. Cap the rating below the severe threshold and park
+        // the offense for re-judgement once skew-free evidence from both
+        // sides of the subscription frame is in hand (see
+        // confirm_sub_offenses).
         let score = if raw >= 6 {
-            let window = 2 * self.config.subscription_retention;
-            let repeat = self
-                .sub_suspects
-                .insert((subscriber, target), frame)
-                .is_some_and(|last| frame.saturating_sub(last) <= window);
-            if repeat {
-                raw
-            } else {
-                5
-            }
+            let sub_state_exact = (sub_frame_no == sub_gen).then_some(sub_state);
+            self.sub_pending.insert(
+                (subscriber, target),
+                PendingSubCheck { sub_gen, sub_state: sub_state_exact },
+            );
+            5
         } else {
             raw
         };
@@ -2097,7 +2240,44 @@ impl WatchmenNode {
         }
     }
 
+    /// Records a discontinuity in `player`'s knowledge stream if the step
+    /// from the previous copy to the new one crosses a death (health edge)
+    /// or covers more ground than physics allows — the signature of a
+    /// respawn whose dead interval fell between two sightings.
+    fn note_knowledge_break(
+        &mut self,
+        player: PlayerId,
+        prev: &(u64, StateUpdate),
+        frame: u64,
+        health: i32,
+        position: watchmen_math::Vec3,
+    ) {
+        let (prev_frame, prev_state) = prev;
+        let dead_edge = prev_state.health == 0 || health == 0;
+        let elapsed = frame.saturating_sub(*prev_frame).max(1);
+        let max_travel =
+            self.verifier.physics().max_speed * self.config.frame_seconds() * elapsed as f64 * 2.0;
+        if dead_edge || prev_state.position.distance(position) > max_travel {
+            self.known_breaks.insert(player, frame);
+        }
+    }
+
+    /// Whether `player`'s knowledge stream showed a discontinuity recently
+    /// enough (relative to `frame`) that other observers may still hold
+    /// pre-discontinuity copies. The window covers a full others-cadence
+    /// refresh on both sides plus transit.
+    fn recent_knowledge_break(&self, player: PlayerId, frame: u64) -> bool {
+        self.known_breaks
+            .get(&player)
+            .is_some_and(|&b| frame.saturating_sub(b) <= 2 * self.config.guidance_period)
+    }
+
     fn learn(&mut self, player: PlayerId, frame: u64, update: StateUpdate) {
+        if let Some(&prev) = self.known.get(&player) {
+            if frame >= prev.0 {
+                self.note_knowledge_break(player, &prev, frame, update.health, update.position);
+            }
+        }
         let entry = self.known.entry(player).or_insert((frame, update));
         if frame >= entry.0 {
             *entry = (frame, update);
@@ -2105,6 +2285,11 @@ impl WatchmenNode {
     }
 
     fn learn_position(&mut self, player: PlayerId, frame: u64, position: watchmen_math::Vec3) {
+        if let Some(&prev) = self.known.get(&player) {
+            if frame >= prev.0 {
+                self.note_knowledge_break(player, &prev, frame, prev.1.health, position);
+            }
+        }
         match self.known.get_mut(&player) {
             Some(entry) if frame >= entry.0 => {
                 entry.0 = frame;
@@ -2166,6 +2351,141 @@ mod tests {
         assert!(w.check_and_set(37), "exactly at the window edge");
         assert!(w.check_and_set(99));
         assert!(!w.check_and_set(99));
+    }
+
+    fn test_node() -> WatchmenNode {
+        let players = 3;
+        let keys: Vec<Keypair> = (0..players).map(|i| Keypair::generate(77 ^ i as u64)).collect();
+        let directory: Vec<_> = keys.iter().map(Keypair::public).collect();
+        WatchmenNode::new(
+            PlayerId(0),
+            keys.into_iter().next().expect("one key"),
+            directory,
+            77,
+            WatchmenConfig::default(),
+            watchmen_world::maps::arena(40, 10.0),
+            watchmen_world::PhysicsConfig::default(),
+        )
+    }
+
+    fn state_at(position: watchmen_math::Vec3, aim: watchmen_math::Aim) -> StateUpdate {
+        StateUpdate {
+            position,
+            velocity: watchmen_math::Vec3::ZERO,
+            aim,
+            health: 100,
+            armor: 0,
+            weapon: watchmen_game::WeaponKind::MachineGun,
+            ammo: 10,
+        }
+    }
+
+    fn severe_subscription_count(events: &[NodeEvent]) -> usize {
+        events
+            .iter()
+            .filter(|e| {
+                matches!(e, NodeEvent::Suspicion { rating, check, .. }
+                    if rating.score >= 6 && *check == checks::SUBSCRIPTION)
+            })
+            .count()
+    }
+
+    #[test]
+    fn map_hack_subscription_is_confirmed_severe() {
+        // The subscriber claims interest in a target far behind it while
+        // every copy involved is fresh and continuous: the offense parks
+        // at a capped rating, then the exact-frame evidence confirms it.
+        let mut node = test_node();
+        let sub = PlayerId(1);
+        let target = PlayerId(2);
+        let looking_px = watchmen_math::Aim::default(); // +x
+        let sub_state = state_at(watchmen_math::Vec3::new(200.0, 200.0, 0.0), looking_px);
+        // 160 units straight *behind* the +x cone: deviation well past
+        // 4x the guidance tolerance.
+        let tgt_state = state_at(watchmen_math::Vec3::new(40.0, 200.0, 0.0), looking_px);
+        node.duties.entry(sub).or_default().last_state = Some((10, sub_state));
+        node.known.insert(target, (12, tgt_state));
+
+        let mut events = Vec::new();
+        node.verify_subscription(11, 10, sub, target, SetKind::Vision, &mut events);
+        assert_eq!(severe_subscription_count(&events), 0, "offense must park, not sever");
+        assert!(
+            events.iter().any(|e| matches!(e, NodeEvent::Suspicion { rating, .. }
+                if rating.score == 5)),
+            "parked offense still rates a capped suspicion: {events:?}"
+        );
+        assert!(node.sub_pending.contains_key(&(sub, target)), "offense parked");
+
+        // The proxy already held the subscriber's exact-frame state, so
+        // the next supervised update resolves the pending check.
+        let mut confirm_events = Vec::new();
+        node.proxy_verify_and_account(sub, 11, &sub_state, &mut confirm_events);
+        assert_eq!(severe_subscription_count(&confirm_events), 1, "{confirm_events:?}");
+        assert!(node.sub_pending.is_empty(), "pending resolved");
+    }
+
+    #[test]
+    fn respawn_race_subscription_is_acquitted() {
+        // The subscriber respawned on the frame it subscribed: the proxy's
+        // one-frame-stale copy puts its cone across the map, but the
+        // exact-frame state shows the target dead ahead — acquit.
+        let mut node = test_node();
+        let sub = PlayerId(1);
+        let target = PlayerId(2);
+        let looking_px = watchmen_math::Aim::default();
+        let pre_respawn = state_at(watchmen_math::Vec3::new(350.0, 350.0, 0.0), looking_px);
+        let post_respawn = state_at(watchmen_math::Vec3::new(180.0, 200.0, 0.0), looking_px);
+        let tgt_state = state_at(watchmen_math::Vec3::new(220.0, 200.0, 0.0), looking_px);
+        node.duties.entry(sub).or_default().last_state = Some((9, pre_respawn));
+        node.known.insert(target, (12, tgt_state));
+
+        let mut events = Vec::new();
+        node.verify_subscription(11, 10, sub, target, SetKind::Interest, &mut events);
+        assert_eq!(severe_subscription_count(&events), 0);
+        assert!(node.sub_pending.contains_key(&(sub, target)));
+
+        // The exact-frame state lands: target 40 ahead, dead in the cone.
+        let mut confirm_events = Vec::new();
+        node.proxy_verify_and_account(sub, 10, &post_respawn, &mut confirm_events);
+        assert_eq!(
+            severe_subscription_count(&confirm_events),
+            0,
+            "honest respawn race must acquit: {confirm_events:?}"
+        );
+        assert!(node.sub_pending.is_empty(), "pending resolved either way");
+    }
+
+    #[test]
+    fn target_respawn_break_suppresses_confirmation() {
+        // The *target* teleports (death + respawn) inside the window: the
+        // knowledge stream shows an impossible jump, so the re-check has
+        // no honest baseline and the parked offense is dropped.
+        let mut node = test_node();
+        let sub = PlayerId(1);
+        let target = PlayerId(2);
+        let looking_px = watchmen_math::Aim::default();
+        let sub_state = state_at(watchmen_math::Vec3::new(200.0, 200.0, 0.0), looking_px);
+        let tgt_old = state_at(watchmen_math::Vec3::new(230.0, 200.0, 0.0), looking_px);
+        node.duties.entry(sub).or_default().last_state = Some((10, sub_state));
+        node.known.insert(target, (8, tgt_old));
+
+        // The target's post-respawn copy lands: a 250-unit jump in four
+        // frames registers as a knowledge break...
+        node.learn(target, 12, state_at(watchmen_math::Vec3::new(30.0, 40.0, 0.0), looking_px));
+        assert!(node.recent_knowledge_break(target, 12), "jump must register as a break");
+
+        // ...so an offense resolved inside the break window acquits, even
+        // though the fresh copies disagree wildly.
+        let mut events = Vec::new();
+        node.verify_subscription(11, 10, sub, target, SetKind::Vision, &mut events);
+        let mut confirm_events = Vec::new();
+        node.proxy_verify_and_account(sub, 11, &sub_state, &mut confirm_events);
+        assert_eq!(
+            severe_subscription_count(&confirm_events),
+            0,
+            "discontinuity must suppress the verdict: {confirm_events:?}"
+        );
+        assert!(node.sub_pending.is_empty());
     }
 
     #[test]

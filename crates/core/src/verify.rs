@@ -104,6 +104,12 @@ impl Verifier {
         &self.config
     }
 
+    /// The physics limits the checks measure against.
+    #[must_use]
+    pub fn physics(&self) -> &PhysicsConfig {
+        &self.physics
+    }
+
     /// Feeds one honest guidance-deviation observation into the baseline.
     pub fn observe_honest_guidance(&mut self, area: f64) {
         self.guidance_baseline.push(area);

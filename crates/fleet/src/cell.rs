@@ -1,0 +1,448 @@
+//! One match as a schedulable unit.
+//!
+//! A [`MatchCell`] owns everything a single Watchmen match needs — its
+//! recorded trace, a [`SimNetwork`], a [`GameLobby`] and one secured
+//! [`WatchmenNode`] per player — and shares **nothing** with any other
+//! cell, so thousands of cells run in parallel without coordination and
+//! a cell's outcome depends only on its [`MatchSpec`]. The cell
+//! implements [`Task`]: each quantum advances the match by a bounded
+//! number of frames, which lets the pool interleave long matches with
+//! short ones instead of running each to completion.
+//!
+//! Cheating is scripted the same way the deathmatch example scripts it:
+//! a cheater's reported position teleports sideways every fourth frame,
+//! which the player's proxy flags as a severe physics violation. The
+//! cell tallies severe verdicts (score ≥ 6, the same bar every soak gate
+//! in this repo uses) against the spec's cheater set: a severe verdict
+//! on a cheater is a detection, on an honest player a **false verdict**.
+//! Every suspicion report is also forwarded to the cell's lobby, whose
+//! threshold reputation bans players that accumulate enough failed
+//! interactions — long matches end with their cheaters banned.
+
+use std::time::Instant;
+
+use watchmen_core::lobby::{GameLobby, LobbyEvent};
+use watchmen_core::node::{NodeEvent, WatchmenNode};
+use watchmen_core::WatchmenConfig;
+use watchmen_crypto::schnorr::Keypair;
+use watchmen_game::trace::GameTrace;
+use watchmen_game::PlayerId;
+use watchmen_net::{latency, SimNetwork};
+use watchmen_sim::workload::match_workload;
+use watchmen_world::PhysicsConfig;
+
+use crate::pool::{Quantum, ShardContext, Task};
+
+/// Flight recorders are trimmed for population scale: the default 4096
+/// events/node costs ~megabytes per match at 16 players; 128 still holds
+/// several proxy epochs of context around a violation.
+const RECORDER_CAPACITY: usize = 128;
+
+/// Simnet one-way latency for fleet matches, in milliseconds.
+const LATENCY_MS: f64 = 8.0;
+
+/// How far a cheater's scripted position jumps, in world units — far
+/// beyond any legal per-frame displacement, so the proxy's physics check
+/// flags it deterministically.
+const CHEAT_OFFSET: f64 = 30.0;
+
+/// Everything that defines one match. Two cells built from equal specs
+/// produce byte-identical [`MatchReport`]s regardless of which workers
+/// run them or in what order — the property `tests/fleet_e2e.rs` pins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchSpec {
+    /// Fleet-assigned match id (also the report sort key).
+    pub match_id: u64,
+    /// Bots in the match (≥ 2).
+    pub players: usize,
+    /// Playable frames; the cell drives these plus a short drain sweep.
+    pub frames: u64,
+    /// The match seed: workload, keys, simnet and proxy schedule all
+    /// derive from it.
+    pub seed: u64,
+    /// Frames advanced per scheduler quantum (≥ 1).
+    pub tick_quantum: u64,
+    /// Players scripted to speed-hack (report teleported positions every
+    /// fourth frame).
+    pub cheaters: Vec<u32>,
+    /// Panic deliberately at this frame — test hook for the pool's
+    /// panic-isolation path.
+    pub poison_at: Option<u64>,
+}
+
+impl MatchSpec {
+    /// An honest `players`-bot match of `frames` frames.
+    #[must_use]
+    pub fn new(match_id: u64, players: usize, frames: u64, seed: u64) -> Self {
+        MatchSpec {
+            match_id,
+            players,
+            frames,
+            seed,
+            tick_quantum: 16,
+            cheaters: Vec::new(),
+            poison_at: None,
+        }
+    }
+
+    /// Scripts `player` as a speed-hacker.
+    #[must_use]
+    pub fn with_cheater(mut self, player: u32) -> Self {
+        self.cheaters.push(player);
+        self
+    }
+
+    /// Sets the frames-per-quantum granularity.
+    #[must_use]
+    pub fn with_tick_quantum(mut self, tick_quantum: u64) -> Self {
+        self.tick_quantum = tick_quantum.max(1);
+        self
+    }
+
+    /// Scripts a panic at `frame` (see [`MatchSpec::poison_at`]).
+    #[must_use]
+    pub fn poisoned_at(mut self, frame: u64) -> Self {
+        self.poison_at = Some(frame);
+        self
+    }
+}
+
+/// What one finished match reports back to the fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchReport {
+    /// The spec's match id.
+    pub match_id: u64,
+    /// Players in the match.
+    pub players: usize,
+    /// Playable frames driven.
+    pub frames: u64,
+    /// How many players were scripted cheaters.
+    pub cheaters: usize,
+    /// Whether every scripted cheater drew at least one severe verdict.
+    pub detected: bool,
+    /// Severe verdicts (score ≥ 6) against scripted cheaters.
+    pub severe_verdicts: u64,
+    /// Severe verdicts against honest players — the fleet-wide gate
+    /// asserts this is zero.
+    pub false_verdicts: u64,
+    /// Envelope signature failures observed.
+    pub bad_signatures: u64,
+    /// Players the lobby's reputation system banned.
+    pub banned: u64,
+    /// Messages the cell's simnet delivered.
+    pub messages: u64,
+}
+
+impl MatchReport {
+    /// The report as one deterministic machine-parseable line — the unit
+    /// the cross-worker-count determinism test compares byte-for-byte.
+    /// Wall-clock never appears here.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        format!(
+            "match {id}: players={p} frames={f} cheaters={c} detected={d} severe={s} \
+             false_verdicts={fv} bad_signatures={bs} banned={b} messages={m}",
+            id = self.match_id,
+            p = self.players,
+            f = self.frames,
+            c = self.cheaters,
+            d = u64::from(self.detected),
+            s = self.severe_verdicts,
+            fv = self.false_verdicts,
+            bs = self.bad_signatures,
+            b = self.banned,
+            m = self.messages,
+        )
+    }
+}
+
+/// The live state of a running match, built lazily on the cell's first
+/// quantum so a 10k-match fleet only materialises the cells currently in
+/// flight.
+struct Running {
+    nodes: Vec<WatchmenNode>,
+    net: SimNetwork<Vec<u8>>,
+    lobby: GameLobby,
+    trace: GameTrace,
+    frame_ms: f64,
+    frame: u64,
+    /// Per-cheater severe-verdict tallies, indexed like `spec.cheaters`.
+    per_cheater: Vec<u64>,
+    false_verdicts: u64,
+    bad_signatures: u64,
+    banned: u64,
+}
+
+/// One match, schedulable on the fleet pool. See the module docs.
+pub struct MatchCell {
+    spec: MatchSpec,
+    state: Option<Box<Running>>,
+}
+
+impl MatchCell {
+    /// Wraps a spec into a schedulable cell. Nothing is simulated until
+    /// the pool runs the first quantum.
+    #[must_use]
+    pub fn new(spec: MatchSpec) -> Self {
+        MatchCell { spec, state: None }
+    }
+
+    /// The spec this cell was built from.
+    #[must_use]
+    pub fn spec(&self) -> &MatchSpec {
+        &self.spec
+    }
+
+    /// Builds the match world: workload trace, keys, lobby, secured
+    /// nodes and the simnet, all derived from the spec's seed.
+    fn build(&self) -> Box<Running> {
+        let spec = &self.spec;
+        let config = WatchmenConfig::default();
+        let workload = match_workload(spec.players, spec.seed, spec.frames);
+
+        let keys: Vec<Keypair> =
+            (0..spec.players).map(|i| Keypair::generate(spec.seed ^ i as u64)).collect();
+        // Heartbeats are implicit in a bot match (every player reports
+        // every frame), so the timeout only needs to outlast the match.
+        let mut lobby = GameLobby::new(spec.seed, config, spec.frames + 1)
+            .with_keys(Keypair::generate(spec.seed ^ 0xf1ee7));
+        for k in &keys {
+            lobby.register(k.public());
+        }
+        lobby.start();
+        let lobby_key = lobby.lobby_key().expect("fleet lobby has keys");
+
+        let nodes: Vec<WatchmenNode> = keys
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| {
+                WatchmenNode::new(
+                    PlayerId(i as u32),
+                    k,
+                    lobby.directory().to_vec(),
+                    spec.seed,
+                    config,
+                    workload.map.clone(),
+                    PhysicsConfig::default(),
+                )
+                .with_lobby_key(lobby_key)
+                .with_recorder_capacity(RECORDER_CAPACITY)
+            })
+            .collect();
+
+        let net: SimNetwork<Vec<u8>> =
+            SimNetwork::new(spec.players, latency::constant(LATENCY_MS), 0.0, spec.seed);
+
+        Box::new(Running {
+            nodes,
+            net,
+            lobby,
+            trace: workload.trace,
+            frame_ms: config.frame_ms,
+            frame: 0,
+            per_cheater: vec![0; spec.cheaters.len()],
+            false_verdicts: 0,
+            bad_signatures: 0,
+            banned: 0,
+        })
+    }
+
+    /// Advances the match by one frame: deliver due messages, then begin
+    /// the next frame on every node, feeding suspicion reports to the
+    /// lobby as they appear.
+    fn step_frame(run: &mut Running, spec: &MatchSpec) {
+        let f = run.frame;
+        if spec.poison_at == Some(f) {
+            panic!("scripted poison in match {} at frame {f}", spec.match_id);
+        }
+
+        let deliveries = run.net.advance_to(f as f64 * run.frame_ms);
+        for d in deliveries {
+            let observer = PlayerId(d.to as u32);
+            let (out, events) =
+                run.nodes[d.to].handle_message(f, PlayerId(d.from as u32), &d.payload);
+            tally(run, spec, observer, &events);
+            for o in out {
+                let size = o.bytes.len();
+                run.net.send(d.to, o.to.index(), o.bytes, size);
+            }
+        }
+
+        for i in 0..spec.players {
+            let mut state = run.trace.frames[f as usize].states[i];
+            if spec.cheaters.contains(&(i as u32)) && f > 0 && f.is_multiple_of(4) {
+                // The scripted speed-hack: a sideways teleport no legal
+                // movement allows; the proxy's physics check flags it.
+                state.position.x += CHEAT_OFFSET;
+            }
+            let output = run.nodes[i].begin_frame(f, &state);
+            tally(run, spec, PlayerId(i as u32), &output.events);
+            for o in output.outgoing {
+                let size = o.bytes.len();
+                run.net.send(i, o.to.index(), o.bytes, size);
+            }
+            run.lobby.heartbeat(PlayerId(i as u32), f);
+        }
+
+        for e in run.lobby.tick(f) {
+            if let LobbyEvent::Banned(_) = e {
+                run.banned += 1;
+            }
+        }
+        run.frame += 1;
+    }
+
+    /// Final sweep after the last playable frame: deliver everything
+    /// still in flight (constant latency means one generous horizon
+    /// catches it all), count verdicts, but send nothing new — the match
+    /// is over.
+    fn drain(run: &mut Running, spec: &MatchSpec) -> MatchReport {
+        let horizon = (spec.frames as f64 + 2.0) * run.frame_ms + 10.0 * LATENCY_MS;
+        for d in run.net.advance_to(horizon) {
+            let observer = PlayerId(d.to as u32);
+            let (_out, events) =
+                run.nodes[d.to].handle_message(spec.frames, PlayerId(d.from as u32), &d.payload);
+            tally(run, spec, observer, &events);
+        }
+        run.net.stats().assert_invariant("fleet match cell");
+
+        let detected = !spec.cheaters.is_empty() && run.per_cheater.iter().all(|&n| n > 0);
+        MatchReport {
+            match_id: spec.match_id,
+            players: spec.players,
+            frames: spec.frames,
+            cheaters: spec.cheaters.len(),
+            detected,
+            severe_verdicts: run.per_cheater.iter().sum(),
+            false_verdicts: run.false_verdicts,
+            bad_signatures: run.bad_signatures,
+            banned: run.banned,
+            messages: run.net.stats().delivered,
+        }
+    }
+}
+
+/// Classifies node events: severe suspicions split into detections
+/// (subject is a scripted cheater) and false verdicts; every suspicion —
+/// including the clean per-epoch summaries — is forwarded to the lobby's
+/// reputation system under the observing player's name.
+fn tally(run: &mut Running, spec: &MatchSpec, observer: PlayerId, events: &[NodeEvent]) {
+    for e in events {
+        match e {
+            NodeEvent::Suspicion { subject, rating, .. } => {
+                run.lobby.report(observer, *subject, rating);
+                if rating.score >= 6 {
+                    match spec.cheaters.iter().position(|&c| c == subject.0) {
+                        Some(slot) => run.per_cheater[slot] += 1,
+                        None => run.false_verdicts += 1,
+                    }
+                }
+            }
+            NodeEvent::BadSignature { .. } => run.bad_signatures += 1,
+            _ => {}
+        }
+    }
+}
+
+impl Task for MatchCell {
+    type Output = MatchReport;
+
+    fn run_quantum(&mut self, cx: &ShardContext) -> Quantum<MatchReport> {
+        if self.state.is_none() {
+            self.state = Some(self.build());
+        }
+        let run = self.state.as_mut().expect("cell state just built");
+
+        let tick_ms = cx.registry.histogram("fleet_tick_ms");
+        cx.registry.describe("fleet_tick_ms", "wall-clock duration of one match frame");
+        let until = (run.frame + self.spec.tick_quantum).min(self.spec.frames);
+        let mut ticks = 0;
+        while run.frame < until {
+            let started = Instant::now();
+            Self::step_frame(run, &self.spec);
+            tick_ms.record(started.elapsed().as_secs_f64() * 1000.0);
+            ticks += 1;
+        }
+
+        if run.frame >= self.spec.frames {
+            let output = Self::drain(run, &self.spec);
+            self.state = None;
+            Quantum::Complete { ticks, output }
+        } else {
+            Quantum::Pending { ticks }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use watchmen_telemetry::Registry;
+
+    fn drive(spec: MatchSpec) -> MatchReport {
+        let cx = ShardContext { shard: 0, registry: Arc::new(Registry::new()) };
+        let mut cell = MatchCell::new(spec);
+        loop {
+            match cell.run_quantum(&cx) {
+                Quantum::Pending { .. } => {}
+                Quantum::Complete { output, .. } => return output,
+            }
+        }
+    }
+
+    #[test]
+    fn honest_match_completes_clean() {
+        let report = drive(MatchSpec::new(0, 8, 120, 901).with_tick_quantum(32));
+        assert_eq!(report.false_verdicts, 0, "honest arena match must score clean");
+        assert_eq!(report.severe_verdicts, 0);
+        assert_eq!(report.bad_signatures, 0);
+        assert!(!report.detected, "nothing to detect");
+        assert!(report.messages > 0, "nodes must have exchanged traffic");
+    }
+
+    #[test]
+    fn scripted_cheater_is_detected_without_false_verdicts() {
+        let report = drive(MatchSpec::new(1, 8, 160, 902).with_cheater(2));
+        assert!(report.detected, "speed-hacker must draw a severe verdict: {report:?}");
+        assert!(report.severe_verdicts > 0);
+        assert_eq!(report.false_verdicts, 0, "honest players must stay clean: {report:?}");
+    }
+
+    #[test]
+    fn equal_specs_produce_identical_reports() {
+        let spec = MatchSpec::new(7, 8, 100, 903).with_cheater(3);
+        let a = drive(spec.clone());
+        let b = drive(spec);
+        assert_eq!(a, b);
+        assert_eq!(a.summary_line(), b.summary_line());
+    }
+
+    #[test]
+    fn quantum_size_does_not_change_the_outcome() {
+        let a = drive(MatchSpec::new(9, 8, 100, 904).with_cheater(1).with_tick_quantum(1));
+        let b = drive(MatchSpec::new(9, 8, 100, 904).with_cheater(1).with_tick_quantum(64));
+        assert_eq!(a, b, "tick quantum is scheduling granularity, not simulation input");
+    }
+
+    #[test]
+    fn summary_line_is_stable() {
+        let report = MatchReport {
+            match_id: 3,
+            players: 16,
+            frames: 160,
+            cheaters: 1,
+            detected: true,
+            severe_verdicts: 38,
+            false_verdicts: 0,
+            bad_signatures: 0,
+            banned: 1,
+            messages: 12345,
+        };
+        assert_eq!(
+            report.summary_line(),
+            "match 3: players=16 frames=160 cheaters=1 detected=1 severe=38 \
+             false_verdicts=0 bad_signatures=0 banned=1 messages=12345"
+        );
+    }
+}

@@ -1,0 +1,353 @@
+//! Fleet lifecycle: spec generation, the run loop, and the fleet report.
+//!
+//! A fleet is `matches` independent Watchmen matches scheduled across
+//! the work-stealing pool. Every match's seed derives deterministically
+//! from the fleet seed (one [`SplitMix64`] draw per match id), every
+//! cell is shared-nothing, and completed reports are keyed by match id —
+//! so a fleet's [`FleetResult::match_lines`] is byte-identical for any
+//! worker count, which is the cheat-evidence property the orchestrator
+//! inherits from the protocol: results depend on inputs, never on
+//! scheduling.
+//!
+//! Cheat injection follows the repo's soak convention: every
+//! `cheat_every`-th match scripts player 2 as a speed-hacker, so the
+//! fleet-wide gate can assert both directions at population scale —
+//! injected cheaters detected, honest matches free of false verdicts.
+
+use std::sync::Arc;
+
+use watchmen_crypto::rng::SplitMix64;
+use watchmen_telemetry::Registry;
+
+use crate::cell::{MatchCell, MatchReport, MatchSpec};
+use crate::pool::{default_workers, run_tasks, PoolConfig, TaskOutcome, WorkerStats};
+use crate::rollup::{roll_up, FleetRollup};
+
+/// Which player a cheater-match scripts as the speed-hacker — the same
+/// slot the deathmatch example uses.
+const CHEATER_SLOT: u32 = 2;
+
+/// Everything that defines one fleet run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Matches to run.
+    pub matches: u64,
+    /// Bots per match.
+    pub players: usize,
+    /// Playable frames per match.
+    pub frames: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Per-worker in-flight match cap (bounds peak memory).
+    pub max_local: usize,
+    /// Frames a match advances per scheduler quantum.
+    pub tick_quantum: u64,
+    /// Fleet seed; every match seed derives from it.
+    pub seed: u64,
+    /// Script a cheater into every Nth match (0 = all-honest fleet).
+    pub cheat_every: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            matches: 512,
+            players: 16,
+            frames: 160,
+            workers: default_workers(),
+            max_local: 8,
+            tick_quantum: 16,
+            seed: 2013,
+            cheat_every: 8,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Reads `WATCHMEN_FLEET` — either a bare switch (`1`, `on`,
+    /// `defaults`) for the default fleet, or a comma-separated spec (see
+    /// [`FleetConfig::from_spec`]). Returns `None` when unset or empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is set but does not parse — a misspelled
+    /// gate should fail loudly, not silently soak the wrong fleet.
+    #[must_use]
+    pub fn from_env() -> Option<Self> {
+        let spec = std::env::var("WATCHMEN_FLEET").ok()?;
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return None;
+        }
+        if matches!(spec, "1" | "on" | "defaults") {
+            return Some(FleetConfig::default());
+        }
+        match Self::from_spec(spec) {
+            Ok(config) => Some(config),
+            Err(e) => panic!("WATCHMEN_FLEET: {e}"),
+        }
+    }
+
+    /// Parses a comma-separated fleet spec over the default config:
+    /// `matches=256,players=16,frames=160,workers=4,cheat_every=8`, plus
+    /// `seed=…`, `tick_quantum=…` and `max_local=…`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or unknown entry.
+    pub fn from_spec(spec: &str) -> Result<Self, String> {
+        let mut config = FleetConfig::default();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) =
+                part.split_once('=').ok_or_else(|| format!("expected key=value, got {part:?}"))?;
+            let parse =
+                |v: &str| v.parse::<u64>().map_err(|_| format!("bad number {v:?} for {key}"));
+            match key {
+                "matches" => config.matches = parse(value)?,
+                "players" => config.players = parse(value)? as usize,
+                "frames" => config.frames = parse(value)?,
+                "workers" => config.workers = parse(value)? as usize,
+                "max_local" => config.max_local = parse(value)? as usize,
+                "tick_quantum" => config.tick_quantum = parse(value)?,
+                "seed" => config.seed = parse(value)?,
+                "cheat_every" => config.cheat_every = parse(value)?,
+                other => return Err(format!("unknown fleet knob {other:?}")),
+            }
+        }
+        config.validate()?;
+        Ok(config)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.players < 3 {
+            return Err("players must be ≥ 3 (proxies supervise third parties)".into());
+        }
+        if self.frames == 0 {
+            return Err("frames must be ≥ 1".into());
+        }
+        if self.workers == 0 || self.max_local == 0 {
+            return Err("workers and max_local must be ≥ 1".into());
+        }
+        Ok(())
+    }
+
+    /// Expands the config into one spec per match: seeds drawn from a
+    /// [`SplitMix64`] over the fleet seed, a scripted cheater in every
+    /// `cheat_every`-th match.
+    #[must_use]
+    pub fn specs(&self) -> Vec<MatchSpec> {
+        let mut sm = SplitMix64::new(self.seed);
+        (0..self.matches)
+            .map(|id| {
+                let spec = MatchSpec::new(id, self.players, self.frames, sm.next_u64())
+                    .with_tick_quantum(self.tick_quantum);
+                if self.cheat_every > 0 && id % self.cheat_every == 0 {
+                    spec.with_cheater(CHEATER_SLOT)
+                } else {
+                    spec
+                }
+            })
+            .collect()
+    }
+}
+
+/// What a fleet run produced: per-match reports, panic records,
+/// scheduler stats and the telemetry rollup.
+#[derive(Debug)]
+pub struct FleetResult {
+    /// Reports of completed matches, sorted by match id.
+    pub reports: Vec<MatchReport>,
+    /// `(match_id, panic message)` for matches that panicked, sorted by
+    /// match id. The workers that ran them survived.
+    pub panics: Vec<(u64, String)>,
+    /// Per-worker scheduler counters.
+    pub workers: Vec<WorkerStats>,
+    /// Shard registries folded into per-shard and fleet-wide snapshots.
+    pub rollup: FleetRollup,
+}
+
+impl FleetResult {
+    /// Matches that ran to completion.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.reports.len() as u64
+    }
+
+    /// Total frames advanced across every worker (including drained
+    /// partial quanta).
+    #[must_use]
+    pub fn total_ticks(&self) -> u64 {
+        self.workers.iter().map(|w| w.ticks).sum()
+    }
+
+    /// Tasks stolen across shard deques.
+    #[must_use]
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Matches that scripted at least one cheater.
+    #[must_use]
+    pub fn cheater_matches(&self) -> u64 {
+        self.reports.iter().filter(|r| r.cheaters > 0).count() as u64
+    }
+
+    /// Cheater matches whose every scripted cheater drew a severe
+    /// verdict.
+    #[must_use]
+    pub fn detected_matches(&self) -> u64 {
+        self.reports.iter().filter(|r| r.cheaters > 0 && r.detected).count() as u64
+    }
+
+    /// Severe verdicts against honest players, fleet-wide. The soak gate
+    /// asserts zero.
+    #[must_use]
+    pub fn false_verdicts(&self) -> u64 {
+        self.reports.iter().map(|r| r.false_verdicts).sum()
+    }
+
+    /// One deterministic line per match, sorted by match id — completed
+    /// matches as their [`MatchReport::summary_line`], panicked matches
+    /// as a `panicked` line. Byte-identical across worker counts for a
+    /// fixed fleet seed.
+    #[must_use]
+    pub fn match_lines(&self) -> String {
+        let mut lines: Vec<(u64, String)> = self
+            .reports
+            .iter()
+            .map(|r| (r.match_id, r.summary_line()))
+            .chain(self.panics.iter().map(|(id, msg)| (*id, format!("match {id}: panicked {msg}"))))
+            .collect();
+        lines.sort_by_key(|(id, _)| *id);
+        let mut out = String::new();
+        for (_, line) in lines {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The machine-parseable fleet summary ci.sh gates on. Deterministic
+    /// counters only — timing lives in the bench record, not here.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        format!(
+            "fleet summary: matches={total} completed={c} panicked={p} workers={w} \
+             cheater_matches={cm} detected_matches={dm} severe={s} false_verdicts={fv} \
+             bad_signatures={bs} banned={b} messages={m} ticks={t} steals={st}",
+            total = self.reports.len() + self.panics.len(),
+            c = self.completed(),
+            p = self.panics.len(),
+            w = self.workers.len(),
+            cm = self.cheater_matches(),
+            dm = self.detected_matches(),
+            s = self.reports.iter().map(|r| r.severe_verdicts).sum::<u64>(),
+            fv = self.false_verdicts(),
+            bs = self.reports.iter().map(|r| r.bad_signatures).sum::<u64>(),
+            b = self.reports.iter().map(|r| r.banned).sum::<u64>(),
+            m = self.reports.iter().map(|r| r.messages).sum::<u64>(),
+            t = self.total_ticks(),
+            st = self.total_steals(),
+        )
+    }
+}
+
+/// Runs a fleet from a config: expand specs, schedule, roll up.
+#[must_use]
+pub fn run_fleet(config: &FleetConfig) -> FleetResult {
+    run_fleet_specs(
+        config.specs(),
+        &PoolConfig { workers: config.workers, max_local: config.max_local },
+    )
+}
+
+/// The lower-level entry point tests use: run explicit specs on an
+/// explicit pool shape.
+///
+/// # Panics
+///
+/// Panics on a zero worker count or in-flight cap; match panics are
+/// captured per match, never propagated.
+#[must_use]
+pub fn run_fleet_specs(specs: Vec<MatchSpec>, pool: &PoolConfig) -> FleetResult {
+    let ids: Vec<u64> = specs.iter().map(|s| s.match_id).collect();
+    let cells: Vec<MatchCell> = specs.into_iter().map(MatchCell::new).collect();
+    let run = run_tasks(pool, cells);
+
+    let mut reports = Vec::new();
+    let mut panics = Vec::new();
+    for (slot, outcome) in run.outcomes.into_iter().enumerate() {
+        match outcome {
+            TaskOutcome::Completed(report) => reports.push(report),
+            TaskOutcome::Panicked(msg) => panics.push((ids[slot], msg)),
+        }
+    }
+    reports.sort_by_key(|r| r.match_id);
+    panics.sort_by_key(|(id, _)| *id);
+
+    let shards: Vec<Arc<Registry>> = run.shards;
+    FleetResult { reports, panics, workers: run.workers, rollup: roll_up(&shards) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_expansion_is_deterministic_and_seeded() {
+        let config = FleetConfig { matches: 16, ..FleetConfig::default() };
+        let a = config.specs();
+        let b = config.specs();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        // Distinct seeds per match.
+        let mut seeds: Vec<u64> = a.iter().map(|s| s.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 16, "per-match seeds must be distinct");
+        // Every 8th match carries the scripted cheater.
+        for spec in &a {
+            let expect = spec.match_id % 8 == 0;
+            assert_eq!(!spec.cheaters.is_empty(), expect, "match {}", spec.match_id);
+        }
+    }
+
+    #[test]
+    fn spec_parsing_overrides_defaults_and_rejects_junk() {
+        let c = FleetConfig::from_spec("matches=64,players=8,frames=90,workers=2,cheat_every=4")
+            .expect("valid spec");
+        assert_eq!(c.matches, 64);
+        assert_eq!(c.players, 8);
+        assert_eq!(c.frames, 90);
+        assert_eq!(c.workers, 2);
+        assert_eq!(c.cheat_every, 4);
+        assert_eq!(c.seed, FleetConfig::default().seed, "unset knobs keep defaults");
+
+        assert!(FleetConfig::from_spec("matches").is_err(), "missing value");
+        assert!(FleetConfig::from_spec("bogus=1").is_err(), "unknown knob");
+        assert!(FleetConfig::from_spec("matches=abc").is_err(), "bad number");
+        assert!(FleetConfig::from_spec("players=2").is_err(), "too few players");
+        assert!(FleetConfig::from_spec("workers=0").is_err(), "zero workers");
+    }
+
+    #[test]
+    fn cheat_every_zero_means_all_honest() {
+        let config = FleetConfig { matches: 12, cheat_every: 0, ..FleetConfig::default() };
+        assert!(config.specs().iter().all(|s| s.cheaters.is_empty()));
+    }
+
+    #[test]
+    fn summary_line_shape_is_machine_parseable() {
+        let result = FleetResult {
+            reports: Vec::new(),
+            panics: Vec::new(),
+            workers: Vec::new(),
+            rollup: roll_up(&[]),
+        };
+        let line = result.summary_line();
+        assert!(line.starts_with("fleet summary: "));
+        for field in ["matches=", "completed=", "false_verdicts=", "detected_matches="] {
+            assert!(line.contains(field), "missing {field} in {line}");
+        }
+    }
+}

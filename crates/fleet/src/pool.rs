@@ -1,0 +1,538 @@
+//! A hand-rolled work-stealing scheduler for resumable tasks.
+//!
+//! The workspace is std-only, so this is the classic deque scheduler
+//! built from scratch: one worker thread per shard, each with its own
+//! local deque, a global FIFO injector seeded with every task, and
+//! back-of-deque stealing when a worker runs dry. Tasks are *resumable*:
+//! a call to [`Task::run_quantum`] advances the task by one bounded
+//! quantum and either yields ([`Quantum::Pending`], re-enqueued at the
+//! back of the worker's local deque) or finishes
+//! ([`Quantum::Complete`]). Round-robining the local deque front while
+//! re-enqueueing at the back interleaves every in-flight task, so a
+//! long-running task cannot starve short ones; idle workers steal from
+//! the back — the slot the owner would reach last.
+//!
+//! **In-flight bound.** A worker prefers the injector only while its
+//! local deque holds fewer than `max_local` tasks, so at most
+//! `workers × max_local` tasks are materialised at once — the knob that
+//! keeps a 10k-match fleet from building 10k simulations up front.
+//!
+//! **Failure isolation.** Each quantum runs under
+//! [`std::panic::catch_unwind`]: a panicking task is dropped, recorded as
+//! [`TaskOutcome::Panicked`] with the panic message, and the worker moves
+//! on. No lock is ever held across user code, so a panic cannot poison
+//! the scheduler.
+//!
+//! **Parking.** Workers with nothing to run park on a condvar with a
+//! short timeout. Producers notify on every push; the timeout is the
+//! backstop for the benign lost-wakeup race between a failed scan and
+//! the wait, trading at most a millisecond of latency for a scheme with
+//! no per-push locking.
+//!
+//! **Determinism.** The scheduler itself promises nothing about
+//! execution order — determinism is a property of the *tasks*: outcomes
+//! are keyed by submission index, so shared-nothing tasks that derive
+//! all randomness from their own seeds produce byte-identical outcome
+//! vectors for any worker count (see `tests/fleet_e2e.rs`).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use watchmen_telemetry::Registry;
+
+/// How long a parked worker waits before rescanning the queues.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// The result of advancing a task by one quantum.
+#[derive(Debug)]
+pub enum Quantum<T> {
+    /// The task has more work; it is re-enqueued.
+    Pending {
+        /// Ticks (frames) advanced during this quantum.
+        ticks: u64,
+    },
+    /// The task finished and produced its output.
+    Complete {
+        /// Ticks advanced during this final quantum.
+        ticks: u64,
+        /// The task's result.
+        output: T,
+    },
+}
+
+/// A resumable unit of work the pool schedules.
+pub trait Task: Send {
+    /// What the task produces when it completes.
+    type Output: Send;
+
+    /// Advances the task by one bounded quantum. Called repeatedly, never
+    /// concurrently, possibly from different workers across calls.
+    fn run_quantum(&mut self, cx: &ShardContext) -> Quantum<Self::Output>;
+}
+
+/// What a task sees of the shard (worker) currently running it.
+#[derive(Debug)]
+pub struct ShardContext {
+    /// The worker index, stable for the lifetime of the pool run.
+    pub shard: usize,
+    /// The shard-private telemetry registry; tasks record here with zero
+    /// cross-shard contention, and the fleet layer rolls every shard up
+    /// into one snapshot (see [`crate::rollup`]).
+    pub registry: Arc<Registry>,
+}
+
+/// How one task ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskOutcome<T> {
+    /// Ran to completion.
+    Completed(T),
+    /// Panicked mid-quantum; the message is the panic payload. The worker
+    /// that ran it survived.
+    Panicked(String),
+}
+
+impl<T> TaskOutcome<T> {
+    /// The completed output, if any.
+    pub fn completed(&self) -> Option<&T> {
+        match self {
+            TaskOutcome::Completed(v) => Some(v),
+            TaskOutcome::Panicked(_) => None,
+        }
+    }
+}
+
+/// Per-worker scheduler counters, derived from the shard registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index.
+    pub shard: usize,
+    /// Quanta executed (including the panicking one, if any).
+    pub quanta: u64,
+    /// Ticks reported by tasks run on this worker.
+    pub ticks: u64,
+    /// Tasks stolen from other workers' deques.
+    pub steals: u64,
+    /// Tasks that completed on this worker.
+    pub completed: u64,
+    /// Tasks that panicked on this worker.
+    pub panicked: u64,
+}
+
+/// Everything a pool run produced.
+#[derive(Debug)]
+pub struct PoolRun<T> {
+    /// One outcome per submitted task, in submission order.
+    pub outcomes: Vec<TaskOutcome<T>>,
+    /// Per-worker counters.
+    pub workers: Vec<WorkerStats>,
+    /// The shard-private registries (index = worker), for rollups.
+    pub shards: Vec<Arc<Registry>>,
+}
+
+/// Scheduler tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Worker threads (≥ 1).
+    pub workers: usize,
+    /// Maximum tasks a worker keeps in flight before it stops pulling
+    /// fresh work from the injector (≥ 1).
+    pub max_local: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig { workers: default_workers(), max_local: 8 }
+    }
+}
+
+/// The default worker count: available parallelism minus nothing fancy,
+/// clamped to at least one.
+#[must_use]
+pub fn default_workers() -> usize {
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// A task plus its submission index.
+struct Unit<T> {
+    id: usize,
+    task: T,
+}
+
+/// State shared by every worker.
+struct Shared<T> {
+    /// Global FIFO of not-yet-started tasks.
+    injector: Mutex<VecDeque<Unit<T>>>,
+    /// Per-worker deques of in-flight tasks.
+    locals: Vec<Mutex<VecDeque<Unit<T>>>>,
+    /// Tasks not yet completed or panicked; 0 means shutdown.
+    remaining: AtomicUsize,
+    /// Parking lot for idle workers.
+    park: Mutex<()>,
+    unpark: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn lock_local(&self, w: usize) -> std::sync::MutexGuard<'_, VecDeque<Unit<T>>> {
+        self.locals[w].lock().expect("fleet pool local deque lock")
+    }
+
+    fn lock_injector(&self) -> std::sync::MutexGuard<'_, VecDeque<Unit<T>>> {
+        self.injector.lock().expect("fleet pool injector lock")
+    }
+
+    /// Whether any queue currently holds runnable work.
+    fn has_visible_work(&self) -> bool {
+        if !self.lock_injector().is_empty() {
+            return true;
+        }
+        self.locals.iter().any(|l| !l.lock().expect("fleet pool local deque lock").is_empty())
+    }
+}
+
+/// Cached per-worker metric handles into the shard registry.
+struct WorkerMetrics {
+    quanta: Arc<watchmen_telemetry::Counter>,
+    ticks: Arc<watchmen_telemetry::Counter>,
+    steals: Arc<watchmen_telemetry::Counter>,
+    completed: Arc<watchmen_telemetry::Counter>,
+    panicked: Arc<watchmen_telemetry::Counter>,
+    quantum_ms: Arc<watchmen_telemetry::Histogram>,
+}
+
+impl WorkerMetrics {
+    fn new(registry: &Registry) -> Self {
+        registry.describe("fleet_quanta_total", "task quanta executed by this shard");
+        registry.describe("fleet_worker_ticks_total", "ticks advanced by tasks on this shard");
+        registry.describe("fleet_steals_total", "tasks stolen from other shards' deques");
+        registry.describe("fleet_tasks_completed_total", "tasks completed on this shard");
+        registry.describe("fleet_tasks_panicked_total", "tasks that panicked on this shard");
+        registry.describe("fleet_quantum_ms", "wall-clock duration of one task quantum");
+        WorkerMetrics {
+            quanta: registry.counter("fleet_quanta_total"),
+            ticks: registry.counter("fleet_worker_ticks_total"),
+            steals: registry.counter("fleet_steals_total"),
+            completed: registry.counter("fleet_tasks_completed_total"),
+            panicked: registry.counter("fleet_tasks_panicked_total"),
+            quantum_ms: registry.histogram("fleet_quantum_ms"),
+        }
+    }
+}
+
+/// Runs every task to completion (or panic) across `config.workers`
+/// threads and returns the outcomes in submission order, per-worker
+/// stats, and the shard registries.
+///
+/// # Panics
+///
+/// Panics if `config.workers` or `config.max_local` is zero. Task panics
+/// do **not** propagate — they are captured as
+/// [`TaskOutcome::Panicked`].
+pub fn run_tasks<T: Task>(config: &PoolConfig, tasks: Vec<T>) -> PoolRun<T::Output> {
+    assert!(config.workers >= 1, "need at least one worker");
+    assert!(config.max_local >= 1, "need a positive in-flight bound");
+    let n = tasks.len();
+    let shared = Shared {
+        injector: Mutex::new(
+            tasks.into_iter().enumerate().map(|(id, task)| Unit { id, task }).collect(),
+        ),
+        locals: (0..config.workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        remaining: AtomicUsize::new(n),
+        park: Mutex::new(()),
+        unpark: Condvar::new(),
+    };
+    let shards: Vec<Arc<Registry>> =
+        (0..config.workers).map(|_| Arc::new(Registry::new())).collect();
+    let outcomes: Mutex<Vec<Option<TaskOutcome<T::Output>>>> =
+        Mutex::new((0..n).map(|_| None).collect());
+
+    thread::scope(|s| {
+        for (w, registry) in shards.iter().enumerate() {
+            let shared = &shared;
+            let outcomes = &outcomes;
+            let cx = ShardContext { shard: w, registry: Arc::clone(registry) };
+            let max_local = config.max_local;
+            s.spawn(move || worker_loop(&cx, shared, outcomes, max_local));
+        }
+    });
+
+    let outcomes = outcomes
+        .into_inner()
+        .expect("fleet pool outcomes lock")
+        .into_iter()
+        .map(|o| o.expect("every task reaches an outcome"))
+        .collect();
+    let workers = shards
+        .iter()
+        .enumerate()
+        .map(|(shard, r)| {
+            let snap = r.snapshot();
+            WorkerStats {
+                shard,
+                quanta: snap.counter_sum("fleet_quanta_total"),
+                ticks: snap.counter_sum("fleet_worker_ticks_total"),
+                steals: snap.counter_sum("fleet_steals_total"),
+                completed: snap.counter_sum("fleet_tasks_completed_total"),
+                panicked: snap.counter_sum("fleet_tasks_panicked_total"),
+            }
+        })
+        .collect();
+    PoolRun { outcomes, workers, shards }
+}
+
+fn worker_loop<T: Task>(
+    cx: &ShardContext,
+    shared: &Shared<T>,
+    outcomes: &Mutex<Vec<Option<TaskOutcome<T::Output>>>>,
+    max_local: usize,
+) {
+    let metrics = WorkerMetrics::new(&cx.registry);
+    let me = cx.shard;
+    loop {
+        if shared.remaining.load(Ordering::Acquire) == 0 {
+            shared.unpark.notify_all();
+            return;
+        }
+        let unit = acquire(me, shared, max_local, &metrics);
+        let Some(mut unit) = unit else {
+            park(shared);
+            continue;
+        };
+
+        let started = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| unit.task.run_quantum(cx)));
+        metrics.quantum_ms.record(started.elapsed().as_secs_f64() * 1000.0);
+        metrics.quanta.inc();
+        match result {
+            Ok(Quantum::Pending { ticks }) => {
+                metrics.ticks.add(ticks);
+                shared.lock_local(me).push_back(unit);
+                // Someone may have parked after failing to find this work.
+                shared.unpark.notify_one();
+            }
+            Ok(Quantum::Complete { ticks, output }) => {
+                metrics.ticks.add(ticks);
+                metrics.completed.inc();
+                finish(unit.id, TaskOutcome::Completed(output), shared, outcomes);
+            }
+            Err(payload) => {
+                metrics.panicked.inc();
+                finish(
+                    unit.id,
+                    TaskOutcome::Panicked(panic_message(payload.as_ref())),
+                    shared,
+                    outcomes,
+                );
+                // The poisoned task (and its panic payload) are dropped
+                // here; the worker itself carries on with the next unit.
+                drop(payload);
+            }
+        }
+    }
+}
+
+/// Picks the next unit: the local deque front once the in-flight cap is
+/// reached, fresh injector work below it, and a steal from the back of
+/// another worker's deque as the last resort.
+fn acquire<T>(
+    me: usize,
+    shared: &Shared<T>,
+    max_local: usize,
+    metrics: &WorkerMetrics,
+) -> Option<Unit<T>> {
+    let in_flight = shared.lock_local(me).len();
+    if in_flight < max_local {
+        if let Some(unit) = shared.lock_injector().pop_front() {
+            return Some(unit);
+        }
+    }
+    if let Some(unit) = shared.lock_local(me).pop_front() {
+        return Some(unit);
+    }
+    // Drain the injector even at cap-0 edge cases before stealing.
+    if let Some(unit) = shared.lock_injector().pop_front() {
+        return Some(unit);
+    }
+    for offset in 1..shared.locals.len() {
+        let victim = (me + offset) % shared.locals.len();
+        if let Some(unit) = shared.lock_local(victim).pop_back() {
+            metrics.steals.inc();
+            return Some(unit);
+        }
+    }
+    None
+}
+
+/// Records an outcome and wakes everyone if it was the last task.
+fn finish<T>(
+    id: usize,
+    outcome: TaskOutcome<T>,
+    shared: &Shared<impl Sized>,
+    outcomes: &Mutex<Vec<Option<TaskOutcome<T>>>>,
+) {
+    outcomes.lock().expect("fleet pool outcomes lock")[id] = Some(outcome);
+    if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        shared.unpark.notify_all();
+    }
+}
+
+/// Parks until notified or the timeout backstop fires, rechecking for
+/// visible work under the park lock first.
+fn park<T>(shared: &Shared<T>) {
+    let guard = shared.park.lock().expect("fleet pool park lock");
+    if shared.remaining.load(Ordering::Acquire) == 0 || shared.has_visible_work() {
+        return;
+    }
+    let _ = shared.unpark.wait_timeout(guard, PARK_TIMEOUT).expect("fleet pool park lock");
+}
+
+/// Renders a panic payload as text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A task that counts down `quanta_left` quanta of `ticks_per` ticks,
+    /// then completes with its label.
+    struct Countdown {
+        label: usize,
+        quanta_left: u64,
+        ticks_per: u64,
+        panic_at: Option<u64>,
+    }
+
+    impl Task for Countdown {
+        type Output = usize;
+        fn run_quantum(&mut self, _cx: &ShardContext) -> Quantum<usize> {
+            if self.panic_at == Some(self.quanta_left) {
+                panic!("scripted panic in task {}", self.label);
+            }
+            self.quanta_left -= 1;
+            if self.quanta_left == 0 {
+                Quantum::Complete { ticks: self.ticks_per, output: self.label }
+            } else {
+                Quantum::Pending { ticks: self.ticks_per }
+            }
+        }
+    }
+
+    fn countdowns(n: usize, quanta: u64) -> Vec<Countdown> {
+        (0..n)
+            .map(|label| Countdown { label, quanta_left: quanta, ticks_per: 3, panic_at: None })
+            .collect()
+    }
+
+    #[test]
+    fn completes_all_tasks_in_submission_order() {
+        for workers in [1, 2, 8] {
+            let run = run_tasks(&PoolConfig { workers, max_local: 4 }, countdowns(23, 5));
+            assert_eq!(run.outcomes.len(), 23);
+            for (i, o) in run.outcomes.iter().enumerate() {
+                assert_eq!(o.completed(), Some(&i), "task {i} under {workers} workers");
+            }
+            let quanta: u64 = run.workers.iter().map(|w| w.quanta).sum();
+            assert_eq!(quanta, 23 * 5);
+            let ticks: u64 = run.workers.iter().map(|w| w.ticks).sum();
+            assert_eq!(ticks, 23 * 5 * 3);
+        }
+    }
+
+    #[test]
+    fn more_workers_than_tasks_terminates() {
+        let run = run_tasks(&PoolConfig { workers: 8, max_local: 8 }, countdowns(2, 1));
+        assert_eq!(run.outcomes.len(), 2);
+        assert_eq!(run.workers.len(), 8);
+        assert!(run.outcomes.iter().all(|o| o.completed().is_some()));
+    }
+
+    #[test]
+    fn empty_task_list_terminates() {
+        let run = run_tasks(&PoolConfig { workers: 4, max_local: 8 }, countdowns(0, 1));
+        assert!(run.outcomes.is_empty());
+    }
+
+    #[test]
+    fn panicking_task_is_isolated_and_reported() {
+        let mut tasks = countdowns(9, 4);
+        tasks[4].panic_at = Some(2); // panic on its third quantum
+        let run = run_tasks(&PoolConfig { workers: 2, max_local: 4 }, tasks);
+        match &run.outcomes[4] {
+            TaskOutcome::Panicked(msg) => {
+                assert!(msg.contains("scripted panic in task 4"), "{msg}");
+            }
+            other => panic!("expected panic outcome, got {other:?}"),
+        }
+        // Every other task still completed — the worker wasn't poisoned.
+        for (i, o) in run.outcomes.iter().enumerate() {
+            if i != 4 {
+                assert_eq!(o.completed(), Some(&i));
+            }
+        }
+        assert_eq!(run.workers.iter().map(|w| w.panicked).sum::<u64>(), 1);
+        assert_eq!(run.workers.iter().map(|w| w.completed).sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn in_flight_cap_bounds_concurrent_tasks() {
+        // With one worker and max_local 2, at most 2 tasks may be started
+        // before the first completes. Track the high-water mark of started
+        // tasks via a shared atomic.
+        use std::sync::atomic::AtomicUsize;
+        struct Tracking<'a> {
+            started: bool,
+            quanta_left: u64,
+            live: &'a AtomicUsize,
+            high: &'a AtomicUsize,
+        }
+        impl Task for Tracking<'_> {
+            type Output = ();
+            fn run_quantum(&mut self, _cx: &ShardContext) -> Quantum<()> {
+                if !self.started {
+                    self.started = true;
+                    let live = self.live.fetch_add(1, Ordering::SeqCst) + 1;
+                    self.high.fetch_max(live, Ordering::SeqCst);
+                }
+                self.quanta_left -= 1;
+                if self.quanta_left == 0 {
+                    self.live.fetch_sub(1, Ordering::SeqCst);
+                    Quantum::Complete { ticks: 1, output: () }
+                } else {
+                    Quantum::Pending { ticks: 1 }
+                }
+            }
+        }
+        let live = AtomicUsize::new(0);
+        let high = AtomicUsize::new(0);
+        let tasks: Vec<Tracking> = (0..12)
+            .map(|_| Tracking { started: false, quanta_left: 3, live: &live, high: &high })
+            .collect();
+        let run = run_tasks(&PoolConfig { workers: 1, max_local: 2 }, tasks);
+        assert!(run.outcomes.iter().all(|o| o.completed().is_some()));
+        // One in-hand plus up to max_local in the deque.
+        assert!(high.load(Ordering::SeqCst) <= 3, "in-flight exceeded cap: {high:?}");
+    }
+
+    #[test]
+    fn steals_rebalance_a_seeded_backlog() {
+        // Worker 1 starts with no work of its own once the injector is
+        // drained; with long-running tasks it must steal to contribute.
+        let run = run_tasks(&PoolConfig { workers: 4, max_local: 16 }, countdowns(32, 30));
+        assert!(run.outcomes.iter().all(|o| o.completed().is_some()));
+        // Stealing is opportunistic: all we assert is the counters are
+        // well-formed and the work all happened somewhere.
+        let quanta: u64 = run.workers.iter().map(|w| w.quanta).sum();
+        assert_eq!(quanta, 32 * 30);
+    }
+}

@@ -183,6 +183,41 @@ impl Histogram {
             .collect()
     }
 
+    /// Adds every observation recorded in `other` into this histogram,
+    /// bucket by bucket — the aggregation primitive behind shard rollups:
+    /// each shard records into its own histogram with zero contention, and
+    /// a collector merges them into one fleet-wide distribution whose
+    /// quantiles are exact up to the shared bucket resolution.
+    ///
+    /// `other` may be concurrently written; the merge observes each of its
+    /// buckets once (no torn multi-bucket snapshot is required for the
+    /// count/sum/min/max invariants, which are merged independently).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use watchmen_telemetry::Histogram;
+    ///
+    /// let (a, b) = (Histogram::new(), Histogram::new());
+    /// a.record(1.0);
+    /// b.record(100.0);
+    /// a.merge_from(&b);
+    /// assert_eq!(a.count(), 2);
+    /// assert!((a.max() - 100.0).abs() < 1e-9);
+    /// ```
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min.fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// Clears all recorded data.
     pub fn reset(&self) {
         for b in self.buckets.iter() {
@@ -340,6 +375,39 @@ mod tests {
         assert_eq!(h.min(), 0.0);
         assert_eq!(h.max(), 0.0);
         assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_combines_distributions() {
+        let (a, b) = (Histogram::new(), Histogram::new());
+        for v in 1..=50 {
+            a.record(f64::from(v));
+        }
+        for v in 51..=100 {
+            b.record(f64::from(v));
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), 100);
+        assert!((a.min() - 1.0).abs() < 1e-9);
+        assert!((a.max() - 100.0).abs() < 1e-9);
+        assert!((a.sum() - 5050.0).abs() < 1e-6);
+        let p50 = a.quantile(0.5);
+        assert!((p50 - 50.0).abs() / 50.0 < 0.05, "merged p50 ≈ {p50}");
+    }
+
+    #[test]
+    fn merge_from_empty_is_identity() {
+        let (a, b) = (Histogram::new(), Histogram::new());
+        a.record(7.0);
+        a.merge_from(&b);
+        assert_eq!(a.count(), 1);
+        assert!((a.min() - 7.0).abs() < 1e-9);
+        assert!((a.quantile(0.5) - 7.0).abs() < 1e-9);
+        // And merging into an empty histogram adopts the source's range.
+        b.merge_from(&a);
+        assert_eq!(b.count(), 1);
+        assert!((b.min() - 7.0).abs() < 1e-9);
+        assert!((b.max() - 7.0).abs() < 1e-9);
     }
 
     #[test]

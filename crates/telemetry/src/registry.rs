@@ -268,6 +268,61 @@ impl Registry {
         Snapshot { entries }
     }
 
+    /// Merges every metric registered in `other` into this registry,
+    /// appending `extra` to each metric's label set — the shard-rollup
+    /// primitive: give each shard (worker thread, match group, process
+    /// slice) its own private registry, then fold them into one fleet
+    /// registry as `metric{shard="3", ...}` entries whose histograms keep
+    /// full bucket resolution (see [`Histogram::merge_from`]).
+    ///
+    /// Counters and gauges add; histograms merge bucket-wise. Calling the
+    /// merge twice adds twice — it is an accumulation, not a sync. Pass an
+    /// empty `extra` to fold shards into label-free fleet aggregates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a merged `(name, labels)` pair is already registered here
+    /// as a different metric type.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use watchmen_telemetry::Registry;
+    ///
+    /// let shard = Registry::new();
+    /// shard.counter("ticks_total").add(7);
+    /// let fleet = Registry::new();
+    /// fleet.merge_labeled(&shard, &[("shard", "0")]);
+    /// let snap = fleet.snapshot();
+    /// assert_eq!(snap.counter_sum("ticks_total"), 7);
+    /// assert!(snap.get_with("ticks_total", &[("shard", "0")]).is_some());
+    /// ```
+    pub fn merge_labeled(&self, other: &Registry, extra: &[(&'static str, &str)]) {
+        // Clone the handles out so no lock is held while interning into
+        // `self` (which may be the same registry in degenerate uses).
+        let entries: Vec<(Key, Entry)> = {
+            let map = other.metrics.read().expect("telemetry lock");
+            map.iter().map(|(k, e)| (k.clone(), e.clone())).collect()
+        };
+        for (key, entry) in entries {
+            let mut labels: Vec<(&'static str, &str)> =
+                key.labels.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            labels.extend_from_slice(extra);
+            match entry {
+                Entry::Counter(c) => self.counter_with(key.name, &labels).add(c.get()),
+                Entry::Gauge(g) => self.gauge_with(key.name, &labels).add(g.get()),
+                Entry::Histogram(h) => self.histogram_with(key.name, &labels).merge_from(&h),
+            }
+        }
+        let help: Vec<(&'static str, &'static str)> = {
+            let map = other.help.read().expect("telemetry help lock");
+            map.iter().map(|(k, v)| (*k, *v)).collect()
+        };
+        for (name, text) in help {
+            self.describe(name, text);
+        }
+    }
+
     /// Zeroes every registered metric (between experiment runs).
     pub fn reset_all(&self) {
         let map = self.metrics.read().expect("telemetry lock");
@@ -345,6 +400,63 @@ mod tests {
             Some(MetricValue::Histogram { count, .. }) => assert_eq!(*count, 1),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn merge_labeled_folds_shards_into_one_snapshot() {
+        let shard0 = Registry::new();
+        let shard1 = Registry::new();
+        shard0.counter("fleet_ticks_total").add(10);
+        shard1.counter("fleet_ticks_total").add(32);
+        shard0.gauge("fleet_in_flight").set(2);
+        shard1.gauge("fleet_in_flight").set(3);
+        shard0.histogram("fleet_tick_ms").record(1.0);
+        shard1.histogram("fleet_tick_ms").record(9.0);
+        shard0.describe("fleet_ticks_total", "ticks advanced");
+
+        let fleet = Registry::new();
+        fleet.merge_labeled(&shard0, &[("shard", "0")]);
+        fleet.merge_labeled(&shard1, &[("shard", "1")]);
+        let snap = fleet.snapshot();
+        assert_eq!(
+            snap.get_with("fleet_ticks_total", &[("shard", "0")]),
+            Some(&MetricValue::Counter(10))
+        );
+        assert_eq!(
+            snap.get_with("fleet_ticks_total", &[("shard", "1")]),
+            Some(&MetricValue::Counter(32))
+        );
+        assert_eq!(snap.counter_sum("fleet_ticks_total"), 42);
+        assert_eq!(
+            snap.get_with("fleet_in_flight", &[("shard", "1")]),
+            Some(&MetricValue::Gauge(3))
+        );
+        assert_eq!(fleet.help_for("fleet_ticks_total"), Some("ticks advanced"));
+
+        // Label-free merge aggregates the histograms bucket-wise.
+        let agg = Registry::new();
+        agg.merge_labeled(&shard0, &[]);
+        agg.merge_labeled(&shard1, &[]);
+        match agg.snapshot().get("fleet_tick_ms") {
+            Some(MetricValue::Histogram { count, min, max, .. }) => {
+                assert_eq!(*count, 2);
+                assert!((min - 1.0).abs() < 1e-9 && (max - 9.0).abs() < 1e-9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_labeled_preserves_existing_labels() {
+        let shard = Registry::new();
+        shard.counter_with("verdicts_total", &[("check", "position")]).add(5);
+        let fleet = Registry::new();
+        fleet.merge_labeled(&shard, &[("shard", "7")]);
+        let snap = fleet.snapshot();
+        assert_eq!(
+            snap.get_with("verdicts_total", &[("check", "position"), ("shard", "7")]),
+            Some(&MetricValue::Counter(5))
+        );
     }
 
     #[test]

@@ -31,13 +31,21 @@ use watchmen::telemetry::{
 use watchmen::world::{maps, GameMap, PhysicsConfig};
 
 fn main() {
-    let mut args = std::env::args().skip(1).inspect(|a| {
-        if a.parse::<u64>().is_err() && !a.contains('/') && !a.contains('.') {
-            eprintln!("warning: ignoring unparseable argument {a:?}, using the default");
-        }
-    });
-    let players: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(48);
-    let frames: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2400);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() > 2 {
+        usage_error(&format!("expected at most 2 arguments, got {}", args.len()));
+    }
+    let players: usize = match args.first() {
+        None => 48,
+        Some(a) => a.parse().unwrap_or_else(|_| usage_error(&format!("bad players {a:?}"))),
+    };
+    let frames: u64 = match args.get(1) {
+        None => 2400,
+        Some(a) => a.parse().unwrap_or_else(|_| usage_error(&format!("bad frames {a:?}"))),
+    };
+    if players < 2 {
+        usage_error("players must be >= 2");
+    }
 
     let map = maps::q3dm17_like();
     println!("map: {map}");
@@ -172,6 +180,15 @@ fn main() {
 
     println!("\nfull snapshot (Prometheus text format):");
     print!("{}", export::prometheus_text_with_help(&snap, &|n| global().help_for(n)));
+}
+
+/// Rejects malformed CLI input loudly: silently soaking the default
+/// workload under a typo'd argument burns minutes and gates on the wrong
+/// run.
+fn usage_error(reason: &str) -> ! {
+    eprintln!("error: {reason}");
+    eprintln!("usage: deathmatch [players] [frames]   (defaults: 48 players, 2400 frames)");
+    std::process::exit(2);
 }
 
 /// Drives a small cluster of [`WatchmenNode`]s over an in-memory instant

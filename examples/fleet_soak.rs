@@ -1,0 +1,126 @@
+//! The population-scale soak: a fleet of simultaneous Watchmen matches
+//! on the shard-parallel orchestrator, with cheat injection in a known
+//! subset and a recorded bench trajectory.
+//!
+//! ```sh
+//! cargo run --release --example fleet_soak
+//! ```
+//!
+//! Defaults to 512 matches × 16 bots × 160 frames with a scripted
+//! speed-hacker in every 8th match. Override any knob with
+//! `WATCHMEN_FLEET`, e.g.:
+//!
+//! ```sh
+//! WATCHMEN_FLEET="matches=256,players=16,frames=160,workers=4,cheat_every=8" \
+//!     cargo run --release --example fleet_soak
+//! ```
+//!
+//! Knobs: `matches`, `players`, `frames`, `workers`, `max_local` (per-
+//! worker in-flight cap), `tick_quantum` (frames per scheduler quantum),
+//! `seed`, `cheat_every` (0 = all honest).
+//!
+//! The final `fleet summary:` line is machine-parseable (ci.sh gates on
+//! it), and with `WATCHMEN_BENCH_OUT=<dir>` set the run also writes
+//! `BENCH_fleet.json` — matches/sec, aggregate ticks/sec, per-shard tick
+//! p99s — extending the repo's recorded bench trajectory.
+
+use std::time::Instant;
+
+use watchmen::bench::BenchRecord;
+use watchmen::fleet::{run_fleet, FleetConfig};
+
+fn main() {
+    let config = FleetConfig::from_env().unwrap_or_default();
+    println!(
+        "fleet soak: {} matches x {} bots x {} frames on {} workers \
+         (quantum {} frames, cap {} in flight/worker, cheater in every {})…",
+        config.matches,
+        config.players,
+        config.frames,
+        config.workers,
+        config.tick_quantum,
+        config.max_local,
+        if config.cheat_every > 0 {
+            format!("{}th match", config.cheat_every)
+        } else {
+            "no match".to_owned()
+        },
+    );
+
+    let started = Instant::now();
+    let result = run_fleet(&config);
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // Per-worker scheduler view.
+    println!("\nworkers:");
+    for w in &result.workers {
+        println!(
+            "  shard {}: {} matches completed, {} quanta, {} ticks, {} steals, {} panics",
+            w.shard, w.completed, w.quanta, w.ticks, w.steals, w.panicked
+        );
+    }
+    for (id, msg) in &result.panics {
+        println!("  match {id} panicked: {msg}");
+    }
+
+    // Telemetry rollup: per-shard and fleet-wide tick latency.
+    println!("\ntick latency (ms):");
+    for (shard, ticks) in result.rollup.shard_ticks.iter().enumerate() {
+        if let Some(t) = ticks {
+            println!(
+                "  shard {shard}: p50 {:.3}  p90 {:.3}  p99 {:.3}  max {:.3}  ({} frames)",
+                t.p50, t.p90, t.p99, t.max, t.count
+            );
+        }
+    }
+    if let Some(t) = result.rollup.fleet_ticks {
+        println!(
+            "  fleet:   p50 {:.3}  p90 {:.3}  p99 {:.3}  max {:.3}  ({} frames)",
+            t.p50, t.p90, t.p99, t.max, t.count
+        );
+    }
+
+    let matches_per_sec = result.completed() as f64 / elapsed;
+    let ticks_per_sec = result.total_ticks() as f64 / elapsed;
+    println!(
+        "\nthroughput: {matches_per_sec:.1} matches/sec, {ticks_per_sec:.0} ticks/sec \
+         aggregate over {elapsed:.2}s"
+    );
+
+    // Per-match lines on request (WATCHMEN_FLEET_LINES=1) — the raw
+    // material behind the summary, and the unit the determinism test
+    // compares across worker counts.
+    if std::env::var("WATCHMEN_FLEET_LINES").is_ok_and(|v| !v.trim().is_empty()) {
+        print!("\n{}", result.match_lines());
+    }
+
+    // The machine-parseable gate line (deterministic counters only).
+    println!("\n{}", result.summary_line());
+
+    // The recorded trajectory, when asked for.
+    let fleet_p99 = result.rollup.fleet_ticks.map_or(f64::NAN, |t| t.p99);
+    let record = BenchRecord::new("fleet")
+        .with_u64("matches", config.matches)
+        .with_u64("players", config.players as u64)
+        .with_u64("frames", config.frames)
+        .with_u64("workers", config.workers as u64)
+        .with_u64("completed", result.completed())
+        .with_u64("false_verdicts", result.false_verdicts())
+        .with_u64("detected_matches", result.detected_matches())
+        .with_u64("cheater_matches", result.cheater_matches())
+        .with_u64("steals", result.total_steals())
+        .with_f64("elapsed_sec", elapsed)
+        .with_f64("matches_per_sec", matches_per_sec)
+        .with_f64("ticks_per_sec", ticks_per_sec)
+        .with_f64("fleet_tick_p99_ms", fleet_p99)
+        .with_f64("worst_shard_tick_p99_ms", result.rollup.worst_shard_tick_p99())
+        .with_f64_list("shard_tick_p99_ms", &result.rollup.shard_tick_p99s());
+    match record.save() {
+        Ok(Some(path)) => println!("wrote bench record to {}", path.display()),
+        Ok(None) => println!("(set WATCHMEN_BENCH_OUT=<dir> to record BENCH_fleet.json)"),
+        Err(e) => {
+            eprintln!("failed to write bench record: {e}");
+            std::process::exit(1);
+        }
+    }
+}

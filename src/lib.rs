@@ -7,8 +7,10 @@
 //! let v = Vec3::new(1.0, 2.0, 3.0);
 //! assert_eq!(v.x, 1.0);
 //! ```
+pub use watchmen_bench as bench;
 pub use watchmen_core as core;
 pub use watchmen_crypto as crypto;
+pub use watchmen_fleet as fleet;
 pub use watchmen_game as game;
 pub use watchmen_math as math;
 pub use watchmen_net as net;
