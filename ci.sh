@@ -74,14 +74,85 @@ assert kv["bad_signatures"] == 0, f"churn traffic scored as signature failures: 
 print(f"churn OK: {m.group(1)}")
 EOF
 
-echo "==> fleet soak (256 matches x 16 bots across 4 workers, cheater in every 8th match)"
+echo "==> fleet soak + live observability plane (256 matches x 16 bots, endpoint scraped mid-run)"
 FLEET_OUT=/tmp/watchmen-fleet.txt
 FLEET_BENCH_DIR=/tmp/watchmen-fleet-bench
+FLEET_AUDIT=/tmp/watchmen-fleet-audit.jsonl
 rm -rf "$FLEET_BENCH_DIR" && mkdir -p "$FLEET_BENCH_DIR"
-WATCHMEN_FLEET="${WATCHMEN_FLEET:-matches=256,players=16,frames=160,workers=4,cheat_every=8}" \
+rm -f "$FLEET_OUT" "$FLEET_AUDIT"
+# Background run with the metrics endpoint up and a post-run hold window,
+# so the scrape below is guaranteed a live server whether it lands
+# mid-soak or just after.
+WATCHMEN_FLEET="${WATCHMEN_FLEET:-matches=256,players=16,frames=160,workers=4,cheat_every=8,audit=1}" \
 WATCHMEN_BENCH_OUT="$FLEET_BENCH_DIR" \
-    cargo run --release --example fleet_soak > "$FLEET_OUT"
-python3 - "$FLEET_OUT" "$FLEET_BENCH_DIR/BENCH_fleet.json" <<'EOF'
+WATCHMEN_METRICS_ADDR=127.0.0.1:0 \
+WATCHMEN_METRICS_HOLD_MS=60000 \
+WATCHMEN_AUDIT="$FLEET_AUDIT" \
+    cargo run --release --example fleet_soak > "$FLEET_OUT" &
+FLEET_PID=$!
+python3 - "$FLEET_OUT" <<'EOF'
+import json, os, re, sys, time, urllib.request
+# Wait for the endpoint to announce itself, then scrape it live.
+addr = None
+for _ in range(600):
+    text = open(sys.argv[1]).read() if os.path.exists(sys.argv[1]) else ""
+    m = re.search(r"metrics endpoint listening on (\S+)", text)
+    if m:
+        addr = m.group(1)
+        break
+    time.sleep(0.1)
+assert addr, "fleet_soak never announced its metrics endpoint"
+
+health = urllib.request.urlopen(f"http://{addr}/healthz", timeout=5).read().decode()
+assert health.strip() == "ok", f"healthz said {health!r}"
+
+resp = urllib.request.urlopen(f"http://{addr}/metrics", timeout=5)
+ctype = resp.headers.get("Content-Type", "")
+assert ctype.startswith("text/plain; version=0.0.4"), f"bad content type {ctype!r}"
+body = resp.read().decode()
+
+# Prometheus exposition conformance: every family has a TYPE line before
+# its samples, sample lines parse, and no internal `_ms` names leak out
+# (millisecond histograms must export as `_seconds`).
+typed = set()
+sample_re = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+\-]+|NaN)$')
+samples = 0
+for line in body.splitlines():
+    if not line or line.startswith("# HELP"):
+        continue
+    if line.startswith("# TYPE"):
+        parts = line.split()
+        assert len(parts) == 4 and parts[3] in ("counter", "gauge", "histogram"), line
+        typed.add(parts[2])
+        continue
+    m = sample_re.match(line)
+    assert m, f"unparseable sample line: {line!r}"
+    name = m.group(1)
+    samples += 1
+    base = re.sub(r"_(bucket|sum|count)$", "", name)
+    assert base in typed or name in typed, f"sample before TYPE: {line!r}"
+    assert not base.endswith("_ms") and "_ms_" not in name, f"raw ms name leaked: {name}"
+assert samples > 0, "scrape returned no samples"
+assert 'fleet_quanta_total{shard="0"}' in body, "per-shard rollup labels missing"
+assert "fleet_matches{state=" in body, "match lifecycle gauges missing"
+assert "_seconds_bucket{" in body, "no seconds-unit histograms in scrape"
+
+jbody = json.load(urllib.request.urlopen(f"http://{addr}/metrics.json", timeout=5))
+assert isinstance(jbody, dict) and jbody, "metrics.json is not a non-empty object"
+
+print(f"scrape OK: {samples} samples, {len(typed)} typed families, live at {addr}")
+EOF
+# Everything is flushed before the hold window, so wait for the bench
+# record then cut the hold short.
+for _ in $(seq 1 600); do
+    grep -q "BENCH_detection.json" "$FLEET_OUT" && break
+    sleep 0.1
+done
+kill "$FLEET_PID" 2>/dev/null || true
+wait "$FLEET_PID" 2>/dev/null || true
+python3 - "$FLEET_OUT" "$FLEET_BENCH_DIR/BENCH_fleet.json" \
+    "$FLEET_BENCH_DIR/BENCH_detection.json" "$FLEET_AUDIT" <<'EOF'
 import json, re, sys
 text = open(sys.argv[1]).read()
 m = re.search(r"fleet summary: (.*)", text)
@@ -98,9 +169,37 @@ assert bench["matches_per_sec"] > 0, f"bench record has no throughput: {bench}"
 assert bench["ticks_per_sec"] > 0, f"bench record has no tick rate: {bench}"
 assert bench["worst_shard_tick_p99_ms"] > 0, f"bench record has no shard p99: {bench}"
 assert len(bench["shard_tick_p99_ms"]) == bench["workers"], f"missing shard p99s: {bench}"
+
+# Detection-quality SLO: zero false verdicts, every injected cheater
+# detected, time-to-detection p99 inside the frame budget.
+s = re.search(r"detection slo: (.*)", text)
+assert s, "no detection slo line in fleet_soak output"
+slo = {k: v for k, v in
+       (p.split("=") for p in s.group(1).split() if not p.startswith("check:"))}
+assert slo["false_verdicts"] == "0", f"false verdicts on the audit stream: {slo}"
+assert slo["detected"] == slo["injected"] != "0", f"missed cheaters: {slo}"
+assert slo["ok"] == "1", f"detection slo failed: {slo}"
+
+det = json.load(open(sys.argv[3]))
+assert det["injected"] > 0 and det["detected"] == det["injected"], f"bad join: {det}"
+assert det["false_verdicts"] == 0, f"false verdicts in bench record: {det}"
+assert det["slo_ok"] == 1, f"slo_ok not set: {det}"
+assert det["ttd_p99_frames"] <= det["ttd_budget_frames"], f"ttd blew the budget: {det}"
+assert det["position_tp"] > 0, f"position check never scored a true positive: {det}"
+assert det["plane_overhead_pct"] < 5.0, f"observability plane too expensive: {det}"
+
+audit = [json.loads(l) for l in open(sys.argv[4])]
+assert audit, "audit stream is empty"
+assert all(set(r) >= {"match", "frame", "node", "kind", "check", "trace"} for r in audit)
+kinds = {r["kind"] for r in audit}
+assert "verdict" in kinds and "rating_transition" in kinds, f"kinds seen: {kinds}"
+
 print(f"fleet OK: {m.group(1)}")
+print(f"slo OK: {s.group(1)}")
 print(f"bench OK: {bench['matches_per_sec']:.1f} matches/sec, "
-      f"worst shard tick p99 {bench['worst_shard_tick_p99_ms']:.3f} ms")
+      f"ttd p99 {det['ttd_p99_frames']:.0f} frames, "
+      f"plane overhead {det['plane_overhead_pct']:.2f}%, "
+      f"{len(audit)} audit records")
 EOF
 
 echo "CI OK"

@@ -66,21 +66,5 @@ pub fn run_experiment(name: &str, paper_ref: &str, body: impl FnOnce() -> String
     let output = body();
     println!("{output}");
     println!("[{name} completed in {:.2?}]\n", start.elapsed());
-    let registry = watchmen_telemetry::global();
-    match std::env::var("WATCHMEN_TELEMETRY").as_deref() {
-        Ok("json") => {
-            println!("--- telemetry ({name}) ---");
-            println!("{}", watchmen_telemetry::export::json(&registry.snapshot()));
-        }
-        Ok(_) => {
-            println!("--- telemetry ({name}) ---");
-            print!(
-                "{}",
-                watchmen_telemetry::export::prometheus_text_with_help(&registry.snapshot(), &|n| {
-                    registry.help_for(n)
-                })
-            );
-        }
-        Err(_) => {}
-    }
+    watchmen_telemetry::dump_from_env(name);
 }

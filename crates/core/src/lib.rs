@@ -46,6 +46,7 @@
 
 pub mod aim_analysis;
 pub mod attention;
+pub mod audit;
 pub mod cheat;
 mod config;
 pub mod dead_reckoning;

@@ -15,7 +15,9 @@
 
 use watchmen_crypto::schnorr::{Keypair, PublicKey};
 use watchmen_game::PlayerId;
+use watchmen_telemetry::TraceId;
 
+use crate::audit::{AuditKind, AuditLog, AuditRecord, LOBBY_NODE};
 use crate::membership::MembershipTracker;
 use crate::msg::JoinTicket;
 use crate::proxy::ProxySchedule;
@@ -84,6 +86,9 @@ pub struct GameLobby {
     /// disconnect, ban), so a joiner's snapshot epoch lines up with the
     /// veterans' roster epoch at its admission boundary.
     roster_epoch: u64,
+    /// The lobby's slice of the verdict audit stream: one record per ban
+    /// decision, drained via [`GameLobby::drain_audit`].
+    audit: AuditLog,
 }
 
 impl GameLobby {
@@ -111,6 +116,7 @@ impl GameLobby {
             heartbeat_timeout,
             keys: None,
             roster_epoch: 0,
+            audit: AuditLog::default(),
         }
     }
 
@@ -249,6 +255,18 @@ impl GameLobby {
                 if !schedule.is_excluded(player) && schedule.eligible_count() > 2 {
                     schedule.exclude(player);
                 }
+                let suspicion = self.reputation.suspicion(player);
+                self.audit.push_with(|| AuditRecord {
+                    frame,
+                    node: LOBBY_NODE,
+                    subject: player.0,
+                    kind: AuditKind::Ban,
+                    check: "",
+                    score: 0,
+                    confidence: "",
+                    trace: TraceId::NONE,
+                    detail: format!("suspicion={suspicion:.3}"),
+                });
                 events.push(LobbyEvent::Banned(player));
             }
         }
@@ -264,6 +282,17 @@ impl GameLobby {
         // mirror as a roster delta.
         self.roster_epoch += events.len() as u64;
         events
+    }
+
+    /// Drains the lobby's slice of the verdict audit stream (one record
+    /// per ban decision), oldest first.
+    pub fn drain_audit(&mut self) -> Vec<crate::audit::AuditRecord> {
+        self.audit.drain()
+    }
+
+    /// Turns the lobby's audit recording on (the default) or off.
+    pub fn set_audit_enabled(&mut self, enabled: bool) {
+        self.audit.set_enabled(enabled);
     }
 
     /// Players still in good standing.

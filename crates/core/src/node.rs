@@ -31,6 +31,7 @@ use watchmen_telemetry::{
 };
 use watchmen_world::{GameMap, PhysicsConfig};
 
+use crate::audit::{AuditKind, AuditLog, AuditRecord};
 use crate::dead_reckoning::Guidance;
 use crate::membership::MembershipTracker;
 use crate::msg::{
@@ -482,6 +483,15 @@ pub struct WatchmenNode {
     announced_evictions: BTreeSet<PlayerId>,
     /// Churn counters.
     churn_stats: ChurnStats,
+    /// The verdict audit stream: one structured record per detection
+    /// decision, drained by the embedding driver
+    /// ([`WatchmenNode::drain_audit`]).
+    audit: AuditLog,
+    /// The causal trace id of the message currently being handled, so
+    /// decision sites reached from [`WatchmenNode::handle_message`] can
+    /// stamp their audit records without threading the id through every
+    /// call. [`TraceId::NONE`] outside message handling.
+    audit_trace: TraceId,
 }
 
 impl WatchmenNode {
@@ -615,6 +625,8 @@ impl WatchmenNode {
             pending_evicts: BTreeMap::new(),
             announced_evictions: BTreeSet::new(),
             churn_stats: ChurnStats::default(),
+            audit: AuditLog::default(),
+            audit_trace: TraceId::NONE,
         }
     }
 
@@ -680,6 +692,26 @@ impl WatchmenNode {
     /// fires; at most [`MAX_FLIGHT_DUMPS`] are retained between drains.
     pub fn take_flight_dumps(&mut self) -> Vec<FlightDump> {
         self.flight_dumps.drain(..).collect()
+    }
+
+    /// Drains this node's verdict audit stream, oldest record first. The
+    /// embedding driver should drain every frame; records past the
+    /// buffer's capacity are dropped and counted
+    /// ([`WatchmenNode::audit_dropped`]).
+    pub fn drain_audit(&mut self) -> Vec<AuditRecord> {
+        self.audit.drain()
+    }
+
+    /// Turns the audit stream on (the default) or off; off makes every
+    /// decision-site push a cheap no-op, for overhead measurements.
+    pub fn set_audit_enabled(&mut self, enabled: bool) {
+        self.audit.set_enabled(enabled);
+    }
+
+    /// Audit records dropped because the buffer was full at push time.
+    #[must_use]
+    pub fn audit_dropped(&self) -> u64 {
+        self.audit.dropped()
     }
 
     /// Reliable-control-plane counters (retransmits, acks, fallbacks…).
@@ -1103,7 +1135,22 @@ impl WatchmenNode {
             // summary must not carry states counted last epoch into the
             // next one (the scheduled summarizer would read the inflated
             // count as update-flooding).
-            for duty in self.duties.values_mut() {
+            let node = self.id.0;
+            for (&player, duty) in &mut self.duties {
+                if duty.worst_rating > 1 {
+                    let prev_worst = duty.worst_rating;
+                    self.audit.push_with(|| AuditRecord {
+                        frame,
+                        node,
+                        subject: player.0,
+                        kind: AuditKind::RatingTransition,
+                        check: checks::EPOCH_SUMMARY,
+                        score: 1,
+                        confidence: Confidence::Proxy.label(),
+                        trace: TraceId::NONE,
+                        detail: format!("worst {prev_worst}->1 (epoch reset)"),
+                    });
+                }
                 duty.worst_rating = 1;
                 duty.updates_seen = 0;
             }
@@ -1524,6 +1571,9 @@ impl WatchmenNode {
         // The causal trace id is recomputed from the signed (origin, seq)
         // pair at every hop — no extra wire bytes, tamper-evident.
         let trace = msg.trace_id();
+        // Decision sites reached below (proxy verification, pending-check
+        // resolution) stamp their audit records with this message's trace.
+        self.audit_trace = trace;
         let origin = msg.envelope.from;
         let Some(origin_key) = self.roster.key(origin) else {
             // Unknown origin: the only admissible message is a Join
@@ -1925,6 +1975,17 @@ impl WatchmenNode {
                         "bad-signature",
                         0,
                     ));
+                    self.audit.push(AuditRecord {
+                        frame,
+                        node,
+                        subject: claimed_from.0,
+                        kind: AuditKind::BadSignature,
+                        check: "",
+                        score: 0,
+                        confidence: "",
+                        trace,
+                        detail: String::new(),
+                    });
                     self.capture_dump("bad-signature", trace, claimed_from.0);
                 }
                 NodeEvent::Replay { from } => {
@@ -1938,6 +1999,17 @@ impl WatchmenNode {
                         "replay",
                         0,
                     ));
+                    self.audit.push(AuditRecord {
+                        frame,
+                        node,
+                        subject: from.0,
+                        kind: AuditKind::Replay,
+                        check: "",
+                        score: 0,
+                        confidence: "",
+                        trace,
+                        detail: String::new(),
+                    });
                     self.capture_dump("replay", trace, from.0);
                 }
                 NodeEvent::Suspicion { subject, rating, check } => {
@@ -1951,6 +2023,17 @@ impl WatchmenNode {
                         check,
                         i64::from(rating.score),
                     ));
+                    self.audit.push_with(|| AuditRecord {
+                        frame,
+                        node,
+                        subject: subject.0,
+                        kind: AuditKind::Verdict,
+                        check,
+                        score: rating.score,
+                        confidence: rating.confidence.label(),
+                        trace,
+                        detail: format!("{rating}"),
+                    });
                     if rating.is_suspicious() {
                         self.recorder.record(TraceEvent::point(
                             trace,
@@ -2050,7 +2133,25 @@ impl WatchmenNode {
                 });
             }
             let duty = self.duties.entry(origin).or_default();
+            let prev_worst = duty.worst_rating;
             duty.worst_rating = duty.worst_rating.max(score).max(aim_score);
+            let worst = duty.worst_rating;
+            // Transitions to the clean baseline (0 → 1 on a duty's first
+            // update) are initialization, not decisions — skip those.
+            if worst > prev_worst && worst > 1 {
+                let trace = self.audit_trace;
+                self.audit.push_with(|| AuditRecord {
+                    frame: gen_frame,
+                    node: self.id.0,
+                    subject: origin.0,
+                    kind: AuditKind::RatingTransition,
+                    check: if score >= aim_score { checks::POSITION } else { checks::AIM },
+                    score: worst,
+                    confidence: Confidence::Proxy.label(),
+                    trace,
+                    detail: format!("worst {prev_worst}->{worst}"),
+                });
+            }
         }
         let duty = self.duties.entry(origin).or_default();
         duty.updates_seen += 1;
@@ -2095,6 +2196,7 @@ impl WatchmenNode {
                     // it the re-check would judge a cone the subscriber
                     // never claimed. Drop the parked offense.
                     self.sub_pending.remove(&(origin, target));
+                    self.audit_pending_resolved(origin, gen_frame, 0, "dropped");
                     continue;
                 } else {
                     continue; // pre-offense update; keep waiting
@@ -2105,10 +2207,12 @@ impl WatchmenNode {
             // subscription frame, with a deadline so entries can't linger.
             if gen_frame.saturating_sub(check.sub_gen) > 4 * self.config.guidance_period {
                 self.sub_pending.remove(&(origin, target));
+                self.audit_pending_resolved(origin, gen_frame, 0, "expired");
                 continue;
             }
             let Some(&(tgt_gen, target_state)) = self.known.get(&target) else {
                 self.sub_pending.remove(&(origin, target));
+                self.audit_pending_resolved(origin, gen_frame, 0, "target-departed");
                 continue; // target departed since the offense
             };
             if tgt_gen < check.sub_gen {
@@ -2117,7 +2221,9 @@ impl WatchmenNode {
             // Step 3: both sides in hand — resolve.
             self.sub_pending.remove(&(origin, target));
             if target_state.health == 0 || self.recent_knowledge_break(target, gen_frame) {
-                continue; // death/respawn straddles the window: no baseline
+                // death/respawn straddles the window: no baseline
+                self.audit_pending_resolved(origin, gen_frame, 0, "no-baseline");
+                continue;
             }
             let sub_frame = PlayerFrame {
                 position: sub_state.position,
@@ -2131,13 +2237,40 @@ impl WatchmenNode {
             let raw =
                 self.verifier.check_vs_subscription(&sub_frame, target_state.position, &self.map);
             if raw >= 6 {
+                self.audit_pending_resolved(origin, gen_frame, raw, "confirmed");
                 events.push(NodeEvent::Suspicion {
                     subject: origin,
                     rating: CheatRating::new(raw, Confidence::Proxy, 0),
                     check: checks::SUBSCRIPTION,
                 });
+            } else {
+                self.audit_pending_resolved(origin, gen_frame, raw, "acquitted");
             }
         }
+    }
+
+    /// Pushes one [`AuditKind::PendingResolved`] record for a parked
+    /// subscription check reaching `outcome`.
+    fn audit_pending_resolved(
+        &mut self,
+        subject: PlayerId,
+        frame: u64,
+        score: u8,
+        outcome: &'static str,
+    ) {
+        let trace = self.audit_trace;
+        let node = self.id.0;
+        self.audit.push_with(|| AuditRecord {
+            frame,
+            node,
+            subject: subject.0,
+            kind: AuditKind::PendingResolved,
+            check: checks::SUBSCRIPTION,
+            score,
+            confidence: Confidence::Proxy.label(),
+            trace,
+            detail: outcome.to_owned(),
+        });
     }
 
     /// Proxy-side verification of an outgoing subscription. `frame` is the

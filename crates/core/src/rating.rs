@@ -34,16 +34,22 @@ impl Confidence {
             Confidence::Other => 0.2,
         }
     }
-}
 
-impl fmt::Display for Confidence {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+    /// The paper's label for this vantage point (`c_P`…`c_O`).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
             Confidence::Proxy => "c_P",
             Confidence::Interest => "c_IS",
             Confidence::Vision => "c_VS",
             Confidence::Other => "c_O",
-        })
+        }
+    }
+}
+
+impl fmt::Display for Confidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 

@@ -21,13 +21,16 @@
 
 use std::time::Instant;
 
+use watchmen_core::audit::AuditRecord;
 use watchmen_core::lobby::{GameLobby, LobbyEvent};
 use watchmen_core::node::{NodeEvent, WatchmenNode};
+use watchmen_core::verify::checks;
 use watchmen_core::WatchmenConfig;
 use watchmen_crypto::schnorr::Keypair;
 use watchmen_game::trace::GameTrace;
 use watchmen_game::PlayerId;
 use watchmen_net::{latency, SimNetwork};
+use watchmen_sim::quality::{evaluate, DetectionQuality, GroundTruth, UNDETECTED};
 use watchmen_sim::workload::match_workload;
 use watchmen_world::PhysicsConfig;
 
@@ -45,6 +48,10 @@ const LATENCY_MS: f64 = 8.0;
 /// beyond any legal per-frame displacement, so the proxy's physics check
 /// flags it deterministically.
 const CHEAT_OFFSET: f64 = 30.0;
+
+/// The first frame the scripted speed-hack fires on (every fourth frame
+/// after 0), the anchor time-to-detect is measured from.
+const FIRST_CHEAT_FRAME: u64 = 4;
 
 /// Everything that defines one match. Two cells built from equal specs
 /// produce byte-identical [`MatchReport`]s regardless of which workers
@@ -68,6 +75,12 @@ pub struct MatchSpec {
     /// Panic deliberately at this frame — test hook for the pool's
     /// panic-isolation path.
     pub poison_at: Option<u64>,
+    /// Collect the verdict audit stream and compute the detection-quality
+    /// join (default on; turned off for the plane-overhead probe).
+    pub observe: bool,
+    /// Retain the audit stream as JSONL lines in the report (default
+    /// off — a 160-frame match emits thousands of records).
+    pub audit: bool,
 }
 
 impl MatchSpec {
@@ -82,6 +95,8 @@ impl MatchSpec {
             tick_quantum: 16,
             cheaters: Vec::new(),
             poison_at: None,
+            observe: true,
+            audit: false,
         }
     }
 
@@ -103,6 +118,21 @@ impl MatchSpec {
     #[must_use]
     pub fn poisoned_at(mut self, frame: u64) -> Self {
         self.poison_at = Some(frame);
+        self
+    }
+
+    /// Disables the observability plane for this match: no audit
+    /// collection, no detection-quality join (the overhead-probe mode).
+    #[must_use]
+    pub fn without_observability(mut self) -> Self {
+        self.observe = false;
+        self
+    }
+
+    /// Retains the audit stream as JSONL lines in the report.
+    #[must_use]
+    pub fn with_audit(mut self) -> Self {
+        self.audit = true;
         self
     }
 }
@@ -131,6 +161,14 @@ pub struct MatchReport {
     pub banned: u64,
     /// Messages the cell's simnet delivered.
     pub messages: u64,
+    /// Audit records the match emitted (0 when observability is off).
+    pub audit_records: u64,
+    /// The detection-quality join against the spec's ground truth
+    /// (empty/default when observability is off).
+    pub quality: DetectionQuality,
+    /// The audit stream as JSONL lines, each prefixed with the match id
+    /// (empty unless [`MatchSpec::audit`] is set).
+    pub audit_lines: Vec<String>,
 }
 
 impl MatchReport {
@@ -139,9 +177,18 @@ impl MatchReport {
     /// Wall-clock never appears here.
     #[must_use]
     pub fn summary_line(&self) -> String {
+        // The worst time-to-detect across this match's cheaters: `-`
+        // when there is nothing to detect (or the plane is off),
+        // `never` when a cheater escaped every check.
+        let ttd = match self.quality.ttd_frames.iter().max() {
+            None => "-".to_owned(),
+            Some(&UNDETECTED) => "never".to_owned(),
+            Some(&frames) => frames.to_string(),
+        };
         format!(
             "match {id}: players={p} frames={f} cheaters={c} detected={d} severe={s} \
-             false_verdicts={fv} bad_signatures={bs} banned={b} messages={m}",
+             false_verdicts={fv} bad_signatures={bs} banned={b} messages={m} ttd={ttd} \
+             audit={a}",
             id = self.match_id,
             p = self.players,
             f = self.frames,
@@ -152,6 +199,7 @@ impl MatchReport {
             bs = self.bad_signatures,
             b = self.banned,
             m = self.messages,
+            a = self.audit_records,
         )
     }
 }
@@ -171,6 +219,9 @@ struct Running {
     false_verdicts: u64,
     bad_signatures: u64,
     banned: u64,
+    /// The match's audit stream, drained from every emitter each frame
+    /// in a deterministic order (nodes by index, then the lobby).
+    audit: Vec<AuditRecord>,
 }
 
 /// One match, schedulable on the fleet pool. See the module docs.
@@ -212,7 +263,7 @@ impl MatchCell {
         lobby.start();
         let lobby_key = lobby.lobby_key().expect("fleet lobby has keys");
 
-        let nodes: Vec<WatchmenNode> = keys
+        let mut nodes: Vec<WatchmenNode> = keys
             .into_iter()
             .enumerate()
             .map(|(i, k)| {
@@ -230,6 +281,13 @@ impl MatchCell {
             })
             .collect();
 
+        if !spec.observe {
+            for node in &mut nodes {
+                node.set_audit_enabled(false);
+            }
+            lobby.set_audit_enabled(false);
+        }
+
         let net: SimNetwork<Vec<u8>> =
             SimNetwork::new(spec.players, latency::constant(LATENCY_MS), 0.0, spec.seed);
 
@@ -244,6 +302,7 @@ impl MatchCell {
             false_verdicts: 0,
             bad_signatures: 0,
             banned: 0,
+            audit: Vec::new(),
         })
     }
 
@@ -289,7 +348,22 @@ impl MatchCell {
                 run.banned += 1;
             }
         }
+        Self::collect_audit(run, spec);
         run.frame += 1;
+    }
+
+    /// Drains every emitter's per-frame audit buffer into the match
+    /// stream, nodes by player index first and the lobby last — a fixed
+    /// order, so the stream depends only on the spec, never on which
+    /// worker ran the quantum.
+    fn collect_audit(run: &mut Running, spec: &MatchSpec) {
+        if !spec.observe {
+            return;
+        }
+        for node in &mut run.nodes {
+            run.audit.append(&mut node.drain_audit());
+        }
+        run.audit.append(&mut run.lobby.drain_audit());
     }
 
     /// Final sweep after the last playable frame: deliver everything
@@ -305,6 +379,36 @@ impl MatchCell {
             tally(run, spec, observer, &events);
         }
         run.net.stats().assert_invariant("fleet match cell");
+        Self::collect_audit(run, spec);
+
+        let quality = if spec.observe {
+            let truth = GroundTruth {
+                cheaters: spec.cheaters.clone(),
+                first_cheat_frame: FIRST_CHEAT_FRAME,
+                expected_check: checks::POSITION,
+            };
+            let quality = evaluate(&truth, &run.audit);
+            // The join re-derives the cell's inline tallies from the
+            // audit stream — the two accountings must agree.
+            debug_assert_eq!(quality.false_verdicts, run.false_verdicts);
+            debug_assert_eq!(
+                quality.per_check.values().map(|c| c.true_pos).sum::<u64>(),
+                run.per_cheater.iter().sum::<u64>(),
+            );
+            quality
+        } else {
+            DetectionQuality::default()
+        };
+        let audit_lines: Vec<String> = if spec.audit {
+            // Prefix each record with the match id so a fleet-wide JSONL
+            // dump stays unambiguous across matches.
+            run.audit
+                .iter()
+                .map(|r| format!("{{\"match\":{},{}", spec.match_id, &r.to_jsonl()[1..]))
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         let detected = !spec.cheaters.is_empty() && run.per_cheater.iter().all(|&n| n > 0);
         MatchReport {
@@ -318,6 +422,9 @@ impl MatchCell {
             bad_signatures: run.bad_signatures,
             banned: run.banned,
             messages: run.net.stats().delivered,
+            audit_records: run.audit.len() as u64,
+            quality,
+            audit_lines,
         }
     }
 }
@@ -438,11 +545,46 @@ mod tests {
             bad_signatures: 0,
             banned: 1,
             messages: 12345,
+            audit_records: 872,
+            quality: DetectionQuality { ttd_frames: vec![12], ..DetectionQuality::default() },
+            audit_lines: Vec::new(),
         };
         assert_eq!(
             report.summary_line(),
             "match 3: players=16 frames=160 cheaters=1 detected=1 severe=38 \
-             false_verdicts=0 bad_signatures=0 banned=1 messages=12345"
+             false_verdicts=0 bad_signatures=0 banned=1 messages=12345 ttd=12 audit=872"
         );
+        let honest = MatchReport { cheaters: 0, quality: DetectionQuality::default(), ..report };
+        assert!(honest.summary_line().contains("ttd=- "), "{}", honest.summary_line());
+    }
+
+    #[test]
+    fn audit_stream_joins_ground_truth() {
+        let report = drive(MatchSpec::new(2, 8, 160, 905).with_cheater(2).with_audit());
+        assert!(report.audit_records > 0, "the plane must have recorded decisions");
+        assert_eq!(report.audit_lines.len(), report.audit_records as usize);
+        assert!(report.audit_lines[0].starts_with("{\"match\":2,\"frame\":"));
+
+        let q = &report.quality;
+        assert_eq!(q.injected, 1);
+        assert_eq!(q.detected, 1, "the speed-hacker must be caught: {q:?}");
+        assert_eq!(q.false_verdicts, 0);
+        assert_eq!(q.ttd_frames.len(), 1);
+        assert!(q.ttd_frames[0] < 32, "detection must be prompt: {q:?}");
+        assert!(q.per_check["position"].true_pos > 0, "{q:?}");
+    }
+
+    #[test]
+    fn observability_off_still_detects_inline() {
+        let spec = MatchSpec::new(4, 8, 120, 906).with_cheater(1);
+        let on = drive(spec.clone());
+        let off = drive(spec.without_observability());
+        assert!(off.detected, "inline tallies are independent of the plane");
+        assert_eq!(off.audit_records, 0);
+        assert_eq!(off.quality, DetectionQuality::default());
+        // The plane is read-only: simulation outcomes are identical.
+        assert_eq!(on.detected, off.detected);
+        assert_eq!(on.severe_verdicts, off.severe_verdicts);
+        assert_eq!(on.messages, off.messages);
     }
 }

@@ -17,15 +17,23 @@
 use std::sync::Arc;
 
 use watchmen_crypto::rng::SplitMix64;
-use watchmen_telemetry::Registry;
+use watchmen_sim::quality::DetectionQuality;
+use watchmen_telemetry::{Registry, Snapshot};
 
 use crate::cell::{MatchCell, MatchReport, MatchSpec};
-use crate::pool::{default_workers, run_tasks, PoolConfig, TaskOutcome, WorkerStats};
+use crate::pool::{default_workers, run_tasks_on, PoolConfig, TaskOutcome, WorkerStats};
 use crate::rollup::{roll_up, FleetRollup};
 
 /// Which player a cheater-match scripts as the speed-hacker — the same
 /// slot the deathmatch example uses.
 const CHEATER_SLOT: u32 = 2;
+
+/// The detection-quality SLO budget: an injected cheater must draw its
+/// first severe verdict within this many frames of its first cheating
+/// frame (p99). The scripted speed-hack trips the proxy's physics check
+/// within one epoch, so 32 frames leaves slack for simnet latency
+/// without letting a regression hide.
+pub const TTD_BUDGET_FRAMES: u64 = 32;
 
 /// Everything that defines one fleet run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,6 +54,13 @@ pub struct FleetConfig {
     pub seed: u64,
     /// Script a cheater into every Nth match (0 = all-honest fleet).
     pub cheat_every: u64,
+    /// Run the observability plane: audit collection plus the
+    /// detection-quality join (default on; `observe=0` is the
+    /// plane-overhead probe mode).
+    pub observe: bool,
+    /// Retain each match's audit stream as JSONL in its report (default
+    /// off — memory-heavy at population scale).
+    pub audit: bool,
 }
 
 impl Default for FleetConfig {
@@ -59,6 +74,8 @@ impl Default for FleetConfig {
             tick_quantum: 16,
             seed: 2013,
             cheat_every: 8,
+            observe: true,
+            audit: false,
         }
     }
 }
@@ -90,7 +107,8 @@ impl FleetConfig {
 
     /// Parses a comma-separated fleet spec over the default config:
     /// `matches=256,players=16,frames=160,workers=4,cheat_every=8`, plus
-    /// `seed=…`, `tick_quantum=…` and `max_local=…`.
+    /// `seed=…`, `tick_quantum=…`, `max_local=…`, and the observability
+    /// switches `observe=0|1` and `audit=0|1`.
     ///
     /// # Errors
     ///
@@ -111,6 +129,8 @@ impl FleetConfig {
                 "tick_quantum" => config.tick_quantum = parse(value)?,
                 "seed" => config.seed = parse(value)?,
                 "cheat_every" => config.cheat_every = parse(value)?,
+                "observe" => config.observe = parse(value)? != 0,
+                "audit" => config.audit = parse(value)? != 0,
                 other => return Err(format!("unknown fleet knob {other:?}")),
             }
         }
@@ -139,8 +159,10 @@ impl FleetConfig {
         let mut sm = SplitMix64::new(self.seed);
         (0..self.matches)
             .map(|id| {
-                let spec = MatchSpec::new(id, self.players, self.frames, sm.next_u64())
+                let mut spec = MatchSpec::new(id, self.players, self.frames, sm.next_u64())
                     .with_tick_quantum(self.tick_quantum);
+                spec.observe = self.observe;
+                spec.audit = self.audit;
                 if self.cheat_every > 0 && id % self.cheat_every == 0 {
                     spec.with_cheater(CHEATER_SLOT)
                 } else {
@@ -148,6 +170,75 @@ impl FleetConfig {
                 }
             })
             .collect()
+    }
+}
+
+/// A live, scrapeable view of a running fleet's telemetry.
+///
+/// Created *before* the run and handed to [`run_fleet_on`], the view
+/// holds the shard registries the pool workers record into, so a metrics
+/// endpoint on another thread can [`FleetView::snapshot`] mid-soak: each
+/// call re-merges every shard under a `shard=<i>` label and derives
+/// `fleet_matches{state=…}` lifecycle gauges from the scheduler
+/// counters. Cloning the view shares the same registries.
+#[derive(Debug, Clone)]
+pub struct FleetView {
+    shards: Vec<Arc<Registry>>,
+    matches: u64,
+}
+
+impl FleetView {
+    /// A view over `workers` fresh shard registries for a fleet of
+    /// `matches` matches.
+    #[must_use]
+    pub fn new(workers: usize, matches: u64) -> Self {
+        FleetView {
+            shards: (0..workers.max(1)).map(|_| Arc::new(Registry::new())).collect(),
+            matches,
+        }
+    }
+
+    /// The view shaped for `config` (one shard per worker).
+    #[must_use]
+    pub fn for_config(config: &FleetConfig) -> Self {
+        FleetView::new(config.workers, config.matches)
+    }
+
+    /// The shard registries (index = worker).
+    #[must_use]
+    pub fn shards(&self) -> &[Arc<Registry>] {
+        &self.shards
+    }
+
+    /// A point-in-time merge of every shard: all metrics re-labelled
+    /// `shard=<i>`, plus `fleet_matches{state="pending"|"completed"|
+    /// "panicked"}` gauges. Safe to call at any time, including while
+    /// the fleet runs.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let merged = Registry::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let label = i.to_string();
+            merged.merge_labeled(shard, &[("shard", &label)]);
+        }
+        let snap = merged.snapshot();
+        let completed = snap.counter_sum("fleet_tasks_completed_total");
+        let panicked = snap.counter_sum("fleet_tasks_panicked_total");
+        let pending = self.matches.saturating_sub(completed + panicked);
+        merged.gauge_with("fleet_matches", &[("state", "pending")]).set(pending as i64);
+        merged.gauge_with("fleet_matches", &[("state", "completed")]).set(completed as i64);
+        merged.gauge_with("fleet_matches", &[("state", "panicked")]).set(panicked as i64);
+        merged.snapshot()
+    }
+
+    /// Help text for `name`, from whichever shard described it (plus the
+    /// view's own derived gauges).
+    #[must_use]
+    pub fn help_for(&self, name: &str) -> Option<&'static str> {
+        if name == "fleet_matches" {
+            return Some("matches by lifecycle state across the fleet");
+        }
+        self.shards.iter().find_map(|s| s.help_for(name))
     }
 }
 
@@ -227,6 +318,71 @@ impl FleetResult {
         out
     }
 
+    /// The fleet-wide detection-quality join: every completed match's
+    /// [`MatchReport::quality`] merged into one confusion matrix and
+    /// time-to-detect distribution.
+    #[must_use]
+    pub fn detection_quality(&self) -> DetectionQuality {
+        let mut quality = DetectionQuality::default();
+        for report in &self.reports {
+            quality.merge(&report.quality);
+        }
+        quality
+    }
+
+    /// Whether the fleet meets the detection-quality SLO: zero false
+    /// verdicts, every injected cheater detected, and time-to-detect p99
+    /// within [`TTD_BUDGET_FRAMES`].
+    #[must_use]
+    pub fn slo_ok(&self) -> bool {
+        let q = self.detection_quality();
+        q.false_verdicts == 0
+            && q.detected == q.injected
+            && q.ttd_percentile(99.0).is_none_or(|p99| p99 <= TTD_BUDGET_FRAMES)
+    }
+
+    /// The machine-parseable detection-quality SLO line ci.sh gates on:
+    /// headline counters, time-to-detect percentiles (in frames, `-`
+    /// when no cheater was injected), the budget, the verdict, and one
+    /// `check:<name>=tp/fp/fn` triple per check that fired.
+    #[must_use]
+    pub fn detection_summary(&self) -> String {
+        let q = self.detection_quality();
+        let pct = |p: f64| q.ttd_percentile(p).map_or_else(|| "-".to_owned(), |v| v.to_string());
+        let mut line = format!(
+            "detection slo: injected={i} detected={d} false_verdicts={fv} ttd_p50={p50} \
+             ttd_p99={p99} budget={budget} ok={ok}",
+            i = q.injected,
+            d = q.detected,
+            fv = q.false_verdicts,
+            p50 = pct(50.0),
+            p99 = pct(99.0),
+            budget = TTD_BUDGET_FRAMES,
+            ok = u64::from(self.slo_ok()),
+        );
+        for (check, c) in &q.per_check {
+            use std::fmt::Write as _;
+            let _ = write!(line, " check:{check}={}/{}/{}", c.true_pos, c.false_pos, c.false_neg);
+        }
+        line
+    }
+
+    /// The fleet's audit stream as JSONL, matches in id order, each line
+    /// prefixed with its match id. Non-empty only when the fleet ran
+    /// with `audit=1`; byte-identical across worker counts for a fixed
+    /// seed — the property `tests/observability_e2e.rs` pins.
+    #[must_use]
+    pub fn audit_jsonl(&self) -> String {
+        let mut out = String::new();
+        for report in &self.reports {
+            for line in &report.audit_lines {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
     /// The machine-parseable fleet summary ci.sh gates on. Deterministic
     /// counters only — timing lives in the bench record, not here.
     #[must_use]
@@ -255,9 +411,21 @@ impl FleetResult {
 /// Runs a fleet from a config: expand specs, schedule, roll up.
 #[must_use]
 pub fn run_fleet(config: &FleetConfig) -> FleetResult {
-    run_fleet_specs(
+    run_fleet_on(config, &FleetView::for_config(config))
+}
+
+/// Like [`run_fleet`], but records into the caller's [`FleetView`] so a
+/// metrics endpoint can scrape the fleet while it runs.
+///
+/// # Panics
+///
+/// Panics if the view's shard count does not match `config.workers`.
+#[must_use]
+pub fn run_fleet_on(config: &FleetConfig, view: &FleetView) -> FleetResult {
+    run_fleet_specs_on(
         config.specs(),
         &PoolConfig { workers: config.workers, max_local: config.max_local },
+        view,
     )
 }
 
@@ -270,9 +438,26 @@ pub fn run_fleet(config: &FleetConfig) -> FleetResult {
 /// captured per match, never propagated.
 #[must_use]
 pub fn run_fleet_specs(specs: Vec<MatchSpec>, pool: &PoolConfig) -> FleetResult {
+    let matches = specs.len() as u64;
+    run_fleet_specs_on(specs, pool, &FleetView::new(pool.workers, matches))
+}
+
+/// Runs explicit specs on an explicit pool shape, recording into the
+/// caller's live [`FleetView`].
+///
+/// # Panics
+///
+/// Panics on a zero worker count or in-flight cap, or when the view's
+/// shard count does not match `pool.workers`.
+#[must_use]
+pub fn run_fleet_specs_on(
+    specs: Vec<MatchSpec>,
+    pool: &PoolConfig,
+    view: &FleetView,
+) -> FleetResult {
     let ids: Vec<u64> = specs.iter().map(|s| s.match_id).collect();
     let cells: Vec<MatchCell> = specs.into_iter().map(MatchCell::new).collect();
-    let run = run_tasks(pool, cells);
+    let run = run_tasks_on(pool, cells, view.shards().to_vec());
 
     let mut reports = Vec::new();
     let mut panics = Vec::new();
@@ -334,6 +519,87 @@ mod tests {
     fn cheat_every_zero_means_all_honest() {
         let config = FleetConfig { matches: 12, cheat_every: 0, ..FleetConfig::default() };
         assert!(config.specs().iter().all(|s| s.cheaters.is_empty()));
+    }
+
+    #[test]
+    fn observability_knobs_parse_and_propagate() {
+        let c = FleetConfig::from_spec("observe=0,audit=1").expect("valid spec");
+        assert!(!c.observe);
+        assert!(c.audit);
+        let specs =
+            FleetConfig { matches: 3, observe: false, audit: true, ..FleetConfig::default() }
+                .specs();
+        assert!(specs.iter().all(|s| !s.observe && s.audit));
+        // Defaults: plane on, JSONL retention off.
+        let d = FleetConfig::default();
+        assert!(d.observe && !d.audit);
+    }
+
+    #[test]
+    fn detection_summary_meets_the_slo_and_the_view_tracks_states() {
+        let config = FleetConfig {
+            matches: 4,
+            players: 8,
+            frames: 120,
+            workers: 2,
+            cheat_every: 2,
+            seed: 77,
+            ..FleetConfig::default()
+        };
+        let view = FleetView::for_config(&config);
+        let result = run_fleet_on(&config, &view);
+
+        let q = result.detection_quality();
+        assert_eq!(q.injected, 2, "matches 0 and 2 script a cheater");
+        assert_eq!(q.detected, 2, "{}", result.match_lines());
+        assert_eq!(q.false_verdicts, 0);
+        assert!(result.slo_ok(), "{}", result.detection_summary());
+
+        let line = result.detection_summary();
+        assert!(
+            line.starts_with("detection slo: injected=2 detected=2 false_verdicts=0"),
+            "{line}"
+        );
+        assert!(line.contains(" ok=1"), "{line}");
+        assert!(line.contains(" check:position="), "{line}");
+
+        // The live view: shard-labelled metrics plus lifecycle gauges,
+        // settled now that the run is over.
+        let snap = view.snapshot();
+        assert!(snap.get_with("fleet_quanta_total", &[("shard", "0")]).is_some());
+        use watchmen_telemetry::MetricValue;
+        assert_eq!(
+            snap.get_with("fleet_matches", &[("state", "completed")]),
+            Some(&MetricValue::Gauge(4))
+        );
+        assert_eq!(
+            snap.get_with("fleet_matches", &[("state", "pending")]),
+            Some(&MetricValue::Gauge(0))
+        );
+        assert_eq!(
+            view.help_for("fleet_matches"),
+            Some("matches by lifecycle state across the fleet")
+        );
+        assert!(view.help_for("fleet_quanta_total").is_some(), "shard help must surface");
+    }
+
+    #[test]
+    fn audit_jsonl_is_empty_unless_requested() {
+        let config = FleetConfig {
+            matches: 2,
+            players: 8,
+            frames: 60,
+            workers: 1,
+            cheat_every: 2,
+            seed: 9,
+            ..FleetConfig::default()
+        };
+        let silent = run_fleet(&config);
+        assert!(silent.audit_jsonl().is_empty());
+        let audited = run_fleet(&FleetConfig { audit: true, ..config });
+        let jsonl = audited.audit_jsonl();
+        assert!(!jsonl.is_empty());
+        assert!(jsonl.lines().all(|l| l.starts_with("{\"match\":")), "every line tagged");
     }
 
     #[test]

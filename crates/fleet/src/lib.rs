@@ -34,6 +34,11 @@ pub mod pool;
 pub mod rollup;
 
 pub use cell::{MatchCell, MatchReport, MatchSpec};
-pub use fleet::{run_fleet, run_fleet_specs, FleetConfig, FleetResult};
-pub use pool::{default_workers, run_tasks, PoolConfig, Quantum, ShardContext, Task, TaskOutcome};
+pub use fleet::{
+    run_fleet, run_fleet_on, run_fleet_specs, run_fleet_specs_on, FleetConfig, FleetResult,
+    FleetView, TTD_BUDGET_FRAMES,
+};
+pub use pool::{
+    default_workers, run_tasks, run_tasks_on, PoolConfig, Quantum, ShardContext, Task, TaskOutcome,
+};
 pub use rollup::{roll_up, FleetRollup, TickStats};

@@ -232,8 +232,28 @@ impl WorkerMetrics {
 /// do **not** propagate — they are captured as
 /// [`TaskOutcome::Panicked`].
 pub fn run_tasks<T: Task>(config: &PoolConfig, tasks: Vec<T>) -> PoolRun<T::Output> {
+    let shards: Vec<Arc<Registry>> =
+        (0..config.workers).map(|_| Arc::new(Registry::new())).collect();
+    run_tasks_on(config, tasks, shards)
+}
+
+/// Like [`run_tasks`], but records into caller-provided shard registries
+/// (one per worker) instead of creating fresh ones — the hook a live
+/// metrics endpoint uses to scrape a fleet *while* it runs: keep clones
+/// of the `Arc`s, snapshot them from another thread at any time.
+///
+/// # Panics
+///
+/// Panics if `config.workers` or `config.max_local` is zero, or if
+/// `shards.len() != config.workers`.
+pub fn run_tasks_on<T: Task>(
+    config: &PoolConfig,
+    tasks: Vec<T>,
+    shards: Vec<Arc<Registry>>,
+) -> PoolRun<T::Output> {
     assert!(config.workers >= 1, "need at least one worker");
     assert!(config.max_local >= 1, "need a positive in-flight bound");
+    assert_eq!(shards.len(), config.workers, "one shard registry per worker");
     let n = tasks.len();
     let shared = Shared {
         injector: Mutex::new(
@@ -244,8 +264,6 @@ pub fn run_tasks<T: Task>(config: &PoolConfig, tasks: Vec<T>) -> PoolRun<T::Outp
         park: Mutex::new(()),
         unpark: Condvar::new(),
     };
-    let shards: Vec<Arc<Registry>> =
-        (0..config.workers).map(|_| Arc::new(Registry::new())).collect();
     let outcomes: Mutex<Vec<Option<TaskOutcome<T::Output>>>> =
         Mutex::new((0..n).map(|_| None).collect());
 

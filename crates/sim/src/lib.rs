@@ -16,7 +16,10 @@
 //! | §VI subscriber-retention statistics | [`is_churn`] |
 //!
 //! [`workload`] builds the shared trace inputs (the 48-player
-//! q3dm17-like deathmatch standing in for the paper's Quake III traces).
+//! q3dm17-like deathmatch standing in for the paper's Quake III traces),
+//! and [`quality`] joins the verdict audit stream against injected
+//! ground truth into detection-quality metrics (time-to-detect,
+//! per-check confusion matrices) for the fleet's SLO gate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +31,7 @@ pub mod detection;
 pub mod disclosure;
 pub mod heat;
 pub mod is_churn;
+pub mod quality;
 pub mod report;
 pub mod witness;
 pub mod workload;

@@ -11,7 +11,11 @@ use crate::trace::{EventKind, TraceEvent, NO_SUBJECT};
 /// Counters and gauges render one sample line each; histograms render
 /// cumulative `_bucket{le="…"}` lines over their non-empty buckets plus
 /// `_sum` and `_count`. `# HELP`/`# TYPE` headers are emitted once per
-/// metric name.
+/// metric name, label values and help text are escaped per the
+/// exposition format, and metrics named with the workspace's internal
+/// `_ms` suffix are exported under the Prometheus base unit as
+/// `_seconds` with values scaled accordingly (the JSON exporter keeps
+/// the internal names and millisecond values).
 ///
 /// # Examples
 ///
@@ -38,58 +42,75 @@ pub fn prometheus_text_with_help(
     let mut out = String::new();
     let mut last_name: Option<&str> = None;
     for entry in &snapshot.entries {
+        let (name, scale) = exposition_name(entry.name);
         if last_name != Some(entry.name) {
             if let Some(h) = help(entry.name) {
-                let _ = writeln!(out, "# HELP {} {}", entry.name, h);
+                let _ = writeln!(out, "# HELP {name} {}", escape_help(h));
             }
             let kind = match entry.value {
                 MetricValue::Counter(_) => "counter",
                 MetricValue::Gauge(_) => "gauge",
                 MetricValue::Histogram { .. } => "histogram",
             };
-            let _ = writeln!(out, "# TYPE {} {}", entry.name, kind);
+            let _ = writeln!(out, "# TYPE {name} {kind}");
             last_name = Some(entry.name);
         }
         match &entry.value {
             MetricValue::Counter(v) => {
-                let _ = writeln!(out, "{}{} {}", entry.name, labels(&entry.labels, &[]), v);
+                let _ = writeln!(out, "{name}{} {v}", labels(&entry.labels, &[]));
             }
             MetricValue::Gauge(v) => {
-                let _ = writeln!(out, "{}{} {}", entry.name, labels(&entry.labels, &[]), v);
+                if scale == 1.0 {
+                    let _ = writeln!(out, "{name}{} {v}", labels(&entry.labels, &[]));
+                } else {
+                    let scaled = fmt_f64(*v as f64 * scale);
+                    let _ = writeln!(out, "{name}{} {scaled}", labels(&entry.labels, &[]));
+                }
             }
             MetricValue::Histogram { count, sum, buckets, .. } => {
                 let mut cumulative = 0u64;
                 for (bound, n) in buckets {
                     cumulative += n;
-                    let le = fmt_f64(*bound);
+                    let le = fmt_f64(*bound * scale);
                     let _ = writeln!(
                         out,
-                        "{}_bucket{} {}",
-                        entry.name,
+                        "{name}_bucket{} {cumulative}",
                         labels(&entry.labels, &[("le", &le)]),
-                        cumulative
                     );
                 }
                 let _ = writeln!(
                     out,
-                    "{}_bucket{} {}",
-                    entry.name,
+                    "{name}_bucket{} {count}",
                     labels(&entry.labels, &[("le", "+Inf")]),
-                    count
                 );
                 let _ = writeln!(
                     out,
-                    "{}_sum{} {}",
-                    entry.name,
+                    "{name}_sum{} {}",
                     labels(&entry.labels, &[]),
-                    fmt_f64(*sum)
+                    fmt_f64(*sum * scale)
                 );
-                let _ =
-                    writeln!(out, "{}_count{} {}", entry.name, labels(&entry.labels, &[]), count);
+                let _ = writeln!(out, "{name}_count{} {count}", labels(&entry.labels, &[]));
             }
         }
     }
     out
+}
+
+/// Maps an internal metric name to its exposition-format name plus the
+/// value scale: the workspace records durations in milliseconds under a
+/// `_ms` suffix, while Prometheus convention wants base units
+/// (`_seconds`). Everything else passes through unscaled.
+fn exposition_name(name: &str) -> (std::borrow::Cow<'_, str>, f64) {
+    match name.strip_suffix("_ms") {
+        Some(base) => (std::borrow::Cow::Owned(format!("{base}_seconds")), 1e-3),
+        None => (std::borrow::Cow::Borrowed(name), 1.0),
+    }
+}
+
+/// Escapes `# HELP` text (backslash and newline, per the exposition
+/// format).
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
 /// Renders a snapshot as a JSON document: an object mapping each metric
@@ -303,13 +324,39 @@ mod tests {
         h.record(1.0);
         h.record(100.0);
         let text = prometheus_text(&r.snapshot());
-        assert!(text.contains("lat_ms_count 3"), "{text}");
-        assert!(text.contains("lat_ms_sum 102"), "{text}");
+        // Internal `_ms` histograms export under the base unit.
+        assert!(text.contains("# TYPE lat_seconds histogram"), "{text}");
+        assert!(text.contains("lat_seconds_count 3"), "{text}");
+        assert!(text.contains("lat_seconds_sum 0.102"), "{text}");
         assert!(text.contains("le=\"+Inf\"} 3"), "{text}");
-        // The 1.0 bucket line must carry 2 observations before the 100.0
+        assert!(!text.contains("lat_ms"), "{text}");
+        // The 1ms bucket line must carry 2 observations before the 100ms
         // line reaches the cumulative 3.
-        let one_line = text.lines().find(|l| l.starts_with("lat_ms_bucket")).unwrap();
+        let one_line = text.lines().find(|l| l.starts_with("lat_seconds_bucket")).unwrap();
         assert!(one_line.ends_with(" 2"), "{one_line}");
+    }
+
+    #[test]
+    fn ms_gauges_export_as_scaled_seconds() {
+        let r = Registry::new();
+        r.describe("quantum_ms", "scheduler quantum");
+        r.gauge("quantum_ms").set(250);
+        let text = prometheus_text_with_help(&r.snapshot(), &|n| r.help_for(n));
+        assert!(text.contains("# HELP quantum_seconds scheduler quantum"), "{text}");
+        assert!(text.contains("# TYPE quantum_seconds gauge"), "{text}");
+        assert!(text.contains("quantum_seconds 0.25"), "{text}");
+        // The JSON exporter keeps internal names and millisecond values.
+        let json = json(&r.snapshot());
+        assert!(json.contains("\"quantum_ms\": 250"), "{json}");
+    }
+
+    #[test]
+    fn help_text_is_escaped() {
+        let r = Registry::new();
+        r.describe("odd_total", "line one\nback\\slash");
+        r.counter("odd_total").inc();
+        let text = prometheus_text_with_help(&r.snapshot(), &|n| r.help_for(n));
+        assert!(text.contains("# HELP odd_total line one\\nback\\\\slash"), "{text}");
     }
 
     #[test]

@@ -42,7 +42,14 @@
 //! drivers write next to their reports so figure reproductions can be
 //! compared across runs. [`export::chrome_trace`] renders flight-recorder
 //! events as a Chrome `trace_event` JSON document loadable in
-//! `chrome://tracing` or Perfetto.
+//! `chrome://tracing` or Perfetto. [`dump_from_env`] is the shared
+//! end-of-run hook every example and bench calls to honor the
+//! `WATCHMEN_TELEMETRY=prom|json` knob uniformly.
+//!
+//! For *live* visibility — watching a fleet mid-run rather than reading
+//! a dump after it exits — [`serve::MetricsServer`] is a `std`-only HTTP
+//! scrape endpoint (`/metrics`, `/metrics.json`, `/healthz`) on a
+//! background thread, enabled by the `WATCHMEN_METRICS_ADDR` knob.
 //!
 //! # Examples
 //!
@@ -71,9 +78,13 @@
 //! Metric names are `snake_case`, prefixed by the owning layer
 //! (`node_`, `proxy_`, `net_`, `udp_`, `sim_`), with `_total` for
 //! counters and a unit suffix (`_ms`, `_bytes`, `_kbps`) for histograms.
-//! Label keys are `&'static str`; label values are small closed sets
-//! (message class, check name, architecture) — never player ids or other
-//! unbounded values. See DESIGN.md § "Telemetry & observability".
+//! The Prometheus exporter renames `_ms` metrics to the base-unit
+//! `_seconds` form (values scaled) so scrapes conform to Prometheus
+//! conventions; the internal names and the JSON exporter keep
+//! milliseconds. Label keys are `&'static str`; label values are small
+//! closed sets (message class, check name, architecture) — never player
+//! ids or other unbounded values. See DESIGN.md § "Telemetry &
+//! observability".
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -83,6 +94,7 @@ pub mod export;
 mod histogram;
 mod recorder;
 mod registry;
+pub mod serve;
 mod timer;
 pub mod trace;
 
@@ -90,6 +102,7 @@ pub use counter::{Counter, Gauge};
 pub use histogram::Histogram;
 pub use recorder::{FlightDump, FlightRecorder, SpanGuard, DEFAULT_CAPACITY};
 pub use registry::{MetricValue, Registry, Snapshot, SnapshotEntry};
+pub use serve::MetricsServer;
 pub use timer::{time, FrameTimer};
 pub use trace::{causal_chain, EventKind, Phase, TraceEvent, TraceId, TraceMode};
 
@@ -111,4 +124,41 @@ use std::sync::OnceLock;
 pub fn global() -> &'static Registry {
     static GLOBAL: OnceLock<Registry> = OnceLock::new();
     GLOBAL.get_or_init(Registry::new)
+}
+
+/// Dumps the [`global`] registry to stdout when the `WATCHMEN_TELEMETRY`
+/// env knob is set: `json` selects the JSON exporter, any other
+/// non-empty value (conventionally `prom`) the Prometheus text
+/// exposition. Returns whether a dump was printed.
+///
+/// This is the one shared final-snapshot hook: every example and bench
+/// driver calls it at exit, so the knob behaves identically across the
+/// workspace instead of each driver hand-rolling (or forgetting) it.
+///
+/// # Examples
+///
+/// ```
+/// // Nothing is printed when the knob is unset.
+/// if std::env::var("WATCHMEN_TELEMETRY").is_err() {
+///     assert!(!watchmen_telemetry::dump_from_env("doc"));
+/// }
+/// ```
+pub fn dump_from_env(label: &str) -> bool {
+    match std::env::var("WATCHMEN_TELEMETRY") {
+        Ok(mode) if !mode.trim().is_empty() => {
+            let registry = global();
+            let snapshot = registry.snapshot();
+            println!("--- telemetry ({label}) ---");
+            if mode.trim() == "json" {
+                println!("{}", export::json(&snapshot));
+            } else {
+                print!(
+                    "{}",
+                    export::prometheus_text_with_help(&snapshot, &|n| registry.help_for(n))
+                );
+            }
+            true
+        }
+        _ => false,
+    }
 }

@@ -97,4 +97,7 @@ fn main() {
     println!(
         "\nverdict: all cheaters banned: {cheaters_banned}; any honest player banned: {honest_banned}"
     );
+
+    // WATCHMEN_TELEMETRY=prom|json dumps everything the run recorded.
+    watchmen::telemetry::dump_from_env("cheat_hunt");
 }

@@ -11,7 +11,10 @@
 //! Set `WATCHMEN_TRACE=dump` to print the violation dumps in full, or
 //! `WATCHMEN_TRACE=chrome:<path>` to additionally write a merged Chrome
 //! `trace_event` JSON (load it at `ui.perfetto.dev` or
-//! `chrome://tracing`).
+//! `chrome://tracing`). Set `WATCHMEN_METRICS_ADDR=127.0.0.1:9464` to
+//! serve the global registry live on `/metrics` while the match runs
+//! (`WATCHMEN_METRICS_HOLD_MS=<ms>` keeps it up after the final
+//! snapshot).
 
 use std::sync::Arc;
 
@@ -26,7 +29,7 @@ use watchmen::game::{GameConfig, GameEvent, PlayerId};
 use watchmen::net::fault::FaultPlan;
 use watchmen::net::{latency, SimNetwork};
 use watchmen::telemetry::{
-    causal_chain, export, global, FlightDump, FlightRecorder, MetricValue, TraceMode,
+    causal_chain, export, global, FlightDump, FlightRecorder, MetricValue, MetricsServer, TraceMode,
 };
 use watchmen::world::{maps, GameMap, PhysicsConfig};
 
@@ -45,6 +48,22 @@ fn main() {
     };
     if players < 2 {
         usage_error("players must be >= 2");
+    }
+
+    // The live scrape endpoint over the process-wide registry, when
+    // WATCHMEN_METRICS_ADDR asks for one.
+    let metrics_server = match MetricsServer::from_env(
+        Arc::new(|| global().snapshot()),
+        Arc::new(|name| global().help_for(name)),
+    ) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("failed to bind WATCHMEN_METRICS_ADDR: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(server) = &metrics_server {
+        println!("metrics endpoint listening on {}", server.local_addr());
     }
 
     let map = maps::q3dm17_like();
@@ -180,6 +199,16 @@ fn main() {
 
     println!("\nfull snapshot (Prometheus text format):");
     print!("{}", export::prometheus_text_with_help(&snap, &|n| global().help_for(n)));
+
+    // Keep the endpoint up for scrapers that want the settled snapshot.
+    if metrics_server.is_some() {
+        if let Ok(ms) = std::env::var("WATCHMEN_METRICS_HOLD_MS") {
+            if let Ok(ms) = ms.trim().parse::<u64>() {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+        }
+    }
+    drop(metrics_server);
 }
 
 /// Rejects malformed CLI input loudly: silently soaking the default

@@ -1,6 +1,7 @@
 //! The population-scale soak: a fleet of simultaneous Watchmen matches
 //! on the shard-parallel orchestrator, with cheat injection in a known
-//! subset and a recorded bench trajectory.
+//! subset, a live metrics endpoint, the verdict audit stream, and a
+//! recorded bench trajectory.
 //!
 //! ```sh
 //! cargo run --release --example fleet_soak
@@ -17,20 +18,43 @@
 //!
 //! Knobs: `matches`, `players`, `frames`, `workers`, `max_local` (per-
 //! worker in-flight cap), `tick_quantum` (frames per scheduler quantum),
-//! `seed`, `cheat_every` (0 = all honest).
+//! `seed`, `cheat_every` (0 = all honest), `observe` (0 disables the
+//! observability plane), `audit` (1 retains per-match JSONL).
 //!
-//! The final `fleet summary:` line is machine-parseable (ci.sh gates on
-//! it), and with `WATCHMEN_BENCH_OUT=<dir>` set the run also writes
-//! `BENCH_fleet.json` — matches/sec, aggregate ticks/sec, per-shard tick
-//! p99s — extending the repo's recorded bench trajectory.
+//! Observability:
+//!
+//! * `WATCHMEN_METRICS_ADDR=127.0.0.1:9464` (port `0` for ephemeral)
+//!   serves `/metrics`, `/metrics.json` and `/healthz` live while the
+//!   fleet runs — the soak prints `metrics endpoint listening on <addr>`
+//!   so scripts can find the bound port. `WATCHMEN_METRICS_HOLD_MS=<ms>`
+//!   keeps the endpoint up that long after the summary, for scrapers
+//!   that want a settled final snapshot.
+//! * `WATCHMEN_AUDIT=<path>` writes the fleet's verdict audit stream as
+//!   JSONL (forces `audit=1`); the stream is byte-identical across
+//!   worker counts for a fixed seed.
+//!
+//! The final `fleet summary:` and `detection slo:` lines are
+//! machine-parseable (ci.sh gates on both), and with
+//! `WATCHMEN_BENCH_OUT=<dir>` set the run also writes `BENCH_fleet.json`
+//! and `BENCH_detection.json` — the latter with time-to-detect p50/p99,
+//! per-check TP/FP/FN, and the measured overhead of running the plane at
+//! all (two extra mini-fleets, observe on vs. off).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use watchmen::bench::BenchRecord;
-use watchmen::fleet::{run_fleet, FleetConfig};
+use watchmen::fleet::{run_fleet, run_fleet_on, FleetConfig, FleetView, TTD_BUDGET_FRAMES};
+use watchmen::telemetry::MetricsServer;
 
 fn main() {
-    let config = FleetConfig::from_env().unwrap_or_default();
+    let mut config = FleetConfig::from_env().unwrap_or_default();
+    let audit_path =
+        std::env::var("WATCHMEN_AUDIT").ok().map(|p| p.trim().to_owned()).filter(|p| !p.is_empty());
+    if audit_path.is_some() {
+        config.audit = true;
+    }
+
     println!(
         "fleet soak: {} matches x {} bots x {} frames on {} workers \
          (quantum {} frames, cap {} in flight/worker, cheater in every {})…",
@@ -47,8 +71,31 @@ fn main() {
         },
     );
 
+    // The live plane: the view owns the shard registries the workers
+    // record into; the endpoint (when enabled) re-merges them per
+    // scrape, so `/metrics` is current mid-soak.
+    let view = FleetView::for_config(&config);
+    let server = {
+        let scrape = view.clone();
+        let help = view.clone();
+        MetricsServer::from_env(
+            Arc::new(move || scrape.snapshot()),
+            Arc::new(move |name| help.help_for(name)),
+        )
+    };
+    let server = match server {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("failed to bind WATCHMEN_METRICS_ADDR: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(server) = &server {
+        println!("metrics endpoint listening on {}", server.local_addr());
+    }
+
     let started = Instant::now();
-    let result = run_fleet(&config);
+    let result = run_fleet_on(&config, &view);
     let elapsed = started.elapsed().as_secs_f64();
 
     // Per-worker scheduler view.
@@ -94,8 +141,32 @@ fn main() {
         print!("\n{}", result.match_lines());
     }
 
-    // The machine-parseable gate line (deterministic counters only).
-    println!("\n{}", result.summary_line());
+    // The audit stream, when a destination was named.
+    if let Some(path) = &audit_path {
+        let jsonl = result.audit_jsonl();
+        match std::fs::write(path, &jsonl) {
+            Ok(()) => println!("\nwrote {} audit records to {path}", jsonl.lines().count()),
+            Err(e) => {
+                eprintln!("failed to write audit stream to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // The two machine-parseable gate lines (deterministic counters only).
+    println!("\n{}", result.detection_summary());
+    println!("{}", result.summary_line());
+
+    // The plane-overhead probe runs only when recording a bench — it
+    // costs two extra mini-fleets (observe on vs. off).
+    let recording = std::env::var("WATCHMEN_BENCH_OUT").is_ok_and(|v| !v.trim().is_empty());
+    let overhead_pct = if recording && config.observe {
+        let pct = measure_plane_overhead(&config);
+        println!("observability plane overhead: {pct:.2}% on the tick loop (probe fleets)");
+        Some(pct)
+    } else {
+        None
+    };
 
     // The recorded trajectory, when asked for.
     let fleet_p99 = result.rollup.fleet_ticks.map_or(f64::NAN, |t| t.p99);
@@ -115,11 +186,81 @@ fn main() {
         .with_f64("fleet_tick_p99_ms", fleet_p99)
         .with_f64("worst_shard_tick_p99_ms", result.rollup.worst_shard_tick_p99())
         .with_f64_list("shard_tick_p99_ms", &result.rollup.shard_tick_p99s());
+    save_or_die(&record);
+
+    // The detection-quality record: the SLO evidence, committed as
+    // BENCH_detection.json for a reviewable trajectory.
+    let quality = result.detection_quality();
+    let ttd = |p: f64| quality.ttd_percentile(p).map_or(f64::NAN, |v| v as f64);
+    let mut detection = BenchRecord::new("detection")
+        .with_u64("matches", config.matches)
+        .with_u64("injected", quality.injected)
+        .with_u64("detected", quality.detected)
+        .with_u64("false_verdicts", quality.false_verdicts)
+        .with_f64("ttd_p50_frames", ttd(50.0))
+        .with_f64("ttd_p99_frames", ttd(99.0))
+        .with_u64("ttd_budget_frames", TTD_BUDGET_FRAMES)
+        .with_u64("slo_ok", u64::from(result.slo_ok()));
+    for (check, c) in &quality.per_check {
+        detection = detection
+            .with_u64(&format!("{check}_tp"), c.true_pos)
+            .with_u64(&format!("{check}_fp"), c.false_pos)
+            .with_u64(&format!("{check}_fn"), c.false_neg);
+    }
+    if let Some(pct) = overhead_pct {
+        detection = detection.with_f64("plane_overhead_pct", pct);
+    }
+    save_or_die(&detection);
+    if !recording {
+        println!(
+            "(set WATCHMEN_BENCH_OUT=<dir> to record BENCH_fleet.json + BENCH_detection.json)"
+        );
+    }
+
+    // Keep the endpoint up for scrapers that want the settled snapshot.
+    if server.is_some() {
+        if let Ok(ms) = std::env::var("WATCHMEN_METRICS_HOLD_MS") {
+            if let Ok(ms) = ms.trim().parse::<u64>() {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+        }
+    }
+    drop(server);
+}
+
+/// Measures what the observability plane costs on the tick loop: two
+/// identical mini-fleets, audit/join enabled vs. disabled, compared on
+/// aggregate ticks/sec. Positive = the plane is that much slower.
+fn measure_plane_overhead(config: &FleetConfig) -> f64 {
+    let probe =
+        FleetConfig { matches: config.matches.clamp(8, 64), audit: false, ..config.clone() };
+    let ticks_per_sec = |observe: bool| {
+        let c = FleetConfig { observe, ..probe.clone() };
+        let started = Instant::now();
+        let run = run_fleet(&c);
+        run.total_ticks() as f64 / started.elapsed().as_secs_f64()
+    };
+    // Warm caches with the plane off, then measure interleaved off/on
+    // pairs and keep the best (least scheduler-noise) rate of each side:
+    // noise only ever slows a run down, so the max is the robust
+    // estimate of true throughput.
+    let _ = ticks_per_sec(false);
+    let mut off = f64::MIN;
+    let mut on = f64::MIN;
+    for _ in 0..3 {
+        off = off.max(ticks_per_sec(false));
+        on = on.max(ticks_per_sec(true));
+    }
+    (off / on - 1.0) * 100.0
+}
+
+/// Saves a bench record, failing the run loudly on filesystem errors.
+fn save_or_die(record: &BenchRecord) {
     match record.save() {
         Ok(Some(path)) => println!("wrote bench record to {}", path.display()),
-        Ok(None) => println!("(set WATCHMEN_BENCH_OUT=<dir> to record BENCH_fleet.json)"),
+        Ok(None) => {}
         Err(e) => {
-            eprintln!("failed to write bench record: {e}");
+            eprintln!("failed to write bench record {}: {e}", record.file_name());
             std::process::exit(1);
         }
     }

@@ -139,4 +139,7 @@ fn main() {
     println!("forwarded by proxies: {}", stats.forwarded.load(Ordering::Relaxed));
     println!("delivered & verified: {}", stats.delivered.load(Ordering::Relaxed));
     println!("signature failures:   {}", stats.bad_signature.load(Ordering::Relaxed));
+
+    // WATCHMEN_TELEMETRY=prom|json dumps everything the run recorded.
+    watchmen::telemetry::dump_from_env("udp_overlay");
 }
