@@ -202,4 +202,32 @@ print(f"bench OK: {bench['matches_per_sec']:.1f} matches/sec, "
       f"{len(audit)} audit records")
 EOF
 
+echo "==> coordinated-adversary campaigns (collusion, sybil-flood, eclipse at fixed seeds)"
+CAMPAIGN_OUT=/tmp/watchmen-campaign.txt
+WATCHMEN_CAMPAIGN="runs=3,seed=2013,workers=2" \
+WATCHMEN_BENCH_OUT=. \
+    cargo run --release --example campaign_run > "$CAMPAIGN_OUT"
+python3 - "$CAMPAIGN_OUT" BENCH_campaign.json <<'EOF'
+import json, re, sys
+text = open(sys.argv[1]).read()
+lines = re.findall(r"^campaign (collusion|sybil-flood|eclipse): (.*)$", text, re.M)
+names = [name for name, _ in lines]
+assert names == ["collusion", "sybil-flood", "eclipse"], f"campaign lines: {names}"
+for name, rest in lines:
+    kv = {k: v for k, v in (p.split("=") for p in rest.split())}
+    assert kv["ok"] == "true", f"{name} failed its SLO: {kv}"
+    assert kv["false_verdicts"] == "0", f"{name} framed an honest actor: {kv}"
+    assert int(kv["adversaries"]) > 0, f"{name} injected no adversaries: {kv}"
+    assert kv["detected"] == kv["adversaries"], f"{name} missed adversaries: {kv}"
+    assert int(kv["ttd_p99"]) <= int(kv["budget"]), f"{name} blew its ttd budget: {kv}"
+
+bench = json.load(open(sys.argv[2]))
+assert bench["ok"] == 1 and bench["panics"] == 0, f"campaign bench not ok: {bench}"
+for name in ("collusion", "sybil_flood", "eclipse"):
+    assert bench[f"{name}_detected"] == bench[f"{name}_adversaries"] > 0, f"{name}: {bench}"
+    assert bench[f"{name}_false_verdicts"] == 0, f"{name}: {bench}"
+    assert bench[f"{name}_ttd_p99_frames"] <= bench[f"{name}_ttd_budget_frames"], f"{name}: {bench}"
+print("campaign OK: " + "; ".join(f"{n} {r}" for n, r in lines))
+EOF
+
 echo "CI OK"

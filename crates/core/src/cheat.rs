@@ -7,6 +7,13 @@
 //! Watchmen handles each. [`CheatKind`] encodes the catalog;
 //! [`CheatInjector`] perturbs honest message streams so the detection
 //! experiments (Figure 6, Table I) can measure the responses.
+//!
+//! Beyond the paper's single-cheater rows, [`CheatKind::CAMPAIGNS`]
+//! extends the taxonomy with the coordinated multi-actor campaigns real
+//! deployments face (proxy–player collusion, Sybil floods through the
+//! mid-game join path, eclipse attacks on the proxy schedule); see
+//! DESIGN.md §13 and the `watchmen-sim` campaign harness that grades
+//! detection of each.
 
 use std::fmt;
 use std::sync::Arc;
@@ -16,7 +23,8 @@ use watchmen_math::{Aim, Vec3};
 use watchmen_telemetry::trace::{EventKind, Phase, TraceEvent, TraceId};
 use watchmen_telemetry::FlightRecorder;
 
-/// The three cheat categories of Section III.
+/// The three cheat categories of Section III, plus the coordinated
+/// multi-actor category the campaign harness adds on top.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CheatCategory {
     /// "Actions that stop or change the normal pace of information flow."
@@ -26,6 +34,10 @@ pub enum CheatCategory {
     InvalidUpdates,
     /// "Any action that enables access to unauthorized information."
     UnauthorizedAccess,
+    /// Multi-actor campaigns: several identities (or a player plus its
+    /// proxy) acting in concert, where no single message is invalid but
+    /// the joint behaviour subverts the architecture.
+    CoordinatedAdversary,
 }
 
 impl fmt::Display for CheatCategory {
@@ -34,6 +46,7 @@ impl fmt::Display for CheatCategory {
             CheatCategory::DisruptionOfInformationFlow => "disruption of information flow",
             CheatCategory::InvalidUpdates => "invalid updates",
             CheatCategory::UnauthorizedAccess => "unauthorized access",
+            CheatCategory::CoordinatedAdversary => "coordinated adversary",
         })
     }
 }
@@ -59,7 +72,7 @@ impl fmt::Display for WatchmenResponse {
     }
 }
 
-/// The fourteen cheats of Table I.
+/// The fourteen cheats of Table I, plus the coordinated campaigns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CheatKind {
     /// Terminating the connection to escape imminent loss.
@@ -90,11 +103,20 @@ pub enum CheatKind {
     Maphack,
     /// Analyzing update rates to detect players' attention.
     RateAnalysis,
+    /// A proxy colluding with its client: the proxy launders the client's
+    /// invalid updates by publishing clean epoch summaries.
+    ProxyCollusion,
+    /// A burst of fresh identities hammering mid-game admission to pack
+    /// the roster and proxy pool.
+    SybilFlood,
+    /// A clique isolating a victim behind colluding proxies by forcing
+    /// and biasing the proxy-schedule fallback draws.
+    Eclipse,
 }
 
 impl CheatKind {
-    /// All fourteen cheats in Table I order.
-    pub const ALL: [CheatKind; 14] = [
+    /// The fourteen cheats of Table I, in table order.
+    pub const TABLE_ONE: [CheatKind; 14] = [
         CheatKind::Escaping,
         CheatKind::TimeCheat,
         CheatKind::NetworkFlooding,
@@ -109,6 +131,31 @@ impl CheatKind {
         CheatKind::Sniffing,
         CheatKind::Maphack,
         CheatKind::RateAnalysis,
+    ];
+
+    /// The coordinated multi-actor campaigns beyond Table I.
+    pub const CAMPAIGNS: [CheatKind; 3] =
+        [CheatKind::ProxyCollusion, CheatKind::SybilFlood, CheatKind::Eclipse];
+
+    /// Every catalogued cheat: Table I followed by the campaigns.
+    pub const ALL: [CheatKind; 17] = [
+        CheatKind::Escaping,
+        CheatKind::TimeCheat,
+        CheatKind::NetworkFlooding,
+        CheatKind::FastRate,
+        CheatKind::SuppressCorrect,
+        CheatKind::ReplayCheat,
+        CheatKind::BlindOpponent,
+        CheatKind::ClientCodeTampering,
+        CheatKind::Aimbot,
+        CheatKind::Spoofing,
+        CheatKind::ConsistencyCheat,
+        CheatKind::Sniffing,
+        CheatKind::Maphack,
+        CheatKind::RateAnalysis,
+        CheatKind::ProxyCollusion,
+        CheatKind::SybilFlood,
+        CheatKind::Eclipse,
     ];
 
     /// The cheat's category (first column of Table I).
@@ -128,6 +175,9 @@ impl CheatKind {
             | CheatKind::ConsistencyCheat => CheatCategory::InvalidUpdates,
             CheatKind::Sniffing | CheatKind::Maphack | CheatKind::RateAnalysis => {
                 CheatCategory::UnauthorizedAccess
+            }
+            CheatKind::ProxyCollusion | CheatKind::SybilFlood | CheatKind::Eclipse => {
+                CheatCategory::CoordinatedAdversary
             }
         }
     }
@@ -158,6 +208,17 @@ impl CheatKind {
             CheatKind::Sniffing | CheatKind::Maphack => WatchmenResponse::Prevented,
             // "Prevented by proxy and subscription model".
             CheatKind::RateAnalysis => WatchmenResponse::Prevented,
+            // Detected by cross-corroborating the proxy's epoch summary
+            // against independent witness verdicts (the schedule keeps
+            // any proxy term short, so witnesses always accumulate).
+            CheatKind::ProxyCollusion => WatchmenResponse::Detected,
+            // The admission throttle refuses over-rate joins outright;
+            // every refused burst is also flagged in the audit stream.
+            CheatKind::SybilFlood => WatchmenResponse::PreventedOrDetected,
+            // Forged assignments are detected instantly (the schedule is
+            // a pure function every node recomputes); fallback-forcing is
+            // detected statistically from draw-bias concentration.
+            CheatKind::Eclipse => WatchmenResponse::Detected,
         }
     }
 
@@ -179,6 +240,11 @@ impl CheatKind {
             CheatKind::Sniffing => "logging information sent across the network",
             CheatKind::Maphack => "seeing through walls and obstacles",
             CheatKind::RateAnalysis => "analyzing update rates to infer attention",
+            CheatKind::ProxyCollusion => {
+                "a proxy laundering its client's invalid updates via clean summaries"
+            }
+            CheatKind::SybilFlood => "flooding mid-game admission with fresh identities",
+            CheatKind::Eclipse => "a clique capturing a victim's proxies by biasing the schedule",
         }
     }
 }
@@ -200,6 +266,9 @@ impl fmt::Display for CheatKind {
             CheatKind::Sniffing => "sniffing",
             CheatKind::Maphack => "maphack",
             CheatKind::RateAnalysis => "rate analysis",
+            CheatKind::ProxyCollusion => "proxy collusion",
+            CheatKind::SybilFlood => "sybil flood",
+            CheatKind::Eclipse => "eclipse",
         })
     }
 }
@@ -321,19 +390,36 @@ mod tests {
 
     #[test]
     fn table_one_is_complete() {
-        assert_eq!(CheatKind::ALL.len(), 14);
+        assert_eq!(CheatKind::TABLE_ONE.len(), 14);
         // Category counts match Table I: 3 flow, 8 invalid, 3 access.
-        let flow = CheatKind::ALL
+        let flow = CheatKind::TABLE_ONE
             .iter()
             .filter(|c| c.category() == CheatCategory::DisruptionOfInformationFlow)
             .count();
-        let invalid =
-            CheatKind::ALL.iter().filter(|c| c.category() == CheatCategory::InvalidUpdates).count();
-        let access = CheatKind::ALL
+        let invalid = CheatKind::TABLE_ONE
+            .iter()
+            .filter(|c| c.category() == CheatCategory::InvalidUpdates)
+            .count();
+        let access = CheatKind::TABLE_ONE
             .iter()
             .filter(|c| c.category() == CheatCategory::UnauthorizedAccess)
             .count();
         assert_eq!((flow, invalid, access), (3, 8, 3));
+        // Table I rows never land in the campaign category.
+        assert!(CheatKind::TABLE_ONE
+            .iter()
+            .all(|c| c.category() != CheatCategory::CoordinatedAdversary));
+    }
+
+    #[test]
+    fn catalog_is_table_one_plus_campaigns() {
+        assert_eq!(CheatKind::ALL.len(), 17);
+        let rebuilt: Vec<CheatKind> =
+            CheatKind::TABLE_ONE.iter().chain(CheatKind::CAMPAIGNS.iter()).copied().collect();
+        assert_eq!(CheatKind::ALL.to_vec(), rebuilt);
+        for kind in CheatKind::CAMPAIGNS {
+            assert_eq!(kind.category(), CheatCategory::CoordinatedAdversary);
+        }
     }
 
     #[test]

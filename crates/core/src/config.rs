@@ -67,6 +67,15 @@ pub struct WatchmenConfig {
     /// Maximum states the joiner-bootstrap snapshot carries (capped by
     /// the wire format at [`crate::msg::MAX_BOOTSTRAP_ENTRIES`]).
     pub join_bootstrap_depth: usize,
+    /// Length of the sliding mid-game admission window, in frames. A
+    /// Sybil flood through [`crate::lobby::GameLobby::admit_midgame`] is
+    /// throttled to [`Self::max_joins_per_window`] joins per window.
+    pub admission_window_frames: u64,
+    /// Mid-game joins admitted per [`Self::admission_window_frames`]
+    /// window; attempts beyond are refused with
+    /// [`crate::lobby::AdmitError::Throttled`] and flagged in the audit
+    /// stream under the `admission` check.
+    pub max_joins_per_window: u32,
 }
 
 impl Default for WatchmenConfig {
@@ -90,6 +99,10 @@ impl Default for WatchmenConfig {
             membership_timeout_frames: 120,
             max_roster: 256,
             join_bootstrap_depth: 8,
+            // One proxy period per window, four joins each: plenty for
+            // organic churn, an order of magnitude under a flood burst.
+            admission_window_frames: 40,
+            max_joins_per_window: 4,
         }
     }
 }
@@ -158,6 +171,8 @@ impl WatchmenConfig {
             (1..=crate::msg::MAX_BOOTSTRAP_ENTRIES).contains(&self.join_bootstrap_depth),
             "join_bootstrap_depth must be between 1 and the wire-format cap"
         );
+        assert!(self.admission_window_frames > 0, "admission_window_frames must be positive");
+        assert!(self.max_joins_per_window > 0, "max_joins_per_window must be positive");
     }
 
     /// Frames of silence after which a peer is presumed crashed: `k`
@@ -261,6 +276,15 @@ mod tests {
         assert!(c.membership_timeout_frames > c.liveness_timeout_frames());
         assert_eq!(c.max_roster, 256);
         assert_eq!(c.join_bootstrap_depth, crate::msg::MAX_BOOTSTRAP_ENTRIES);
+        assert_eq!(c.admission_window_frames, 40); // one proxy period
+        assert_eq!(c.max_joins_per_window, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_joins_per_window")]
+    fn zero_join_allowance_panics() {
+        let c = WatchmenConfig { max_joins_per_window: 0, ..WatchmenConfig::default() };
+        c.validate();
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod aim_analysis;
 pub mod attention;
 pub mod audit;
 pub mod cheat;
+pub mod collusion;
 mod config;
 pub mod dead_reckoning;
 pub mod delta;
@@ -61,6 +62,7 @@ pub mod proxy;
 pub mod rating;
 pub mod reputation;
 pub mod roster;
+pub mod schedule_guard;
 pub mod subscription;
 pub mod verify;
 

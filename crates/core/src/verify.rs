@@ -46,9 +46,30 @@ pub mod checks {
     pub const RATE: &str = "rate";
     /// The per-epoch aggregate the proxy publishes at schedule renewal.
     pub const EPOCH_SUMMARY: &str = "epoch-summary";
+    /// [`crate::collusion::SummaryCorroborator`] — a proxy's epoch
+    /// summary contradicted by independent witness evidence.
+    pub const COLLUSION: &str = "collusion";
+    /// [`crate::lobby::GameLobby::admit_midgame`] — mid-game join
+    /// attempts beyond the admission-rate window.
+    pub const ADMISSION: &str = "admission";
+    /// [`crate::schedule_guard::ScheduleBiasDetector`] — a claimed proxy
+    /// assignment the shared schedule cannot produce, or fallback draws
+    /// concentrating into a clique.
+    pub const SCHEDULE: &str = "schedule";
 
     /// Every check name, for exhaustive reports.
-    pub const ALL: [&str; 7] = [POSITION, AIM, GUIDANCE, KILL, SUBSCRIPTION, RATE, EPOCH_SUMMARY];
+    pub const ALL: [&str; 10] = [
+        POSITION,
+        AIM,
+        GUIDANCE,
+        KILL,
+        SUBSCRIPTION,
+        RATE,
+        EPOCH_SUMMARY,
+        COLLUSION,
+        ADMISSION,
+        SCHEDULE,
+    ];
 }
 
 /// Slack multiplier on hard physics limits before an action is rated

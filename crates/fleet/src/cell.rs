@@ -386,6 +386,7 @@ impl MatchCell {
                 cheaters: spec.cheaters.clone(),
                 first_cheat_frame: FIRST_CHEAT_FRAME,
                 expected_check: checks::POSITION,
+                expected_overrides: Vec::new(),
             };
             let quality = evaluate(&truth, &run.audit);
             // The join re-derives the cell's inline tallies from the

@@ -20,7 +20,10 @@
 //!   per-match lines are byte-identical across worker counts;
 //! * [`rollup`] — fold the shard-private telemetry registries into
 //!   per-shard and fleet-wide snapshots (bucket-level histogram merges,
-//!   never averaged percentiles).
+//!   never averaged percentiles);
+//! * [`campaign`] — the coordinated-adversary soak: every scripted
+//!   campaign ([`watchmen_sim::campaign`]) run across many seeds on the
+//!   same pool, graded per kind.
 //!
 //! The `fleet_soak` example drives all of it and prints the
 //! machine-parseable `fleet summary:` line ci.sh gates on.
@@ -28,11 +31,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod cell;
 pub mod fleet;
 pub mod pool;
 pub mod rollup;
 
+pub use campaign::{run_campaign_soak, CampaignCell, CampaignSoakConfig, CampaignSoakResult};
 pub use cell::{MatchCell, MatchReport, MatchSpec};
 pub use fleet::{
     run_fleet, run_fleet_on, run_fleet_specs, run_fleet_specs_on, FleetConfig, FleetResult,

@@ -5,7 +5,10 @@
 //! prevents it, and reports whether the mechanism fired. Detection demos
 //! use the [`watchmen_core::verify`] sanity checks; prevention demos
 //! verify the structural property (signatures, single proxy path,
-//! minimized information exposure, hidden subscriptions).
+//! minimized information exposure, hidden subscriptions). The
+//! coordinated-adversary kinds ([`CheatKind::CAMPAIGNS`]) are
+//! demonstrated by running their full scripted campaign
+//! ([`crate::campaign`]) and grading it against injected ground truth.
 
 use watchmen_core::cheat::{CheatCategory, CheatInjector, CheatKind, WatchmenResponse};
 use watchmen_core::msg::{Envelope, Payload, PositionUpdate};
@@ -17,6 +20,7 @@ use watchmen_game::PlayerId;
 use watchmen_math::{Aim, Vec3};
 use watchmen_world::PhysicsConfig;
 
+use crate::campaign::{run_campaign, CampaignKind, CampaignSpec};
 use crate::disclosure::{run_disclosure, Architecture, InfoClass};
 use crate::report::render_table;
 use crate::workload::Workload;
@@ -157,7 +161,9 @@ pub fn run_cheat_matrix(workload: &Workload, config: &WatchmenConfig, seed: u64)
     {
         let prev = Vec3::new(100.0, 100.0, 0.0);
         let honest_next = Vec3::new(101.8, 100.0, 0.0);
-        let hacked = injector.speed_hack(prev, honest_next, physics.max_step(0.05) * 2.0);
+        // 4× the legal step: even the injector's mildest factor (1.5)
+        // lands well past the physics-slack band at any seed.
+        let hacked = injector.speed_hack(prev, honest_next, physics.max_step(0.05) * 4.0);
         let score = verifier.check_position(prev, hacked, 1, map);
         push(
             CheatKind::ClientCodeTampering,
@@ -276,6 +282,16 @@ pub fn run_cheat_matrix(workload: &Workload, config: &WatchmenConfig, seed: u64)
         );
     }
 
+    // --- Coordinated campaigns (DESIGN.md §13): each demonstrated by
+    // running the full scripted campaign and grading it against its
+    // injected ground truth — detection only counts if every adversary
+    // drew a severe verdict, no honest actor did, and time-to-detect
+    // fit the campaign budget.
+    for campaign in CampaignKind::ALL {
+        let outcome = run_campaign(&CampaignSpec::standard(campaign, seed), config);
+        push(campaign.cheat_kind(), outcome.ok(), outcome.summary_line());
+    }
+
     debug_assert_eq!(rows.len(), CheatKind::ALL.len());
     rows
 }
@@ -310,11 +326,20 @@ mod tests {
     }
 
     #[test]
-    fn all_fourteen_cheats_covered() {
+    fn every_catalog_kind_has_a_demonstrated_row() {
+        // Completeness: the matrix must cover the full catalog — the
+        // fourteen Table I cheats *and* every campaign kind — each with
+        // a demonstrated response, so a new `CheatKind` cannot ship
+        // un-evaluated (this test fails until it gets a demo).
         let rows = rows();
-        assert_eq!(rows.len(), 14);
+        assert_eq!(rows.len(), CheatKind::ALL.len());
+        assert_eq!(rows.len(), CheatKind::TABLE_ONE.len() + CheatKind::CAMPAIGNS.len());
         for kind in CheatKind::ALL {
-            assert!(rows.iter().any(|r| r.kind == kind), "missing {kind}");
+            let row = rows
+                .iter()
+                .find(|r| r.kind == kind)
+                .unwrap_or_else(|| panic!("{kind} has no matrix row"));
+            assert!(row.demonstrated, "{kind} response not demonstrated: {}", row.note);
         }
     }
 

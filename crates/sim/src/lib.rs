@@ -14,6 +14,7 @@
 //! | Figure 7 (update-age PDF) | [`age`] |
 //! | §VI scalability / bandwidth claims | [`bandwidth_exp`] |
 //! | §VI subscriber-retention statistics | [`is_churn`] |
+//! | DESIGN.md §13 coordinated-adversary campaigns | [`campaign`] |
 //!
 //! [`workload`] builds the shared trace inputs (the 48-player
 //! q3dm17-like deathmatch standing in for the paper's Quake III traces),
@@ -26,6 +27,7 @@
 
 pub mod age;
 pub mod bandwidth_exp;
+pub mod campaign;
 pub mod cheat_matrix;
 pub mod detection;
 pub mod disclosure;

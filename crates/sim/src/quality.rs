@@ -43,6 +43,22 @@ pub struct GroundTruth {
     /// The check the injected cheat class should trip (false negatives
     /// are attributed here), e.g. `checks::POSITION` for a speed hack.
     pub expected_check: &'static str,
+    /// Per-cheater overrides of [`Self::expected_check`], for
+    /// multi-actor campaigns whose adversaries play different roles — a
+    /// colluding proxy trips `collusion` while its client trips `aim`.
+    pub expected_overrides: Vec<(u32, &'static str)>,
+}
+
+impl GroundTruth {
+    /// The check expected to catch `cheater`: its override if one is
+    /// recorded, the match-wide [`Self::expected_check`] otherwise.
+    #[must_use]
+    pub fn expected_for(&self, cheater: u32) -> &'static str {
+        self.expected_overrides
+            .iter()
+            .find(|(c, _)| *c == cheater)
+            .map_or(self.expected_check, |(_, check)| check)
+    }
 }
 
 /// One check's confusion-matrix counters.
@@ -153,10 +169,9 @@ pub fn evaluate(truth: &GroundTruth, records: &[AuditRecord]) -> DetectionQualit
             }
             None => quality.ttd_frames.push(UNDETECTED),
         }
-        if !truth.expected_check.is_empty()
-            && !caught_by.contains_key(&(cheater, truth.expected_check))
-        {
-            quality.per_check.entry(truth.expected_check).or_default().false_neg += 1;
+        let expected = truth.expected_for(cheater);
+        if !expected.is_empty() && !caught_by.contains_key(&(cheater, expected)) {
+            quality.per_check.entry(expected).or_default().false_neg += 1;
         }
     }
     quality
@@ -187,6 +202,7 @@ mod tests {
             cheaters: cheaters.to_vec(),
             first_cheat_frame: 4,
             expected_check: checks::POSITION,
+            expected_overrides: Vec::new(),
         }
     }
 
@@ -234,6 +250,21 @@ mod tests {
         assert_eq!(a.per_check[checks::POSITION].true_pos, 2);
         assert_eq!(a.ttd_percentile(50.0), Some(2));
         assert_eq!(a.ttd_percentile(99.0), Some(4));
+    }
+
+    #[test]
+    fn per_cheater_overrides_redirect_false_negatives() {
+        // Cheater 2 (the client) is caught by AIM; cheater 5 (its proxy)
+        // is expected at COLLUSION and never caught there.
+        let mut t = truth(&[2, 5]);
+        t.expected_check = checks::AIM;
+        t.expected_overrides = vec![(5, checks::COLLUSION)];
+        assert_eq!(t.expected_for(2), checks::AIM);
+        assert_eq!(t.expected_for(5), checks::COLLUSION);
+        let q = evaluate(&t, &[verdict(8, 2, checks::AIM, 9)]);
+        assert_eq!(q.detected, 1);
+        assert_eq!(q.per_check[checks::AIM].false_neg, 0);
+        assert_eq!(q.per_check[checks::COLLUSION].false_neg, 1);
     }
 
     #[test]

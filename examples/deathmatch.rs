@@ -495,7 +495,8 @@ fn run_churn_segment() {
     for f in 0..FRAMES + DRAIN {
         if join_cursor < JOINERS && f == JOIN_FRAMES[join_cursor] {
             let idx = VETERANS + join_cursor;
-            let (id, ticket, roster) = lobby.admit_midgame(keys[idx].public(), f);
+            let (id, ticket, roster) =
+                lobby.admit_midgame(keys[idx].public(), f).expect("mid-game admission");
             admit_frames.insert(idx, ticket.admit_frame);
             nodes[idx] = Some(WatchmenNode::new_joining(
                 id,

@@ -1,7 +1,7 @@
 //! End-to-end cheat detection: inject → verify → reputation → ban, plus
 //! the cryptographic defenses exercised through real signed envelopes.
 
-use watchmen::core::cheat::CheatInjector;
+use watchmen::core::cheat::{CheatInjector, CheatKind};
 use watchmen::core::msg::{Envelope, Payload, PositionUpdate, SignedEnvelope, StateUpdate};
 use watchmen::core::proxy::ProxySchedule;
 use watchmen::core::rating::{CheatRating, Confidence};
@@ -163,7 +163,7 @@ fn spoofed_origin_rejected_by_every_receiver() {
 fn cheat_matrix_demonstrates_all_table_one_rows() {
     let w = standard_workload(12, 4, 120);
     let rows = watchmen::sim::cheat_matrix::run_cheat_matrix(&w, &WatchmenConfig::default(), 17);
-    assert_eq!(rows.len(), 14);
+    assert_eq!(rows.len(), CheatKind::ALL.len());
     for row in &rows {
         assert!(row.demonstrated, "{} demo failed: {}", row.kind, row.note);
     }

@@ -116,7 +116,8 @@ fn churn_run_keeps_rosters_agreed_and_raises_no_false_verdicts() {
         // --- Scripted churn drivers.
         if join_cursor < JOINERS && f == JOIN_FRAMES[join_cursor] {
             let idx = VETERANS + join_cursor;
-            let (id, ticket, roster) = lobby.admit_midgame(keys[idx].public(), f);
+            let (id, ticket, roster) =
+                lobby.admit_midgame(keys[idx].public(), f).expect("mid-game admission");
             assert_eq!(id.index(), idx, "lobby must hand out dense ids");
             admit_frames.insert(idx, ticket.admit_frame);
             nodes[idx] = Some(WatchmenNode::new_joining(
