@@ -202,6 +202,23 @@ print(f"bench OK: {bench['matches_per_sec']:.1f} matches/sec, "
       f"{len(audit)} audit records")
 EOF
 
+echo "==> live cluster smoke (6 OS processes over loopback UDP, scripted speed-hacker)"
+LIVE_OUT=/tmp/watchmen-live.txt
+cargo run --release --example live_cluster > "$LIVE_OUT"
+python3 - "$LIVE_OUT" <<'EOF'
+import re, sys
+text = open(sys.argv[1]).read()
+m = re.search(r"live summary: (.*)", text)
+assert m, "no live summary line in live_cluster output"
+kv = {k: int(v) for k, v in (p.split("=") for p in m.group(1).split())}
+assert kv["completed"] == kv["players"], f"a node process died or hung: {kv}"
+assert kv["false_verdicts"] == 0, f"live run framed an honest player: {kv}"
+assert kv["detected"] == 1 and kv["severe"] > 0, f"speed-hacker went undetected: {kv}"
+assert kv["heartbeats"] > 0, f"transport heartbeats never flowed: {kv}"
+assert kv["malformed"] == 0 and kv["truncated"] == 0, f"wire corruption on loopback: {kv}"
+print(f"live OK: {m.group(1)}")
+EOF
+
 echo "==> coordinated-adversary campaigns (collusion, sybil-flood, eclipse at fixed seeds)"
 CAMPAIGN_OUT=/tmp/watchmen-campaign.txt
 WATCHMEN_CAMPAIGN="runs=3,seed=2013,workers=2" \

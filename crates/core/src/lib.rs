@@ -62,6 +62,7 @@ pub mod proxy;
 pub mod rating;
 pub mod reputation;
 pub mod roster;
+pub mod sans_io;
 pub mod schedule_guard;
 pub mod subscription;
 pub mod verify;

@@ -1,0 +1,347 @@
+//! The sans-io protocol core: one poll-driven state machine, many drivers.
+//!
+//! The Watchmen protocol is transport-agnostic — proxy duties, epoch
+//! summaries and verification depend only on *which datagrams arrived
+//! before which tick* — so the full per-player endpoint is exposed here
+//! as a pure poll-driven state machine. [`ProtocolCore`] has exactly two
+//! inputs and two outputs:
+//!
+//! | direction | carrier | meaning |
+//! |---|---|---|
+//! | in | [`CoreInput::Tick`] | frame `now` begins; here is my avatar state |
+//! | in | [`CoreInput::Datagram`] | these bytes arrived before frame `now` |
+//! | out | [`CoreOutput::datagrams`] | `(destination, bytes)` to put on *some* wire |
+//! | out | [`CoreOutput::events`] | deliveries/suspicions for the app & reputation layer |
+//!
+//! No sockets, no clocks, no sleeps: time is the `now_frame` the driver
+//! passes in, and retransmits/heartbeats/epoch boundaries all fall out of
+//! the tick input. That makes the identical core exact under every
+//! driver in the repo:
+//!
+//! | driver | where | transport | time source |
+//! |---|---|---|---|
+//! | deathmatch secured segment | `examples/deathmatch.rs` | in-memory instant bus | loop counter |
+//! | simnet loops (faulted, churn) | `examples/deathmatch.rs`, e2e tests | [`watchmen_net::SimNetwork`] | virtual ms |
+//! | fleet match cell | `watchmen-fleet::cell` | per-match simnet | scheduler quanta |
+//! | live cluster | `examples/live_cluster.rs` | `watchmen_net::live::LiveTransport` (real UDP) | wall-clock paced ticks |
+//!
+//! A worked tick, as every driver performs it:
+//!
+//! ```text
+//!        ┌───────────────────────── driver ─────────────────────────┐
+//!        │  1. collect datagrams the transport delivered since the  │
+//!        │     last tick (simnet advance_to / UDP drain-all)        │
+//!        └──────────────────────────────────────────────────────────┘
+//!   for each:  core.handle(now, Datagram { wire_sender, bytes })
+//!                │                                   │
+//!                ▼                                   ▼
+//!        CoreOutput.datagrams ──► transport     CoreOutput.events ──► app
+//!        (proxy forwards, acks)                 (deliveries, suspicions)
+//!
+//!   then once:  core.handle(now, Tick { state })
+//!                │                                   │
+//!                ▼                                   ▼
+//!        CoreOutput.datagrams ──► transport     CoreOutput.events ──► app
+//!        (state publish, guidance, handoffs,
+//!         control retransmits due this frame)
+//! ```
+//!
+//! The deliver-then-tick order matters and is shared by every driver: a
+//! datagram is presented with the frame number *at which it is
+//! processed*, and the tick that follows sees its effects (acks cancel
+//! retransmits queued this frame, learned states feed this frame's
+//! subscription sets).
+//!
+//! [`ProtocolCore`] wraps the existing [`WatchmenNode`] machinery —
+//! `begin_frame`, `handle_message`, the ack/retransmit control plane —
+//! without changing a byte of its behavior, which is what lets the
+//! simnet drivers stay pinned by their e2e suites while the same core
+//! goes live over UDP.
+
+use watchmen_game::trace::PlayerFrame;
+use watchmen_game::PlayerId;
+
+use crate::audit::AuditRecord;
+use crate::node::{FrameOutput, NodeEvent, Outgoing, WatchmenNode};
+
+/// One input to the core: a tick boundary or an arrived datagram.
+#[derive(Debug)]
+pub enum CoreInput<'a> {
+    /// Frame `now_frame` begins; `state` is the local avatar's state this
+    /// frame. Drives publishing, subscriptions, epoch boundaries and
+    /// control-plane retransmits.
+    Tick {
+        /// The local player's state for this frame.
+        state: &'a PlayerFrame,
+    },
+    /// `bytes` arrived from the transport, which believes they came from
+    /// `wire_sender` (the core re-verifies: signatures decide identity,
+    /// the wire id only routes).
+    Datagram {
+        /// The transport-level sender id (frame header, not trusted).
+        wire_sender: PlayerId,
+        /// The received payload.
+        bytes: &'a [u8],
+    },
+}
+
+/// Everything one [`ProtocolCore::handle`] call produced.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CoreOutput {
+    /// Datagrams to put on the wire: `(destination, bytes)` pairs, in
+    /// send order.
+    pub datagrams: Vec<Outgoing>,
+    /// Events for the application and reputation layer, in emission
+    /// order.
+    pub events: Vec<NodeEvent>,
+}
+
+impl From<FrameOutput> for CoreOutput {
+    fn from(out: FrameOutput) -> Self {
+        CoreOutput { datagrams: out.outgoing, events: out.events }
+    }
+}
+
+/// The poll-driven protocol endpoint. Construct a [`WatchmenNode`]
+/// (regular or joining) and wrap it; from then on the only way the
+/// protocol observes the world is through [`ProtocolCore::handle`].
+///
+/// # Examples
+///
+/// ```
+/// use watchmen_core::sans_io::{CoreInput, ProtocolCore};
+/// use watchmen_core::node::WatchmenNode;
+/// use watchmen_core::WatchmenConfig;
+/// use watchmen_crypto::schnorr::Keypair;
+/// use watchmen_game::trace::GameTrace;
+/// use watchmen_game::{GameConfig, PlayerId};
+/// use watchmen_world::{maps, PhysicsConfig};
+///
+/// let map = maps::arena(16, 10.0);
+/// let keys: Vec<Keypair> = (0..4).map(|i| Keypair::generate(7 ^ i)).collect();
+/// let directory: Vec<_> = keys.iter().map(Keypair::public).collect();
+/// let trace = GameTrace::record(
+///     GameConfig { map: map.clone(), ..GameConfig::default() },
+///     4,
+///     7,
+///     2,
+/// );
+/// let mut core = ProtocolCore::new(WatchmenNode::new(
+///     PlayerId(0),
+///     keys[0].clone(),
+///     directory,
+///     7,
+///     WatchmenConfig::default(),
+///     map,
+///     PhysicsConfig::default(),
+/// ));
+/// let out = core.handle(0, CoreInput::Tick { state: &trace.frames[0].states[0] });
+/// assert!(!out.datagrams.is_empty(), "frame 0 publishes state to the proxy");
+/// ```
+#[derive(Debug)]
+pub struct ProtocolCore {
+    node: WatchmenNode,
+}
+
+impl ProtocolCore {
+    /// Wraps a constructed node. The node may be mid-game (joining) —
+    /// the core carries whatever state it already has.
+    #[must_use]
+    pub fn new(node: WatchmenNode) -> Self {
+        ProtocolCore { node }
+    }
+
+    /// The single entry point: feed one input at frame `now_frame`, get
+    /// the datagrams and events it produced. Drivers present all
+    /// datagrams delivered before a frame, then the frame's tick.
+    pub fn handle(&mut self, now_frame: u64, input: CoreInput<'_>) -> CoreOutput {
+        match input {
+            CoreInput::Tick { state } => self.node.begin_frame(now_frame, state).into(),
+            CoreInput::Datagram { wire_sender, bytes } => {
+                let (datagrams, events) = self.node.handle_message(now_frame, wire_sender, bytes);
+                CoreOutput { datagrams, events }
+            }
+        }
+    }
+
+    /// Convenience for [`CoreInput::Tick`].
+    pub fn tick(&mut self, now_frame: u64, state: &PlayerFrame) -> CoreOutput {
+        self.handle(now_frame, CoreInput::Tick { state })
+    }
+
+    /// Convenience for [`CoreInput::Datagram`].
+    pub fn datagram(&mut self, now_frame: u64, wire_sender: PlayerId, bytes: &[u8]) -> CoreOutput {
+        self.handle(now_frame, CoreInput::Datagram { wire_sender, bytes })
+    }
+
+    /// Announces this player's graceful departure (reliable control
+    /// traffic; the leave lands at a future epoch boundary).
+    pub fn announce_leave(&mut self, now_frame: u64) -> CoreOutput {
+        CoreOutput { datagrams: self.node.announce_leave(now_frame), events: Vec::new() }
+    }
+
+    /// Submits a kill claim for witness verification.
+    pub fn claim_kill(&mut self, now_frame: u64, claim: crate::msg::KillClaim) -> CoreOutput {
+        CoreOutput { datagrams: self.node.claim_kill(now_frame, claim), events: Vec::new() }
+    }
+
+    /// This endpoint's player id.
+    #[must_use]
+    pub fn id(&self) -> PlayerId {
+        self.node.id()
+    }
+
+    /// Drains the verdict audit stream (delegates to the node).
+    pub fn drain_audit(&mut self) -> Vec<AuditRecord> {
+        self.node.drain_audit()
+    }
+
+    /// Read access to the wrapped node for stats and introspection
+    /// (`control_stats`, `roster_digest`, …). The protocol itself is
+    /// only ever driven through [`ProtocolCore::handle`].
+    #[must_use]
+    pub fn node(&self) -> &WatchmenNode {
+        &self.node
+    }
+
+    /// Mutable access for driver-side configuration (audit toggles,
+    /// flight-dump draining) — not for protocol input.
+    pub fn node_mut(&mut self) -> &mut WatchmenNode {
+        &mut self.node
+    }
+
+    /// Unwraps the node.
+    #[must_use]
+    pub fn into_node(self) -> WatchmenNode {
+        self.node
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // cores/states are index-parallel
+mod tests {
+    use super::*;
+    use watchmen_crypto::schnorr::Keypair;
+    use watchmen_game::trace::GameTrace;
+    use watchmen_game::GameConfig;
+    use watchmen_world::{maps, PhysicsConfig};
+
+    use crate::WatchmenConfig;
+
+    fn build_cluster(n: usize, seed: u64) -> Vec<WatchmenNode> {
+        let map = maps::arena(16, 10.0);
+        let keys: Vec<Keypair> = (0..n).map(|i| Keypair::generate(seed ^ i as u64)).collect();
+        let directory: Vec<_> = keys.iter().map(Keypair::public).collect();
+        keys.into_iter()
+            .enumerate()
+            .map(|(i, k)| {
+                WatchmenNode::new(
+                    PlayerId(i as u32),
+                    k,
+                    directory.clone(),
+                    seed,
+                    WatchmenConfig::default(),
+                    map.clone(),
+                    PhysicsConfig::default(),
+                )
+            })
+            .collect()
+    }
+
+    fn record(n: usize, seed: u64, frames: u64) -> GameTrace {
+        let map = maps::arena(16, 10.0);
+        GameTrace::record(GameConfig { map, ..GameConfig::default() }, n, seed, frames)
+    }
+
+    /// The core is a strict re-hosting: over an identical instant-bus
+    /// schedule, a `ProtocolCore` cluster and a raw `WatchmenNode`
+    /// cluster produce byte-identical datagrams and identical events.
+    #[test]
+    fn core_is_byte_identical_to_direct_node_driving() {
+        const N: usize = 6;
+        const FRAMES: u64 = 90;
+        const SEED: u64 = 0x5a5;
+        let trace = record(N, SEED, FRAMES);
+
+        let mut direct = build_cluster(N, SEED);
+        let mut cores: Vec<ProtocolCore> =
+            build_cluster(N, SEED).into_iter().map(ProtocolCore::new).collect();
+
+        let mut bus_a: std::collections::VecDeque<(PlayerId, PlayerId, Vec<u8>)> =
+            Default::default();
+        let mut bus_b = bus_a.clone();
+        for f in 0..FRAMES {
+            for i in 0..N {
+                let state = &trace.frames[f as usize].states[i];
+                let a = direct[i].begin_frame(f, state);
+                let b = cores[i].tick(f, state);
+                assert_eq!(a.outgoing, b.datagrams, "frame {f} node {i}");
+                assert_eq!(format!("{:?}", a.events), format!("{:?}", b.events));
+                for o in a.outgoing {
+                    bus_a.push_back((PlayerId(i as u32), o.to, o.bytes));
+                }
+                for o in b.datagrams {
+                    bus_b.push_back((PlayerId(i as u32), o.to, o.bytes));
+                }
+            }
+            while let (Some((sa, ta, ba)), Some((sb, tb, bb))) =
+                (bus_a.pop_front(), bus_b.pop_front())
+            {
+                assert_eq!((sa, ta, &ba), (sb, tb, &bb));
+                let (out_a, ev_a) = direct[ta.index()].handle_message(f, sa, &ba);
+                let out_b = cores[tb.index()].datagram(f, sb, &bb);
+                assert_eq!(out_a, out_b.datagrams, "frame {f} deliver to {ta:?}");
+                assert_eq!(format!("{ev_a:?}"), format!("{:?}", out_b.events));
+                for o in out_a {
+                    bus_a.push_back((ta, o.to, o.bytes));
+                }
+                for o in out_b.datagrams {
+                    bus_b.push_back((tb, o.to, o.bytes));
+                }
+            }
+            assert!(bus_a.is_empty() && bus_b.is_empty());
+        }
+    }
+
+    /// The poll contract: inputs only through `handle`, outputs only
+    /// through the returned `CoreOutput` — a datagram handled at a frame
+    /// affects the very next tick (acks cancel pending retransmits).
+    #[test]
+    fn datagrams_feed_the_following_tick() {
+        const N: usize = 5;
+        const SEED: u64 = 0x909;
+        let trace = record(N, SEED, 60);
+        let mut cores: Vec<ProtocolCore> =
+            build_cluster(N, SEED).into_iter().map(ProtocolCore::new).collect();
+
+        // Run with full delivery: control chains complete, nothing
+        // abandoned, and ticks keep producing the publish traffic.
+        let mut bus: std::collections::VecDeque<(PlayerId, PlayerId, Vec<u8>)> = Default::default();
+        let mut any_delivery = false;
+        for f in 0..60 {
+            for i in 0..N {
+                let out = cores[i].tick(f, &trace.frames[f as usize].states[i]);
+                assert!(
+                    !out.datagrams.is_empty() || f == 0,
+                    "every tick publishes at least the state update"
+                );
+                for o in out.datagrams {
+                    bus.push_back((PlayerId(i as u32), o.to, o.bytes));
+                }
+            }
+            while let Some((s, t, b)) = bus.pop_front() {
+                let out = cores[t.index()].datagram(f, s, &b);
+                any_delivery |= out.events.iter().any(|e| matches!(e, NodeEvent::Delivery { .. }));
+                for o in out.datagrams {
+                    bus.push_back((t, o.to, o.bytes));
+                }
+            }
+        }
+        assert!(any_delivery, "verified deliveries must surface as events");
+        let acks: u64 = cores.iter().map(|c| c.node().control_stats().acks_received).sum();
+        assert!(acks > 0, "acks handled as datagrams must cancel pending retransmits");
+        for c in &cores {
+            assert_eq!(c.node().control_stats().abandoned, 0, "instant bus abandons nothing");
+        }
+    }
+}

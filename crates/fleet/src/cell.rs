@@ -2,7 +2,7 @@
 //!
 //! A [`MatchCell`] owns everything a single Watchmen match needs — its
 //! recorded trace, a [`SimNetwork`], a [`GameLobby`] and one secured
-//! [`WatchmenNode`] per player — and shares **nothing** with any other
+//! sans-io [`ProtocolCore`] per player — and shares **nothing** with any other
 //! cell, so thousands of cells run in parallel without coordination and
 //! a cell's outcome depends only on its [`MatchSpec`]. The cell
 //! implements [`Task`]: each quantum advances the match by a bounded
@@ -24,6 +24,7 @@ use std::time::Instant;
 use watchmen_core::audit::AuditRecord;
 use watchmen_core::lobby::{GameLobby, LobbyEvent};
 use watchmen_core::node::{NodeEvent, WatchmenNode};
+use watchmen_core::sans_io::ProtocolCore;
 use watchmen_core::verify::checks;
 use watchmen_core::WatchmenConfig;
 use watchmen_crypto::schnorr::Keypair;
@@ -208,7 +209,10 @@ impl MatchReport {
 /// quantum so a 10k-match fleet only materialises the cells currently in
 /// flight.
 struct Running {
-    nodes: Vec<WatchmenNode>,
+    /// One sans-io protocol core per player — the same poll-driven state
+    /// machine the simnet and live-UDP drivers run; this cell is just
+    /// another driver for it.
+    cores: Vec<ProtocolCore>,
     net: SimNetwork<Vec<u8>>,
     lobby: GameLobby,
     trace: GameTrace,
@@ -263,27 +267,29 @@ impl MatchCell {
         lobby.start();
         let lobby_key = lobby.lobby_key().expect("fleet lobby has keys");
 
-        let mut nodes: Vec<WatchmenNode> = keys
+        let mut cores: Vec<ProtocolCore> = keys
             .into_iter()
             .enumerate()
             .map(|(i, k)| {
-                WatchmenNode::new(
-                    PlayerId(i as u32),
-                    k,
-                    lobby.directory().to_vec(),
-                    spec.seed,
-                    config,
-                    workload.map.clone(),
-                    PhysicsConfig::default(),
+                ProtocolCore::new(
+                    WatchmenNode::new(
+                        PlayerId(i as u32),
+                        k,
+                        lobby.directory().to_vec(),
+                        spec.seed,
+                        config,
+                        workload.map.clone(),
+                        PhysicsConfig::default(),
+                    )
+                    .with_lobby_key(lobby_key)
+                    .with_recorder_capacity(RECORDER_CAPACITY),
                 )
-                .with_lobby_key(lobby_key)
-                .with_recorder_capacity(RECORDER_CAPACITY)
             })
             .collect();
 
         if !spec.observe {
-            for node in &mut nodes {
-                node.set_audit_enabled(false);
+            for core in &mut cores {
+                core.node_mut().set_audit_enabled(false);
             }
             lobby.set_audit_enabled(false);
         }
@@ -292,7 +298,7 @@ impl MatchCell {
             SimNetwork::new(spec.players, latency::constant(LATENCY_MS), 0.0, spec.seed);
 
         Box::new(Running {
-            nodes,
+            cores,
             net,
             lobby,
             trace: workload.trace,
@@ -318,10 +324,9 @@ impl MatchCell {
         let deliveries = run.net.advance_to(f as f64 * run.frame_ms);
         for d in deliveries {
             let observer = PlayerId(d.to as u32);
-            let (out, events) =
-                run.nodes[d.to].handle_message(f, PlayerId(d.from as u32), &d.payload);
-            tally(run, spec, observer, &events);
-            for o in out {
+            let output = run.cores[d.to].datagram(f, PlayerId(d.from as u32), &d.payload);
+            tally(run, spec, observer, &output.events);
+            for o in output.datagrams {
                 let size = o.bytes.len();
                 run.net.send(d.to, o.to.index(), o.bytes, size);
             }
@@ -334,9 +339,9 @@ impl MatchCell {
                 // movement allows; the proxy's physics check flags it.
                 state.position.x += CHEAT_OFFSET;
             }
-            let output = run.nodes[i].begin_frame(f, &state);
+            let output = run.cores[i].tick(f, &state);
             tally(run, spec, PlayerId(i as u32), &output.events);
-            for o in output.outgoing {
+            for o in output.datagrams {
                 let size = o.bytes.len();
                 run.net.send(i, o.to.index(), o.bytes, size);
             }
@@ -360,8 +365,8 @@ impl MatchCell {
         if !spec.observe {
             return;
         }
-        for node in &mut run.nodes {
-            run.audit.append(&mut node.drain_audit());
+        for core in &mut run.cores {
+            run.audit.append(&mut core.drain_audit());
         }
         run.audit.append(&mut run.lobby.drain_audit());
     }
@@ -374,9 +379,8 @@ impl MatchCell {
         let horizon = (spec.frames as f64 + 2.0) * run.frame_ms + 10.0 * LATENCY_MS;
         for d in run.net.advance_to(horizon) {
             let observer = PlayerId(d.to as u32);
-            let (_out, events) =
-                run.nodes[d.to].handle_message(spec.frames, PlayerId(d.from as u32), &d.payload);
-            tally(run, spec, observer, &events);
+            let output = run.cores[d.to].datagram(spec.frames, PlayerId(d.from as u32), &d.payload);
+            tally(run, spec, observer, &output.events);
         }
         run.net.stats().assert_invariant("fleet match cell");
         Self::collect_audit(run, spec);

@@ -16,6 +16,9 @@
 //!   partition windows.
 //! * [`udp`] — a small framed transport over real `UdpSocket`s for live
 //!   overlay demos.
+//! * [`live`] — a nonblocking batched-UDP driver shell (drain-all-per-tick
+//!   receive, bounded send queue, heartbeat/address-relearning) for
+//!   running a sans-io protocol core over real sockets.
 //!
 //! # Examples
 //!
@@ -41,6 +44,7 @@ mod bandwidth;
 mod event_queue;
 pub mod fault;
 pub mod latency;
+pub mod live;
 mod simnet;
 pub mod udp;
 pub mod wire;

@@ -2,16 +2,21 @@
 //!
 //! The paper's prototype "rel\[ies\] on UDP for faster communication"; this
 //! module lets the overlay run over genuine sockets for live demos (see
-//! the `udp_overlay` example), while the experiments use the deterministic
-//! [`crate::SimNetwork`].
+//! the `udp_overlay` and `live_cluster` examples), while the experiments
+//! use the deterministic [`crate::SimNetwork`].
 //!
 //! Frames are length-prefixed datagrams tagged with the sender's logical
 //! node id, so a receiver can demultiplex players without a lookup table.
+//! Every received datagram lands in exactly one of three buckets —
+//! accepted ([`Recv::Frame`]), [`Recv::Malformed`] or [`Recv::Truncated`]
+//! — each with its own telemetry counter, so a receive loop can keep
+//! draining through garbage and an operator can tell wire corruption from
+//! oversized datagrams at a glance.
 
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use watchmen_telemetry::trace::{EventKind, Phase, TraceEvent, TraceId, NO_SUBJECT};
 use watchmen_telemetry::FlightRecorder;
@@ -21,8 +26,49 @@ use crate::wire::{GetBytes, PutBytes};
 /// Maximum payload accepted per frame (fits comfortably in one datagram).
 pub const MAX_PAYLOAD: usize = 1400;
 
+/// Bytes of framing before the payload: magic (2) + node id (4) +
+/// payload length (2).
+pub const HEADER_LEN: usize = 8;
+
+/// Receive buffer size: the largest legal frame plus one spare byte. A
+/// `recv_from` that fills the *entire* buffer can only be a datagram the
+/// kernel truncated to fit — no legal frame is that long — which is how
+/// oversized datagrams are told apart from merely malformed ones.
+const RECV_BUF: usize = HEADER_LEN + MAX_PAYLOAD + 1;
+
 /// Magic bytes marking a Watchmen frame.
 const MAGIC: u16 = 0x574d; // "WM"
+
+/// The typed outcome of one receive attempt: exactly one of accepted,
+/// malformed, truncated, or nothing pending. Drain loops match on this
+/// and only stop at [`Recv::Empty`] — a garbage datagram no longer looks
+/// like an empty queue (the bug the untyped `Option` return used to
+/// have).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Recv {
+    /// A well-formed frame: sender's logical id, source address, payload.
+    Frame {
+        /// The sender's logical node id from the frame header.
+        sender: u32,
+        /// The datagram's source socket address.
+        from: SocketAddr,
+        /// The frame payload.
+        payload: Vec<u8>,
+    },
+    /// A datagram that fit the buffer but failed framing (bad magic,
+    /// short header, or a length field that disagrees with the datagram).
+    Malformed {
+        /// Where the garbage came from.
+        from: SocketAddr,
+    },
+    /// A datagram larger than any legal frame, truncated by the kernel.
+    Truncated {
+        /// Where the oversized datagram came from.
+        from: SocketAddr,
+    },
+    /// No datagram pending (or the blocking timeout expired).
+    Empty,
+}
 
 /// A UDP endpoint bound to a local address, sending and receiving framed
 /// payloads tagged with logical node ids.
@@ -110,11 +156,7 @@ impl UdpEndpoint {
                 format!("payload {} exceeds {MAX_PAYLOAD}", payload.len()),
             ));
         }
-        let mut frame = Vec::with_capacity(8 + payload.len());
-        frame.put_u16(MAGIC);
-        frame.put_u32(self.node_id);
-        frame.put_u16(payload.len() as u16);
-        frame.put_slice(payload);
+        let frame = encode_frame(self.node_id, payload);
         self.socket.send_to(&frame, dest)?;
         let telemetry = watchmen_telemetry::global();
         telemetry.counter("udp_frames_sent_total").inc();
@@ -123,60 +165,126 @@ impl UdpEndpoint {
         Ok(())
     }
 
-    /// Receives one frame if available, returning the sender's logical
-    /// node id, socket address and payload. Returns `Ok(None)` when no
-    /// datagram is pending or a malformed frame was discarded.
+    /// One nonblocking receive attempt, classified. This is the primitive
+    /// the batched drain loops are built on: call it until it returns
+    /// [`Recv::Empty`] and the socket queue is truly drained, whatever
+    /// garbage was interleaved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors other than `WouldBlock`/`TimedOut`.
+    pub fn poll_recv(&self) -> io::Result<Recv> {
+        let mut buf = [0u8; RECV_BUF];
+        match self.socket.recv_from(&mut buf) {
+            Ok((len, from)) => {
+                if len == RECV_BUF {
+                    // The kernel filled the whole buffer: the datagram was
+                    // at least one byte longer than any legal frame and
+                    // its tail is gone. Distinct from malformed — this is
+                    // an MTU/attacker signal, not wire corruption.
+                    watchmen_telemetry::global().counter("udp_frames_truncated_total").inc();
+                    Ok(Recv::Truncated { from })
+                } else {
+                    match parse_frame(&buf[..len]) {
+                        Some((sender, payload)) => {
+                            self.record_frame_event(
+                                EventKind::Deliver,
+                                sender,
+                                payload.len() as i64,
+                            );
+                            Ok(Recv::Frame { sender, from, payload })
+                        }
+                        None => Ok(Recv::Malformed { from }),
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(Recv::Empty)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Receives one well-formed frame if available, returning the
+    /// sender's logical node id, socket address and payload. Malformed or
+    /// truncated datagrams are skipped (and counted), so `Ok(None)` means
+    /// the queue is truly empty — a `while let Some(..)` drain no longer
+    /// stalls on one garbage datagram.
     ///
     /// # Errors
     ///
     /// Propagates socket errors other than `WouldBlock`.
     pub fn try_recv(&self) -> io::Result<Option<(u32, SocketAddr, Vec<u8>)>> {
-        let mut buf = [0u8; 2048];
-        match self.socket.recv_from(&mut buf) {
-            Ok((len, from)) => Ok(parse_frame(&buf[..len]).map(|(id, payload)| {
-                self.record_frame_event(EventKind::Deliver, id, payload.len() as i64);
-                (id, from, payload)
-            })),
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
-            Err(e) => Err(e),
+        loop {
+            match self.poll_recv()? {
+                Recv::Frame { sender, from, payload } => return Ok(Some((sender, from, payload))),
+                Recv::Malformed { .. } | Recv::Truncated { .. } => {}
+                Recv::Empty => return Ok(None),
+            }
         }
     }
 
-    /// Blocks up to `timeout` for one frame.
+    /// Blocks up to `timeout` for one well-formed frame, skipping garbage
+    /// datagrams within the deadline.
+    ///
+    /// The socket is always restored to its bound-time state (nonblocking,
+    /// no read timeout) before returning, so later users never inherit a
+    /// stale timeout.
     ///
     /// # Errors
     ///
-    /// Propagates socket errors; `Ok(None)` on timeout or a malformed
-    /// frame.
+    /// Propagates socket errors; `Ok(None)` on timeout.
     pub fn recv_timeout(
         &self,
         timeout: Duration,
     ) -> io::Result<Option<(u32, SocketAddr, Vec<u8>)>> {
         self.socket.set_nonblocking(false)?;
-        self.socket.set_read_timeout(Some(timeout))?;
-        let mut buf = [0u8; 2048];
-        let result = match self.socket.recv_from(&mut buf) {
-            Ok((len, from)) => Ok(parse_frame(&buf[..len]).map(|(id, payload)| {
-                self.record_frame_event(EventKind::Deliver, id, payload.len() as i64);
-                (id, from, payload)
-            })),
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                Ok(None)
+        let deadline = Instant::now() + timeout;
+        let mut remaining = timeout;
+        let result = loop {
+            // A zero read timeout is invalid; round up to keep the final
+            // sliver of the deadline blocking rather than erroring.
+            self.socket.set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
+            match self.poll_recv() {
+                Ok(Recv::Frame { sender, from, payload }) => {
+                    break Ok(Some((sender, from, payload)));
+                }
+                Ok(Recv::Malformed { .. } | Recv::Truncated { .. }) => {
+                    remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        break Ok(None);
+                    }
+                }
+                Ok(Recv::Empty) => break Ok(None),
+                Err(e) => break Err(e),
             }
-            Err(e) => Err(e),
         };
+        self.socket.set_read_timeout(None)?;
         self.socket.set_nonblocking(true)?;
         result
     }
 }
 
+/// Encodes a frame: magic, sender id, payload length, payload. The exact
+/// byte layout is pinned by a golden test in `tests/frame_fuzz.rs`.
+#[must_use]
+pub fn encode_frame(node_id: u32, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.put_u16(MAGIC);
+    frame.put_u32(node_id);
+    frame.put_u16(payload.len() as u16);
+    frame.put_slice(payload);
+    frame
+}
+
 /// Parses a frame, returning the sender id and payload, or `None` if
-/// malformed.
-fn parse_frame(mut data: &[u8]) -> Option<(u32, Vec<u8>)> {
+/// malformed. Never panics, whatever the input bytes.
+#[must_use]
+pub fn parse_frame(mut data: &[u8]) -> Option<(u32, Vec<u8>)> {
     let telemetry = watchmen_telemetry::global();
-    if data.len() < 8 || data.get_u16() != MAGIC {
+    if data.len() < HEADER_LEN || data.get_u16() != MAGIC {
         telemetry.counter("udp_frames_malformed_total").inc();
         return None;
     }
@@ -260,5 +368,96 @@ mod tests {
         a.send_to(b.local_addr().unwrap(), b"").unwrap();
         let got = b.recv_timeout(Duration::from_secs(2)).unwrap().expect("frame");
         assert!(got.2.is_empty());
+    }
+
+    /// The receive-path drain bug: a garbage datagram between two valid
+    /// frames used to return `Ok(None)` from `try_recv`, ending a
+    /// `while let Some(..)` drain with a frame still queued. The drain
+    /// must now skip garbage and only stop when the queue is empty.
+    #[test]
+    fn garbage_between_frames_does_not_stall_drain() {
+        let a = UdpEndpoint::bind(4, "127.0.0.1:0").unwrap();
+        let b = UdpEndpoint::bind(5, "127.0.0.1:0").unwrap();
+        let dest = b.local_addr().unwrap();
+        let raw = UdpSocket::bind("127.0.0.1:0").unwrap();
+        a.send_to(dest, b"first").unwrap();
+        raw.send_to(b"\xff\xffgarbage", dest).unwrap();
+        a.send_to(dest, b"second").unwrap();
+
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while got.len() < 2 && Instant::now() < deadline {
+            // The production pattern: drain everything pending this tick.
+            while let Some((id, _from, payload)) = b.try_recv().unwrap() {
+                got.push((id, payload));
+            }
+        }
+        assert_eq!(got.len(), 2, "both frames must survive the interleaved garbage");
+        assert!(got.iter().all(|(id, _)| *id == 4));
+        let payloads: Vec<&[u8]> = got.iter().map(|(_, p)| p.as_slice()).collect();
+        assert!(payloads.contains(&b"first".as_slice()));
+        assert!(payloads.contains(&b"second".as_slice()));
+    }
+
+    /// `recv_timeout` must restore the socket fully: nonblocking on, read
+    /// timeout cleared. A leaked timeout silently changed the behavior of
+    /// any later blocking user of the socket.
+    #[test]
+    fn recv_timeout_restores_socket_state() {
+        let a = UdpEndpoint::bind(6, "127.0.0.1:0").unwrap();
+        assert!(a.recv_timeout(Duration::from_millis(20)).unwrap().is_none());
+        assert_eq!(a.socket.read_timeout().unwrap(), None, "stale read timeout leaked");
+        // Nonblocking restored too: an immediate receive must not block.
+        let started = Instant::now();
+        assert!(a.try_recv().unwrap().is_none());
+        assert!(started.elapsed() < Duration::from_millis(500));
+    }
+
+    /// `recv_timeout` skips garbage within its deadline instead of
+    /// reporting it as a timeout.
+    #[test]
+    fn recv_timeout_skips_garbage() {
+        let a = UdpEndpoint::bind(8, "127.0.0.1:0").unwrap();
+        let b = UdpEndpoint::bind(9, "127.0.0.1:0").unwrap();
+        let dest = b.local_addr().unwrap();
+        let raw = UdpSocket::bind("127.0.0.1:0").unwrap();
+        raw.send_to(b"not a frame", dest).unwrap();
+        a.send_to(dest, b"real").unwrap();
+        let (id, _from, payload) =
+            b.recv_timeout(Duration::from_secs(2)).unwrap().expect("the valid frame");
+        assert_eq!(id, 8);
+        assert_eq!(&payload[..], b"real");
+    }
+
+    /// Datagrams longer than any legal frame are classified as truncated,
+    /// not malformed: the kernel cut them to the buffer, so their framing
+    /// was never inspectable.
+    #[test]
+    fn oversized_datagram_classified_truncated() {
+        let b = UdpEndpoint::bind(10, "127.0.0.1:0").unwrap();
+        let dest = b.local_addr().unwrap();
+        let raw = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let oversized = vec![0xab; RECV_BUF + 100];
+        raw.send_to(&oversized, dest).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            match b.poll_recv().unwrap() {
+                Recv::Truncated { .. } => break,
+                Recv::Empty => {
+                    assert!(Instant::now() < deadline, "truncated datagram never classified");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                other => panic!("expected Truncated, got {other:?}"),
+            }
+        }
+        // A max-size *legal* frame still parses: truncation detection must
+        // not eat the boundary case.
+        let a = UdpEndpoint::bind(11, "127.0.0.1:0").unwrap();
+        let max = vec![0x7u8; MAX_PAYLOAD];
+        a.send_to(dest, &max).unwrap();
+        let (id, _from, payload) =
+            b.recv_timeout(Duration::from_secs(2)).unwrap().expect("max-size frame");
+        assert_eq!(id, 11);
+        assert_eq!(payload.len(), MAX_PAYLOAD);
     }
 }

@@ -21,6 +21,7 @@ use std::sync::Arc;
 use watchmen::core::node::{NodeEvent, WatchmenNode};
 use watchmen::core::overlay::run_watchmen;
 use watchmen::core::proxy::ProxySchedule;
+use watchmen::core::sans_io::ProtocolCore;
 use watchmen::core::WatchmenConfig;
 use watchmen::crypto::schnorr::{Keypair, PublicKey};
 use watchmen::game::heatmap::Heatmap;
@@ -235,11 +236,11 @@ fn run_secured_segment(
     let keys: Vec<Keypair> =
         (0..cluster_size).map(|i| Keypair::generate(seed ^ i as u64)).collect();
     let directory: Vec<PublicKey> = keys.iter().map(Keypair::public).collect();
-    let mut nodes: Vec<WatchmenNode> = keys
+    let mut cores: Vec<ProtocolCore> = keys
         .into_iter()
         .enumerate()
         .map(|(i, k)| {
-            WatchmenNode::new(
+            ProtocolCore::new(WatchmenNode::new(
                 PlayerId(i as u32),
                 k,
                 directory.clone(),
@@ -247,7 +248,7 @@ fn run_secured_segment(
                 WatchmenConfig::default(),
                 map.clone(),
                 PhysicsConfig::default(),
-            )
+            ))
         })
         .collect();
     let mut bus: std::collections::VecDeque<(PlayerId, PlayerId, Vec<u8>)> =
@@ -262,8 +263,8 @@ fn run_secured_segment(
             if i == 2 && frame > 0 && frame % 4 == 0 {
                 state.position.x += 30.0;
             }
-            let output = nodes[i].begin_frame(frame, &state);
-            for o in output.outgoing {
+            let output = cores[i].tick(frame, &state);
+            for o in output.datagrams {
                 if i == 1 && replayed.is_none() && o.bytes.len() > 60 {
                     // Keep p1's first state update for a later replay.
                     replayed = Some((PlayerId(1), o.to, o.bytes.clone()));
@@ -279,14 +280,14 @@ fn run_secured_segment(
             }
         }
         while let Some((sender, to, bytes)) = bus.pop_front() {
-            let (out, _events) = nodes[to.index()].handle_message(frame, sender, &bytes);
-            for o in out {
+            let output = cores[to.index()].datagram(frame, sender, &bytes);
+            for o in output.datagrams {
                 bus.push_back((to, o.to, o.bytes));
             }
         }
     }
-    let recorders = nodes.iter().map(WatchmenNode::recorder).collect();
-    let dumps = nodes.iter_mut().flat_map(WatchmenNode::take_flight_dumps).collect();
+    let recorders = cores.iter().map(|c| c.node().recorder()).collect();
+    let dumps = cores.iter_mut().flat_map(|c| c.node_mut().take_flight_dumps()).collect();
     (recorders, dumps)
 }
 
@@ -325,11 +326,11 @@ fn run_faulted_segment(plan: FaultPlan) {
     // recovery, and the position checker's wall-geometry corner cases
     // fire even on honest q3dm17 traces.
     let map = maps::arena(32, 10.0);
-    let mut nodes: Vec<WatchmenNode> = keys
+    let mut cores: Vec<ProtocolCore> = keys
         .into_iter()
         .enumerate()
         .map(|(i, k)| {
-            WatchmenNode::new(
+            ProtocolCore::new(WatchmenNode::new(
                 PlayerId(i as u32),
                 k,
                 directory.clone(),
@@ -337,7 +338,7 @@ fn run_faulted_segment(plan: FaultPlan) {
                 config,
                 map.clone(),
                 PhysicsConfig::default(),
-            )
+            ))
         })
         .collect();
 
@@ -362,9 +363,9 @@ fn run_faulted_segment(plan: FaultPlan) {
             if net.is_crashed(d.to) {
                 continue;
             }
-            let (out, events) = nodes[d.to].handle_message(f, PlayerId(d.from as u32), &d.payload);
-            tally(&events);
-            for o in out {
+            let output = cores[d.to].datagram(f, PlayerId(d.from as u32), &d.payload);
+            tally(&output.events);
+            for o in output.datagrams {
                 let size = o.bytes.len();
                 net.send(d.to, o.to.index(), o.bytes, size);
             }
@@ -373,9 +374,9 @@ fn run_faulted_segment(plan: FaultPlan) {
             if net.is_crashed(i) {
                 continue;
             }
-            let output = nodes[i].begin_frame(f, &fault_trace.frames[f as usize].states[i]);
+            let output = cores[i].tick(f, &fault_trace.frames[f as usize].states[i]);
             tally(&output.events);
-            for o in output.outgoing {
+            for o in output.datagrams {
                 let size = o.bytes.len();
                 net.send(i, o.to.index(), o.bytes, size);
             }
@@ -386,7 +387,8 @@ fn run_faulted_segment(plan: FaultPlan) {
     stats.assert_invariant("deathmatch faulted segment");
     let (mut retransmits, mut acks, mut fallbacks, mut abandoned, mut pending) =
         (0u64, 0u64, 0u64, 0u64, 0u64);
-    for n in &nodes {
+    for c in &cores {
+        let n = c.node();
         let cs = n.control_stats();
         retransmits += cs.retransmits;
         acks += cs.acks_received;
@@ -461,12 +463,12 @@ fn run_churn_segment() {
     net.set_fault_plan(plan);
 
     let map = maps::arena(32, 10.0);
-    let mut nodes: Vec<Option<WatchmenNode>> = keys
+    let mut cores: Vec<Option<ProtocolCore>> = keys
         .iter()
         .take(VETERANS)
         .enumerate()
         .map(|(i, k)| {
-            Some(
+            Some(ProtocolCore::new(
                 WatchmenNode::new(
                     PlayerId(i as u32),
                     k.clone(),
@@ -477,10 +479,10 @@ fn run_churn_segment() {
                     PhysicsConfig::default(),
                 )
                 .with_lobby_key(lobby_key),
-            )
+            ))
         })
         .collect();
-    nodes.resize_with(TOTAL, || None);
+    cores.resize_with(TOTAL, || None);
 
     let churn_trace =
         GameTrace::record(GameConfig { map, ..GameConfig::default() }, TOTAL, SEED, FRAMES + DRAIN);
@@ -498,7 +500,7 @@ fn run_churn_segment() {
             let (id, ticket, roster) =
                 lobby.admit_midgame(keys[idx].public(), f).expect("mid-game admission");
             admit_frames.insert(idx, ticket.admit_frame);
-            nodes[idx] = Some(WatchmenNode::new_joining(
+            cores[idx] = Some(ProtocolCore::new(WatchmenNode::new_joining(
                 id,
                 keys[idx].clone(),
                 roster,
@@ -508,14 +510,14 @@ fn run_churn_segment() {
                 config,
                 maps::arena(32, 10.0),
                 PhysicsConfig::default(),
-            ));
+            )));
             join_cursor += 1;
         }
         for &(leaver, announce) in &LEAVES {
             if f == announce {
                 lobby.leave(PlayerId(leaver as u32), f);
-                let outs = nodes[leaver].as_mut().expect("leaver exists").announce_leave(f);
-                for o in outs {
+                let outs = cores[leaver].as_mut().expect("leaver exists").announce_leave(f);
+                for o in outs.datagrams {
                     let size = o.bytes.len();
                     net.send(leaver, o.to.index(), o.bytes, size);
                 }
@@ -526,9 +528,9 @@ fn run_churn_segment() {
             if net.is_crashed(d.to) || net.is_offline(d.to) {
                 continue;
             }
-            let Some(node) = nodes[d.to].as_mut() else { continue };
-            let (out, events) = node.handle_message(f, PlayerId(d.from as u32), &d.payload);
-            for e in &events {
+            let Some(core) = cores[d.to].as_mut() else { continue };
+            let output = core.datagram(f, PlayerId(d.from as u32), &d.payload);
+            for e in &output.events {
                 match e {
                     NodeEvent::Suspicion { rating, .. } if rating.score >= 6 => severe += 1,
                     NodeEvent::BadSignature { .. } => bad_sigs += 1,
@@ -538,7 +540,7 @@ fn run_churn_segment() {
                     _ => {}
                 }
             }
-            for o in out {
+            for o in output.datagrams {
                 let size = o.bytes.len();
                 net.send(d.to, o.to.index(), o.bytes, size);
             }
@@ -547,8 +549,8 @@ fn run_churn_segment() {
             if net.is_crashed(i) || net.is_offline(i) {
                 continue;
             }
-            let Some(node) = nodes[i].as_mut() else { continue };
-            let output = node.begin_frame(f, &churn_trace.frames[f as usize].states[i]);
+            let Some(core) = cores[i].as_mut() else { continue };
+            let output = core.tick(f, &churn_trace.frames[f as usize].states[i]);
             for e in &output.events {
                 if let NodeEvent::Suspicion { rating, .. } = e {
                     if rating.score >= 6 {
@@ -556,7 +558,7 @@ fn run_churn_segment() {
                     }
                 }
             }
-            for o in output.outgoing {
+            for o in output.datagrams {
                 let size = o.bytes.len();
                 net.send(i, o.to.index(), o.bytes, size);
             }
@@ -566,8 +568,9 @@ fn run_churn_segment() {
             let views: Vec<(u64, [u8; 32])> = (0..TOTAL)
                 .filter(|&i| !net.is_crashed(i) && !net.is_offline(i))
                 .filter_map(|i| {
-                    nodes[i]
+                    cores[i]
                         .as_ref()
+                        .map(ProtocolCore::node)
                         .filter(|n| n.is_active_member())
                         .map(|n| (n.roster_epoch(), n.roster_digest()))
                 })
@@ -580,19 +583,19 @@ fn run_churn_segment() {
     }
 
     net.stats().assert_invariant("deathmatch churn segment");
-    let witness = nodes[0].as_ref().expect("node 0 lives");
+    let witness = cores[0].as_ref().expect("node 0 lives").node();
     let cs = witness.churn_stats();
     let joiners_converged = admit_frames
         .iter()
         .filter(|(j, &admit)| {
             bootstrap_frame.get(j).is_some_and(|&got| got <= admit + period)
-                && nodes[**j].as_ref().is_some_and(WatchmenNode::is_active_member)
+                && cores[**j].as_ref().is_some_and(|c| c.node().is_active_member())
         })
         .count();
     let (mut bootstraps_sent, mut stale_drops) = (0u64, 0u64);
-    for n in nodes.iter().flatten() {
-        bootstraps_sent += n.churn_stats().bootstraps_sent;
-        stale_drops += n.churn_stats().stale_drops;
+    for c in cores.iter().flatten() {
+        bootstraps_sent += c.node().churn_stats().bootstraps_sent;
+        stale_drops += c.node().churn_stats().stale_drops;
     }
     println!(
         "churn summary: joins={} leaves={} evictions={} bootstraps_sent={bootstraps_sent} \

@@ -1,0 +1,375 @@
+//! A live Watchmen deathmatch across real OS processes.
+//!
+//! The parent process spawns one child process per player; each child
+//! binds a `LiveTransport` (nonblocking batched UDP) on loopback, wraps
+//! the identical sans-io `ProtocolCore` the simnet and fleet drivers
+//! run, and plays a recorded deathmatch in real time — with one injected
+//! speed-hacker whose proxy (a *different OS process*) must flag it.
+//!
+//! ```sh
+//! cargo run --release --example live_cluster [players] [frames]
+//! ```
+//!
+//! Defaults: 6 players, 240 frames. Knobs:
+//!
+//! * `WATCHMEN_LIVE_SEED` — workload/key/schedule seed (default 2013)
+//! * `WATCHMEN_LIVE_PACE_MS` — real milliseconds per protocol frame
+//!   (default 10; the protocol's own constants stay in frames, so pacing
+//!   only scales wall clock)
+//! * `WATCHMEN_LIVE_CHEATER` — player index scripted to speed-hack
+//!   (default 2)
+//!
+//! The parent prints one machine-parseable line that ci.sh gates on:
+//!
+//! ```text
+//! live summary: players=6 frames=240 cheater=2 severe=38 false_verdicts=0 \
+//!   detected=1 completed=6 heartbeats=66 malformed=0 truncated=0
+//! ```
+//!
+//! Rendezvous protocol (stdin/stdout lines, parent ↔ child):
+//! child prints `ADDR <socketaddr>`; parent gathers all addresses and
+//! writes `PEERS <addr0> <addr1> …`; child heartbeats until it has heard
+//! every peer, prints `UP`; parent writes `GO` to everyone at once; the
+//! match runs; child prints `RESULT k=v …` and exits.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use watchmen::core::node::{NodeEvent, WatchmenNode};
+use watchmen::core::sans_io::ProtocolCore;
+use watchmen::core::WatchmenConfig;
+use watchmen::crypto::schnorr::Keypair;
+use watchmen::game::PlayerId;
+use watchmen::net::live::LiveTransport;
+use watchmen::sim::workload::match_workload;
+use watchmen::world::PhysicsConfig;
+
+/// Extra frames after the playable match: one proxy epoch, enough for
+/// the final epoch summaries and their verdicts to land.
+const DRAIN_FRAMES: u64 = 40;
+
+/// How far the scripted cheater teleports sideways, in world units —
+/// the same magnitude every soak gate in this repo scripts.
+const CHEAT_OFFSET: f64 = 30.0;
+
+struct Knobs {
+    players: usize,
+    frames: u64,
+    seed: u64,
+    cheater: u32,
+    pace_ms: u64,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+fn knobs_from_env(players: usize, frames: u64) -> Knobs {
+    Knobs {
+        players,
+        frames,
+        seed: env_u64("WATCHMEN_LIVE_SEED", 2013),
+        cheater: env_u64("WATCHMEN_LIVE_CHEATER", 2) as u32,
+        pace_ms: env_u64("WATCHMEN_LIVE_PACE_MS", 10),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("__node") {
+        // Child mode: `__node <index> <players> <frames>`.
+        let index: usize = args[1].parse().expect("child index");
+        let players: usize = args[2].parse().expect("child players");
+        let frames: u64 = args[3].parse().expect("child frames");
+        run_node(index, knobs_from_env(players, frames));
+        return;
+    }
+
+    let players: usize = match args.first() {
+        None => 6,
+        Some(a) => a.parse().unwrap_or_else(|_| usage_error(&format!("bad players {a:?}"))),
+    };
+    let frames: u64 = match args.get(1) {
+        None => 240,
+        Some(a) => a.parse().unwrap_or_else(|_| usage_error(&format!("bad frames {a:?}"))),
+    };
+    if args.len() > 2 {
+        usage_error(&format!("expected at most 2 arguments, got {}", args.len()));
+    }
+    if players < 3 {
+        usage_error("players must be >= 3 (a cheater needs an honest proxy and witnesses)");
+    }
+    let knobs = knobs_from_env(players, frames);
+    if knobs.cheater as usize >= players {
+        usage_error("WATCHMEN_LIVE_CHEATER must be a player index");
+    }
+    run_parent(&knobs);
+}
+
+fn usage_error(reason: &str) -> ! {
+    eprintln!("error: {reason}");
+    eprintln!("usage: live_cluster [players] [frames]   (defaults: 6 players, 240 frames)");
+    std::process::exit(2);
+}
+
+/// Spawns the child fleet, runs the rendezvous, aggregates the results
+/// and prints the `live summary:` gate line.
+fn run_parent(knobs: &Knobs) {
+    let exe = std::env::current_exe().expect("own executable path");
+    println!(
+        "spawning {} node processes on loopback ({} frames + {DRAIN_FRAMES} drain, \
+         {}ms/frame, p{} speed-hacks)…",
+        knobs.players, knobs.frames, knobs.pace_ms, knobs.cheater
+    );
+
+    let mut children: Vec<(Child, BufReader<std::process::ChildStdout>)> = (0..knobs.players)
+        .map(|i| {
+            let mut child = Command::new(&exe)
+                .arg("__node")
+                .arg(i.to_string())
+                .arg(knobs.players.to_string())
+                .arg(knobs.frames.to_string())
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .spawn()
+                .expect("spawn node process");
+            let stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+            (child, stdout)
+        })
+        .collect();
+
+    // Rendezvous 1: collect every child's ephemeral address.
+    let mut addrs: Vec<String> = Vec::with_capacity(knobs.players);
+    let mut abort: Option<String> = None;
+    for (i, (_, out)) in children.iter_mut().enumerate() {
+        match read_line(out).and_then(|l| l.strip_prefix("ADDR ").map(str::to_owned)) {
+            Some(addr) => addrs.push(addr),
+            None => {
+                abort = Some(format!("node {i} died or printed no ADDR line"));
+                break;
+            }
+        }
+    }
+    if let Some(reason) = abort {
+        fail(&mut children, &reason);
+    }
+
+    // Rendezvous 2: everyone learns everyone, then confirms liveness.
+    let peers_line = format!("PEERS {}\n", addrs.join(" "));
+    for (child, _) in &mut children {
+        child.stdin.as_mut().expect("child stdin").write_all(peers_line.as_bytes()).unwrap();
+    }
+    for (i, (_, out)) in children.iter_mut().enumerate() {
+        let line = read_line(out);
+        if line.as_deref() != Some("UP") {
+            eprintln!("node {i}: expected UP, got {line:?}");
+            abort = Some("a node never heard its peers".to_owned());
+            break;
+        }
+    }
+    if let Some(reason) = abort {
+        fail(&mut children, &reason);
+    }
+
+    // Rendezvous 3: start everyone as close to simultaneously as N pipe
+    // writes allow.
+    for (child, _) in &mut children {
+        child.stdin.as_mut().expect("child stdin").write_all(b"GO\n").unwrap();
+    }
+    let started = Instant::now();
+
+    // Collect results.
+    let (mut severe, mut false_verdicts, mut heartbeats) = (0u64, 0u64, 0u64);
+    let (mut malformed, mut truncated, mut queue_dropped) = (0u64, 0u64, 0u64);
+    let mut completed = 0usize;
+    for (i, (child, out)) in children.iter_mut().enumerate() {
+        let Some(line) = read_line(out) else {
+            eprintln!("node {i}: no RESULT line");
+            continue;
+        };
+        let ok = child.wait().map(|s| s.success()).unwrap_or(false);
+        let Some(kv) = line.strip_prefix("RESULT ") else {
+            eprintln!("node {i}: expected RESULT, got {line:?}");
+            continue;
+        };
+        if !ok {
+            eprintln!("node {i}: nonzero exit");
+            continue;
+        }
+        let get = |key: &str| -> u64 {
+            kv.split_whitespace()
+                .find_map(|pair| pair.strip_prefix(&format!("{key}=")))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0)
+        };
+        severe += get("severe");
+        false_verdicts += get("false");
+        heartbeats += get("heartbeats");
+        malformed += get("malformed");
+        truncated += get("truncated");
+        queue_dropped += get("qdrop");
+        completed += 1;
+    }
+
+    let detected = severe > 0;
+    println!(
+        "match wall clock: {:.2}s across {} processes (queue_dropped={queue_dropped})",
+        started.elapsed().as_secs_f64(),
+        knobs.players
+    );
+    println!(
+        "live summary: players={} frames={} cheater={} severe={severe} \
+         false_verdicts={false_verdicts} detected={} completed={completed} \
+         heartbeats={heartbeats} malformed={malformed} truncated={truncated}",
+        knobs.players,
+        knobs.frames,
+        knobs.cheater,
+        u64::from(detected),
+    );
+    if completed != knobs.players || false_verdicts > 0 || !detected {
+        eprintln!("live cluster FAILED");
+        std::process::exit(1);
+    }
+}
+
+fn read_line(reader: &mut BufReader<std::process::ChildStdout>) -> Option<String> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) | Err(_) => None,
+        Ok(_) => Some(line.trim_end().to_owned()),
+    }
+}
+
+fn fail(children: &mut [(Child, BufReader<std::process::ChildStdout>)], reason: &str) -> ! {
+    for (child, _) in children.iter_mut() {
+        let _ = child.kill();
+    }
+    eprintln!("live cluster aborted: {reason}");
+    std::process::exit(1);
+}
+
+/// One player process: bind, rendezvous, then drive the sans-io core
+/// over real UDP at a fixed frame cadence.
+fn run_node(index: usize, knobs: Knobs) {
+    let stdout = std::io::stdout();
+    let stdin = std::io::stdin();
+
+    let mut transport =
+        LiveTransport::bind(index as u32, "127.0.0.1:0").expect("bind loopback socket");
+    {
+        let mut out = stdout.lock();
+        writeln!(out, "ADDR {}", transport.local_addr().expect("local addr")).unwrap();
+        out.flush().unwrap();
+    }
+
+    // Learn the full address book from the parent.
+    let mut peers_line = String::new();
+    stdin.lock().read_line(&mut peers_line).expect("PEERS line");
+    let addrs: Vec<&str> =
+        peers_line.trim().strip_prefix("PEERS ").expect("PEERS prefix").split(' ').collect();
+    assert_eq!(addrs.len(), knobs.players, "address book covers every player");
+    for (id, addr) in addrs.iter().enumerate() {
+        if id != index {
+            transport.register_peer(id as u32, addr.parse().expect("peer addr"));
+        }
+    }
+
+    // Confirm mutual reachability: heartbeat until every peer was heard.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while transport.live_peers(u64::MAX) < knobs.players - 1 {
+        assert!(Instant::now() < deadline, "node {index}: peers never came up");
+        transport.beat().expect("heartbeat");
+        transport.pump().expect("pump during rendezvous");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    {
+        let mut out = stdout.lock();
+        writeln!(out, "UP").unwrap();
+        out.flush().unwrap();
+    }
+    let mut go_line = String::new();
+    stdin.lock().read_line(&mut go_line).expect("GO line");
+    assert_eq!(go_line.trim(), "GO");
+
+    // Everyone rebuilds the identical deterministic world from the seed:
+    // same workload trace, same keys, same proxy schedule.
+    let workload = match_workload(knobs.players, knobs.seed, knobs.frames);
+    let keys: Vec<Keypair> =
+        (0..knobs.players).map(|i| Keypair::generate(knobs.seed ^ i as u64)).collect();
+    let directory: Vec<_> = keys.iter().map(Keypair::public).collect();
+    let mut core = ProtocolCore::new(WatchmenNode::new(
+        PlayerId(index as u32),
+        keys[index].clone(),
+        directory,
+        knobs.seed,
+        WatchmenConfig::default(),
+        workload.map.clone(),
+        PhysicsConfig::default(),
+    ));
+
+    let (mut severe, mut false_verdicts) = (0u64, 0u64);
+    let tally = |events: &[NodeEvent], severe: &mut u64, false_verdicts: &mut u64| {
+        for e in events {
+            if let NodeEvent::Suspicion { subject, rating, .. } = e {
+                if rating.score >= 6 {
+                    if subject.0 == knobs.cheater {
+                        *severe += 1;
+                    } else {
+                        *false_verdicts += 1;
+                    }
+                }
+            }
+        }
+    };
+
+    let pace = Duration::from_millis(knobs.pace_ms);
+    let start = Instant::now();
+    let total = knobs.frames + DRAIN_FRAMES;
+    for f in 0..total {
+        // Deliver everything the wire brought since the last tick…
+        for (sender, bytes) in transport.pump().expect("pump") {
+            let out = core.datagram(f, PlayerId(sender), &bytes);
+            tally(&out.events, &mut severe, &mut false_verdicts);
+            for o in out.datagrams {
+                transport.queue(o.to.0, o.bytes);
+            }
+        }
+        // …then tick. During the drain the avatar holds its final
+        // recorded state (standing still is legal), keeping the proxy
+        // streams alive while late verdicts land.
+        let mut state =
+            workload.trace.frames[(f as usize).min(knobs.frames as usize - 1)].states[index];
+        if index as u32 == knobs.cheater && f > 0 && f % 4 == 0 && f < knobs.frames {
+            state.position.x += CHEAT_OFFSET;
+        }
+        let out = core.tick(f, &state);
+        tally(&out.events, &mut severe, &mut false_verdicts);
+        for o in out.datagrams {
+            transport.queue(o.to.0, o.bytes);
+        }
+        transport.pump().expect("flush");
+
+        // Absolute deadlines: sleep jitter must not accumulate into
+        // cross-process frame skew.
+        let next = start + pace * (f as u32 + 1);
+        if let Some(wait) = next.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+    }
+
+    let stats = transport.stats();
+    let mut out = stdout.lock();
+    writeln!(
+        out,
+        "RESULT node={index} severe={severe} false={false_verdicts} frames={total} \
+         heartbeats={} malformed={} truncated={} qdrop={} unroutable={}",
+        stats.heartbeats_received,
+        stats.malformed,
+        stats.truncated,
+        stats.queue_dropped,
+        stats.unroutable_dropped,
+    )
+    .unwrap();
+    out.flush().unwrap();
+}
