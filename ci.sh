@@ -247,4 +247,51 @@ for name in ("collusion", "sybil_flood", "eclipse"):
 print("campaign OK: " + "; ".join(f"{n} {r}" for n, r in lines))
 EOF
 
+echo "==> store crash loop (8 kill/abort cycles against the durable reputation store)"
+CRASH_OUT=/tmp/watchmen-crashloop.txt
+WATCHMEN_STORE_DIR=/tmp/watchmen-crashloop-store \
+WATCHMEN_CRASHLOOP="cycles=8,ops=3000,seed=2013" \
+    cargo run --release --example store_crashloop > "$CRASH_OUT" 2>/dev/null
+python3 - "$CRASH_OUT" <<'EOF'
+import re, sys
+text = open(sys.argv[1]).read()
+m = re.search(r"crashloop summary: (.*)", text)
+assert m, "no crashloop summary line in store_crashloop output"
+kv = {k: v for k, v in (p.split("=") for p in m.group(1).split())}
+assert kv["ok"] == "true", f"crash loop failed: {kv}"
+assert kv["divergences"] == "0", f"recovery diverged from the reference replay: {kv}"
+assert int(kv["sigkills"]) + int(kv["aborts"]) > 0, f"no crash was ever injected: {kv}"
+assert kv["ops"] == "3000", f"the final fault-free cycle never finished the stream: {kv}"
+assert int(kv["acked_bans"]) > 0, f"no ban was ever acknowledged: {kv}"
+print(f"crashloop OK: {m.group(1)}")
+EOF
+
+echo "==> reputation population soak (2000 matches, repeat offenders banned across matches)"
+POP_OUT=/tmp/watchmen-population.txt
+POP_STORE=/tmp/watchmen-population-store
+rm -rf "$POP_STORE"
+WATCHMEN_STORE_DIR="$POP_STORE" \
+WATCHMEN_BENCH_OUT=. \
+    cargo run --release --example population_run > "$POP_OUT"
+python3 - "$POP_OUT" BENCH_reputation.json <<'EOF'
+import json, re, sys
+text = open(sys.argv[1]).read()
+m = re.search(r"population summary: (.*)", text)
+assert m, "no population summary line in population_run output"
+kv = {k: v for k, v in (p.split("=") for p in m.group(1).split())}
+assert kv["ok"] == "true", f"population SLO failed: {kv}"
+assert kv["false_bans"] == "0", f"an honest identity was banned: {kv}"
+assert kv["banned"] == kv["cheaters"] != "0", f"a repeat cheater escaped the ban: {kv}"
+assert int(kv["refused"]) > 0, f"bans never blocked later matchmaking: {kv}"
+assert int(kv["commits"]) > 0 and int(kv["compactions"]) > 0, f"store never cycled: {kv}"
+
+bench = json.load(open(sys.argv[2]))
+assert bench["ok"] == 1, f"reputation bench not ok: {bench}"
+assert bench["false_bans"] == 0, f"false bans in bench record: {bench}"
+assert bench["cheaters_banned"] == bench["cheaters"] > 0, f"missed cheaters: {bench}"
+assert bench["ttb_p99_matches"] <= 20, f"time-to-ban p99 too slow: {bench}"
+assert bench["refused_admissions"] > 0, f"no cross-match refusals recorded: {bench}"
+print(f"population OK: {m.group(1)}")
+EOF
+
 echo "CI OK"

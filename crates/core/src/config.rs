@@ -76,6 +76,15 @@ pub struct WatchmenConfig {
     /// [`crate::lobby::AdmitError::Throttled`] and flagged in the audit
     /// stream under the `admission` check.
     pub max_joins_per_window: u32,
+    /// Reputation ban threshold: a player is banned when the fraction of
+    /// their interactions rated acceptable falls below this (the paper's
+    /// "simplest form" of reputation, Section V). Must lie strictly
+    /// inside `(0, 1)`.
+    pub reputation_threshold: f64,
+    /// Reports required before the reputation threshold can trigger a
+    /// ban — the warm-up that keeps one noisy verdict from banning an
+    /// honest player.
+    pub reputation_min_reports: u64,
 }
 
 impl Default for WatchmenConfig {
@@ -103,6 +112,10 @@ impl Default for WatchmenConfig {
             // organic churn, an order of magnitude under a flood burst.
             admission_window_frames: 40,
             max_joins_per_window: 4,
+            // Ban below 85% acceptable interactions after 30 reports —
+            // tuned for a ≤5% false-positive detector (see DESIGN.md).
+            reputation_threshold: 0.85,
+            reputation_min_reports: 30,
         }
     }
 }
@@ -173,6 +186,11 @@ impl WatchmenConfig {
         );
         assert!(self.admission_window_frames > 0, "admission_window_frames must be positive");
         assert!(self.max_joins_per_window > 0, "max_joins_per_window must be positive");
+        assert!(
+            self.reputation_threshold > 0.0 && self.reputation_threshold < 1.0,
+            "reputation_threshold must lie strictly inside (0, 1)"
+        );
+        assert!(self.reputation_min_reports > 0, "reputation_min_reports must be positive");
     }
 
     /// Frames of silence after which a peer is presumed crashed: `k`
@@ -278,6 +296,22 @@ mod tests {
         assert_eq!(c.join_bootstrap_depth, crate::msg::MAX_BOOTSTRAP_ENTRIES);
         assert_eq!(c.admission_window_frames, 40); // one proxy period
         assert_eq!(c.max_joins_per_window, 4);
+        assert_eq!(c.reputation_threshold, 0.85);
+        assert_eq!(c.reputation_min_reports, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "reputation_threshold")]
+    fn reputation_threshold_of_one_panics() {
+        let c = WatchmenConfig { reputation_threshold: 1.0, ..WatchmenConfig::default() };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "reputation_min_reports")]
+    fn zero_min_reports_panics() {
+        let c = WatchmenConfig { reputation_min_reports: 0, ..WatchmenConfig::default() };
+        c.validate();
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! a pluggable reputation system, tracks liveness, and turns bans and
 //! disconnections into deterministic proxy-pool exclusions.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 
 use watchmen_crypto::schnorr::{Keypair, PublicKey};
@@ -51,6 +51,13 @@ pub enum AdmitError {
         /// First frame at which the allowance frees up again.
         retry_at: u64,
     },
+    /// The candidate's identity carries a durable cross-match ban (see
+    /// [`GameLobby::with_banned_keys`]): a ban earned in one match blocks
+    /// matchmaking in every later one.
+    Banned {
+        /// The refused identity's [`key_tag`].
+        key_tag: u32,
+    },
 }
 
 impl fmt::Display for AdmitError {
@@ -64,6 +71,9 @@ impl fmt::Display for AdmitError {
                 "admission throttled: {max_joins} joins per {window_frames} frames \
                  exhausted, retry at frame {retry_at}"
             ),
+            AdmitError::Banned { key_tag } => {
+                write!(f, "identity {key_tag:08x} carries a durable cross-match ban")
+            }
         }
     }
 }
@@ -149,6 +159,10 @@ pub struct GameLobby {
     /// Frames of recent throttle refusals (for score escalation), pruned
     /// to the same window. Refusals never consume the join allowance.
     refusal_times: VecDeque<u64>,
+    /// Identities (public-key scalars) carrying a durable cross-match
+    /// ban, loaded from the reputation store at lobby creation. Both
+    /// pre-match registration and mid-game admission refuse them.
+    banned_keys: BTreeSet<u64>,
 }
 
 impl GameLobby {
@@ -161,6 +175,11 @@ impl GameLobby {
     #[must_use]
     pub fn new(seed: u64, config: WatchmenConfig, heartbeat_timeout: u64) -> Self {
         assert!(heartbeat_timeout > 0);
+        // The paper's "simplest form" of reputation, calibrated by the
+        // config knobs (defaults: ban below 85% acceptable after 30
+        // reports, tuned for a ≤5% false-positive detector).
+        let reputation =
+            ThresholdReputation::new(0, config.reputation_threshold, config.reputation_min_reports);
         GameLobby {
             seed,
             config,
@@ -169,17 +188,32 @@ impl GameLobby {
             started: false,
             schedule: None,
             membership: None,
-            // Ban below 85% acceptable interactions after 30 reports — the
-            // paper's "simplest form", tuned for a ≤5% false-positive
-            // detector. Calibrate per detector via `with_reputation`.
-            reputation: ThresholdReputation::new(0, 0.85, 30),
+            reputation,
             heartbeat_timeout,
             keys: None,
             roster_epoch: 0,
             audit: AuditLog::default(),
             admit_times: VecDeque::new(),
             refusal_times: VecDeque::new(),
+            banned_keys: BTreeSet::new(),
         }
+    }
+
+    /// Loads the durable cross-match ban list (identity scalars from the
+    /// reputation store's banned set): both pre-match registration and
+    /// mid-game admission refuse these identities with
+    /// [`AdmitError::Banned`], so a ban earned in one match blocks
+    /// matchmaking in every later one.
+    #[must_use]
+    pub fn with_banned_keys(mut self, banned: impl IntoIterator<Item = u64>) -> Self {
+        self.banned_keys = banned.into_iter().collect();
+        self
+    }
+
+    /// Whether `key`'s identity carries a durable cross-match ban.
+    #[must_use]
+    pub fn is_key_banned(&self, key: &PublicKey) -> bool {
+        self.banned_keys.contains(&key.to_u64())
     }
 
     /// Gives the lobby a signing keypair, enabling mid-game admission —
@@ -207,13 +241,47 @@ impl GameLobby {
     ///
     /// # Panics
     ///
-    /// Panics if the match has already started.
+    /// Panics if the match has already started, or if the identity
+    /// carries a durable cross-match ban (use
+    /// [`GameLobby::try_register`] for the non-panicking form).
     pub fn register(&mut self, key: PublicKey) -> PlayerId {
+        self.try_register(key).expect("identity admissible")
+    }
+
+    /// Registers a player's public key, refusing identities on the
+    /// durable cross-match ban list with a typed error. Every refusal
+    /// leaves a severe `admission` verdict in the audit stream against
+    /// the candidate's [`key_tag`].
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::Banned`] when the identity is on the list loaded
+    /// via [`GameLobby::with_banned_keys`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the match has already started.
+    pub fn try_register(&mut self, key: PublicKey) -> Result<PlayerId, AdmitError> {
         assert!(!self.started, "roster frozen after start");
+        if self.is_key_banned(&key) {
+            let tag = key_tag(&key);
+            self.audit.push_with(|| AuditRecord {
+                frame: 0,
+                node: LOBBY_NODE,
+                subject: tag,
+                kind: AuditKind::Verdict,
+                check: checks::ADMISSION,
+                score: 10,
+                confidence: "store",
+                trace: TraceId::NONE,
+                detail: "registration refused: durable cross-match ban".to_string(),
+            });
+            return Err(AdmitError::Banned { key_tag: tag });
+        }
         let id = PlayerId(self.directory.len() as u32);
         self.directory.push(key);
         self.status.push(PlayerStatus::Active);
-        id
+        Ok(id)
     }
 
     /// Freezes the roster and derives the shared schedule and trackers.
@@ -227,7 +295,11 @@ impl GameLobby {
         assert!(n >= 2, "need at least two players");
         self.schedule = Some(ProxySchedule::new(self.seed, n, self.config.proxy_period));
         self.membership = Some(MembershipTracker::new(n, self.heartbeat_timeout));
-        self.reputation = ThresholdReputation::new(n, 0.85, 30);
+        self.reputation = ThresholdReputation::new(
+            n,
+            self.config.reputation_threshold,
+            self.config.reputation_min_reports,
+        );
         self.started = true;
     }
 
@@ -292,6 +364,27 @@ impl GameLobby {
     #[must_use]
     pub fn suspicion(&self, player: PlayerId) -> f64 {
         self.reputation.suspicion(player)
+    }
+
+    /// The match's aggregated `(identity, acceptable, failed)` outcome
+    /// per player — what the durable reputation store (`watchmen-store`)
+    /// persists at match end via its `note_outcome`. Identities are the
+    /// public-key scalars, stable across matches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the match has not started.
+    #[must_use]
+    pub fn match_outcomes(&self) -> Vec<(u64, u64, u64)> {
+        assert!(self.started, "lobby not started");
+        self.directory
+            .iter()
+            .enumerate()
+            .map(|(i, key)| {
+                let (ok, failed) = self.reputation.counts(PlayerId(i as u32));
+                (key.to_u64(), ok, failed)
+            })
+            .collect()
     }
 
     /// Advances lobby housekeeping to `frame`: newly banned players and
@@ -405,7 +498,9 @@ impl GameLobby {
     ///
     /// # Errors
     ///
-    /// [`AdmitError::RosterFull`] once [`WatchmenConfig::max_roster`]
+    /// [`AdmitError::Banned`] when the identity carries a durable
+    /// cross-match ban (audited at score 10 against the key's
+    /// [`key_tag`]), [`AdmitError::RosterFull`] once [`WatchmenConfig::max_roster`]
     /// dense ids have been handed out (silent — honest players hit full
     /// rosters too), and [`AdmitError::Throttled`] when more than
     /// [`WatchmenConfig::max_joins_per_window`] admissions land inside
@@ -427,6 +522,21 @@ impl GameLobby {
     ) -> Result<(PlayerId, JoinTicket, Roster), AdmitError> {
         assert!(self.started, "lobby not started");
         let keys = self.keys.as_ref().expect("lobby has no signing keys");
+        if self.is_key_banned(&key) {
+            let tag = key_tag(&key);
+            self.audit.push_with(|| AuditRecord {
+                frame,
+                node: LOBBY_NODE,
+                subject: tag,
+                kind: AuditKind::Verdict,
+                check: checks::ADMISSION,
+                score: 10,
+                confidence: "store",
+                trace: TraceId::NONE,
+                detail: "mid-game admission refused: durable cross-match ban".to_string(),
+            });
+            return Err(AdmitError::Banned { key_tag: tag });
+        }
         if self.directory.len() >= self.config.max_roster {
             return Err(AdmitError::RosterFull { max_roster: self.config.max_roster });
         }
@@ -882,6 +992,95 @@ mod tests {
     }
 
     #[test]
+    fn banned_key_is_refused_at_registration_and_midgame() {
+        let banned_pair = Keypair::generate(66);
+        let banned_key = banned_pair.public();
+        let mut lobby = GameLobby::new(7, WatchmenConfig::default(), 60)
+            .with_keys(Keypair::generate(777))
+            .with_banned_keys([banned_key.to_u64()]);
+        assert!(lobby.is_key_banned(&banned_key));
+
+        // Pre-match: the typed path refuses, the panicking path panics.
+        let err = lobby.try_register(banned_key).expect_err("banned at registration");
+        assert_eq!(err, AdmitError::Banned { key_tag: key_tag(&banned_key) });
+        for i in 0..4 {
+            lobby.register(Keypair::generate(i).public());
+        }
+        lobby.start();
+
+        // Mid-game: same refusal; clean identities still get in.
+        let err = lobby.admit_midgame(banned_key, 50).expect_err("banned mid-game");
+        assert_eq!(err, AdmitError::Banned { key_tag: key_tag(&banned_key) });
+        assert!(lobby.admit_midgame(Keypair::generate(99).public(), 50).is_ok());
+        assert_eq!(lobby.players(), 5);
+
+        // Both refusals audited at maximum severity against the key tag.
+        let audit: Vec<AuditRecord> = lobby.drain_audit();
+        assert_eq!(audit.len(), 2);
+        for record in &audit {
+            assert_eq!(record.kind, AuditKind::Verdict);
+            assert_eq!(record.check, checks::ADMISSION);
+            assert_eq!(record.subject, key_tag(&banned_key));
+            assert_eq!(record.score, 10);
+            assert_eq!(record.confidence, "store");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "identity admissible")]
+    fn register_panics_on_banned_key() {
+        let key = Keypair::generate(66).public();
+        let mut lobby =
+            GameLobby::new(7, WatchmenConfig::default(), 60).with_banned_keys([key.to_u64()]);
+        let _ = lobby.register(key);
+    }
+
+    #[test]
+    fn reputation_knobs_flow_from_config() {
+        // A stricter config bans on evidence the default would tolerate:
+        // 5 failed of 40 is 87.5% acceptable — banned under a 90%
+        // threshold, clean under the default 85%.
+        let strict = WatchmenConfig {
+            reputation_threshold: 0.90,
+            reputation_min_reports: 10,
+            ..WatchmenConfig::default()
+        };
+        for (config, expect_ban) in [(strict, true), (WatchmenConfig::default(), false)] {
+            let mut lobby = GameLobby::new(7, config, 60);
+            for i in 0..4 {
+                lobby.register(Keypair::generate(i).public());
+            }
+            lobby.start();
+            for k in 0..40 {
+                let rating = if k % 8 == 0 {
+                    CheatRating::new(10, Confidence::Proxy, 0)
+                } else {
+                    CheatRating::clean(Confidence::Proxy)
+                };
+                lobby.report(PlayerId(0), PlayerId(1), &rating);
+            }
+            let banned = !lobby.tick(10).is_empty();
+            assert_eq!(banned, expect_ban, "threshold {}", config.reputation_threshold);
+        }
+    }
+
+    #[test]
+    fn match_outcomes_expose_identity_counts() {
+        let mut lobby = lobby_with(3);
+        for _ in 0..10 {
+            lobby.report(PlayerId(0), PlayerId(1), &CheatRating::clean(Confidence::Proxy));
+        }
+        for _ in 0..4 {
+            lobby.report(PlayerId(0), PlayerId(2), &CheatRating::new(10, Confidence::Proxy, 0));
+        }
+        let outcomes = lobby.match_outcomes();
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes[0], (Keypair::generate(0).public().to_u64(), 0, 0));
+        assert_eq!(outcomes[1], (Keypair::generate(1).public().to_u64(), 10, 0));
+        assert_eq!(outcomes[2], (Keypair::generate(2).public().to_u64(), 0, 4));
+    }
+
+    #[test]
     fn admission_interleavings_preserve_roster_invariants() {
         // Property (JoinTicket admission): across randomized interleavings
         // of joins, leaves, evictions and throttled floods —
@@ -955,6 +1154,9 @@ mod tests {
                         }
                         Err(AdmitError::Throttled { retry_at, .. }) => {
                             assert!(retry_at > frame, "seed {seed}");
+                        }
+                        Err(AdmitError::Banned { .. }) => {
+                            panic!("seed {seed}: no ban list configured")
                         }
                     }
                 }

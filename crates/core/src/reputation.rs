@@ -76,6 +76,17 @@ impl ThresholdReputation {
         ok + fail
     }
 
+    /// The raw `(acceptable, failed)` counts for `subject` — the
+    /// per-match aggregate a durable cross-match store persists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn counts(&self, subject: PlayerId) -> (u64, u64) {
+        self.counts[subject.index()]
+    }
+
     /// Starts tracking one more player (mid-game admission) — the next
     /// dense id, with a clean slate.
     pub fn admit_player(&mut self) {

@@ -23,7 +23,12 @@
 //!   never averaged percentiles);
 //! * [`campaign`] — the coordinated-adversary soak: every scripted
 //!   campaign ([`watchmen_sim::campaign`]) run across many seeds on the
-//!   same pool, graded per kind.
+//!   same pool, graded per kind;
+//! * [`population`] — the long-horizon reputation soak: thousands of
+//!   statistical matches over one persistent identity population, with
+//!   every match outcome folded into the durable reputation store
+//!   (`watchmen-store`) so bans earned in one match block matchmaking
+//!   in the next — measured as time-to-ban and false-ban rate.
 //!
 //! The `fleet_soak` example drives all of it and prints the
 //! machine-parseable `fleet summary:` line ci.sh gates on.
@@ -35,6 +40,7 @@ pub mod campaign;
 pub mod cell;
 pub mod fleet;
 pub mod pool;
+pub mod population;
 pub mod rollup;
 
 pub use campaign::{run_campaign_soak, CampaignCell, CampaignSoakConfig, CampaignSoakResult};
@@ -46,4 +52,5 @@ pub use fleet::{
 pub use pool::{
     default_workers, run_tasks, run_tasks_on, PoolConfig, Quantum, ShardContext, Task, TaskOutcome,
 };
+pub use population::{run_population, PopulationConfig, PopulationResult};
 pub use rollup::{roll_up, FleetRollup, TickStats};

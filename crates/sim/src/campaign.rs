@@ -378,7 +378,7 @@ fn run_sybil_flood(
                         refused.push(key_tag(key));
                     }
                 }
-                Err(AdmitError::RosterFull { .. }) => {}
+                Err(AdmitError::RosterFull { .. } | AdmitError::Banned { .. }) => {}
             }
         }
     }

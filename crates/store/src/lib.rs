@@ -1,0 +1,46 @@
+//! Crash-safe durable reputation store for cross-match bans.
+//!
+//! The Watchmen paper's reputation system ranks players by how often
+//! their interactions are tagged suspicious — but a reputation that
+//! evaporates when the match ends (or the process dies) cannot back a
+//! *ban*. This crate persists the per-identity interaction totals and
+//! explicit ban decisions across matches and across crashes:
+//!
+//! * [`record`] — checksummed, length-prefixed WAL frames ([`StoreRecord`]);
+//! * [`log`] — the scan-to-last-valid recovery scanner ([`scan_log`])
+//!   tolerating torn tails, bit flips, and duplicated batches;
+//! * [`snapshot`] — whole-state images with a trailing CRC, written to
+//!   two alternating slots so a torn compaction never loses the good copy;
+//! * [`state`] — the pure, seq-idempotent fold ([`RepState`]) and the
+//!   cross-match ban policy ([`StorePolicy`]);
+//! * [`io`] — the [`Dir`] storage abstraction: a real directory
+//!   ([`FsDir`]), an in-memory crash-simulating one ([`MemDir`]), and a
+//!   deterministic fault-injection shim ([`FaultDir`]) driven by
+//!   `WATCHMEN_STORE_FAULTS`;
+//! * [`store`] — the [`ReputationStore`] facade: stage, commit
+//!   (append + fsync, *then* ack), compact, recover.
+//!
+//! The durability contract in one line: **a commit receipt means the
+//! batch survives any crash; absence of a receipt means the batch may
+//! be lost but never corrupts what was already acked.** Bans are
+//! explicit records, never re-derived from counts at recovery, so a
+//! crash can delay a ban (recovery re-stages it) but cannot invent one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod log;
+pub mod record;
+pub mod snapshot;
+pub mod state;
+pub mod store;
+
+pub use crate::io::{Dir, FaultDir, FaultSpec, FaultStats, FsDir, MemDir};
+pub use crate::log::{scan_log, LogScanReport};
+pub use crate::record::{crc32, decode_frame, FrameError, StoreRecord, FRAME_LEN, FRAME_MAGIC};
+pub use crate::snapshot::{decode_snapshot, encode_snapshot, SnapshotError};
+pub use crate::state::{IdentityEntry, RepState, StorePolicy};
+pub use crate::store::{
+    CommitReceipt, RecoveryReport, ReputationStore, StoreStats, SNAP_SLOTS, WAL_FILE,
+};

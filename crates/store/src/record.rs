@@ -1,0 +1,257 @@
+//! The durable record format: checksummed, length-prefixed frames.
+//!
+//! Every entry in the write-ahead log is one frame:
+//!
+//! ```text
+//! ┌─────────────┬──────────────┬──────────────┬─────────────────┐
+//! │ magic (u32) │ len (u32 LE) │ crc32 (u32)  │ payload (len B) │
+//! └─────────────┴──────────────┴──────────────┴─────────────────┘
+//! ```
+//!
+//! The CRC (IEEE 802.3, the zlib polynomial) covers the payload; the
+//! magic lets recovery *resync* after a corrupted record by scanning
+//! forward for the next plausible frame instead of abandoning the rest
+//! of the log. Payloads are fixed-width [`StoreRecord`] encodings: a
+//! sequence number (the idempotence key — replaying a record whose seq
+//! the state has already applied is a no-op), a kind tag, the 64-bit
+//! cross-match identity (a player's public key scalar), and two
+//! kind-specific words.
+
+/// Frame magic: `WREP` little-endian ("Watchmen REPutation").
+pub const FRAME_MAGIC: u32 = 0x5052_4557;
+
+/// Fixed payload width of every record kind.
+pub const PAYLOAD_LEN: usize = 25;
+
+/// Full frame width (magic + len + crc + payload).
+pub const FRAME_LEN: usize = 12 + PAYLOAD_LEN;
+
+/// One durable reputation event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreRecord {
+    /// A match's aggregated interaction outcome for one identity: how
+    /// many of its interactions the match rated acceptable vs failed
+    /// (the paper's per-player tagging, folded per match).
+    Outcome {
+        /// Record sequence number (strictly increasing per store).
+        seq: u64,
+        /// The subject's cross-match identity (public-key scalar).
+        identity: u64,
+        /// Interactions rated acceptable.
+        ok: u32,
+        /// Interactions rated failed (suspicious).
+        failed: u32,
+    },
+    /// A durable ban decision for one identity. Bans are explicit
+    /// records — recovery never *invents* one from counts, so a torn
+    /// tail can lose an unacknowledged ban but can never fabricate a
+    /// false one.
+    Ban {
+        /// Record sequence number (strictly increasing per store).
+        seq: u64,
+        /// The banned identity.
+        identity: u64,
+        /// The suspicion that triggered the ban, in permille.
+        suspicion_permille: u32,
+    },
+}
+
+impl StoreRecord {
+    /// The record's sequence number.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        match *self {
+            StoreRecord::Outcome { seq, .. } | StoreRecord::Ban { seq, .. } => seq,
+        }
+    }
+
+    /// The record's subject identity.
+    #[must_use]
+    pub fn identity(&self) -> u64 {
+        match *self {
+            StoreRecord::Outcome { identity, .. } | StoreRecord::Ban { identity, .. } => identity,
+        }
+    }
+
+    /// Encodes the fixed-width payload (no frame header).
+    #[must_use]
+    pub fn encode_payload(&self) -> [u8; PAYLOAD_LEN] {
+        let mut out = [0u8; PAYLOAD_LEN];
+        let (seq, kind, identity, a, b) = match *self {
+            StoreRecord::Outcome { seq, identity, ok, failed } => (seq, 1u8, identity, ok, failed),
+            StoreRecord::Ban { seq, identity, suspicion_permille } => {
+                (seq, 2u8, identity, suspicion_permille, 0)
+            }
+        };
+        out[0..8].copy_from_slice(&seq.to_le_bytes());
+        out[8] = kind;
+        out[9..17].copy_from_slice(&identity.to_le_bytes());
+        out[17..21].copy_from_slice(&a.to_le_bytes());
+        out[21..25].copy_from_slice(&b.to_le_bytes());
+        out
+    }
+
+    /// Decodes a fixed-width payload. `None` on a bad kind tag or
+    /// width — corruption the CRC happened not to catch.
+    #[must_use]
+    pub fn decode_payload(payload: &[u8]) -> Option<Self> {
+        if payload.len() != PAYLOAD_LEN {
+            return None;
+        }
+        let seq = u64::from_le_bytes(payload[0..8].try_into().ok()?);
+        let kind = payload[8];
+        let identity = u64::from_le_bytes(payload[9..17].try_into().ok()?);
+        let a = u32::from_le_bytes(payload[17..21].try_into().ok()?);
+        let b = u32::from_le_bytes(payload[21..25].try_into().ok()?);
+        match kind {
+            1 => Some(StoreRecord::Outcome { seq, identity, ok: a, failed: b }),
+            2 if b == 0 => Some(StoreRecord::Ban { seq, identity, suspicion_permille: a }),
+            _ => None,
+        }
+    }
+
+    /// Encodes the record as a full frame (header + payload).
+    #[must_use]
+    pub fn encode_frame(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut out = Vec::with_capacity(FRAME_LEN);
+        out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+}
+
+/// Why a frame failed to decode at some offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes remain than a full frame needs — a torn tail (or a
+    /// resync that ran off the end).
+    Truncated,
+    /// The magic word does not match.
+    BadMagic,
+    /// The length field is not a plausible payload length.
+    BadLength,
+    /// The checksum does not match the payload.
+    BadCrc,
+    /// CRC passed but the payload's kind tag is invalid.
+    BadPayload,
+}
+
+/// Tries to decode one frame at the start of `bytes`. On success returns
+/// the record and the number of bytes consumed.
+///
+/// # Errors
+///
+/// A [`FrameError`] naming the first violated invariant.
+pub fn decode_frame(bytes: &[u8]) -> Result<(StoreRecord, usize), FrameError> {
+    if bytes.len() < 12 {
+        return Err(FrameError::Truncated);
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    let len = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    if len != PAYLOAD_LEN {
+        return Err(FrameError::BadLength);
+    }
+    if bytes.len() < 12 + len {
+        return Err(FrameError::Truncated);
+    }
+    let crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let payload = &bytes[12..12 + len];
+    if crc32(payload) != crc {
+        return Err(FrameError::BadCrc);
+    }
+    match StoreRecord::decode_payload(payload) {
+        Some(record) => Ok((record, 12 + len)),
+        None => Err(FrameError::BadPayload),
+    }
+}
+
+/// CRC-32 (IEEE 802.3 / zlib polynomial, reflected), computed bytewise
+/// over a small lazily-derived table — std-only, fast enough for the
+/// 25-byte payloads the store frames.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        let mut cur = (crc ^ u32::from(b)) & 0xFF;
+        for _ in 0..8 {
+            cur = if cur & 1 != 0 { 0xEDB8_8320 ^ (cur >> 1) } else { cur >> 1 };
+        }
+        crc = cur ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard zlib/IEEE test vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"hello"), 0x3610_A686);
+    }
+
+    #[test]
+    fn records_round_trip_through_frames() {
+        let records = [
+            StoreRecord::Outcome { seq: 1, identity: 0xDEAD_BEEF, ok: 28, failed: 2 },
+            StoreRecord::Ban { seq: 2, identity: 7, suspicion_permille: 412 },
+            StoreRecord::Outcome { seq: u64::MAX, identity: u64::MAX, ok: u32::MAX, failed: 0 },
+        ];
+        for record in records {
+            let frame = record.encode_frame();
+            assert_eq!(frame.len(), FRAME_LEN);
+            let (decoded, used) = decode_frame(&frame).expect("round trip");
+            assert_eq!(decoded, record);
+            assert_eq!(used, FRAME_LEN);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_caught() {
+        let record = StoreRecord::Outcome { seq: 99, identity: 1234, ok: 10, failed: 3 };
+        let frame = record.encode_frame();
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bent = frame.clone();
+                bent[byte] ^= 1 << bit;
+                match decode_frame(&bent) {
+                    Err(_) => {}
+                    Ok((decoded, _)) => {
+                        panic!("flip at {byte}.{bit} decoded as {decoded:?}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_truncated_or_bad() {
+        let frame =
+            StoreRecord::Ban { seq: 5, identity: 42, suspicion_permille: 900 }.encode_frame();
+        for cut in 0..frame.len() {
+            assert_eq!(decode_frame(&frame[..cut]), Err(FrameError::Truncated), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_kind_is_rejected_even_with_valid_crc() {
+        let record = StoreRecord::Outcome { seq: 1, identity: 2, ok: 3, failed: 4 };
+        let mut payload = record.encode_payload().to_vec();
+        payload[8] = 9; // invalid kind
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        assert_eq!(decode_frame(&frame), Err(FrameError::BadPayload));
+    }
+}

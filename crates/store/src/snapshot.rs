@@ -1,0 +1,154 @@
+//! Snapshot encoding: one self-validating image of the folded state.
+//!
+//! Compaction writes the whole [`RepState`] as a single checksummed
+//! blob so recovery can skip replaying the log's prefix. The format is
+//! belt-and-braces: a magic, a version, explicit entry count, and a
+//! trailing CRC-32 over everything before it — a truncated or
+//! bit-flipped snapshot fails closed (recovery falls back to the other
+//! snapshot slot, or to full-log replay) instead of loading garbage.
+//!
+//! ```text
+//! ┌───────┬─────────┬─────────────┬───────┬───────────────┬───────┐
+//! │ magic │ version │ applied_seq │ count │ count entries │ crc32 │
+//! │  u32  │   u32   │     u64     │  u64  │   29 B each   │  u32  │
+//! └───────┴─────────┴─────────────┴───────┴───────────────┴───────┘
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::record::crc32;
+use crate::state::{IdentityEntry, RepState};
+
+/// Snapshot magic: `WSNP` little-endian.
+pub const SNAP_MAGIC: u32 = 0x504E_5357;
+
+/// Current snapshot format version.
+pub const SNAP_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 4 + 4 + 8 + 8;
+const ENTRY_LEN: usize = 8 + 8 + 8 + 1 + 4;
+
+/// Why a snapshot image was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Shorter than a header + CRC, or shorter than its entry count
+    /// implies — a truncated write.
+    Truncated,
+    /// Bad magic or unsupported version.
+    BadHeader,
+    /// The trailing CRC does not match the image.
+    BadCrc,
+}
+
+/// Serialises the state as a snapshot image.
+#[must_use]
+pub fn encode_snapshot(state: &RepState) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + state.len() * ENTRY_LEN + 4);
+    out.extend_from_slice(&SNAP_MAGIC.to_le_bytes());
+    out.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+    out.extend_from_slice(&state.applied_seq().to_le_bytes());
+    out.extend_from_slice(&(state.len() as u64).to_le_bytes());
+    for (id, e) in state.iter() {
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&e.ok.to_le_bytes());
+        out.extend_from_slice(&e.failed.to_le_bytes());
+        out.push(u8::from(e.banned));
+        out.extend_from_slice(&e.ban_suspicion_permille.to_le_bytes());
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Parses and validates a snapshot image.
+///
+/// # Errors
+///
+/// A [`SnapshotError`] naming the first violated invariant; the caller
+/// treats any error as "this slot is unusable" and falls back.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<RepState, SnapshotError> {
+    if bytes.len() < HEADER_LEN + 4 {
+        return Err(SnapshotError::Truncated);
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if crc32(body) != crc {
+        return Err(SnapshotError::BadCrc);
+    }
+    let magic = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes"));
+    let version = u32::from_le_bytes(body[4..8].try_into().expect("4 bytes"));
+    if magic != SNAP_MAGIC || version != SNAP_VERSION {
+        return Err(SnapshotError::BadHeader);
+    }
+    let applied_seq = u64::from_le_bytes(body[8..16].try_into().expect("8 bytes"));
+    let count = u64::from_le_bytes(body[16..24].try_into().expect("8 bytes")) as usize;
+    if body.len() != HEADER_LEN + count * ENTRY_LEN {
+        return Err(SnapshotError::Truncated);
+    }
+    let mut entries = BTreeMap::new();
+    for i in 0..count {
+        let at = HEADER_LEN + i * ENTRY_LEN;
+        let e = &body[at..at + ENTRY_LEN];
+        let identity = u64::from_le_bytes(e[0..8].try_into().expect("8 bytes"));
+        entries.insert(
+            identity,
+            IdentityEntry {
+                ok: u64::from_le_bytes(e[8..16].try_into().expect("8 bytes")),
+                failed: u64::from_le_bytes(e[16..24].try_into().expect("8 bytes")),
+                banned: e[24] != 0,
+                ban_suspicion_permille: u32::from_le_bytes(e[25..29].try_into().expect("4 bytes")),
+            },
+        );
+    }
+    Ok(RepState::from_parts(entries, applied_seq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::StoreRecord;
+
+    fn sample_state() -> RepState {
+        let mut state = RepState::new();
+        state.apply(&StoreRecord::Outcome { seq: 1, identity: 42, ok: 100, failed: 3 });
+        state.apply(&StoreRecord::Outcome { seq: 2, identity: 7, ok: 10, failed: 40 });
+        state.apply(&StoreRecord::Ban { seq: 3, identity: 7, suspicion_permille: 800 });
+        state
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let state = sample_state();
+        let bytes = encode_snapshot(&state);
+        let back = decode_snapshot(&bytes).expect("round trip");
+        assert_eq!(back, state);
+        assert_eq!(back.digest(), state.digest());
+    }
+
+    #[test]
+    fn empty_state_round_trips() {
+        let state = RepState::new();
+        let back = decode_snapshot(&encode_snapshot(&state)).expect("round trip");
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn truncation_at_every_length_fails_closed() {
+        let bytes = encode_snapshot(&sample_state());
+        for cut in 0..bytes.len() {
+            assert!(decode_snapshot(&bytes[..cut]).is_err(), "cut at {cut} must be rejected");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_fails_closed() {
+        let bytes = encode_snapshot(&sample_state());
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bent = bytes.clone();
+                bent[byte] ^= 1 << bit;
+                assert!(decode_snapshot(&bent).is_err(), "flip at {byte}.{bit} must be rejected");
+            }
+        }
+    }
+}

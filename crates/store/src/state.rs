@@ -1,0 +1,292 @@
+//! The replayed reputation state and the ban policy.
+//!
+//! [`RepState`] is a pure fold over [`StoreRecord`]s: no I/O, no clock.
+//! Replay is **idempotent** by construction — every record carries a
+//! sequence number and the fold drops any record whose seq is not
+//! strictly greater than the highest applied — which is what makes
+//! recovery safe to run over a log that contains duplicated batches
+//! (a commit retried after a failed fsync appends the same records,
+//! same seqs, twice).
+
+use std::collections::BTreeMap;
+
+use watchmen_crypto::Sha256;
+
+use crate::record::StoreRecord;
+
+/// The store-side ban policy: the paper's threshold rule, applied to
+/// the *cross-match* interaction totals instead of one match's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorePolicy {
+    /// Ban when `ok / total` falls below this.
+    pub ban_threshold: f64,
+    /// Reports required before a ban can trigger.
+    pub min_reports: u64,
+}
+
+impl Default for StorePolicy {
+    fn default() -> Self {
+        // The same calibration the lobby defaults to: a ≤5%
+        // false-positive detector never drags an honest player under
+        // 85% acceptable.
+        StorePolicy { ban_threshold: 0.85, min_reports: 30 }
+    }
+}
+
+impl StorePolicy {
+    /// Validates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is outside `(0, 1)` or `min_reports`
+    /// is zero.
+    pub fn validate(&self) {
+        assert!(
+            self.ban_threshold > 0.0 && self.ban_threshold < 1.0,
+            "ban_threshold {} out of range",
+            self.ban_threshold
+        );
+        assert!(self.min_reports > 0, "min_reports must be positive");
+    }
+
+    /// Whether counts `(ok, failed)` satisfy the ban condition.
+    #[must_use]
+    pub fn should_ban(&self, ok: u64, failed: u64) -> bool {
+        let total = ok + failed;
+        total >= self.min_reports && (ok as f64 / total as f64) < self.ban_threshold
+    }
+}
+
+/// One identity's durable standing.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IdentityEntry {
+    /// Interactions rated acceptable, across every match.
+    pub ok: u64,
+    /// Interactions rated failed, across every match.
+    pub failed: u64,
+    /// Whether a durable [`StoreRecord::Ban`] exists for this identity.
+    pub banned: bool,
+    /// The suspicion recorded with the ban, in permille (0 when not
+    /// banned).
+    pub ban_suspicion_permille: u32,
+}
+
+impl IdentityEntry {
+    /// Total interactions recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.ok + self.failed
+    }
+
+    /// The failed proportion in `[0, 1]` (0 with no reports).
+    #[must_use]
+    pub fn suspicion(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.failed as f64 / self.total() as f64
+        }
+    }
+}
+
+/// The full replayed state: per-identity entries plus the replay
+/// cursor.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RepState {
+    entries: BTreeMap<u64, IdentityEntry>,
+    applied_seq: u64,
+}
+
+impl RepState {
+    /// An empty state (applied seq 0: every valid record applies).
+    #[must_use]
+    pub fn new() -> Self {
+        RepState::default()
+    }
+
+    /// Rebuilds a state from snapshot parts (used by snapshot decode).
+    #[must_use]
+    pub fn from_parts(entries: BTreeMap<u64, IdentityEntry>, applied_seq: u64) -> Self {
+        RepState { entries, applied_seq }
+    }
+
+    /// The highest record sequence number folded in.
+    #[must_use]
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// Identities tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no identity is tracked yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// One identity's entry, if any reports exist.
+    #[must_use]
+    pub fn entry(&self, identity: u64) -> Option<&IdentityEntry> {
+        self.entries.get(&identity)
+    }
+
+    /// Iterates entries in identity order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &IdentityEntry)> {
+        self.entries.iter()
+    }
+
+    /// Whether a durable ban exists for `identity`.
+    #[must_use]
+    pub fn is_banned(&self, identity: u64) -> bool {
+        self.entries.get(&identity).is_some_and(|e| e.banned)
+    }
+
+    /// Every banned identity, ascending.
+    #[must_use]
+    pub fn banned_identities(&self) -> Vec<u64> {
+        self.entries.iter().filter(|(_, e)| e.banned).map(|(&id, _)| id).collect()
+    }
+
+    /// Folds one record in. Returns `false` (and changes nothing) for
+    /// records at-or-below the applied cursor — the idempotence rule.
+    pub fn apply(&mut self, record: &StoreRecord) -> bool {
+        if record.seq() <= self.applied_seq {
+            return false;
+        }
+        self.applied_seq = record.seq();
+        let entry = self.entries.entry(record.identity()).or_default();
+        match *record {
+            StoreRecord::Outcome { ok, failed, .. } => {
+                entry.ok += u64::from(ok);
+                entry.failed += u64::from(failed);
+            }
+            StoreRecord::Ban { suspicion_permille, .. } => {
+                entry.banned = true;
+                entry.ban_suspicion_permille = suspicion_permille;
+            }
+        }
+        true
+    }
+
+    /// A digest over the interaction counts only (identity, ok, failed
+    /// per entry) — the crash-loop's convergence check, deliberately
+    /// excluding ban flags so acked-ban and no-false-ban assertions can
+    /// be made separately and exactly.
+    #[must_use]
+    pub fn counts_digest(&self) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(&(self.entries.len() as u64).to_le_bytes());
+        for (id, e) in &self.entries {
+            h.update(&id.to_le_bytes());
+            h.update(&e.ok.to_le_bytes());
+            h.update(&e.failed.to_le_bytes());
+        }
+        h.finalize()
+    }
+
+    /// A digest over the full state (counts, ban flags, applied seq).
+    #[must_use]
+    pub fn digest(&self) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(&self.applied_seq.to_le_bytes());
+        h.update(&(self.entries.len() as u64).to_le_bytes());
+        for (id, e) in &self.entries {
+            h.update(&id.to_le_bytes());
+            h.update(&e.ok.to_le_bytes());
+            h.update(&e.failed.to_le_bytes());
+            h.update(&[u8::from(e.banned)]);
+            h.update(&e.ban_suspicion_permille.to_le_bytes());
+        }
+        h.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(seq: u64, identity: u64, ok: u32, failed: u32) -> StoreRecord {
+        StoreRecord::Outcome { seq, identity, ok, failed }
+    }
+
+    #[test]
+    fn apply_folds_counts_and_bans() {
+        let mut state = RepState::new();
+        assert!(state.apply(&outcome(1, 7, 9, 1)));
+        assert!(state.apply(&outcome(2, 7, 3, 7)));
+        assert!(state.apply(&StoreRecord::Ban { seq: 3, identity: 7, suspicion_permille: 400 }));
+        let entry = state.entry(7).expect("tracked");
+        assert_eq!((entry.ok, entry.failed), (12, 8));
+        assert!(entry.banned);
+        assert_eq!(entry.suspicion(), 0.4);
+        assert_eq!(state.applied_seq(), 3);
+        assert_eq!(state.banned_identities(), vec![7]);
+    }
+
+    #[test]
+    fn replay_is_idempotent_under_duplicates() {
+        let records = [
+            outcome(1, 1, 10, 0),
+            outcome(2, 2, 2, 8),
+            StoreRecord::Ban { seq: 3, identity: 2, suspicion_permille: 800 },
+        ];
+        let mut once = RepState::new();
+        for r in &records {
+            assert!(once.apply(r));
+        }
+        // A retried batch duplicates the records verbatim; replaying the
+        // doubled log must land on the identical state.
+        let mut doubled = RepState::new();
+        for r in records.iter().chain(records.iter()) {
+            doubled.apply(r);
+        }
+        assert_eq!(once, doubled);
+        assert_eq!(once.digest(), doubled.digest());
+        // And stale records are rejected outright.
+        assert!(!doubled.apply(&outcome(2, 9, 1, 1)));
+        assert!(doubled.entry(9).is_none());
+    }
+
+    #[test]
+    fn gaps_in_seq_are_tolerated() {
+        // A corrupted middle record gets skipped by recovery resync; the
+        // fold accepts the gap and keeps the cursor honest.
+        let mut state = RepState::new();
+        assert!(state.apply(&outcome(1, 1, 5, 0)));
+        assert!(state.apply(&outcome(5, 1, 5, 0)));
+        assert_eq!(state.applied_seq(), 5);
+        assert_eq!(state.entry(1).expect("tracked").ok, 10);
+    }
+
+    #[test]
+    fn policy_matches_threshold_reputation_semantics() {
+        let policy = StorePolicy::default();
+        policy.validate();
+        assert!(!policy.should_ban(0, 0), "no reports, no ban");
+        assert!(!policy.should_ban(0, 29), "below min_reports");
+        assert!(policy.should_ban(0, 30));
+        assert!(policy.should_ban(15, 15), "50% acceptable is under 85%");
+        assert!(!policy.should_ban(100, 5), "95% acceptable stays clean");
+    }
+
+    #[test]
+    #[should_panic(expected = "ban_threshold")]
+    fn bad_policy_threshold_panics() {
+        StorePolicy { ban_threshold: 1.5, ..StorePolicy::default() }.validate();
+    }
+
+    #[test]
+    fn digests_separate_counts_from_bans() {
+        let mut a = RepState::new();
+        let mut b = RepState::new();
+        a.apply(&outcome(1, 3, 5, 5));
+        b.apply(&outcome(1, 3, 5, 5));
+        b.apply(&StoreRecord::Ban { seq: 2, identity: 3, suspicion_permille: 500 });
+        assert_eq!(a.counts_digest(), b.counts_digest(), "counts ignore bans");
+        assert_ne!(a.digest(), b.digest(), "full digest sees bans");
+    }
+}

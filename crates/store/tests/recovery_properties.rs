@@ -1,0 +1,297 @@
+//! Randomized recovery properties for the durable reputation store,
+//! driven by the workspace's deterministic [`Xoshiro256`] generator.
+//!
+//! Every case scripts a random operation stream, random commit batch
+//! boundaries, random compaction pressure and a random crash point,
+//! then checks the store's contract over the surviving media:
+//!
+//! * replay is idempotent — folding the same records twice is a no-op;
+//! * recovery over a snapshot + WAL tail reaches the state a full-log
+//!   replay would (compaction changes representation, never meaning);
+//! * after any crash the recovered counts are exactly a replay of an
+//!   operation prefix that covers everything acknowledged;
+//! * acknowledged bans survive; a crash never invents a ban; one
+//!   commit after recovery converges the ban set.
+
+use watchmen_crypto::rng::Xoshiro256;
+use watchmen_store::{
+    scan_log, Dir, FaultDir, FaultSpec, MemDir, RepState, ReputationStore, StorePolicy,
+    StoreRecord, WAL_FILE,
+};
+
+const CASES: u64 = 64;
+
+/// Reports per operation — fixed so the recovered operation count can
+/// be read off the report total, as the crash-loop harness does.
+const REPORTS_PER_OP: u64 = 10;
+
+/// One scripted operation: `(identity, ok, failed)`.
+type Op = (u64, u32, u32);
+
+/// A random stream over a small identity space so identities repeat and
+/// bans actually trip. Roughly a third of identities cheat hard.
+fn arb_ops(rng: &mut Xoshiro256, len: usize) -> Vec<Op> {
+    (0..len)
+        .map(|_| {
+            let identity = 100 + rng.next_range(12);
+            let failed = if identity.is_multiple_of(3) {
+                2 + rng.next_range(3) as u32
+            } else {
+                rng.next_range(2) as u32
+            };
+            (identity, REPORTS_PER_OP as u32 - failed, failed)
+        })
+        .collect()
+}
+
+/// Counts `(identity, ok, failed)` from a replay of `ops[..k]`.
+fn reference_counts(ops: &[Op], k: usize) -> Vec<(u64, u64, u64)> {
+    let mut state = RepState::new();
+    for (seq, &(identity, ok, failed)) in ops[..k].iter().enumerate() {
+        state.apply(&StoreRecord::Outcome { seq: seq as u64 + 1, identity, ok, failed });
+    }
+    state.iter().map(|(&id, e)| (id, e.ok, e.failed)).collect()
+}
+
+/// Identities whose running counts ever satisfy the ban policy during
+/// a full replay of `ops[..k]` — the only identities a store fed that
+/// prefix may ever ban.
+fn ever_bannable(policy: StorePolicy, ops: &[Op], k: usize) -> Vec<u64> {
+    let mut state = RepState::new();
+    let mut bannable = Vec::new();
+    for (seq, &(identity, ok, failed)) in ops[..k].iter().enumerate() {
+        state.apply(&StoreRecord::Outcome { seq: seq as u64 + 1, identity, ok, failed });
+        let entry = state.entry(identity).expect("just applied");
+        if policy.should_ban(entry.ok, entry.failed) && !bannable.contains(&identity) {
+            bannable.push(identity);
+        }
+    }
+    bannable.sort_unstable();
+    bannable
+}
+
+/// Whole operations a recovered state reflects (every op lands exactly
+/// [`REPORTS_PER_OP`] reports).
+fn ops_applied(state: &RepState) -> usize {
+    let reports: u64 = state.iter().map(|(_, e)| e.total()).sum();
+    assert_eq!(reports % REPORTS_PER_OP, 0, "recovery applied a partial record");
+    (reports / REPORTS_PER_OP) as usize
+}
+
+/// Drives `ops` into a store over faulty media until the scripted
+/// crash kills a commit. Returns `(acked_ops, acked_bans)`.
+fn drive_until_crash(
+    store: &mut ReputationStore,
+    ops: &[Op],
+    rng: &mut Xoshiro256,
+    compact_bytes: u64,
+) -> (usize, Vec<u64>) {
+    let mut acked_ops = 0;
+    let mut acked_bans = Vec::new();
+    for (i, &(identity, ok, failed)) in ops.iter().enumerate() {
+        store.note_outcome(identity, ok, failed);
+        if i + 1 == ops.len() || rng.next_bool(0.3) {
+            match store.commit_and_maybe_compact(compact_bytes) {
+                Ok(receipt) => {
+                    acked_ops = i + 1;
+                    acked_bans.extend(receipt.new_bans.iter().map(|&(id, _)| id));
+                }
+                Err(_) => break, // media crashed mid-commit
+            }
+        }
+    }
+    acked_bans.sort_unstable();
+    acked_bans.dedup();
+    (acked_ops, acked_bans)
+}
+
+#[test]
+fn log_replay_is_idempotent() {
+    let mut rng = Xoshiro256::seed_from(2013, 0xA1);
+    for case in 0..CASES {
+        let len = 8 + rng.next_range(40) as usize;
+        let ops = arb_ops(&mut rng, len);
+        let dir = MemDir::new();
+        let (mut store, _) = ReputationStore::open(Box::new(dir.clone()), StorePolicy::default())
+            .expect("open fresh store");
+        for &(identity, ok, failed) in &ops {
+            store.note_outcome(identity, ok, failed);
+        }
+        store.commit().expect("commit on healthy media");
+        drop(store);
+
+        let mut media = dir.clone();
+        let wal = media.read(WAL_FILE).expect("read wal").expect("wal exists");
+        let (records, report) = scan_log(&wal);
+        assert_eq!(report.corrupt_episodes, 0, "case {case}: clean log scans clean");
+
+        let mut once = RepState::new();
+        for record in &records {
+            assert!(once.apply(record), "case {case}: fresh records all apply");
+        }
+        let digest = once.digest();
+        // Folding the identical records again — a double replay of the
+        // same log — changes nothing and reports every record stale.
+        for record in &records {
+            assert!(!once.apply(record), "case {case}: replayed record must be stale");
+        }
+        assert_eq!(once.digest(), digest, "case {case}: double replay is a no-op");
+    }
+}
+
+#[test]
+fn snapshot_plus_tail_recovery_equals_full_log_replay() {
+    let mut rng = Xoshiro256::seed_from(2013, 0xB2);
+    for case in 0..CASES {
+        let len = 20 + rng.next_range(120) as usize;
+        let ops = arb_ops(&mut rng, len);
+        let compacted_media = MemDir::new();
+        let full_media = MemDir::new();
+        let policy = StorePolicy::default();
+        let (mut compacted, _) = ReputationStore::open(Box::new(compacted_media.clone()), policy)
+            .expect("open compacted store");
+        let (mut full, _) =
+            ReputationStore::open(Box::new(full_media.clone()), policy).expect("open full store");
+
+        // Identical streams and batch boundaries; only one compacts
+        // (aggressively — the 1-byte threshold compacts every commit).
+        for (i, &(identity, ok, failed)) in ops.iter().enumerate() {
+            compacted.note_outcome(identity, ok, failed);
+            full.note_outcome(identity, ok, failed);
+            if i + 1 == ops.len() || rng.next_bool(0.25) {
+                compacted.commit_and_maybe_compact(1).expect("commit+compact");
+                full.commit().expect("commit");
+            }
+        }
+        assert!(compacted.stats().compactions > 0, "case {case}: compaction exercised");
+        drop(compacted);
+        drop(full);
+
+        let (a, _) = ReputationStore::open(Box::new(compacted_media.clone()), policy)
+            .expect("reopen compacted");
+        let (b, _) =
+            ReputationStore::open(Box::new(full_media.clone()), policy).expect("reopen full");
+        assert_eq!(
+            a.state().digest(),
+            b.state().digest(),
+            "case {case}: snapshot+tail recovery diverged from full-log replay",
+        );
+    }
+}
+
+#[test]
+fn crash_recovery_is_a_prefix_replay_covering_every_ack() {
+    let mut rng = Xoshiro256::seed_from(2013, 0xC3);
+    for case in 0..CASES {
+        let len = 20 + rng.next_range(120) as usize;
+        let ops = arb_ops(&mut rng, len);
+        let media = MemDir::new();
+        let policy = StorePolicy::default();
+        let spec = FaultSpec {
+            seed: 2013 ^ case,
+            short_permille: 200,
+            crash_at_op: 1 + rng.next_range(3 * ops.len() as u64),
+            ..FaultSpec::default()
+        };
+        let compact_bytes = if rng.next_bool(0.5) { 512 } else { u64::MAX };
+        let (mut store, _) =
+            ReputationStore::open(Box::new(FaultDir::new(media.clone(), spec)), policy)
+                .expect("open over faulty media");
+        let (acked_ops, acked_bans) = drive_until_crash(&mut store, &ops, &mut rng, compact_bytes);
+        drop(store);
+
+        let (mut recovered, _) =
+            ReputationStore::open(Box::new(media.clone()), policy).expect("recover after crash");
+        let k = ops_applied(recovered.state());
+        assert!(k >= acked_ops, "case {case}: recovery lost acked work ({k} < {acked_ops} ops)",);
+        assert!(k <= ops.len(), "case {case}: recovery invented work");
+
+        // Counts are exactly a prefix replay — nothing reordered,
+        // nothing half-applied.
+        let counts: Vec<(u64, u64, u64)> =
+            recovered.state().iter().map(|(&id, e)| (id, e.ok, e.failed)).collect();
+        assert_eq!(counts, reference_counts(&ops, k), "case {case}: counts not a prefix replay");
+
+        // Acked bans survived; no ban exists the prefix cannot justify.
+        let bannable = ever_bannable(policy, &ops, k);
+        for &identity in &acked_bans {
+            assert!(recovered.is_banned(identity), "case {case}: acked ban of {identity} lost");
+        }
+        for identity in recovered.banned_identities() {
+            assert!(bannable.contains(&identity), "case {case}: false ban of {identity}");
+        }
+
+        // One commit converges the ban set to exactly the bannable set
+        // (re-staged torn bans land; nothing else appears).
+        recovered.commit().expect("post-recovery commit on healthy media");
+        assert_eq!(
+            recovered.banned_identities(),
+            bannable,
+            "case {case}: ban set did not converge after recovery",
+        );
+    }
+}
+
+#[test]
+fn bit_flipping_crashes_never_invent_state_and_recover_deterministically() {
+    let mut rng = Xoshiro256::seed_from(2013, 0xD4);
+    for case in 0..CASES {
+        let len = 20 + rng.next_range(120) as usize;
+        let ops = arb_ops(&mut rng, len);
+        let media = MemDir::new();
+        let policy = StorePolicy::default();
+        let spec = FaultSpec {
+            seed: 2013 ^ case,
+            short_permille: 150,
+            torn_replace_permille: 100,
+            crash_at_op: 1 + rng.next_range(3 * ops.len() as u64),
+            flip_bits: true,
+            ..FaultSpec::default()
+        };
+        let (mut store, _) =
+            ReputationStore::open(Box::new(FaultDir::new(media.clone(), spec)), policy)
+                .expect("open over faulty media");
+        let (acked_ops, acked_bans) = drive_until_crash(&mut store, &ops, &mut rng, 512);
+        drop(store);
+
+        // A flipped bit in the torn tail may corrupt a middle record,
+        // so recovery can skip records — the result need not be a
+        // clean prefix. The inviolable part of the contract: never
+        // panic, never lose an ack, never exceed the full stream,
+        // never invent a ban, and recover the same state every time.
+        let (first, _) =
+            ReputationStore::open(Box::new(media.clone()), policy).expect("recover after crash");
+        let (second, _) =
+            ReputationStore::open(Box::new(media.clone()), policy).expect("recover again");
+        assert_eq!(
+            first.state().digest(),
+            second.state().digest(),
+            "case {case}: recovery is not deterministic",
+        );
+
+        let acked = reference_counts(&ops, acked_ops);
+        let full = reference_counts(&ops, ops.len());
+        let at = |table: &[(u64, u64, u64)], id: u64| {
+            table.iter().find(|&&(i, _, _)| i == id).map_or((0, 0), |&(_, ok, failed)| (ok, failed))
+        };
+        for (&identity, entry) in first.state().iter() {
+            let (ok_floor, failed_floor) = at(&acked, identity);
+            let (ok_ceil, failed_ceil) = at(&full, identity);
+            assert!(
+                entry.ok >= ok_floor && entry.failed >= failed_floor,
+                "case {case}: acked counts of {identity} lost",
+            );
+            assert!(
+                entry.ok <= ok_ceil && entry.failed <= failed_ceil,
+                "case {case}: counts of {identity} exceed the full stream",
+            );
+        }
+        for &identity in &acked_bans {
+            assert!(first.is_banned(identity), "case {case}: acked ban of {identity} lost");
+        }
+        let bannable = ever_bannable(policy, &ops, ops.len());
+        for identity in first.banned_identities() {
+            assert!(bannable.contains(&identity), "case {case}: false ban of {identity}");
+        }
+    }
+}

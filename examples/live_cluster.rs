@@ -31,9 +31,16 @@
 //! writes `PEERS <addr0> <addr1> …`; child heartbeats until it has heard
 //! every peer, prints `UP`; parent writes `GO` to everyone at once; the
 //! match runs; child prints `RESULT k=v …` and exits.
+//!
+//! Every rendezvous step runs against a deadline: a child that crashes
+//! (or wedges) fails the run immediately with a per-node diagnostic —
+//! including its exit status — instead of hanging the parent on a pipe
+//! read forever. `WATCHMEN_LIVE_DIE=<index>` makes that node exit right
+//! after `ADDR` (a fault hook for exercising the failure path by hand).
 
 use std::io::{BufRead, BufReader, Write};
-use std::process::{Child, Command, Stdio};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use watchmen::core::node::{NodeEvent, WatchmenNode};
@@ -113,6 +120,62 @@ fn usage_error(reason: &str) -> ! {
     std::process::exit(2);
 }
 
+/// One spawned node process plus the channel its dedicated reader
+/// thread feeds stdout lines into. The thread (not the parent) blocks
+/// on the pipe, so the parent can put a deadline on every line and
+/// name the node that died instead of hanging forever.
+struct Node {
+    child: Child,
+    lines: mpsc::Receiver<String>,
+}
+
+impl Node {
+    /// The next stdout line, or a diagnostic when the node crashed
+    /// (channel disconnected — the reader thread saw EOF) or wedged
+    /// past the deadline.
+    fn next_line(&mut self, index: usize, what: &str, deadline: Instant) -> Result<String, String> {
+        let wait = deadline.saturating_duration_since(Instant::now());
+        match self.lines.recv_timeout(wait) {
+            Ok(line) => Ok(line),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                Err(format!("node {index}: no {what} line within {:.1}s", wait.as_secs_f64()))
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                let status = match self.child.try_wait() {
+                    Ok(Some(status)) => format!("exited with {status}"),
+                    Ok(None) => "closed stdout but is still running".to_owned(),
+                    Err(e) => format!("is unwaitable: {e}"),
+                };
+                Err(format!("node {index}: {status} before sending {what}"))
+            }
+        }
+    }
+
+    /// Writes a rendezvous line to the node's stdin, diagnosing a
+    /// crashed node (broken pipe) instead of panicking.
+    fn send(&mut self, index: usize, line: &str) -> Result<(), String> {
+        self.child
+            .stdin
+            .as_mut()
+            .expect("child stdin piped")
+            .write_all(line.as_bytes())
+            .map_err(|e| format!("node {index}: stdin write failed ({e}) — did it crash?"))
+    }
+}
+
+fn spawn_reader(stdout: ChildStdout) -> mpsc::Receiver<String> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        for line in BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    rx
+}
+
 /// Spawns the child fleet, runs the rendezvous, aggregates the results
 /// and prints the `live summary:` gate line.
 fn run_parent(knobs: &Knobs) {
@@ -123,7 +186,7 @@ fn run_parent(knobs: &Knobs) {
         knobs.players, knobs.frames, knobs.pace_ms, knobs.cheater
     );
 
-    let mut children: Vec<(Child, BufReader<std::process::ChildStdout>)> = (0..knobs.players)
+    let mut children: Vec<Node> = (0..knobs.players)
         .map(|i| {
             let mut child = Command::new(&exe)
                 .arg("__node")
@@ -134,19 +197,27 @@ fn run_parent(knobs: &Knobs) {
                 .stdout(Stdio::piped())
                 .spawn()
                 .expect("spawn node process");
-            let stdout = BufReader::new(child.stdout.take().expect("child stdout"));
-            (child, stdout)
+            let lines = spawn_reader(child.stdout.take().expect("child stdout"));
+            Node { child, lines }
         })
         .collect();
 
-    // Rendezvous 1: collect every child's ephemeral address.
+    // Rendezvous 1: collect every child's ephemeral address. Binding a
+    // loopback socket is fast; 10s is generous even under load.
+    let deadline = Instant::now() + Duration::from_secs(10);
     let mut addrs: Vec<String> = Vec::with_capacity(knobs.players);
     let mut abort: Option<String> = None;
-    for (i, (_, out)) in children.iter_mut().enumerate() {
-        match read_line(out).and_then(|l| l.strip_prefix("ADDR ").map(str::to_owned)) {
-            Some(addr) => addrs.push(addr),
-            None => {
-                abort = Some(format!("node {i} died or printed no ADDR line"));
+    for (i, node) in children.iter_mut().enumerate() {
+        match node.next_line(i, "ADDR", deadline) {
+            Ok(line) => match line.strip_prefix("ADDR ") {
+                Some(addr) => addrs.push(addr.to_owned()),
+                None => {
+                    abort = Some(format!("node {i}: expected ADDR, got {line:?}"));
+                    break;
+                }
+            },
+            Err(reason) => {
+                abort = Some(reason);
                 break;
             }
         }
@@ -156,16 +227,24 @@ fn run_parent(knobs: &Knobs) {
     }
 
     // Rendezvous 2: everyone learns everyone, then confirms liveness.
+    // Children give up after 10s themselves; the parent allows a little
+    // extra so the child's own diagnostic wins when peers are down.
     let peers_line = format!("PEERS {}\n", addrs.join(" "));
-    for (child, _) in &mut children {
-        child.stdin.as_mut().expect("child stdin").write_all(peers_line.as_bytes()).unwrap();
-    }
-    for (i, (_, out)) in children.iter_mut().enumerate() {
-        let line = read_line(out);
-        if line.as_deref() != Some("UP") {
-            eprintln!("node {i}: expected UP, got {line:?}");
-            abort = Some("a node never heard its peers".to_owned());
+    let deadline = Instant::now() + Duration::from_secs(15);
+    for (i, node) in children.iter_mut().enumerate() {
+        if let Err(reason) = node.send(i, &peers_line) {
+            abort = Some(reason);
             break;
+        }
+    }
+    for (i, node) in children.iter_mut().enumerate() {
+        if abort.is_some() {
+            break;
+        }
+        match node.next_line(i, "UP", deadline) {
+            Ok(line) if line == "UP" => {}
+            Ok(line) => abort = Some(format!("node {i}: expected UP, got {line:?}")),
+            Err(reason) => abort = Some(reason),
         }
     }
     if let Some(reason) = abort {
@@ -174,21 +253,34 @@ fn run_parent(knobs: &Knobs) {
 
     // Rendezvous 3: start everyone as close to simultaneously as N pipe
     // writes allow.
-    for (child, _) in &mut children {
-        child.stdin.as_mut().expect("child stdin").write_all(b"GO\n").unwrap();
+    for (i, node) in children.iter_mut().enumerate() {
+        if let Err(reason) = node.send(i, "GO\n") {
+            abort = Some(reason);
+            break;
+        }
+    }
+    if let Some(reason) = abort {
+        fail(&mut children, &reason);
     }
     let started = Instant::now();
 
-    // Collect results.
+    // Collect results. The match length is known exactly, so a node
+    // that overruns its own runtime by 30s is wedged, not slow.
+    let match_time = Duration::from_millis(knobs.pace_ms * (knobs.frames + DRAIN_FRAMES));
+    let deadline = started + match_time + Duration::from_secs(30);
     let (mut severe, mut false_verdicts, mut heartbeats) = (0u64, 0u64, 0u64);
     let (mut malformed, mut truncated, mut queue_dropped) = (0u64, 0u64, 0u64);
     let mut completed = 0usize;
-    for (i, (child, out)) in children.iter_mut().enumerate() {
-        let Some(line) = read_line(out) else {
-            eprintln!("node {i}: no RESULT line");
-            continue;
+    for (i, node) in children.iter_mut().enumerate() {
+        let line = match node.next_line(i, "RESULT", deadline) {
+            Ok(line) => line,
+            Err(reason) => {
+                eprintln!("{reason}");
+                let _ = node.child.kill();
+                continue;
+            }
         };
-        let ok = child.wait().map(|s| s.success()).unwrap_or(false);
+        let ok = node.child.wait().map(|s| s.success()).unwrap_or(false);
         let Some(kv) = line.strip_prefix("RESULT ") else {
             eprintln!("node {i}: expected RESULT, got {line:?}");
             continue;
@@ -233,17 +325,10 @@ fn run_parent(knobs: &Knobs) {
     }
 }
 
-fn read_line(reader: &mut BufReader<std::process::ChildStdout>) -> Option<String> {
-    let mut line = String::new();
-    match reader.read_line(&mut line) {
-        Ok(0) | Err(_) => None,
-        Ok(_) => Some(line.trim_end().to_owned()),
-    }
-}
-
-fn fail(children: &mut [(Child, BufReader<std::process::ChildStdout>)], reason: &str) -> ! {
-    for (child, _) in children.iter_mut() {
-        let _ = child.kill();
+fn fail(children: &mut [Node], reason: &str) -> ! {
+    for node in children.iter_mut() {
+        let _ = node.child.kill();
+        let _ = node.child.wait();
     }
     eprintln!("live cluster aborted: {reason}");
     std::process::exit(1);
@@ -261,6 +346,12 @@ fn run_node(index: usize, knobs: Knobs) {
         let mut out = stdout.lock();
         writeln!(out, "ADDR {}", transport.local_addr().expect("local addr")).unwrap();
         out.flush().unwrap();
+    }
+    if env_u64("WATCHMEN_LIVE_DIE", u64::MAX) == index as u64 {
+        // Scripted crash for exercising the parent's rendezvous
+        // deadline: die right after ADDR, before ever heartbeating.
+        eprintln!("node {index}: WATCHMEN_LIVE_DIE — crashing now");
+        std::process::exit(7);
     }
 
     // Learn the full address book from the parent.

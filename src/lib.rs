@@ -15,5 +15,6 @@ pub use watchmen_game as game;
 pub use watchmen_math as math;
 pub use watchmen_net as net;
 pub use watchmen_sim as sim;
+pub use watchmen_store as store;
 pub use watchmen_telemetry as telemetry;
 pub use watchmen_world as world;
